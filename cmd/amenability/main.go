@@ -1,0 +1,72 @@
+// Command amenability runs the application-characterization
+// methodology of internal/amenability — the paper's chief future-work
+// item — against the study's two applications: calibrate the platform
+// once, profile each application with three short runs, and print the
+// predicted slowdown per cap plus the lowest acceptable cap.
+//
+//	amenability                  # both applications, default tolerance
+//	amenability -tolerable 1.25  # tighter deadline
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"nodecap/internal/amenability"
+	"nodecap/internal/core"
+	"nodecap/internal/machine"
+	"nodecap/internal/workloads/sar"
+	"nodecap/internal/workloads/stereo"
+)
+
+func main() {
+	tolerable := flag.Float64("tolerable", 1.4, "tolerable time-to-solution factor")
+	flag.Parse()
+
+	cfg := machine.Romley()
+	caps := core.PaperCaps()
+
+	fmt.Println("calibrating platform (cap -> operating point)...")
+	cal := amenability.Calibrate(cfg, caps)
+	fmt.Printf("%8s %10s %12s\n", "cap(W)", "freq(MHz)", "gating level")
+	for _, p := range cal.Points {
+		fmt.Printf("%8.0f %10.0f %12d\n", p.CapWatts, p.FreqMHz, p.GatingLevel)
+	}
+
+	apps := []struct {
+		name string
+		mk   func() machine.Workload
+	}{
+		{"SIRE/RSM", func() machine.Workload {
+			c := sar.DefaultConfig()
+			c.RSMIterations = 1
+			return sar.New(c)
+		}},
+		{"Stereo Matching", func() machine.Workload {
+			c := stereo.DefaultConfig()
+			c.Sweeps = 1
+			return stereo.New(c)
+		}},
+	}
+
+	for _, app := range apps {
+		fmt.Printf("\nprofiling %s (baseline + two forced-gating runs)...\n", app.name)
+		prof := amenability.ProfileApp(app.name, app.mk, cfg)
+		fmt.Printf("  busy %.0f%%, memory-stall %.0f%%; way-gating x%.2f, deep-gating x%.1f\n",
+			prof.BusyFraction*100, prof.MemStallFraction*100,
+			prof.WayGatingRatio, prof.DeepGatingRatio)
+		fmt.Printf("  %8s %20s\n", "cap(W)", "predicted slowdown")
+		for _, p := range cal.Points {
+			s, err := prof.PredictSlowdown(cal, p.CapWatts)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("  %8.0f %19.2fx\n", p.CapWatts, s)
+		}
+		if cap, ok := prof.AmenableCap(cal, *tolerable); ok {
+			fmt.Printf("  => amenable down to %.0f W at <= %.2fx\n", cap, *tolerable)
+		} else {
+			fmt.Printf("  => no calibrated cap keeps slowdown <= %.2fx\n", *tolerable)
+		}
+	}
+}

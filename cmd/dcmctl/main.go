@@ -1,0 +1,227 @@
+// Command dcmctl is the operator CLI for the Data Center Manager
+// control plane (see cmd/dcmd to run the manager itself, or use the
+// embedded manager mode below for one-shot operations).
+//
+// Against a running dcmd:
+//
+//	dcmctl -server 127.0.0.1:9650 add sim0 127.0.0.1:9623
+//	dcmctl -server 127.0.0.1:9650 nodes
+//	dcmctl -server 127.0.0.1:9650 setcap sim0 140
+//	dcmctl -server 127.0.0.1:9650 budget 300 sim0,sim1
+//	dcmctl -server 127.0.0.1:9650 history sim0 20
+//
+// Direct mode (no dcmd; talks IPMI straight to one BMC):
+//
+//	dcmctl -bmc 127.0.0.1:9623 status
+//	dcmctl -bmc 127.0.0.1:9623 setcap 140
+//	dcmctl -bmc 127.0.0.1:9623 uncap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"nodecap/internal/dcm"
+	"nodecap/internal/ipmi"
+)
+
+func main() {
+	server := flag.String("server", "", "dcmd control-plane address")
+	bmcAddr := flag.String("bmc", "", "direct BMC address (bypasses dcmd)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	var err error
+	switch {
+	case *bmcAddr != "":
+		err = direct(*bmcAddr, args)
+	case *server != "":
+		err = viaServer(*server, args)
+	default:
+		err = fmt.Errorf("one of -server or -bmc is required")
+	}
+	if err != nil {
+		log.Fatalf("dcmctl: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  dcmctl -server ADDR add NAME BMCADDR | remove NAME | nodes | poll
+  dcmctl -server ADDR setcap NAME WATTS | uncap NAME
+  dcmctl -server ADDR budget WATTS NAME1,NAME2,...
+  dcmctl -server ADDR history NAME [N]
+  dcmctl -bmc ADDR status | setcap WATTS | uncap
+`)
+	os.Exit(2)
+}
+
+// viaServer drives the dcmd control plane.
+func viaServer(addr string, args []string) error {
+	call := func(req dcm.Request) (dcm.Response, error) {
+		resp, err := dcm.Call(addr, req)
+		if err != nil {
+			return resp, err
+		}
+		if !resp.OK {
+			return resp, fmt.Errorf("%s", resp.Error)
+		}
+		return resp, nil
+	}
+	switch args[0] {
+	case "add":
+		if len(args) != 3 {
+			usage()
+		}
+		_, err := call(dcm.Request{Op: "add", Name: args[1], Addr: args[2]})
+		return err
+	case "remove":
+		if len(args) != 2 {
+			usage()
+		}
+		_, err := call(dcm.Request{Op: "remove", Name: args[1]})
+		return err
+	case "nodes", "poll":
+		resp, err := call(dcm.Request{Op: args[0]})
+		if err != nil {
+			return err
+		}
+		printNodes(resp.Nodes)
+		return nil
+	case "setcap":
+		if len(args) != 3 {
+			usage()
+		}
+		watts, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad watts %q", args[2])
+		}
+		_, err = call(dcm.Request{Op: "setcap", Name: args[1], Cap: watts})
+		return err
+	case "uncap":
+		if len(args) != 2 {
+			usage()
+		}
+		_, err := call(dcm.Request{Op: "setcap", Name: args[1], Cap: 0})
+		return err
+	case "budget":
+		if len(args) != 3 {
+			usage()
+		}
+		watts, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad budget %q", args[1])
+		}
+		resp, err := call(dcm.Request{Op: "budget", Budget: watts, Group: strings.Split(args[2], ",")})
+		if err != nil {
+			return err
+		}
+		for _, a := range resp.Allocs {
+			fmt.Printf("%-12s %7.1f W\n", a.Name, a.CapWatts)
+		}
+		return nil
+	case "history":
+		if len(args) < 2 {
+			usage()
+		}
+		limit := 0
+		if len(args) == 3 {
+			limit, _ = strconv.Atoi(args[2])
+		}
+		resp, err := call(dcm.Request{Op: "history", Name: args[1], Limit: limit})
+		if err != nil {
+			return err
+		}
+		for _, s := range resp.History {
+			fmt.Printf("%s  %7.1f W  %4d MHz  P%-2d  gate %d\n",
+				s.At.Format("15:04:05.000"), s.PowerWatts, s.FreqMHz, s.PState, s.GatingLevel)
+		}
+		return nil
+	default:
+		usage()
+		return nil
+	}
+}
+
+func printNodes(nodes []dcm.NodeStatus) {
+	fmt.Printf("%-12s %-22s %-9s %-10s %9s %9s %6s %5s\n",
+		"NAME", "ADDR", "REACHABLE", "CAP", "POWER(W)", "FREQ(MHz)", "PSTATE", "GATE")
+	for _, n := range nodes {
+		cap := "off"
+		if n.CapEnabled {
+			cap = fmt.Sprintf("%.0f W", n.CapWatts)
+		}
+		fmt.Printf("%-12s %-22s %-9v %-10s %9.1f %9d P%-5d %5d\n",
+			n.Name, n.Addr, n.Reachable, cap,
+			n.Last.PowerWatts, n.Last.FreqMHz, n.Last.PState, n.Last.GatingLevel)
+	}
+}
+
+// direct drives one BMC without a manager.
+func direct(addr string, args []string) error {
+	c, err := ipmi.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	switch args[0] {
+	case "status":
+		di, err := c.GetDeviceID()
+		if err != nil {
+			return err
+		}
+		pr, err := c.GetPowerReading()
+		if err != nil {
+			return err
+		}
+		lim, err := c.GetPowerLimit()
+		if err != nil {
+			return err
+		}
+		ps, err := c.GetPStateInfo()
+		if err != nil {
+			return err
+		}
+		g, err := c.GetGatingLevel()
+		if err != nil {
+			return err
+		}
+		caps, err := c.GetCapabilities()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("device     : id=%#x fw=%d.%d mfg=%d product=%#x\n",
+			di.DeviceID, di.FirmwareMajor, di.FirmwareMinor, di.ManufacturerID, di.ProductID)
+		fmt.Printf("power      : %.1f W now, %.1f W average\n", pr.CurrentWatts, pr.AverageWatts)
+		if lim.Enabled {
+			fmt.Printf("cap        : %.1f W\n", lim.CapWatts)
+		} else {
+			fmt.Printf("cap        : disabled\n")
+		}
+		fmt.Printf("dvfs       : P%d of %d states, %d MHz\n", ps.Index, ps.Count, ps.FreqMHz)
+		fmt.Printf("gating     : level %d\n", g)
+		fmt.Printf("cap range  : %.1f - %.1f W\n", caps.MinCapWatts, caps.MaxCapWatts)
+		return nil
+	case "setcap":
+		if len(args) != 2 {
+			usage()
+		}
+		watts, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad watts %q", args[1])
+		}
+		return c.SetPowerLimit(ipmi.PowerLimit{Enabled: true, CapWatts: watts})
+	case "uncap":
+		return c.SetPowerLimit(ipmi.PowerLimit{})
+	default:
+		usage()
+		return nil
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"testing"
+
+	"nodecap/internal/dcm"
+	"nodecap/internal/ipmi"
+	"nodecap/internal/machine"
+	"nodecap/internal/nodeagent"
+)
+
+// harness brings up agent -> IPMI server -> manager -> control-plane
+// server, returning the two addresses the CLI dials.
+func harness(t *testing.T) (bmcAddr, serverAddr string) {
+	t.Helper()
+	agent := nodeagent.New(machine.Romley(), nodeagent.Options{})
+	t.Cleanup(agent.Stop)
+	isrv := ipmi.NewServer(agent)
+	bmcAddr, err := isrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { isrv.Close() })
+
+	mgr := dcm.NewManager(nil)
+	t.Cleanup(mgr.Close)
+	csrv := dcm.NewServer(mgr)
+	serverAddr, err = csrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(csrv.Close)
+	return bmcAddr, serverAddr
+}
+
+func TestViaServerLifecycle(t *testing.T) {
+	bmc, server := harness(t)
+	steps := [][]string{
+		{"add", "n0", bmc},
+		{"poll"},
+		{"nodes"},
+		{"setcap", "n0", "140"},
+		{"history", "n0", "5"},
+		{"budget", "170", "n0"},
+		{"uncap", "n0"},
+		{"remove", "n0"},
+	}
+	for _, args := range steps {
+		if err := viaServer(server, args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestViaServerErrors(t *testing.T) {
+	_, server := harness(t)
+	bad := [][]string{
+		{"remove", "ghost"},
+		{"setcap", "ghost", "140"},
+		{"setcap", "n0", "watts"},
+		{"budget", "x", "n0"},
+		{"history", "ghost"},
+	}
+	for _, args := range bad {
+		if err := viaServer(server, args); err == nil {
+			t.Errorf("%v succeeded, want error", args)
+		}
+	}
+}
+
+func TestDirectBMC(t *testing.T) {
+	bmc, _ := harness(t)
+	for _, args := range [][]string{
+		{"status"},
+		{"setcap", "135"},
+		{"uncap"},
+	} {
+		if err := direct(bmc, args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	if err := direct(bmc, []string{"setcap", "x"}); err == nil {
+		t.Error("bad watts accepted")
+	}
+	if err := direct("127.0.0.1:1", []string{"status"}); err == nil {
+		t.Error("dead BMC accepted")
+	}
+}

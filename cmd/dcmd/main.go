@@ -1,0 +1,52 @@
+// Command dcmd runs the Data Center Manager: it maintains IPMI
+// connections to a fleet of simulated nodes (see cmd/nodesimd),
+// monitors their power, and exposes the JSON control plane that
+// cmd/dcmctl drives.
+//
+// Usage:
+//
+//	dcmd -listen 127.0.0.1:9650 -poll 1s
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"nodecap/internal/dcm"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9650", "control-plane address")
+	poll := flag.Duration("poll", time.Second, "monitoring poll interval")
+	budget := flag.Float64("budget", 0, "group power budget in watts (0 = no auto-balancing)")
+	group := flag.String("group", "", "comma-separated node names the budget covers")
+	rebalance := flag.Duration("rebalance", 5*time.Second, "auto-balance interval")
+	flag.Parse()
+
+	mgr := dcm.NewManager(nil)
+	defer mgr.Close()
+	mgr.StartPolling(*poll)
+	if *budget > 0 && *group != "" {
+		names := strings.Split(*group, ",")
+		mgr.StartAutoBalance(*budget, names, *rebalance)
+		log.Printf("dcmd: auto-balancing %.0f W across %v every %v", *budget, names, *rebalance)
+	}
+
+	srv := dcm.NewServer(mgr)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("dcmd: listen: %v", err)
+	}
+	defer srv.Close()
+	log.Printf("dcmd: control plane on %s, polling every %v", addr, *poll)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("dcmd: shutting down")
+}

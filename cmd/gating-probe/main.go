@@ -1,0 +1,86 @@
+// Command gating-probe runs the detection microbenchmarks of
+// internal/workloads/probes against the simulated node under a series
+// of power caps and prints what power-management techniques are in
+// effect at each — the diagnosis the paper's authors said they wanted
+// to build ("determine, using microbenchmarks, what techniques other
+// than DVFS are being used").
+//
+//	gating-probe                 # the paper's cap schedule
+//	gating-probe -caps 140,125   # specific caps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"nodecap/internal/core"
+	"nodecap/internal/machine"
+	"nodecap/internal/workloads/probes"
+)
+
+func main() {
+	capsFlag := flag.String("caps", "", "comma-separated caps in watts (default: uncapped + paper schedule)")
+	flag.Parse()
+
+	caps := []float64{0}
+	if *capsFlag == "" {
+		caps = append(caps, core.PaperCaps()...)
+	} else {
+		for _, s := range strings.Split(*capsFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				log.Fatalf("gating-probe: bad cap %q", s)
+			}
+			caps = append(caps, v)
+		}
+	}
+
+	fmt.Printf("%-9s %9s %8s %8s %8s %10s %12s %12s %s\n",
+		"cap(W)", "freq(MHz)", "L1 ways", "L2 ways", "L3 ways", "DTLB", "DRAM med", "DRAM p95", "verdict")
+	for _, cap := range caps {
+		m := machine.New(machine.Romley())
+		m.SetPolicy(cap)
+		probes.Detect(m) // convergence pass: the probe load is the load
+		r := probes.Detect(m)
+
+		label := "uncapped"
+		if cap > 0 {
+			label = fmt.Sprintf("%.0f", cap)
+		}
+		fmt.Printf("%-9s %9.0f %8d %8d %8d %10d %10.0fns %10.0fns %s\n",
+			label, r.Frequency.MHz,
+			r.L1.Ways, r.L2.Ways, r.L3.Ways, r.DTLB.Entries,
+			r.Memory.MedianNanos, r.Memory.P95Nanos,
+			verdict(m, r))
+	}
+}
+
+func verdict(m *machine.Machine, r probes.GatingReport) string {
+	if r.DVFSOnly(m) {
+		if r.Frequency.MHz > 2500 {
+			return "unthrottled"
+		}
+		return "DVFS only"
+	}
+	var parts []string
+	h := m.Hierarchy().Config()
+	if r.L1.Ways < h.L1D.Ways || r.L2.Ways < h.L2.Ways || r.L3.Ways < h.L3.Ways-1 {
+		parts = append(parts, "cache way gating")
+	}
+	if r.DTLB.Entries < h.DTLB.Entries/2 {
+		parts = append(parts, "TLB gating")
+	}
+	if r.Memory.Downclocked {
+		parts = append(parts, "memory down-clock")
+	}
+	if r.Memory.DutyCycled {
+		parts = append(parts, "memory duty cycling")
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "sub-DVFS techniques")
+	}
+	return "DVFS + " + strings.Join(parts, " + ")
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"nodecap/internal/machine"
+	"nodecap/internal/workloads/probes"
+)
+
+func TestVerdictClassification(t *testing.T) {
+	m := machine.New(machine.Romley())
+	h := m.Hierarchy().Config()
+
+	full := probes.GatingReport{
+		Frequency: probes.FrequencyEstimate{MHz: 2690},
+		L1:        probes.CapacityEstimate{Ways: h.L1D.Ways},
+		L2:        probes.CapacityEstimate{Ways: h.L2.Ways},
+		L3:        probes.CapacityEstimate{Ways: h.L3.Ways},
+		DTLB:      probes.TLBEstimate{Entries: h.DTLB.Entries},
+	}
+	if got := verdict(m, full); got != "unthrottled" {
+		t.Errorf("full-speed verdict = %q", got)
+	}
+
+	throttled := full
+	throttled.Frequency.MHz = 1500
+	if got := verdict(m, throttled); got != "DVFS only" {
+		t.Errorf("throttled verdict = %q", got)
+	}
+
+	gated := throttled
+	gated.L2.Ways = 1
+	gated.DTLB.Entries = 16
+	gated.Memory = probes.MemoryEstimate{Downclocked: true, DutyCycled: true}
+	got := verdict(m, gated)
+	for _, want := range []string{"way gating", "TLB gating", "down-clock", "duty cycling"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("gated verdict %q missing %q", got, want)
+		}
+	}
+}

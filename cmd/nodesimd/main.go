@@ -1,0 +1,95 @@
+// Command nodesimd runs one simulated power-managed node and exposes
+// its BMC management endpoint over the IPMI-style TCP protocol, the
+// way a real node's BMC is reachable through its dedicated NIC.
+//
+// Usage:
+//
+//	nodesimd -listen 127.0.0.1:9623 -workload stereo -seed 1
+//
+// Workloads: idle (default), stereo, sar, mixed (alternating). A busy
+// node runs its workload back to back; dcmctl (or any IPMI client) can
+// read power and push capping policies while it runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nodecap/internal/ipmi"
+	"nodecap/internal/machine"
+	"nodecap/internal/nodeagent"
+	"nodecap/internal/workloads/sar"
+	"nodecap/internal/workloads/stereo"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9623", "BMC management endpoint address")
+	workload := flag.String("workload", "idle", "node load: idle, stereo, sar, or mixed")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	throttle := flag.Duration("throttle", time.Millisecond, "wall-clock pacing per idle slice (0 free-runs)")
+	flag.Parse()
+
+	factory, err := workloadFactory(*workload, *seed)
+	if err != nil {
+		log.Fatalf("nodesimd: %v", err)
+	}
+
+	cfg := machine.Romley()
+	cfg.Seed = *seed
+	agent := nodeagent.New(cfg, nodeagent.Options{
+		Workload: factory,
+		Throttle: *throttle,
+	})
+	defer agent.Stop()
+
+	srv := ipmi.NewServer(agent)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("nodesimd: listen: %v", err)
+	}
+	defer srv.Close()
+	log.Printf("nodesimd: BMC endpoint on %s (workload=%s seed=%d)", addr, *workload, *seed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("nodesimd: shutting down")
+}
+
+// workloadFactory maps the flag to a workload constructor. The mixed
+// mode alternates the two study applications, emulating the
+// unpredictable load the paper's discussion says capping is best for.
+func workloadFactory(name string, seed uint64) (func() machine.Workload, error) {
+	switch name {
+	case "idle":
+		return nil, nil
+	case "stereo":
+		cfg := stereo.DefaultConfig()
+		cfg.Seed = seed
+		return func() machine.Workload { return stereo.New(cfg) }, nil
+	case "sar":
+		cfg := sar.DefaultConfig()
+		cfg.Seed = seed
+		return func() machine.Workload { return sar.New(cfg) }, nil
+	case "mixed":
+		scfg := stereo.DefaultConfig()
+		scfg.Seed = seed
+		rcfg := sar.DefaultConfig()
+		rcfg.Seed = seed
+		n := 0
+		return func() machine.Workload {
+			n++
+			if n%2 == 1 {
+				return stereo.New(scfg)
+			}
+			return sar.New(rcfg)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestWorkloadFactory(t *testing.T) {
+	if f, err := workloadFactory("idle", 1); err != nil || f != nil {
+		t.Errorf("idle: factory nil-ness wrong (err=%v, isNil=%v)", err, f == nil)
+	}
+	for _, name := range []string{"stereo", "sar"} {
+		f, err := workloadFactory(name, 1)
+		if err != nil || f == nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w := f(); w == nil || w.CodePages() <= 0 {
+			t.Errorf("%s produced bad workload", name)
+		}
+	}
+	f, err := workloadFactory("mixed", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := f(), f()
+	if a.Name() == b.Name() {
+		t.Errorf("mixed mode did not alternate: %s, %s", a.Name(), b.Name())
+	}
+	if _, err := workloadFactory("nope", 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

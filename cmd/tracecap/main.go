@@ -1,0 +1,137 @@
+// Command tracecap records workload operation traces and characterizes
+// traces under power caps — the entry point for studying an
+// application that exists only as a trace.
+//
+//	tracecap record -workload stereo -o app.trace
+//	tracecap run -trace app.trace -caps 150,140,130,120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"nodecap/internal/machine"
+	"nodecap/internal/workloads/sar"
+	"nodecap/internal/workloads/stereo"
+	"nodecap/internal/workloads/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "run":
+		err = run(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatalf("tracecap: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  tracecap record -workload stereo|sar [-scale small|full] -o FILE
+  tracecap run -trace FILE [-caps W1,W2,...]
+`)
+	os.Exit(2)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	workload := fs.String("workload", "stereo", "workload to record: stereo or sar")
+	scale := fs.String("scale", "small", "input scale: small or full")
+	out := fs.String("o", "", "output trace file")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("record: -o is required")
+	}
+
+	var w machine.Workload
+	switch *workload + "/" + *scale {
+	case "stereo/small":
+		w = stereo.New(stereo.SmallConfig())
+	case "stereo/full":
+		w = stereo.New(stereo.DefaultConfig())
+	case "sar/small":
+		w = sar.New(sar.SmallConfig())
+	case "sar/full":
+		w = sar.New(sar.DefaultConfig())
+	default:
+		return fmt.Errorf("record: unknown workload/scale %s/%s", *workload, *scale)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	res, err := trace.Record(machine.Romley(), w, f)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %v virtual, %.1f W average -> %s\n",
+		res.Workload, res.ExecTime, res.AvgPowerWatts, *out)
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	traceFile := fs.String("trace", "", "trace file to characterize")
+	capsFlag := fs.String("caps", "150,140,130,120", "comma-separated caps in watts")
+	fs.Parse(args)
+	if *traceFile == "" {
+		return fmt.Errorf("run: -trace is required")
+	}
+
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	caps := []float64{0}
+	for _, s := range strings.Split(*capsFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("run: bad cap %q", s)
+		}
+		caps = append(caps, v)
+	}
+
+	fmt.Printf("trace %q: %d operations\n\n", tr.Name, len(tr.Ops))
+	fmt.Printf("%10s %12s %10s %10s %10s\n", "cap(W)", "time", "slowdown", "power(W)", "freq(MHz)")
+	var baseline float64
+	for _, cap := range caps {
+		m := machine.New(machine.Romley())
+		m.SetPolicy(cap)
+		res := m.RunWorkload(trace.NewPlayer(tr))
+		if cap == 0 {
+			baseline = res.ExecTime.Seconds()
+		}
+		label := "uncapped"
+		if cap > 0 {
+			label = fmt.Sprintf("%.0f", cap)
+		}
+		slow := res.ExecTime.Seconds() / baseline
+		fmt.Printf("%10s %12v %9.2fx %10.1f %10.0f\n",
+			label, res.ExecTime, slow, res.AvgPowerWatts, res.AvgFreqMHz)
+	}
+	return nil
+}

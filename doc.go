@@ -1,0 +1,23 @@
+// Package nodecap reproduces "Evaluation of Core Performance when the
+// Node is Power Capped using Intel Data Center Manager" (McCartney,
+// Teller, Arunagiri; ICPP Workshops 2012) as a simulation study.
+//
+// The module builds every system the paper depends on — a
+// cycle-approximate Sandy Bridge-class node (caches, TLBs, DRAM,
+// P-states), a node power model, a BMC power-capping controller with a
+// sub-DVFS gating ladder, an IPMI-style management protocol, a Data
+// Center Manager, the two Army workloads (SIRE/RSM synthetic-aperture
+// radar image formation and stereo matching by simulated annealing),
+// and the Hennessy-Patterson memory-stride probe — and regenerates the
+// paper's Tables I-II and Figures 1-4.
+//
+// Entry points:
+//
+//	cmd/powercap-bench   regenerate every table and figure
+//	cmd/nodesimd         run a simulated node with a BMC endpoint
+//	cmd/dcmd, cmd/dcmctl the management server and its CLI
+//	examples/            runnable walkthroughs of the public surface
+//
+// The root-level benchmarks (bench_test.go) exercise one experiment
+// per table and figure plus the ablations called out in DESIGN.md.
+package nodecap

@@ -1,0 +1,66 @@
+// Quickstart: build a simulated node, enforce a power cap, run a
+// workload, and read the study's metrics — execution time, average
+// node power, energy, average frequency, and the PAPI-style
+// performance counters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nodecap/internal/counters"
+	"nodecap/internal/machine"
+	"nodecap/internal/workloads/stereo"
+)
+
+func main() {
+	// A node modelled after the paper's platform: dual E5-2680, 16
+	// P-states, 20 MB L3, BMC-enforced capping.
+	cfg := machine.Romley()
+	m := machine.New(cfg)
+
+	// Measure with a PAPI-style event set, as the study did.
+	es := counters.NewEventSet(m)
+	if err := es.Add(counters.TOTINS, counters.TOTCYC, counters.L2TCM,
+		counters.L3TCM, counters.TLBIM); err != nil {
+		log.Fatal(err)
+	}
+
+	// Enforce a 140 W node cap (the paper's "acceptable range" edge:
+	// <= 40% slowdown) and run stereo matching once. DefaultConfig is
+	// sized for measurement sweeps (few annealing sweeps); for a
+	// quality demo give the annealer enough sweeps to converge on a
+	// smaller frame.
+	m.SetPolicy(140)
+
+	wcfg := stereo.DefaultConfig()
+	wcfg.Width, wcfg.Height = 256, 256
+	wcfg.Sweeps = 16
+	w := stereo.New(wcfg)
+	if err := es.Start(); err != nil {
+		log.Fatal(err)
+	}
+	res := m.RunWorkload(w)
+	if err := es.Stop(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload      : %s\n", res.Workload)
+	fmt.Printf("power cap     : %.0f W\n", res.CapWatts)
+	fmt.Printf("execution time: %v (virtual)\n", res.ExecTime)
+	fmt.Printf("average power : %.1f W\n", res.AvgPowerWatts)
+	fmt.Printf("energy        : %.1f J\n", res.EnergyJoules)
+	fmt.Printf("avg frequency : %.0f MHz (P-state dithering)\n", res.AvgFreqMHz)
+	fmt.Printf("disparity err : %.1f%% of pixels off by > 1 level\n", w.ErrorRate()*100)
+
+	events, err := es.ReadAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncounters:")
+	for _, e := range es.Events() {
+		fmt.Printf("  %-13s %d\n", e, events[e])
+	}
+}

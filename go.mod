@@ -1,0 +1,3 @@
+module nodecap
+
+go 1.22

@@ -1,0 +1,235 @@
+// Package amenability implements the final item of the paper's future
+// work, the one its conclusion calls most important: "develop a
+// methodology for characterizing applications with regard to their
+// amenability to power capped execution".
+//
+// The methodology has two parts, both built from short instrumented
+// runs rather than full cap sweeps:
+//
+//  1. Platform calibration (once per platform): for each candidate cap,
+//     observe the operating point the capping firmware settles at —
+//     effective frequency and gating depth. Any steady load works; the
+//     calibration is a property of the platform and controller, not of
+//     the application.
+//
+//  2. Application profiling (once per application): an uncapped run
+//     yields the busy/memory-stall split; two forced-gating runs at the
+//     same frequency yield the application's sensitivity to the
+//     sub-DVFS techniques (cache/TLB way gating, then memory gating).
+//     Streaming codes like SIRE/RSM show ratios near 1 for way gating;
+//     cache-resident codes like Stereo Matching show large ones — the
+//     paper's central contrast, reduced to two numbers.
+//
+// PredictSlowdown combines the two: DVFS stretches only the busy
+// fraction (memory time is frequency-invariant), and the gating ratio
+// multiplies in once the calibration says the cap pushes the platform
+// into the ladder. AmenableCap then answers the fielded-systems
+// question directly: the lowest cap whose predicted slowdown is
+// tolerable.
+package amenability
+
+import (
+	"fmt"
+	"sort"
+
+	"nodecap/internal/machine"
+	"nodecap/internal/simtime"
+)
+
+// AppProfile characterizes one application.
+type AppProfile struct {
+	Name string
+	// BusyFraction and MemStallFraction split uncapped execution time
+	// into frequency-scalable and frequency-invariant parts.
+	BusyFraction     float64
+	MemStallFraction float64
+	BaselineTime     simtime.Duration
+	// WayGatingRatio is t(way-gated)/t(baseline) at full frequency:
+	// sensitivity to cache/TLB gating (ladder level 6).
+	WayGatingRatio float64
+	// DeepGatingRatio is t(fully gated)/t(baseline) at full frequency:
+	// sensitivity including memory gating (deepest ladder level).
+	DeepGatingRatio float64
+}
+
+// ProfileApp measures an application's profile with three short runs.
+// mk must build identical workload instances.
+func ProfileApp(name string, mk func() machine.Workload, cfg machine.Config) AppProfile {
+	base := runAt(mk(), cfg, 0)
+	wayGated := runAt(mk(), cfg, 6)
+	deepGated := runAt(mk(), cfg, len(cfg.Ladder)-1)
+
+	p := AppProfile{
+		Name:         name,
+		BaselineTime: base.time,
+	}
+	total := base.busy + base.stall
+	if total > 0 {
+		p.BusyFraction = float64(base.busy) / float64(total)
+		p.MemStallFraction = float64(base.stall) / float64(total)
+	}
+	if base.time > 0 {
+		p.WayGatingRatio = float64(wayGated.time) / float64(base.time)
+		p.DeepGatingRatio = float64(deepGated.time) / float64(base.time)
+	}
+	return p
+}
+
+type runMetrics struct {
+	time        simtime.Duration
+	busy, stall simtime.Duration
+}
+
+// runAt executes the workload with the gating ladder pinned at level
+// (0 = baseline) and no cap, at full frequency.
+func runAt(w machine.Workload, cfg machine.Config, level int) runMetrics {
+	m := machine.New(cfg)
+	if level > 0 {
+		m.ForceGatingLevel(level)
+	}
+	res := m.RunWorkload(w)
+	return runMetrics{
+		time:  res.ExecTime,
+		busy:  m.Core().BusyTime(),
+		stall: m.Core().StallTime(),
+	}
+}
+
+// CalPoint is one platform operating point: what the firmware settles
+// at when the given cap is enforced against a steady load.
+type CalPoint struct {
+	CapWatts    float64
+	FreqMHz     float64
+	GatingLevel int
+}
+
+// Calibration is the platform's cap-to-operating-point map.
+type Calibration struct {
+	BaseFreqMHz float64
+	MaxGating   int
+	Points      []CalPoint // sorted by descending cap
+}
+
+// calibrationLoad is a steady mixed load for platform calibration.
+type calibrationLoad struct{ iters int }
+
+func (c *calibrationLoad) Name() string   { return "calibration" }
+func (c *calibrationLoad) CodePages() int { return 16 }
+func (c *calibrationLoad) Run(m *machine.Machine) {
+	base := m.Alloc(32 << 20)
+	elems := (32 << 20) / 8
+	pos := 0
+	for i := 0; i < c.iters; i++ {
+		m.Compute(24, 20)
+		m.Load(base + uint64(pos)*8)
+		pos += 97 // mixed locality
+		if pos >= elems {
+			pos -= elems
+		}
+	}
+}
+
+// Calibrate maps each cap to the platform's settled operating point.
+func Calibrate(cfg machine.Config, caps []float64) Calibration {
+	cal := Calibration{
+		BaseFreqMHz: float64(cfg.PStates.Fastest().FreqMHz),
+		MaxGating:   len(cfg.Ladder) - 1,
+	}
+	for _, cap := range caps {
+		m := machine.New(cfg)
+		m.SetPolicy(cap)
+		// Two runs: the first converges the controller, the second is
+		// the settled observation.
+		m.RunWorkload(&calibrationLoad{iters: 400000})
+		res := m.RunWorkload(&calibrationLoad{iters: 400000})
+		cal.Points = append(cal.Points, CalPoint{
+			CapWatts:    cap,
+			FreqMHz:     res.AvgFreqMHz,
+			GatingLevel: res.FinalGatingLevel,
+		})
+	}
+	sort.Slice(cal.Points, func(i, j int) bool {
+		return cal.Points[i].CapWatts > cal.Points[j].CapWatts
+	})
+	return cal
+}
+
+// Point returns the calibration entry for cap.
+func (c Calibration) Point(cap float64) (CalPoint, error) {
+	for _, p := range c.Points {
+		if p.CapWatts == cap {
+			return p, nil
+		}
+	}
+	return CalPoint{}, fmt.Errorf("amenability: cap %.0f W not calibrated", cap)
+}
+
+// PredictSlowdown estimates the application's time-to-solution factor
+// at the given cap from the profile and the platform calibration:
+//
+//	slowdown = (busy x fBase/fCap + memStall) x gatingFactor
+//
+// where gatingFactor interpolates the profile's two gating ratios over
+// the calibrated gating depth.
+func (p AppProfile) PredictSlowdown(cal Calibration, cap float64) (float64, error) {
+	pt, err := cal.Point(cap)
+	if err != nil {
+		return 0, err
+	}
+	freqFactor := 1.0
+	if pt.FreqMHz > 0 {
+		freqFactor = p.BusyFraction*(cal.BaseFreqMHz/pt.FreqMHz) + p.MemStallFraction
+	}
+	return freqFactor * p.gatingFactor(pt.GatingLevel, cal.MaxGating), nil
+}
+
+// gatingFactor interpolates the measured sensitivities piecewise-
+// linearly in ladder depth: 1 at level 0, WayGatingRatio at the
+// way-gating plateau (level 6), DeepGatingRatio at the deepest level.
+func (p AppProfile) gatingFactor(level, maxLevel int) float64 {
+	const wayLevel = 6
+	switch {
+	case level <= 0 || p.WayGatingRatio <= 0:
+		return 1
+	case level <= wayLevel:
+		f := float64(level) / wayLevel
+		return 1 + f*(p.WayGatingRatio-1)
+	case maxLevel <= wayLevel:
+		return p.WayGatingRatio
+	default:
+		f := float64(level-wayLevel) / float64(maxLevel-wayLevel)
+		return p.WayGatingRatio + f*(p.DeepGatingRatio-p.WayGatingRatio)
+	}
+}
+
+// AmenableCap reports the lowest calibrated cap whose predicted
+// slowdown stays within tolerable (a factor, e.g. 1.4 for the paper's
+// "acceptable increases"). ok is false when no calibrated cap
+// qualifies.
+func (p AppProfile) AmenableCap(cal Calibration, tolerable float64) (capWatts float64, ok bool) {
+	for _, pt := range cal.Points { // descending caps
+		s, err := p.PredictSlowdown(cal, pt.CapWatts)
+		if err != nil {
+			continue
+		}
+		if s <= tolerable {
+			capWatts, ok = pt.CapWatts, true
+		}
+	}
+	return capWatts, ok
+}
+
+// Score is a single scalar for ranking applications: the predicted
+// slowdown at the deepest calibrated cap (lower = more amenable, the
+// paper's SIRE/RSM < Stereo Matching ordering).
+func (p AppProfile) Score(cal Calibration) float64 {
+	if len(cal.Points) == 0 {
+		return 0
+	}
+	worst := cal.Points[len(cal.Points)-1]
+	s, err := p.PredictSlowdown(cal, worst.CapWatts)
+	if err != nil {
+		return 0
+	}
+	return s
+}

@@ -1,0 +1,167 @@
+package amenability
+
+import (
+	"testing"
+
+	"nodecap/internal/machine"
+	"nodecap/internal/workloads/sar"
+	"nodecap/internal/workloads/stereo"
+)
+
+func stereoMk() func() machine.Workload {
+	cfg := stereo.SmallConfig()
+	cfg.Width, cfg.Height = 416, 416
+	cfg.Sweeps = 1
+	return func() machine.Workload { return stereo.New(cfg) }
+}
+
+func sarMk() func() machine.Workload {
+	cfg := sar.SmallConfig()
+	cfg.Apertures = 96
+	cfg.SamplesPerAperture = 8192
+	return func() machine.Workload { return sar.New(cfg) }
+}
+
+func TestProfilesCaptureThePaperContrast(t *testing.T) {
+	cfg := machine.Romley()
+	st := ProfileApp("stereo", stereoMk(), cfg)
+	sa := ProfileApp("sar", sarMk(), cfg)
+
+	// SAR streams: more memory-stall time than the cache-resident
+	// stereo matcher.
+	if sa.MemStallFraction <= st.MemStallFraction {
+		t.Errorf("SAR mem-stall %.2f not above stereo %.2f",
+			sa.MemStallFraction, st.MemStallFraction)
+	}
+	// Stereo is far more sensitive to way gating.
+	if st.WayGatingRatio <= sa.WayGatingRatio {
+		t.Errorf("stereo way-gating ratio %.2f not above SAR %.2f",
+			st.WayGatingRatio, sa.WayGatingRatio)
+	}
+	// Both suffer badly from deep (memory) gating.
+	if st.DeepGatingRatio < 3 || sa.DeepGatingRatio < 3 {
+		t.Errorf("deep gating ratios too small: stereo %.1f, SAR %.1f",
+			st.DeepGatingRatio, sa.DeepGatingRatio)
+	}
+	// Fractions are a partition of time.
+	for _, p := range []AppProfile{st, sa} {
+		if s := p.BusyFraction + p.MemStallFraction; s < 0.99 || s > 1.01 {
+			t.Errorf("%s fractions sum to %.3f", p.Name, s)
+		}
+	}
+}
+
+func TestCalibrationShape(t *testing.T) {
+	cfg := machine.Romley()
+	cal := Calibrate(cfg, []float64{150, 130, 120})
+	if len(cal.Points) != 3 {
+		t.Fatalf("points = %d", len(cal.Points))
+	}
+	// Descending caps; frequency non-increasing; gating non-decreasing.
+	for i := 1; i < len(cal.Points); i++ {
+		if cal.Points[i].CapWatts >= cal.Points[i-1].CapWatts {
+			t.Error("caps not descending")
+		}
+		if cal.Points[i].FreqMHz > cal.Points[i-1].FreqMHz+50 {
+			t.Errorf("frequency rose as cap fell: %+v", cal.Points)
+		}
+		if cal.Points[i].GatingLevel < cal.Points[i-1].GatingLevel {
+			t.Errorf("gating relaxed as cap fell: %+v", cal.Points)
+		}
+	}
+	// 150 W: DVFS region; 120 W: deep in the ladder.
+	if cal.Points[0].GatingLevel != 0 {
+		t.Errorf("150 W gating = %d", cal.Points[0].GatingLevel)
+	}
+	if cal.Points[2].GatingLevel < cal.MaxGating-1 {
+		t.Errorf("120 W gating = %d, want near %d", cal.Points[2].GatingLevel, cal.MaxGating)
+	}
+}
+
+func TestPredictionMatchesMeasurementShape(t *testing.T) {
+	cfg := machine.Romley()
+	caps := []float64{150, 140, 130, 120}
+	cal := Calibrate(cfg, caps)
+
+	for _, app := range []struct {
+		name string
+		mk   func() machine.Workload
+	}{{"stereo", stereoMk()}, {"sar", sarMk()}} {
+		prof := ProfileApp(app.name, app.mk, cfg)
+		prev := 0.0
+		for _, cap := range caps {
+			pred, err := prof.PredictSlowdown(cal, cap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pred < prev {
+				t.Errorf("%s: prediction not monotone at %.0f W", app.name, cap)
+			}
+			prev = pred
+
+			// Measure the real slowdown.
+			m := machine.New(cfg)
+			m.SetPolicy(cap)
+			res := m.RunWorkload(app.mk())
+			measured := res.ExecTime.Seconds() / prof.BaselineTime.Seconds()
+			// Within a factor of two at every cap: the methodology is
+			// a screening tool, not a cycle-accurate model.
+			if pred > measured*2 || pred < measured/2 {
+				t.Errorf("%s at %.0f W: predicted %.2fx vs measured %.2fx",
+					app.name, cap, pred, measured)
+			}
+		}
+	}
+}
+
+func TestAmenabilityOrderingMatchesPaper(t *testing.T) {
+	cfg := machine.Romley()
+	cal := Calibrate(cfg, []float64{150, 140, 130, 120})
+	st := ProfileApp("stereo", stereoMk(), cfg)
+	sa := ProfileApp("sar", sarMk(), cfg)
+	// The paper: SIRE/RSM is more amenable to capping than Stereo
+	// Matching. Lower score = more amenable.
+	if sa.Score(cal) >= st.Score(cal) {
+		t.Errorf("ordering lost: SAR score %.2f >= stereo %.2f", sa.Score(cal), st.Score(cal))
+	}
+}
+
+func TestAmenableCap(t *testing.T) {
+	cfg := machine.Romley()
+	cal := Calibrate(cfg, []float64{150, 140, 130, 120})
+	sa := ProfileApp("sar", sarMk(), cfg)
+	cap, ok := sa.AmenableCap(cal, 1.4)
+	if !ok {
+		t.Fatal("no amenable cap found for SAR at 1.4x")
+	}
+	if cap < 120 || cap > 150 {
+		t.Errorf("amenable cap = %.0f W", cap)
+	}
+	// An impossible tolerance finds nothing.
+	if _, ok := sa.AmenableCap(cal, 0.5); ok {
+		t.Error("0.5x tolerance reported an amenable cap")
+	}
+}
+
+func TestPointLookupError(t *testing.T) {
+	cal := Calibrate(machine.Romley(), []float64{150})
+	p := AppProfile{BusyFraction: 1}
+	if _, err := p.PredictSlowdown(cal, 777); err == nil {
+		t.Error("uncalibrated cap accepted")
+	}
+}
+
+func TestGatingFactorInterpolation(t *testing.T) {
+	p := AppProfile{WayGatingRatio: 3, DeepGatingRatio: 9}
+	cases := []struct {
+		level int
+		want  float64
+	}{
+		{0, 1}, {3, 2}, {6, 3}, {9, 9},
+	}
+	for _, c := range cases {
+		if got := p.gatingFactor(c.level, 9); got != c.want {
+			t.Errorf("gatingFactor(%d) = %v, want %v", c.level, got, c.want)
+		}
+	}
+}

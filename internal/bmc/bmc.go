@@ -1,0 +1,241 @@
+// Package bmc models the Baseboard Management Controller of Section II
+// of the paper: the out-of-band firmware that monitors node power and
+// dynamically regulates it to honour a cap set by Intel Data Center
+// Manager.
+//
+// The control strategy reproduces what the paper describes and infers:
+//
+//   - The primary actuator is the P-state. When consumption exceeds
+//     the cap the BMC steps the CPUs to slower P-states; when it falls
+//     comfortably below, it steps back up. A cap that falls between
+//     the power levels of two adjacent P-states makes the controller
+//     dither between them, which is why Table II reports non-grid
+//     average frequencies such as 2168 MHz.
+//   - When consumption still exceeds the cap at the slowest P-state
+//     (caps of roughly 130 W and below on this platform), the BMC
+//     escalates through a gating ladder — cache way gating, TLB entry
+//     gating, memory-controller duty cycling — the sub-DVFS techniques
+//     the paper's counter data reveals. These buy only a few watts at
+//     a large performance cost.
+package bmc
+
+import (
+	"fmt"
+
+	"nodecap/internal/simtime"
+)
+
+// Plant is the machine surface the BMC actuates. The machine package
+// implements it; tests substitute scripted plants.
+type Plant interface {
+	// PowerWatts reports the node's current power draw as seen by the
+	// BMC's onboard sensor.
+	PowerWatts() float64
+	// PStateIndex and NumPStates describe the DVFS position; higher
+	// index is slower.
+	PStateIndex() int
+	NumPStates() int
+	// SetPState requests a DVFS transition (clamped by the plant).
+	SetPState(i int)
+	// GatingLevel and MaxGatingLevel describe the sub-DVFS ladder
+	// position; 0 is ungated.
+	GatingLevel() int
+	MaxGatingLevel() int
+	// SetGatingLevel reconfigures the memory hierarchy to ladder
+	// level l (clamped by the plant).
+	SetGatingLevel(l int)
+}
+
+// Policy is a power-capping policy, as pushed by DCM over IPMI.
+type Policy struct {
+	Enabled  bool
+	CapWatts float64
+}
+
+// Config tunes the control loop.
+type Config struct {
+	// ControlPeriod is the interval between control decisions.
+	ControlPeriod simtime.Duration
+	// GuardBandWatts is how far below the cap the controller aims;
+	// real firmware undershoots so transients do not breach the cap.
+	GuardBandWatts float64
+	// HysteresisWatts is the undershoot beyond the target required
+	// before the controller raises the P-state, preventing limit
+	// cycles from consuming the whole run in P-state transitions.
+	HysteresisWatts float64
+	// GateRelaxHysteresisWatts is the (much smaller) undershoot that
+	// relaxes one gating-ladder level. Firmware prefers DVFS-only
+	// operation — gating costs enormous performance per watt — so it
+	// is undone eagerly. This also differentiates a barely-reachable
+	// cap (hovering in the shallow ladder) from an unreachable one
+	// (pinned at the floor).
+	GateRelaxHysteresisWatts float64
+	// Smoothing is the EWMA coefficient applied to power readings
+	// (weight of the newest sample), in (0, 1].
+	Smoothing float64
+	// StepWattsPerPState scales proportional descent: when consumption
+	// exceeds the target by several steps' worth the controller drops
+	// several P-states in one tick, limiting EWMA-lag overshoot into
+	// the gating ladder.
+	StepWattsPerPState float64
+}
+
+// DefaultConfig returns the tuning used throughout the study.
+// The control period is expressed in simulated time and is much
+// shorter than real Node Manager's because the simulated runs are
+// scaled-down; the ratio of control period to run length is what
+// matters for convergence and dithering.
+func DefaultConfig() Config {
+	return Config{
+		ControlPeriod:            100 * simtime.Microsecond,
+		GuardBandWatts:           0.5,
+		HysteresisWatts:          2.0,
+		GateRelaxHysteresisWatts: 0.3,
+		Smoothing:                0.6,
+		StepWattsPerPState:       2.0,
+	}
+}
+
+// Validate reports nonsensical tunings.
+func (c Config) Validate() error {
+	if c.ControlPeriod <= 0 {
+		return fmt.Errorf("bmc: non-positive control period")
+	}
+	if c.Smoothing <= 0 || c.Smoothing > 1 {
+		return fmt.Errorf("bmc: smoothing %v outside (0,1]", c.Smoothing)
+	}
+	if c.GuardBandWatts < 0 || c.HysteresisWatts < 0 || c.GateRelaxHysteresisWatts < 0 {
+		return fmt.Errorf("bmc: negative guard band or hysteresis")
+	}
+	return nil
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	Ticks        uint64
+	StepsDown    uint64 // P-state slow-downs
+	StepsUp      uint64
+	GateEscalate uint64
+	GateRelax    uint64
+	OverCapTicks uint64 // ticks where smoothed power exceeded the cap
+	AtFloorTicks uint64 // ticks fully escalated yet still over cap
+}
+
+// OverCapFraction reports the fraction of control ticks whose smoothed
+// power exceeded the cap — a controller-quality metric the ablation
+// benches compare.
+func (s Stats) OverCapFraction() float64 {
+	if s.Ticks == 0 {
+		return 0
+	}
+	return float64(s.OverCapTicks) / float64(s.Ticks)
+}
+
+// BMC is the controller instance for one node.
+type BMC struct {
+	cfg      Config
+	plant    Plant
+	policy   Policy
+	smoothed float64
+	haveEWMA bool
+	stats    Stats
+}
+
+// New builds a BMC for plant; panics on invalid static config.
+func New(cfg Config, plant Plant) *BMC {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &BMC{cfg: cfg, plant: plant}
+}
+
+// Config returns the controller tuning.
+func (b *BMC) Config() Config { return b.cfg }
+
+// Policy returns the active policy.
+func (b *BMC) Policy() Policy { return b.policy }
+
+// SetPolicy installs a capping policy. Disabling the policy restores
+// full speed and removes all gating, as deactivating a DCM policy
+// does.
+func (b *BMC) SetPolicy(p Policy) {
+	b.policy = p
+	if !p.Enabled {
+		b.plant.SetGatingLevel(0)
+		b.plant.SetPState(0)
+		b.haveEWMA = false
+	}
+}
+
+// Stats returns a snapshot of controller activity.
+func (b *BMC) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the activity counters.
+func (b *BMC) ResetStats() { b.stats = Stats{} }
+
+// SmoothedWatts reports the EWMA-filtered power estimate the
+// controller is acting on.
+func (b *BMC) SmoothedWatts() float64 { return b.smoothed }
+
+// Tick runs one control decision. The machine calls it every
+// ControlPeriod of simulated time.
+func (b *BMC) Tick() {
+	b.stats.Ticks++
+	if !b.policy.Enabled {
+		return
+	}
+	w := b.plant.PowerWatts()
+	if !b.haveEWMA {
+		b.smoothed = w
+		b.haveEWMA = true
+	} else {
+		a := b.cfg.Smoothing
+		b.smoothed = a*w + (1-a)*b.smoothed
+	}
+
+	cap := b.policy.CapWatts
+	target := cap - b.cfg.GuardBandWatts
+	if b.smoothed > cap {
+		b.stats.OverCapTicks++
+	}
+
+	switch {
+	case b.smoothed > target:
+		// Too hot: slow down (proportionally to the excess), then gate.
+		if p := b.plant.PStateIndex(); p < b.plant.NumPStates()-1 {
+			steps := 1
+			if b.cfg.StepWattsPerPState > 0 {
+				steps += int((b.smoothed - target) / b.cfg.StepWattsPerPState)
+			}
+			b.plant.SetPState(p + steps)
+			b.stats.StepsDown++
+			return
+		}
+		if g := b.plant.GatingLevel(); g < b.plant.MaxGatingLevel() {
+			b.plant.SetGatingLevel(g + 1)
+			b.stats.GateEscalate++
+			return
+		}
+		// Fully escalated and still above target: the cap is below
+		// the platform's floor (the paper's 120 W rows).
+		b.stats.AtFloorTicks++
+	default:
+		// At or under target. Ungating is cheap headroom-wise and
+		// hugely valuable performance-wise, so it triggers on a small
+		// undershoot; speeding the clock back up waits for a solid
+		// margin.
+		if g := b.plant.GatingLevel(); g > 0 {
+			if b.smoothed < target-b.cfg.GateRelaxHysteresisWatts {
+				b.plant.SetGatingLevel(g - 1)
+				b.stats.GateRelax++
+			}
+			return
+		}
+		if b.smoothed < target-b.cfg.HysteresisWatts {
+			if p := b.plant.PStateIndex(); p > 0 {
+				b.plant.SetPState(p - 1)
+				b.stats.StepsUp++
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package bmc
+
+import (
+	"testing"
+
+	"nodecap/internal/simtime"
+)
+
+// linearPlant models node power as a simple decreasing function of
+// P-state index and gating level, enough to exercise the controller.
+type linearPlant struct {
+	pstate, gating int
+	npstates, maxG int
+	// power = base - pstate*perP - gating*perG
+	base, perP, perG float64
+}
+
+func newLinearPlant() *linearPlant {
+	// 155 W at P0 ungated, down to 155-15*1.8=128 at P15, minus up to
+	// 8*0.5=4 W of gating: floor 124 W — the platform's shape.
+	return &linearPlant{npstates: 16, maxG: 8, base: 155, perP: 1.8, perG: 0.5}
+}
+
+func (p *linearPlant) PowerWatts() float64 {
+	return p.base - float64(p.pstate)*p.perP - float64(p.gating)*p.perG
+}
+func (p *linearPlant) PStateIndex() int { return p.pstate }
+func (p *linearPlant) NumPStates() int  { return p.npstates }
+func (p *linearPlant) SetPState(i int) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= p.npstates {
+		i = p.npstates - 1
+	}
+	p.pstate = i
+}
+func (p *linearPlant) GatingLevel() int    { return p.gating }
+func (p *linearPlant) MaxGatingLevel() int { return p.maxG }
+func (p *linearPlant) SetGatingLevel(l int) {
+	if l < 0 {
+		l = 0
+	}
+	if l > p.maxG {
+		l = p.maxG
+	}
+	p.gating = l
+}
+
+func run(b *BMC, n int) {
+	for i := 0; i < n; i++ {
+		b.Tick()
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{ControlPeriod: 0, Smoothing: 0.5},
+		{ControlPeriod: simtime.Millisecond, Smoothing: 0},
+		{ControlPeriod: simtime.Millisecond, Smoothing: 1.5},
+		{ControlPeriod: simtime.Millisecond, Smoothing: 0.5, GuardBandWatts: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New(Config{}, newLinearPlant())
+}
+
+func TestDisabledPolicyDoesNothing(t *testing.T) {
+	p := newLinearPlant()
+	b := New(DefaultConfig(), p)
+	run(b, 50)
+	if p.pstate != 0 || p.gating != 0 {
+		t.Errorf("disabled policy actuated: P%d G%d", p.pstate, p.gating)
+	}
+	if b.Stats().Ticks != 50 {
+		t.Errorf("Ticks = %d", b.Stats().Ticks)
+	}
+}
+
+func TestHighCapNoThrottle(t *testing.T) {
+	// Cap 160 W against a 155 W plant: no slow-down (the paper's A1/B1
+	// rows show baseline-like behaviour at a 160 W cap).
+	p := newLinearPlant()
+	b := New(DefaultConfig(), p)
+	b.SetPolicy(Policy{Enabled: true, CapWatts: 160})
+	run(b, 200)
+	if p.pstate != 0 || p.gating != 0 {
+		t.Errorf("160 W cap throttled a 155 W plant: P%d G%d", p.pstate, p.gating)
+	}
+	if b.Stats().OverCapTicks != 0 {
+		t.Errorf("OverCapTicks = %d", b.Stats().OverCapTicks)
+	}
+}
+
+func TestConvergesToDVFSOnlyOperatingPoint(t *testing.T) {
+	// Cap 140 W: plant reaches 139.4 W at P9 or so; gating must stay 0.
+	p := newLinearPlant()
+	b := New(DefaultConfig(), p)
+	b.SetPolicy(Policy{Enabled: true, CapWatts: 140})
+	run(b, 500)
+	if p.gating != 0 {
+		t.Errorf("moderate cap engaged gating level %d", p.gating)
+	}
+	if got := p.PowerWatts(); got > 140 {
+		t.Errorf("converged power %v above cap", got)
+	}
+	if p.pstate == 0 || p.pstate == 15 {
+		t.Errorf("P-state %d not an intermediate point", p.pstate)
+	}
+}
+
+func TestEscalatesGatingWhenDVFSSaturates(t *testing.T) {
+	// Cap 126 W: P15 gives 128 W; gating must engage to reach <= 124.5.
+	p := newLinearPlant()
+	b := New(DefaultConfig(), p)
+	b.SetPolicy(Policy{Enabled: true, CapWatts: 126})
+	run(b, 500)
+	if p.pstate != 15 {
+		t.Errorf("P-state = %d, want 15", p.pstate)
+	}
+	if p.gating == 0 {
+		t.Error("gating never engaged")
+	}
+	if got := p.PowerWatts(); got > 126 {
+		t.Errorf("converged power %v above cap", got)
+	}
+}
+
+func TestUnreachableCapHitsFloor(t *testing.T) {
+	// Cap 120 W: floor is 124 W; the controller must fully escalate
+	// and record at-floor operation (the paper's A9/B9 overshoot).
+	p := newLinearPlant()
+	b := New(DefaultConfig(), p)
+	b.SetPolicy(Policy{Enabled: true, CapWatts: 120})
+	run(b, 500)
+	if p.pstate != 15 || p.gating != p.maxG {
+		t.Errorf("not fully escalated: P%d G%d", p.pstate, p.gating)
+	}
+	if b.Stats().AtFloorTicks == 0 {
+		t.Error("AtFloorTicks = 0")
+	}
+	if got := p.PowerWatts(); got <= 120 {
+		t.Errorf("plant below an unreachable cap: %v", got)
+	}
+}
+
+func TestRecoversWhenLoadDrops(t *testing.T) {
+	p := newLinearPlant()
+	b := New(DefaultConfig(), p)
+	b.SetPolicy(Policy{Enabled: true, CapWatts: 126})
+	run(b, 500)
+	// Load drops: idle plant well under the cap.
+	p.base = 101
+	run(b, 500)
+	if p.gating != 0 {
+		t.Errorf("gating %d retained at idle", p.gating)
+	}
+	if p.pstate != 0 {
+		t.Errorf("P-state %d retained at idle", p.pstate)
+	}
+}
+
+func TestDisableRestoresFullSpeed(t *testing.T) {
+	p := newLinearPlant()
+	b := New(DefaultConfig(), p)
+	b.SetPolicy(Policy{Enabled: true, CapWatts: 120})
+	run(b, 500)
+	b.SetPolicy(Policy{Enabled: false})
+	if p.pstate != 0 || p.gating != 0 {
+		t.Errorf("disable left P%d G%d", p.pstate, p.gating)
+	}
+}
+
+// ditherPlant has a power gap around the cap so no P-state sits inside
+// the guard window: the controller must oscillate between two states.
+type ditherPlant struct {
+	linearPlant
+	history []int
+}
+
+func (p *ditherPlant) SetPState(i int) {
+	p.linearPlant.SetPState(i)
+	p.history = append(p.history, p.pstate)
+}
+
+func TestDithersBetweenAdjacentPStates(t *testing.T) {
+	p := &ditherPlant{linearPlant: *newLinearPlant()}
+	p.perP = 4 // coarse 4 W steps: most caps fall between states
+	cfg := DefaultConfig()
+	cfg.HysteresisWatts = 0.5 // narrow band forces visible dithering
+	b := New(cfg, p)
+	b.SetPolicy(Policy{Enabled: true, CapWatts: 145})
+	run(b, 2000)
+	// Count distinct states visited in the steady-state tail.
+	tail := p.history[len(p.history)-100:]
+	seen := map[int]bool{}
+	for _, s := range tail {
+		seen[s] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("no dithering in steady state: visited %v", seen)
+	}
+}
+
+func TestSmoothedWattsTracksPlant(t *testing.T) {
+	p := newLinearPlant()
+	b := New(DefaultConfig(), p)
+	b.SetPolicy(Policy{Enabled: true, CapWatts: 200})
+	run(b, 100)
+	if got := b.SmoothedWatts(); got != p.PowerWatts() {
+		t.Errorf("SmoothedWatts = %v, plant = %v", got, p.PowerWatts())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	p := newLinearPlant()
+	b := New(DefaultConfig(), p)
+	b.SetPolicy(Policy{Enabled: true, CapWatts: 126})
+	run(b, 100)
+	b.ResetStats()
+	if b.Stats() != (Stats{}) {
+		t.Errorf("stats not reset: %+v", b.Stats())
+	}
+}

@@ -1,0 +1,351 @@
+// Package cache implements a set-associative cache model with true-LRU
+// replacement, a write-back/write-allocate policy, and way gating.
+//
+// Way gating is the mechanism the paper infers for sub-DVFS power
+// capping: the platform powers down some ways of a cache, shrinking
+// its effective associativity and capacity. SetActiveWays models this,
+// flushing (and reporting) the lines held in the disabled ways so that
+// the hierarchy can charge write-back traffic for them.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes the geometry and timing of one cache level.
+type Config struct {
+	Name      string // "L1D", "L2", ... used in error and stats output
+	SizeBytes int    // total capacity
+	LineBytes int    // line size; power of two
+	Ways      int    // associativity
+	// HitLatencyCycles is the load-to-use latency of a hit, in core
+	// cycles. The hierarchy converts it to time at the current
+	// frequency.
+	HitLatencyCycles int
+	// WriteBack selects write-back/write-allocate (true) or
+	// write-through/no-allocate (false) behaviour.
+	WriteBack bool
+	// Replacement selects the victim policy; the zero value is LRU.
+	Replacement ReplacementPolicy
+}
+
+// ReplacementPolicy selects how a fill chooses its victim way.
+type ReplacementPolicy int
+
+const (
+	// LRU evicts the least-recently-used line (true LRU). Its stack
+	// property makes way gating monotonically harmful, which the
+	// study's stereo-matching miss cliff depends on; the ablation
+	// bench compares it against Random.
+	LRU ReplacementPolicy = iota
+	// Random evicts a pseudo-random way (deterministic xorshift).
+	Random
+)
+
+// Sets reports the number of sets implied by the geometry.
+func (c Config) Sets() int {
+	return c.SizeBytes / (c.LineBytes * c.Ways)
+}
+
+// Validate reports a descriptive error when the geometry is not
+// realizable (non-power-of-two line or set count, sizes that do not
+// divide evenly, or non-positive fields).
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry %+v", c.Name, c)
+	}
+	if bits.OnesCount(uint(c.LineBytes)) != 1 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by line*ways %d",
+			c.Name, c.SizeBytes, c.LineBytes*c.Ways)
+	}
+	if s := c.Sets(); bits.OnesCount(uint(s)) != 1 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, s)
+	}
+	return nil
+}
+
+// Stats accumulates access counts for one cache.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	ReadMisses uint64
+	Writebacks uint64 // dirty lines pushed to the next level
+	Fills      uint64 // lines allocated
+	GateFlush  uint64 // lines flushed by way gating
+}
+
+// MissRate reports misses per access, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// AccessResult describes the outcome of one cache access.
+type AccessResult struct {
+	Hit bool
+	// WritebackAddr is the address of a dirty line evicted to make
+	// room for the fill; valid only when WritebackValid is set.
+	WritebackAddr  uint64
+	WritebackValid bool
+	// EvictedAddr is the address of any valid line (clean or dirty)
+	// replaced by the fill; valid only when EvictedValid is set. An
+	// inclusive outer level uses it to back-invalidate inner levels.
+	EvictedAddr  uint64
+	EvictedValid bool
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lastUse orders lines for LRU. A per-cache monotonic counter is
+	// cheaper than list manipulation and exact for LRU purposes.
+	lastUse uint64
+}
+
+// Cache is one level of a memory hierarchy. It tracks only tags and
+// metadata; data contents live in the workload's real Go memory.
+type Cache struct {
+	cfg        Config
+	sets       [][]line
+	setMask    uint64
+	lineShift  uint
+	activeWays int
+	useClock   uint64
+	rng        uint64 // Random replacement state
+	stats      Stats
+}
+
+// New builds a cache from cfg, panicking on invalid geometry: every
+// configuration in this codebase is static, so a bad one is a
+// programming error, not a runtime condition.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Sets()
+	c := &Cache{
+		cfg:        cfg,
+		sets:       make([][]line, nsets),
+		setMask:    uint64(nsets - 1),
+		lineShift:  uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		activeWays: cfg.Ways,
+		rng:        0x243F6A8885A308D3, // fixed seed: deterministic runs
+	}
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without disturbing cache contents,
+// mirroring how PAPI counters are reset between measurement intervals
+// while the caches stay warm.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// ActiveWays reports how many ways are currently powered.
+func (c *Cache) ActiveWays() int { return c.activeWays }
+
+// indexOf splits an address into set index and tag.
+func (c *Cache) indexOf(addr uint64) (set uint64, tag uint64) {
+	blk := addr >> c.lineShift
+	return blk & c.setMask, blk >> uint(bits.Len64(c.setMask))
+}
+
+// LineAddr reports the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineBytes) - 1)
+}
+
+// Access performs one read (write=false) or write (write=true) of the
+// line containing addr, updating LRU state and statistics. On a miss
+// the line is filled (write-allocate) unless the cache is configured
+// write-through, in which case write misses do not allocate.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	c.stats.Accesses++
+	c.useClock++
+	setIdx, tag := c.indexOf(addr)
+	set := c.sets[setIdx][:c.activeWays]
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.stats.Hits++
+			set[i].lastUse = c.useClock
+			if write && c.cfg.WriteBack {
+				set[i].dirty = true
+			}
+			return AccessResult{Hit: true}
+		}
+	}
+
+	c.stats.Misses++
+	if !write {
+		c.stats.ReadMisses++
+	}
+	if write && !c.cfg.WriteBack {
+		// Write-through/no-allocate: the write goes straight down.
+		return AccessResult{}
+	}
+
+	// Fill: choose an invalid way, else the policy's victim.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		if c.cfg.Replacement == Random {
+			c.rng ^= c.rng << 13
+			c.rng ^= c.rng >> 7
+			c.rng ^= c.rng << 17
+			victim = int(c.rng % uint64(len(set)))
+		} else {
+			victim = 0
+			for i := range set {
+				if set[i].lastUse < set[victim].lastUse {
+					victim = i
+				}
+			}
+		}
+	}
+	res := AccessResult{}
+	v := &set[victim]
+	if v.valid {
+		res.EvictedAddr = c.reconstruct(setIdx, v.tag)
+		res.EvictedValid = true
+		if v.dirty {
+			c.stats.Writebacks++
+			res.WritebackAddr = res.EvictedAddr
+			res.WritebackValid = true
+		}
+	}
+	c.stats.Fills++
+	v.valid = true
+	v.dirty = write && c.cfg.WriteBack
+	v.tag = tag
+	v.lastUse = c.useClock
+	return res
+}
+
+// Update marks the line containing addr dirty if it is resident,
+// reporting whether it was. The hierarchy uses it for write-back
+// traffic from an inner level: an inclusive outer level normally holds
+// the line, and when it does not the write-back is simply forwarded
+// downward rather than allocating here.
+func (c *Cache) Update(addr uint64) bool {
+	setIdx, tag := c.indexOf(addr)
+	set := c.sets[setIdx][:c.activeWays]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.useClock++
+			set[i].lastUse = c.useClock
+			if c.cfg.WriteBack {
+				set[i].dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether the line holding addr is resident. It does
+// not perturb LRU state or statistics; it exists for tests and for the
+// hierarchy's inclusion checks.
+func (c *Cache) Contains(addr uint64) bool {
+	setIdx, tag := c.indexOf(addr)
+	set := c.sets[setIdx][:c.activeWays]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// reconstruct rebuilds a line-aligned address from set index and tag.
+func (c *Cache) reconstruct(setIdx, tag uint64) uint64 {
+	return (tag<<uint(bits.Len64(c.setMask)) | setIdx) << c.lineShift
+}
+
+// SetActiveWays gates the cache down (or back up) to n powered ways,
+// clamped to [1, cfg.Ways]. Lines resident in ways being powered off
+// are flushed; the addresses of dirty ones are returned so the caller
+// can charge write-back traffic. Re-enabling ways returns nil: the
+// re-powered ways come up invalid.
+func (c *Cache) SetActiveWays(n int) []uint64 {
+	if n < 1 {
+		n = 1
+	}
+	if n > c.cfg.Ways {
+		n = c.cfg.Ways
+	}
+	if n >= c.activeWays {
+		c.activeWays = n
+		return nil
+	}
+	var dirty []uint64
+	for setIdx := range c.sets {
+		for w := n; w < c.activeWays; w++ {
+			l := &c.sets[setIdx][w]
+			if l.valid {
+				c.stats.GateFlush++
+				if l.dirty {
+					dirty = append(dirty, c.reconstruct(uint64(setIdx), l.tag))
+				}
+				l.valid = false
+				l.dirty = false
+			}
+		}
+	}
+	c.activeWays = n
+	return dirty
+}
+
+// Flush invalidates every line, returning the addresses of dirty ones.
+func (c *Cache) Flush() []uint64 {
+	var dirty []uint64
+	for setIdx := range c.sets {
+		for w := range c.sets[setIdx] {
+			l := &c.sets[setIdx][w]
+			if l.valid && l.dirty {
+				dirty = append(dirty, c.reconstruct(uint64(setIdx), l.tag))
+			}
+			l.valid = false
+			l.dirty = false
+		}
+	}
+	return dirty
+}
+
+// Invalidate drops the line containing addr if resident, reporting
+// whether it was dirty. The hierarchy uses it to maintain inclusion
+// when an outer level evicts.
+func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
+	setIdx, tag := c.indexOf(addr)
+	set := c.sets[setIdx] // search gated ways too: they are invalid anyway
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			wasDirty = set[i].dirty
+			set[i].valid = false
+			set[i].dirty = false
+			return wasDirty
+		}
+	}
+	return false
+}

@@ -1,0 +1,208 @@
+// Package core implements the paper's experimental methodology as a
+// library: run a workload under a sweep of node power caps, several
+// trials per cap, average every metric, and compare against the
+// uncapped baseline — the procedure behind Tables I and II and
+// Figures 1 and 2.
+package core
+
+import (
+	"fmt"
+
+	"nodecap/internal/machine"
+	"nodecap/internal/simtime"
+	"nodecap/internal/stats"
+)
+
+// PaperCaps is the cap schedule of the study: 160 down to 120 W in
+// 5 W steps (Section III).
+func PaperCaps() []float64 {
+	return []float64{160, 155, 150, 145, 140, 135, 130, 125, 120}
+}
+
+// Experiment describes one workload's cap sweep.
+type Experiment struct {
+	// NewWorkload builds a fresh workload instance per run. The
+	// workload input must be identical across runs (the paper feeds
+	// every trial the same input).
+	NewWorkload func() machine.Workload
+	// MachineConfig builds the per-trial machine configuration; the
+	// seed varies per (cap, trial) so trials differ in phase like real
+	// repetitions.
+	MachineConfig func(seed uint64) machine.Config
+	// Caps is the cap schedule in watts (baseline is always run and
+	// need not be listed). Defaults to PaperCaps.
+	Caps []float64
+	// Trials per cap; the paper uses 5.
+	Trials int
+}
+
+// Defaults fills unset fields.
+func (e *Experiment) defaults() error {
+	if e.NewWorkload == nil {
+		return fmt.Errorf("core: NewWorkload is required")
+	}
+	if e.MachineConfig == nil {
+		e.MachineConfig = func(seed uint64) machine.Config {
+			cfg := machine.Romley()
+			cfg.Seed = seed
+			return cfg
+		}
+	}
+	if len(e.Caps) == 0 {
+		e.Caps = PaperCaps()
+	}
+	if e.Trials <= 0 {
+		e.Trials = 5
+	}
+	return nil
+}
+
+// CounterMeans holds trial-averaged counter values.
+type CounterMeans struct {
+	L1Misses   float64 // L1 data-cache misses (the Table II "L1 Misses" column)
+	L2Misses   float64
+	L3Misses   float64
+	DTLBMisses float64
+	ITLBMisses float64
+	Committed  float64
+	Issued     float64
+	Loads      float64
+	Stores     float64
+	Cycles     float64
+}
+
+// CapResult is the averaged outcome at one cap (or the baseline).
+type CapResult struct {
+	Label    string  // "baseline", "160", ...
+	CapWatts float64 // 0 for baseline
+
+	PowerWatts   float64
+	EnergyJoules float64
+	FreqMHz      float64
+	TimeSeconds  float64
+	Time         simtime.Duration
+
+	Counters CounterMeans
+
+	// Spread diagnostics across trials.
+	TimeStddev float64
+}
+
+// Diff holds the Table II percent-difference columns for one cap
+// against the baseline.
+type Diff struct {
+	Power, Energy, Freq, Time float64
+	L1, L2, L3, DTLB, ITLB    float64
+}
+
+// SweepResult is one workload's full sweep.
+type SweepResult struct {
+	Workload string
+	Baseline CapResult
+	Capped   []CapResult
+}
+
+// Run executes the experiment.
+func (e Experiment) Run() (SweepResult, error) {
+	if err := e.defaults(); err != nil {
+		return SweepResult{}, err
+	}
+	var out SweepResult
+	out.Workload = e.NewWorkload().Name()
+
+	out.Baseline = e.runCap(0, "baseline", 1)
+	for i, cap := range e.Caps {
+		label := fmt.Sprintf("%.0f", cap)
+		out.Capped = append(out.Capped, e.runCap(cap, label, uint64(i+2)))
+	}
+	return out, nil
+}
+
+// runCap averages Trials runs at one cap.
+func (e Experiment) runCap(capWatts float64, label string, seedBase uint64) CapResult {
+	var (
+		power, energy, freq, tsec                        []float64
+		l1, l2, l3, dtlb, itlb, com, iss, lds, strs, cyc []float64
+		totalTime                                        simtime.Duration
+	)
+	for trial := 0; trial < e.Trials; trial++ {
+		seed := seedBase*1000 + uint64(trial)
+		m := machine.New(e.MachineConfig(seed))
+		m.SetPolicy(capWatts)
+		r := m.RunWorkload(e.NewWorkload())
+
+		power = append(power, r.AvgPowerWatts)
+		energy = append(energy, r.EnergyJoules)
+		freq = append(freq, r.AvgFreqMHz)
+		tsec = append(tsec, r.ExecTime.Seconds())
+		totalTime += r.ExecTime
+		c := r.Counters
+		l1 = append(l1, float64(c.L1DMisses))
+		l2 = append(l2, float64(c.L2Misses))
+		l3 = append(l3, float64(c.L3Misses))
+		dtlb = append(dtlb, float64(c.DTLBMisses))
+		itlb = append(itlb, float64(c.ITLBMisses))
+		com = append(com, float64(c.InstructionsCommitted))
+		iss = append(iss, float64(c.InstructionsIssued))
+		lds = append(lds, float64(c.Loads))
+		strs = append(strs, float64(c.Stores))
+		cyc = append(cyc, float64(c.Cycles))
+	}
+	return CapResult{
+		Label:        label,
+		CapWatts:     capWatts,
+		PowerWatts:   stats.Mean(power),
+		EnergyJoules: stats.Mean(energy),
+		FreqMHz:      stats.Mean(freq),
+		TimeSeconds:  stats.Mean(tsec),
+		Time:         totalTime / simtime.Duration(e.Trials),
+		TimeStddev:   stats.Stddev(tsec),
+		Counters: CounterMeans{
+			L1Misses:   stats.Mean(l1),
+			L2Misses:   stats.Mean(l2),
+			L3Misses:   stats.Mean(l3),
+			DTLBMisses: stats.Mean(dtlb),
+			ITLBMisses: stats.Mean(itlb),
+			Committed:  stats.Mean(com),
+			Issued:     stats.Mean(iss),
+			Loads:      stats.Mean(lds),
+			Stores:     stats.Mean(strs),
+			Cycles:     stats.Mean(cyc),
+		},
+	}
+}
+
+// DiffVsBaseline computes the percent-difference columns for r.
+func (s SweepResult) DiffVsBaseline(r CapResult) Diff {
+	b := s.Baseline
+	return Diff{
+		Power:  stats.PercentDiff(r.PowerWatts, b.PowerWatts),
+		Energy: stats.PercentDiff(r.EnergyJoules, b.EnergyJoules),
+		Freq:   stats.PercentDiff(r.FreqMHz, b.FreqMHz),
+		Time:   stats.PercentDiff(r.TimeSeconds, b.TimeSeconds),
+		L1:     stats.PercentDiff(r.Counters.L1Misses, b.Counters.L1Misses),
+		L2:     stats.PercentDiff(r.Counters.L2Misses, b.Counters.L2Misses),
+		L3:     stats.PercentDiff(r.Counters.L3Misses, b.Counters.L3Misses),
+		DTLB:   stats.PercentDiff(r.Counters.DTLBMisses, b.Counters.DTLBMisses),
+		ITLB:   stats.PercentDiff(r.Counters.ITLBMisses, b.Counters.ITLBMisses),
+	}
+}
+
+// All returns baseline plus capped results in table order.
+func (s SweepResult) All() []CapResult {
+	out := make([]CapResult, 0, len(s.Capped)+1)
+	out = append(out, s.Baseline)
+	out = append(out, s.Capped...)
+	return out
+}
+
+// Series extracts one metric across All() in order, for the
+// normalized figures.
+func (s SweepResult) Series(metric func(CapResult) float64) []float64 {
+	all := s.All()
+	out := make([]float64, len(all))
+	for i, r := range all {
+		out[i] = metric(r)
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+// Package counters provides a PAPI-style performance-counter
+// interface over the simulated machine, mirroring how the study
+// collected its Table II metrics: build an event set, start it around
+// a region of interest, stop it, and read event deltas.
+package counters
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Event names a hardware performance event. The constants use PAPI's
+// preset names for the events the paper measured.
+type Event string
+
+const (
+	L1DCM  Event = "PAPI_L1_DCM"  // L1 data cache misses
+	L1ICM  Event = "PAPI_L1_ICM"  // L1 instruction cache misses
+	L1TCM  Event = "PAPI_L1_TCM"  // L1 total cache misses
+	L2TCM  Event = "PAPI_L2_TCM"  // L2 total cache misses
+	L3TCM  Event = "PAPI_L3_TCM"  // L3 total cache misses
+	TLBDM  Event = "PAPI_TLB_DM"  // data TLB misses
+	TLBIM  Event = "PAPI_TLB_IM"  // instruction TLB misses
+	TOTINS Event = "PAPI_TOT_INS" // instructions committed
+	TOTIIS Event = "PAPI_TOT_IIS" // instructions issued (incl. speculative)
+	LDINS  Event = "PAPI_LD_INS"  // load instructions executed
+	SRINS  Event = "PAPI_SR_INS"  // store instructions executed
+	TOTCYC Event = "PAPI_TOT_CYC" // total cycles
+)
+
+// AllEvents lists every supported event in a stable order.
+func AllEvents() []Event {
+	return []Event{L1DCM, L1ICM, L1TCM, L2TCM, L3TCM, TLBDM, TLBIM, TOTINS, TOTIIS, LDINS, SRINS, TOTCYC}
+}
+
+// Snapshot is a point-in-time reading of every countable quantity.
+// The machine package produces these.
+type Snapshot struct {
+	L1DMisses             uint64
+	L1IMisses             uint64
+	L2Misses              uint64
+	L3Misses              uint64
+	DTLBMisses            uint64
+	ITLBMisses            uint64
+	InstructionsCommitted uint64
+	InstructionsIssued    uint64
+	Loads                 uint64
+	Stores                uint64
+	Cycles                uint64
+}
+
+// Source is anything that can be sampled for a Snapshot.
+type Source interface {
+	CounterSnapshot() Snapshot
+}
+
+func (s Snapshot) event(e Event) (uint64, bool) {
+	switch e {
+	case L1DCM:
+		return s.L1DMisses, true
+	case L1ICM:
+		return s.L1IMisses, true
+	case L1TCM:
+		return s.L1DMisses + s.L1IMisses, true
+	case L2TCM:
+		return s.L2Misses, true
+	case L3TCM:
+		return s.L3Misses, true
+	case TLBDM:
+		return s.DTLBMisses, true
+	case TLBIM:
+		return s.ITLBMisses, true
+	case TOTINS:
+		return s.InstructionsCommitted, true
+	case TOTIIS:
+		return s.InstructionsIssued, true
+	case LDINS:
+		return s.Loads, true
+	case SRINS:
+		return s.Stores, true
+	case TOTCYC:
+		return s.Cycles, true
+	default:
+		return 0, false
+	}
+}
+
+// EventSet mirrors PAPI's event-set lifecycle: add events, Start,
+// Stop, Read. Reading a running set reports counts so far.
+type EventSet struct {
+	src     Source
+	events  map[Event]bool
+	start   Snapshot
+	stop    Snapshot
+	running bool
+	started bool
+	stopped bool
+}
+
+// NewEventSet builds an event set bound to src.
+func NewEventSet(src Source) *EventSet {
+	return &EventSet{src: src, events: make(map[Event]bool)}
+}
+
+// Add registers an event with the set. Unknown events are rejected,
+// like PAPI_ENOEVNT.
+func (es *EventSet) Add(events ...Event) error {
+	for _, e := range events {
+		if _, ok := (Snapshot{}).event(e); !ok {
+			return fmt.Errorf("counters: unknown event %q", e)
+		}
+		es.events[e] = true
+	}
+	return nil
+}
+
+// Events lists the registered events in sorted order.
+func (es *EventSet) Events() []Event {
+	out := make([]Event, 0, len(es.events))
+	for e := range es.events {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Start snapshots the counters and begins measurement.
+func (es *EventSet) Start() error {
+	if es.running {
+		return fmt.Errorf("counters: event set already running")
+	}
+	if len(es.events) == 0 {
+		return fmt.Errorf("counters: no events registered")
+	}
+	es.start = es.src.CounterSnapshot()
+	es.running = true
+	es.started = true
+	es.stopped = false
+	return nil
+}
+
+// Stop ends measurement.
+func (es *EventSet) Stop() error {
+	if !es.running {
+		return fmt.Errorf("counters: event set not running")
+	}
+	es.stop = es.src.CounterSnapshot()
+	es.running = false
+	es.stopped = true
+	return nil
+}
+
+// Read reports the measured delta for event e: current-so-far when
+// running, the stopped interval after Stop.
+func (es *EventSet) Read(e Event) (uint64, error) {
+	if !es.events[e] {
+		return 0, fmt.Errorf("counters: event %q not in set", e)
+	}
+	if !es.started {
+		return 0, fmt.Errorf("counters: event set never started")
+	}
+	end := es.stop
+	if es.running {
+		end = es.src.CounterSnapshot()
+	}
+	b, _ := es.start.event(e)
+	a, _ := end.event(e)
+	if a < b {
+		return 0, fmt.Errorf("counters: event %q went backwards (%d -> %d)", e, b, a)
+	}
+	return a - b, nil
+}
+
+// ReadAll returns every registered event's delta.
+func (es *EventSet) ReadAll() (map[Event]uint64, error) {
+	out := make(map[Event]uint64, len(es.events))
+	for e := range es.events {
+		v, err := es.Read(e)
+		if err != nil {
+			return nil, err
+		}
+		out[e] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package counters
+
+import "testing"
+
+// fakeSource replays scripted snapshots.
+type fakeSource struct {
+	snaps []Snapshot
+	i     int
+}
+
+func (f *fakeSource) CounterSnapshot() Snapshot {
+	s := f.snaps[f.i]
+	if f.i < len(f.snaps)-1 {
+		f.i++
+	}
+	return s
+}
+
+func TestLifecycle(t *testing.T) {
+	src := &fakeSource{snaps: []Snapshot{
+		{Cycles: 100, InstructionsCommitted: 50, L2Misses: 7},
+		{Cycles: 400, InstructionsCommitted: 230, L2Misses: 19},
+	}}
+	es := NewEventSet(src)
+	if err := es.Add(TOTCYC, TOTINS, L2TCM); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[Event]uint64{TOTCYC: 300, TOTINS: 180, L2TCM: 12}
+	for e, want := range cases {
+		got, err := es.Read(e)
+		if err != nil {
+			t.Fatalf("Read(%s): %v", e, err)
+		}
+		if got != want {
+			t.Errorf("Read(%s) = %d, want %d", e, got, want)
+		}
+	}
+}
+
+func TestReadWhileRunning(t *testing.T) {
+	src := &fakeSource{snaps: []Snapshot{
+		{Cycles: 100},
+		{Cycles: 150},
+		{Cycles: 900},
+	}}
+	es := NewEventSet(src)
+	es.Add(TOTCYC)
+	es.Start()
+	got, err := es.Read(TOTCYC)
+	if err != nil || got != 50 {
+		t.Errorf("running Read = %d, %v", got, err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	src := &fakeSource{snaps: []Snapshot{{}}}
+	es := NewEventSet(src)
+	if err := es.Add("PAPI_NOPE"); err == nil {
+		t.Error("unknown event accepted")
+	}
+	if err := es.Start(); err == nil {
+		t.Error("Start with no events accepted")
+	}
+	es.Add(TOTCYC)
+	if _, err := es.Read(TOTCYC); err == nil {
+		t.Error("Read before Start accepted")
+	}
+	if err := es.Stop(); err == nil {
+		t.Error("Stop before Start accepted")
+	}
+	es.Start()
+	if err := es.Start(); err == nil {
+		t.Error("double Start accepted")
+	}
+	if _, err := es.Read(L2TCM); err == nil {
+		t.Error("Read of unregistered event accepted")
+	}
+}
+
+func TestBackwardsCounterDetected(t *testing.T) {
+	src := &fakeSource{snaps: []Snapshot{{Cycles: 100}, {Cycles: 50}}}
+	es := NewEventSet(src)
+	es.Add(TOTCYC)
+	es.Start()
+	es.Stop()
+	if _, err := es.Read(TOTCYC); err == nil {
+		t.Error("backwards counter not detected")
+	}
+}
+
+func TestDerivedEvents(t *testing.T) {
+	src := &fakeSource{snaps: []Snapshot{
+		{},
+		{L1DMisses: 10, L1IMisses: 3},
+	}}
+	es := NewEventSet(src)
+	es.Add(L1TCM, L1DCM, L1ICM)
+	es.Start()
+	es.Stop()
+	if v, _ := es.Read(L1TCM); v != 13 {
+		t.Errorf("L1_TCM = %d, want 13", v)
+	}
+}
+
+func TestReadAllAndEvents(t *testing.T) {
+	src := &fakeSource{snaps: []Snapshot{
+		{},
+		{DTLBMisses: 4, ITLBMisses: 9, Loads: 2, Stores: 1, InstructionsIssued: 99},
+	}}
+	es := NewEventSet(src)
+	if err := es.Add(AllEvents()...); err != nil {
+		t.Fatal(err)
+	}
+	es.Start()
+	es.Stop()
+	all, err := es.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all[TLBDM] != 4 || all[TLBIM] != 9 || all[LDINS] != 2 || all[SRINS] != 1 || all[TOTIIS] != 99 {
+		t.Errorf("ReadAll = %v", all)
+	}
+	evs := es.Events()
+	if len(evs) != len(AllEvents()) {
+		t.Errorf("Events() = %v", evs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1] >= evs[i] {
+			t.Errorf("Events not sorted: %v", evs)
+		}
+	}
+}
+
+func TestRestartAfterStop(t *testing.T) {
+	src := &fakeSource{snaps: []Snapshot{
+		{Cycles: 0}, {Cycles: 10}, {Cycles: 25}, {Cycles: 100},
+	}}
+	es := NewEventSet(src)
+	es.Add(TOTCYC)
+	es.Start()
+	es.Stop()
+	if err := es.Start(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	es.Stop()
+	if v, _ := es.Read(TOTCYC); v != 75 {
+		t.Errorf("second interval = %d, want 75", v)
+	}
+}

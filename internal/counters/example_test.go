@@ -1,0 +1,48 @@
+package counters_test
+
+import (
+	"fmt"
+
+	"nodecap/internal/counters"
+)
+
+// scripted is a Source replaying fixed snapshots, standing in for a
+// machine.
+type scripted struct {
+	snaps []counters.Snapshot
+	i     int
+}
+
+func (s *scripted) CounterSnapshot() counters.Snapshot {
+	v := s.snaps[s.i]
+	if s.i < len(s.snaps)-1 {
+		s.i++
+	}
+	return v
+}
+
+// The PAPI lifecycle the study used: build an event set, start it
+// around the region of interest, stop, read deltas.
+func ExampleEventSet() {
+	src := &scripted{snaps: []counters.Snapshot{
+		{Cycles: 1000, L2Misses: 10, ITLBMisses: 1},
+		{Cycles: 250_000, L2Misses: 840, ITLBMisses: 7},
+	}}
+
+	es := counters.NewEventSet(src)
+	if err := es.Add(counters.TOTCYC, counters.L2TCM, counters.TLBIM); err != nil {
+		panic(err)
+	}
+	es.Start()
+	// ... region of interest executes ...
+	es.Stop()
+
+	for _, e := range es.Events() {
+		v, _ := es.Read(e)
+		fmt.Printf("%s = %d\n", e, v)
+	}
+	// Output:
+	// PAPI_L2_TCM = 830
+	// PAPI_TLB_IM = 6
+	// PAPI_TOT_CYC = 249000
+}

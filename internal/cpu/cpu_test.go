@@ -1,0 +1,206 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nodecap/internal/simtime"
+)
+
+func TestSandyBridgePStates(t *testing.T) {
+	tab := SandyBridgePStates()
+	if len(tab) != 16 {
+		t.Fatalf("P-state count = %d, want 16 (Section III)", len(tab))
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Fastest().FreqMHz != 2700 {
+		t.Errorf("P0 freq = %d", tab.Fastest().FreqMHz)
+	}
+	if tab.Slowest().FreqMHz != 1200 {
+		t.Errorf("P15 freq = %d", tab.Slowest().FreqMHz)
+	}
+	if tab.Fastest().VoltageMV != 1100 || tab.Slowest().VoltageMV != 800 {
+		t.Errorf("voltage endpoints = %d, %d", tab.Fastest().VoltageMV, tab.Slowest().VoltageMV)
+	}
+	// Monotone voltage.
+	for i := 1; i < len(tab); i++ {
+		if tab[i].VoltageMV > tab[i-1].VoltageMV {
+			t.Errorf("voltage not descending at P%d", i)
+		}
+	}
+}
+
+func TestByFreq(t *testing.T) {
+	tab := SandyBridgePStates()
+	p, ok := tab.ByFreq(2000)
+	if !ok || p.FreqMHz != 2000 {
+		t.Errorf("ByFreq(2000) = %v, %v", p, ok)
+	}
+	if _, ok := tab.ByFreq(1234); ok {
+		t.Error("ByFreq(1234) found a state")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []PStateTable{
+		{},
+		{{Index: 0, FreqMHz: 0, VoltageMV: 100}},
+		{{Index: 1, FreqMHz: 1000, VoltageMV: 100}},                                            // wrong index
+		{{Index: 0, FreqMHz: 1000, VoltageMV: 900}, {Index: 1, FreqMHz: 1000, VoltageMV: 900}}, // not descending
+	}
+	for i, tab := range bad {
+		if err := tab.Validate(); err == nil {
+			t.Errorf("bad table %d accepted", i)
+		}
+	}
+}
+
+func TestPStateString(t *testing.T) {
+	p := PState{Index: 3, FreqMHz: 2400, VoltageMV: 1040}
+	if got := p.String(); got != "P3(2400MHz,1040mV)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func newCore(t *testing.T) *Core {
+	t.Helper()
+	c, err := NewCore(0, SandyBridgePStates(), SandyBridgeCStates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSetPStateClampsAndCharges(t *testing.T) {
+	c := newCore(t)
+	if lat := c.SetPState(0); lat != 0 {
+		t.Errorf("no-op transition charged %v", lat)
+	}
+	if lat := c.SetPState(5); lat != 10*simtime.Microsecond {
+		t.Errorf("transition latency = %v", lat)
+	}
+	if c.PState().FreqMHz != 2200 {
+		t.Errorf("P5 freq = %d", c.PState().FreqMHz)
+	}
+	c.SetPState(100)
+	if c.PStateIndex() != 15 {
+		t.Errorf("clamped index = %d", c.PStateIndex())
+	}
+	c.SetPState(-1)
+	if c.PStateIndex() != 0 {
+		t.Errorf("clamped index = %d", c.PStateIndex())
+	}
+	if c.Transitions() != 3 {
+		t.Errorf("Transitions = %d", c.Transitions())
+	}
+}
+
+func TestCStateLadder(t *testing.T) {
+	c := newCore(t)
+	if c.CState().Name != "C0" {
+		t.Errorf("initial C-state %s", c.CState().Name)
+	}
+	c.EnterCState(6)
+	if c.CState().Name != "C6" {
+		t.Errorf("EnterCState(6) -> %s", c.CState().Name)
+	}
+	c.EnterCState(4) // deepest <= 4 is C3
+	if c.CState().Name != "C3" {
+		t.Errorf("EnterCState(4) -> %s", c.CState().Name)
+	}
+	wake := c.Wake()
+	if c.CState().Name != "C0" {
+		t.Errorf("after Wake -> %s", c.CState().Name)
+	}
+	if wake != 50*simtime.Microsecond {
+		t.Errorf("C3 wake latency = %v", wake)
+	}
+}
+
+func TestAverageFrequencyTimeWeighted(t *testing.T) {
+	c := newCore(t)
+	// 1 ms at 2700, 1 ms at 1200 -> average 1950.
+	c.AccountBusy(simtime.Millisecond)
+	c.SetPState(15)
+	c.AccountBusy(simtime.Millisecond)
+	if got := c.AverageFreqMHz(); got < 1949 || got > 1951 {
+		t.Errorf("AverageFreqMHz = %v, want ~1950", got)
+	}
+}
+
+func TestAverageFrequencyIncludesStalls(t *testing.T) {
+	c := newCore(t)
+	c.SetPState(15)
+	c.AccountStall(2 * simtime.Millisecond)
+	if got := c.AverageFreqMHz(); got != 1200 {
+		t.Errorf("AverageFreqMHz = %v", got)
+	}
+}
+
+func TestActivity(t *testing.T) {
+	c := newCore(t)
+	if c.Activity() != 0 {
+		t.Errorf("idle Activity = %v", c.Activity())
+	}
+	c.AccountBusy(3 * simtime.Millisecond)
+	c.AccountStall(simtime.Millisecond)
+	if got := c.Activity(); got != 0.75 {
+		t.Errorf("Activity = %v", got)
+	}
+}
+
+func TestCyclesTrackFrequency(t *testing.T) {
+	c := newCore(t)
+	c.AccountBusy(simtime.Second)
+	if c.Cycles != 2_700_000_000 {
+		t.Errorf("Cycles at 2.7GHz for 1s = %d", c.Cycles)
+	}
+	c.ResetCounters()
+	c.SetPState(15)
+	c.AccountBusy(simtime.Second)
+	if c.Cycles != 1_200_000_000 {
+		t.Errorf("Cycles at 1.2GHz for 1s = %d", c.Cycles)
+	}
+}
+
+func TestResetCountersKeepsState(t *testing.T) {
+	c := newCore(t)
+	c.SetPState(7)
+	c.AccountBusy(simtime.Millisecond)
+	c.InstructionsCommitted = 42
+	c.ResetCounters()
+	if c.Cycles != 0 || c.InstructionsCommitted != 0 || c.BusyTime() != 0 {
+		t.Error("counters not reset")
+	}
+	if c.PStateIndex() != 7 {
+		t.Error("P-state lost on counter reset")
+	}
+}
+
+func TestNewCoreRejectsBadInput(t *testing.T) {
+	if _, err := NewCore(0, PStateTable{}, SandyBridgeCStates()); err == nil {
+		t.Error("empty P-state table accepted")
+	}
+	if _, err := NewCore(0, SandyBridgePStates(), nil); err == nil {
+		t.Error("empty C-state list accepted")
+	}
+}
+
+// TestAverageFreqBoundedProperty: the time-weighted average frequency
+// always lies within the P-state table's range.
+func TestAverageFreqBoundedProperty(t *testing.T) {
+	f := func(steps []uint8) bool {
+		c := MustCore(0, SandyBridgePStates(), SandyBridgeCStates())
+		for _, s := range steps {
+			c.SetPState(int(s) % 16)
+			c.AccountBusy(simtime.Duration(s%7+1) * simtime.Microsecond)
+		}
+		avg := c.AverageFreqMHz()
+		return avg >= 1200 && avg <= 2700
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

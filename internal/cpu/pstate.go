@@ -1,0 +1,103 @@
+// Package cpu models the processor's ACPI power-management states and
+// per-core execution bookkeeping: P-states (DVFS operating points),
+// C-states (idle sleep states), and the transition costs between them.
+//
+// The modelled part corresponds to Section II of the paper: P-states
+// map to frequency/voltage pairs with higher state numbers meaning
+// lower speed and power; C-states deeper than C0 progressively shut
+// components down in exchange for longer wake-up times.
+package cpu
+
+import "fmt"
+
+// PState is one ACPI performance state: a frequency/voltage operating
+// point. P0 is the fastest.
+type PState struct {
+	Index     int
+	FreqMHz   int
+	VoltageMV int
+}
+
+func (p PState) String() string {
+	return fmt.Sprintf("P%d(%dMHz,%dmV)", p.Index, p.FreqMHz, p.VoltageMV)
+}
+
+// PStateTable is an ordered list of P-states, fastest first.
+type PStateTable []PState
+
+// SandyBridgePStates builds the 16-entry P-state table of the modelled
+// E5-2680: 2.7 GHz down to 1.2 GHz in 100 MHz steps (the paper reports
+// 16 P-states per core and Table II shows the frequency floor at
+// 1200 MHz). Voltage scales linearly from 1.10 V at P0 to 0.80 V at
+// P15, the usual Sandy Bridge VF-curve shape.
+func SandyBridgePStates() PStateTable {
+	const (
+		fMax, fMin = 2700, 1200
+		vMax, vMin = 1100, 800
+		step       = 100
+	)
+	n := (fMax-fMin)/step + 1 // 16
+	t := make(PStateTable, n)
+	for i := 0; i < n; i++ {
+		f := fMax - i*step
+		v := vMin + (f-fMin)*(vMax-vMin)/(fMax-fMin)
+		t[i] = PState{Index: i, FreqMHz: f, VoltageMV: v}
+	}
+	return t
+}
+
+// Validate reports an error when the table is empty, unordered, or has
+// non-positive entries.
+func (t PStateTable) Validate() error {
+	if len(t) == 0 {
+		return fmt.Errorf("cpu: empty P-state table")
+	}
+	for i, p := range t {
+		if p.FreqMHz <= 0 || p.VoltageMV <= 0 {
+			return fmt.Errorf("cpu: P%d has non-positive freq/voltage", i)
+		}
+		if p.Index != i {
+			return fmt.Errorf("cpu: P-state %d has index %d", i, p.Index)
+		}
+		if i > 0 && p.FreqMHz >= t[i-1].FreqMHz {
+			return fmt.Errorf("cpu: P-state table not descending at %d", i)
+		}
+	}
+	return nil
+}
+
+// Fastest and Slowest return the table extremes.
+func (t PStateTable) Fastest() PState { return t[0] }
+func (t PStateTable) Slowest() PState { return t[len(t)-1] }
+
+// ByFreq returns the P-state with the given frequency, or false.
+func (t PStateTable) ByFreq(mhz int) (PState, bool) {
+	for _, p := range t {
+		if p.FreqMHz == mhz {
+			return p, true
+		}
+	}
+	return PState{}, false
+}
+
+// CState is an ACPI CPU operating (idle) state. C0 is "executing";
+// deeper states shut down more of the core and wake more slowly.
+type CState struct {
+	Index int
+	Name  string
+	// WakeMicros is the exit latency back to C0.
+	WakeMicros float64
+	// PowerFraction is the core's static+clock power in this state
+	// relative to an idle-in-C0 core (1.0); deeper states approach 0.
+	PowerFraction float64
+}
+
+// SandyBridgeCStates returns the C-state ladder of the modelled part.
+func SandyBridgeCStates() []CState {
+	return []CState{
+		{Index: 0, Name: "C0", WakeMicros: 0, PowerFraction: 1.0},
+		{Index: 1, Name: "C1", WakeMicros: 1, PowerFraction: 0.60},
+		{Index: 3, Name: "C3", WakeMicros: 50, PowerFraction: 0.25},
+		{Index: 6, Name: "C6", WakeMicros: 100, PowerFraction: 0.05},
+	}
+}

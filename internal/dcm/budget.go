@@ -1,0 +1,211 @@
+package dcm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Allocation is one node's share of a group budget.
+type Allocation struct {
+	Name     string
+	CapWatts float64
+}
+
+// demand is the input to the water-filling allocator.
+type demand struct {
+	name     string
+	want     float64 // recent average power + headroom
+	min, max float64 // platform cap range
+}
+
+// AllocateBudget divides budgetWatts across the named nodes in
+// proportion to their recent demand, clamped to each platform's
+// feasible cap range, by iterative water-filling:
+//
+//  1. Every node is granted at least its platform minimum (a cap below
+//     the floor cannot be honoured and only burns performance — the
+//     paper's 120 W rows).
+//  2. Remaining budget is distributed demand-proportionally; nodes
+//     that saturate their demand or platform maximum return the excess
+//     to the pool, which is re-divided among the rest.
+//
+// It fails when the budget cannot cover the platform minimums.
+func (m *Manager) AllocateBudget(budgetWatts float64, names []string) ([]Allocation, error) {
+	demands := make([]demand, 0, len(names))
+	m.mu.Lock()
+	for _, name := range names {
+		n, ok := m.nodes[name]
+		if !ok {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("dcm: unknown node %q", name)
+		}
+		want := n.status.Last.AverageWatts
+		if want <= 0 {
+			want = n.status.MaxCapWatts
+		}
+		want *= 1.05 // headroom so a fitting node is not throttled
+		demands = append(demands, demand{
+			name: name, want: want,
+			min: n.status.MinCapWatts, max: n.status.MaxCapWatts,
+		})
+	}
+	m.mu.Unlock()
+	return waterfill(budgetWatts, demands)
+}
+
+// ApplyBudget allocates and pushes the resulting caps.
+func (m *Manager) ApplyBudget(budgetWatts float64, names []string) ([]Allocation, error) {
+	allocs, err := m.AllocateBudget(budgetWatts, names)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range allocs {
+		if err := m.SetNodeCap(a.Name, a.CapWatts); err != nil {
+			return allocs, err
+		}
+	}
+	return allocs, nil
+}
+
+// StartAutoBalance re-divides budgetWatts across the named nodes every
+// interval, tracking demand as it shifts — the continuous mode the DCM
+// product runs in. It shares the monitoring poller's lifecycle: stop
+// with StopAutoBalance (or Close).
+func (m *Manager) StartAutoBalance(budgetWatts float64, names []string, interval time.Duration) {
+	m.mu.Lock()
+	if m.stopBalance != nil {
+		m.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	m.stopBalance = stop
+	m.mu.Unlock()
+
+	m.pollWG.Add(1)
+	go func() {
+		defer m.pollWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				m.Poll()
+				// Allocation failures (a node went away, budget became
+				// infeasible) leave the previous caps standing; the
+				// next tick retries.
+				_, _ = m.ApplyBudget(budgetWatts, names)
+			}
+		}
+	}()
+}
+
+// StopAutoBalance halts the rebalancing loop.
+func (m *Manager) StopAutoBalance() {
+	m.mu.Lock()
+	stop := m.stopBalance
+	m.stopBalance = nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+}
+
+// waterfill implements the allocation; exposed separately for direct
+// testing.
+func waterfill(budget float64, demands []demand) ([]Allocation, error) {
+	if len(demands) == 0 {
+		return nil, fmt.Errorf("dcm: empty node group")
+	}
+	var minSum float64
+	for _, d := range demands {
+		if d.min < 0 || d.max < d.min {
+			return nil, fmt.Errorf("dcm: node %q has invalid cap range [%v, %v]", d.name, d.min, d.max)
+		}
+		minSum += d.min
+	}
+	if budget < minSum {
+		return nil, fmt.Errorf("dcm: budget %.1f W below platform minimums %.1f W", budget, minSum)
+	}
+
+	grant := make(map[string]float64, len(demands))
+	for _, d := range demands {
+		grant[d.name] = d.min
+	}
+	remaining := budget - minSum
+
+	// Iteratively hand out the pool demand-proportionally; a node's
+	// grant saturates at min(want, max).
+	active := append([]demand(nil), demands...)
+	for remaining > 1e-9 && len(active) > 0 {
+		var wantSum float64
+		for _, d := range active {
+			wantSum += d.want
+		}
+		if wantSum <= 0 {
+			break
+		}
+		next := active[:0]
+		distributed := false
+		for _, d := range active {
+			share := remaining * d.want / wantSum
+			ceiling := d.want
+			if d.max < ceiling {
+				ceiling = d.max
+			}
+			room := ceiling - grant[d.name]
+			if room <= 0 {
+				continue
+			}
+			give := share
+			if give > room {
+				give = room
+			}
+			if give > 0 {
+				grant[d.name] += give
+				distributed = true
+			}
+			if grant[d.name] < ceiling-1e-9 {
+				next = append(next, d)
+			}
+		}
+		var granted float64
+		for _, d := range demands {
+			granted += grant[d.name]
+		}
+		remaining = budget - granted
+		active = next
+		if !distributed {
+			break
+		}
+	}
+	// Spare budget (everyone satisfied): raise caps toward platform
+	// maximums so nobody is throttled needlessly.
+	if remaining > 1e-9 {
+		for i := range demands {
+			d := demands[i]
+			room := d.max - grant[d.name]
+			if room <= 0 {
+				continue
+			}
+			give := remaining
+			if give > room {
+				give = room
+			}
+			grant[d.name] += give
+			remaining -= give
+			if remaining <= 1e-9 {
+				break
+			}
+		}
+	}
+
+	out := make([]Allocation, 0, len(demands))
+	for _, d := range demands {
+		out = append(out, Allocation{Name: d.name, CapWatts: grant[d.name]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

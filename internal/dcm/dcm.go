@@ -1,0 +1,298 @@
+// Package dcm implements the Intel Data Center Manager role of the
+// paper's architecture: a management server that connects to the BMCs
+// of a fleet of nodes over IPMI, monitors their power consumption, and
+// pushes power-capping policies.
+//
+// Beyond the single-node policies the study uses, the package also
+// implements DCM's data-center feature — a group power budget divided
+// among nodes by demand-proportional water-filling — because that is
+// the deployment model (Section II-A) the product was actually sold
+// for; the fielded-platform use of the paper is the single-node
+// special case.
+package dcm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nodecap/internal/ipmi"
+)
+
+// BMC is the per-node management connection the manager drives.
+// *ipmi.Client implements it; tests substitute fakes.
+type BMC interface {
+	GetDeviceID() (ipmi.DeviceInfo, error)
+	GetPowerReading() (ipmi.PowerReading, error)
+	SetPowerLimit(ipmi.PowerLimit) error
+	GetPowerLimit() (ipmi.PowerLimit, error)
+	GetPStateInfo() (ipmi.PStateInfo, error)
+	GetGatingLevel() (int, error)
+	GetCapabilities() (ipmi.Capabilities, error)
+	Close() error
+}
+
+// Dialer opens a BMC connection; injectable for tests.
+type Dialer func(addr string) (BMC, error)
+
+// DefaultDialer dials a real IPMI/TCP endpoint.
+func DefaultDialer(addr string) (BMC, error) {
+	return ipmi.Dial(addr)
+}
+
+// Sample is one monitoring observation.
+type Sample struct {
+	At           time.Time
+	PowerWatts   float64
+	AverageWatts float64
+	FreqMHz      int
+	PState       int
+	GatingLevel  int
+}
+
+// NodeStatus is the manager's view of one node.
+type NodeStatus struct {
+	Name        string
+	Addr        string
+	Reachable   bool
+	CapWatts    float64
+	CapEnabled  bool
+	Last        Sample
+	MinCapWatts float64
+	MaxCapWatts float64
+}
+
+type managedNode struct {
+	name, addr string
+	bmc        BMC
+	status     NodeStatus
+	history    []Sample
+}
+
+// Manager is the DCM instance.
+type Manager struct {
+	dial Dialer
+
+	mu    sync.Mutex
+	nodes map[string]*managedNode
+
+	// HistoryLimit bounds per-node history length.
+	HistoryLimit int
+
+	stopPoll    chan struct{}
+	stopBalance chan struct{}
+	pollWG      sync.WaitGroup
+}
+
+// NewManager builds a manager using dial (nil means DefaultDialer).
+func NewManager(dial Dialer) *Manager {
+	if dial == nil {
+		dial = DefaultDialer
+	}
+	return &Manager{dial: dial, nodes: make(map[string]*managedNode), HistoryLimit: 4096}
+}
+
+// AddNode connects to a node's BMC and registers it under name.
+func (m *Manager) AddNode(name, addr string) error {
+	m.mu.Lock()
+	if _, dup := m.nodes[name]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("dcm: node %q already registered", name)
+	}
+	m.mu.Unlock()
+
+	bmc, err := m.dial(addr)
+	if err != nil {
+		return fmt.Errorf("dcm: connecting to %s: %w", addr, err)
+	}
+	caps, err := bmc.GetCapabilities()
+	if err != nil {
+		bmc.Close()
+		return fmt.Errorf("dcm: querying %s capabilities: %w", addr, err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.nodes[name]; dup {
+		bmc.Close()
+		return fmt.Errorf("dcm: node %q already registered", name)
+	}
+	m.nodes[name] = &managedNode{
+		name: name, addr: addr, bmc: bmc,
+		status: NodeStatus{
+			Name: name, Addr: addr, Reachable: true,
+			MinCapWatts: caps.MinCapWatts, MaxCapWatts: caps.MaxCapWatts,
+		},
+	}
+	return nil
+}
+
+// RemoveNode drops a node, closing its connection.
+func (m *Manager) RemoveNode(name string) error {
+	m.mu.Lock()
+	n, ok := m.nodes[name]
+	delete(m.nodes, name)
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("dcm: unknown node %q", name)
+	}
+	return n.bmc.Close()
+}
+
+// Nodes lists statuses sorted by name.
+func (m *Manager) Nodes() []NodeStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]NodeStatus, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		out = append(out, n.status)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// node fetches a registered node.
+func (m *Manager) node(name string) (*managedNode, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("dcm: unknown node %q", name)
+	}
+	return n, nil
+}
+
+// SetNodeCap pushes a capping policy to one node. capWatts <= 0
+// disables capping.
+func (m *Manager) SetNodeCap(name string, capWatts float64) error {
+	n, err := m.node(name)
+	if err != nil {
+		return err
+	}
+	lim := ipmi.PowerLimit{Enabled: capWatts > 0, CapWatts: capWatts}
+	if err := n.bmc.SetPowerLimit(lim); err != nil {
+		return fmt.Errorf("dcm: setting cap on %q: %w", name, err)
+	}
+	m.mu.Lock()
+	n.status.CapWatts = capWatts
+	n.status.CapEnabled = lim.Enabled
+	m.mu.Unlock()
+	return nil
+}
+
+// Poll performs one monitoring round across all nodes, updating
+// statuses and history.
+func (m *Manager) Poll() {
+	m.mu.Lock()
+	nodes := make([]*managedNode, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		nodes = append(nodes, n)
+	}
+	m.mu.Unlock()
+
+	for _, n := range nodes {
+		s, err := m.sampleNode(n)
+		m.mu.Lock()
+		if err != nil {
+			n.status.Reachable = false
+		} else {
+			n.status.Reachable = true
+			n.status.Last = s
+			n.history = append(n.history, s)
+			if len(n.history) > m.HistoryLimit {
+				n.history = n.history[len(n.history)-m.HistoryLimit:]
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+func (m *Manager) sampleNode(n *managedNode) (Sample, error) {
+	pr, err := n.bmc.GetPowerReading()
+	if err != nil {
+		return Sample{}, err
+	}
+	ps, err := n.bmc.GetPStateInfo()
+	if err != nil {
+		return Sample{}, err
+	}
+	g, err := n.bmc.GetGatingLevel()
+	if err != nil {
+		return Sample{}, err
+	}
+	return Sample{
+		At:           time.Now(),
+		PowerWatts:   pr.CurrentWatts,
+		AverageWatts: pr.AverageWatts,
+		FreqMHz:      int(ps.FreqMHz),
+		PState:       int(ps.Index),
+		GatingLevel:  g,
+	}, nil
+}
+
+// History returns a copy of one node's monitoring history.
+func (m *Manager) History(name string) ([]Sample, error) {
+	n, err := m.node(name)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Sample, len(n.history))
+	copy(out, n.history)
+	return out, nil
+}
+
+// StartPolling polls every interval until StopPolling.
+func (m *Manager) StartPolling(interval time.Duration) {
+	m.mu.Lock()
+	if m.stopPoll != nil {
+		m.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	m.stopPoll = stop
+	m.mu.Unlock()
+
+	m.pollWG.Add(1)
+	go func() {
+		defer m.pollWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				m.Poll()
+			}
+		}
+	}()
+}
+
+// StopPolling signals the background poller to halt. Close waits for
+// all background goroutines to finish.
+func (m *Manager) StopPolling() {
+	m.mu.Lock()
+	stop := m.stopPoll
+	m.stopPoll = nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+}
+
+// Close stops polling and rebalancing and disconnects every node.
+func (m *Manager) Close() {
+	m.StopPolling()
+	m.StopAutoBalance()
+	m.pollWG.Wait()
+	m.mu.Lock()
+	nodes := m.nodes
+	m.nodes = make(map[string]*managedNode)
+	m.mu.Unlock()
+	for _, n := range nodes {
+		n.bmc.Close()
+	}
+}

@@ -1,0 +1,43 @@
+package dcm_test
+
+import (
+	"fmt"
+
+	"nodecap/internal/dcm"
+	"nodecap/internal/ipmi"
+	"nodecap/internal/machine"
+	"nodecap/internal/nodeagent"
+)
+
+// Bring up a simulated node behind its BMC, register it with the Data
+// Center Manager over IPMI/TCP, and push a capping policy — the
+// paper's management architecture end to end, in-process.
+func Example() {
+	agent := nodeagent.New(machine.Romley(), nodeagent.Options{})
+	defer agent.Stop()
+
+	srv := ipmi.NewServer(agent)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	mgr := dcm.NewManager(nil)
+	defer mgr.Close()
+	if err := mgr.AddNode("node-0", addr); err != nil {
+		panic(err)
+	}
+	if err := mgr.SetNodeCap("node-0", 140); err != nil {
+		panic(err)
+	}
+	mgr.Poll()
+
+	n := mgr.Nodes()[0]
+	fmt.Printf("node %s: cap %.0f W enabled=%v reachable=%v\n",
+		n.Name, n.CapWatts, n.CapEnabled, n.Reachable)
+	fmt.Printf("platform floor advertised: %v\n", n.MinCapWatts > 120 && n.MinCapWatts < 126)
+	// Output:
+	// node node-0: cap 140 W enabled=true reachable=true
+	// platform floor advertised: true
+}

@@ -1,0 +1,168 @@
+package dcm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Control-plane protocol: newline-delimited JSON requests and
+// responses over TCP, consumed by the dcmctl command-line tool.
+
+// Request is one control-plane operation.
+type Request struct {
+	Op string `json:"op"` // "add", "remove", "nodes", "setcap", "budget", "poll", "history"
+
+	Name string  `json:"name,omitempty"`
+	Addr string  `json:"addr,omitempty"`
+	Cap  float64 `json:"cap,omitempty"`
+
+	Budget float64  `json:"budget,omitempty"`
+	Group  []string `json:"group,omitempty"`
+
+	Limit int `json:"limit,omitempty"` // history tail length
+}
+
+// Response carries the result.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	Nodes   []NodeStatus `json:"nodes,omitempty"`
+	Allocs  []Allocation `json:"allocs,omitempty"`
+	History []Sample     `json:"history,omitempty"`
+}
+
+// Server exposes a Manager over the control-plane protocol.
+type Server struct {
+	mgr *Manager
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps mgr.
+func NewServer(mgr *Manager) *Server { return &Server{mgr: mgr} }
+
+// Listen binds addr and serves until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serve(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.Handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Handle dispatches one request; exposed for in-process use and tests.
+func (s *Server) Handle(req Request) Response {
+	fail := func(err error) Response { return Response{Error: err.Error()} }
+	switch req.Op {
+	case "add":
+		if err := s.mgr.AddNode(req.Name, req.Addr); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "remove":
+		if err := s.mgr.RemoveNode(req.Name); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "nodes":
+		return Response{OK: true, Nodes: s.mgr.Nodes()}
+	case "setcap":
+		if req.Name == "" {
+			return fail(fmt.Errorf("dcm: setcap requires a node name"))
+		}
+		if err := s.mgr.SetNodeCap(req.Name, req.Cap); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "budget":
+		allocs, err := s.mgr.ApplyBudget(req.Budget, req.Group)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Allocs: allocs}
+	case "poll":
+		s.mgr.Poll()
+		return Response{OK: true, Nodes: s.mgr.Nodes()}
+	case "history":
+		h, err := s.mgr.History(req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		if req.Limit > 0 && len(h) > req.Limit {
+			h = h[len(h)-req.Limit:]
+		}
+		return Response{OK: true, History: h}
+	default:
+		return fail(fmt.Errorf("dcm: unknown op %q", req.Op))
+	}
+}
+
+// Close stops the listener and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// Call dials a control-plane server, performs one request, and closes.
+func Call(addr string, req Request) (Response, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return Response{}, err
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,205 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nodecap/internal/simtime"
+)
+
+func std() Config {
+	return Config{RowHitNanos: 50, RowMissNanos: 65, Banks: 8, RowBytes: 8192}
+}
+
+func TestValidate(t *testing.T) {
+	if err := std().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{RowHitNanos: 0, RowMissNanos: 65, Banks: 8, RowBytes: 8192},
+		{RowHitNanos: 70, RowMissNanos: 65, Banks: 8, RowBytes: 8192}, // miss < hit
+		{RowHitNanos: 50, RowMissNanos: 65, Banks: 3, RowBytes: 8192},
+		{RowHitNanos: 50, RowMissNanos: 65, Banks: 8, RowBytes: 1000},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRowBufferHitAndMiss(t *testing.T) {
+	d := New(std())
+	// First touch of a row: miss.
+	if lat := d.Access(0, 0x0000, false); lat != simtime.FromNanos(65) {
+		t.Errorf("cold access latency = %v", lat)
+	}
+	// Same row: hit.
+	if lat := d.Access(0, 0x1000, false); lat != simtime.FromNanos(50) {
+		t.Errorf("row-hit latency = %v", lat)
+	}
+	// Different row, same bank (banks=8, rows interleave by row index):
+	// row 0 and row 8 share bank 0.
+	if lat := d.Access(0, uint64(8*8192), false); lat != simtime.FromNanos(65) {
+		t.Errorf("row-conflict latency = %v", lat)
+	}
+	// Row 0 is now closed in bank 0.
+	if lat := d.Access(0, 0x0000, false); lat != simtime.FromNanos(65) {
+		t.Errorf("reopened-row latency = %v", lat)
+	}
+	s := d.Stats()
+	if s.RowHits != 1 || s.RowMisses != 3 || s.Reads != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestBanksIndependent(t *testing.T) {
+	d := New(std())
+	// Rows 0..7 land in banks 0..7; all can stay open at once.
+	for r := 0; r < 8; r++ {
+		d.Access(0, uint64(r*8192), false)
+	}
+	d.ResetStats()
+	for r := 0; r < 8; r++ {
+		d.Access(0, uint64(r*8192), false)
+	}
+	if s := d.Stats(); s.RowHits != 8 || s.RowMisses != 0 {
+		t.Errorf("stats after warm pass = %+v", s)
+	}
+}
+
+func TestWritesCounted(t *testing.T) {
+	d := New(std())
+	d.Access(0, 0, true)
+	d.Access(0, 0, false)
+	if s := d.Stats(); s.Writes != 1 || s.Reads != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestUngatedNoStall(t *testing.T) {
+	d := New(std())
+	for now := simtime.Duration(0); now < 10*simtime.Millisecond; now += 137 * simtime.Microsecond {
+		d.Access(now, 0, false)
+	}
+	if s := d.Stats(); s.GateStalls != 0 {
+		t.Errorf("ungated access stalled: %+v", s)
+	}
+}
+
+func TestGateStallInOffWindow(t *testing.T) {
+	d := New(std())
+	d.SetGate(GateConfig{Period: 100 * simtime.Microsecond, OnFraction: 0.25, WakeNanos: 1000})
+	// On window: [0, 25 µs). Access at 10 µs: no stall.
+	lat := d.Access(10*simtime.Microsecond, 0, false)
+	if lat != simtime.FromNanos(65) {
+		t.Errorf("on-window latency = %v", lat)
+	}
+	// Off window: access at 50 µs waits until 100 µs + 1 µs wake.
+	lat = d.Access(50*simtime.Microsecond, 0x100000, false)
+	want := 50*simtime.Microsecond + simtime.Microsecond + simtime.FromNanos(65)
+	if lat != want {
+		t.Errorf("off-window latency = %v, want %v", lat, want)
+	}
+	if s := d.Stats(); s.GateStalls != 1 || s.GateStallTime != 50*simtime.Microsecond+simtime.Microsecond {
+		t.Errorf("stall stats = %+v", s)
+	}
+}
+
+func TestSetGateClamps(t *testing.T) {
+	d := New(std())
+	d.SetGate(GateConfig{Period: -5, OnFraction: 0})
+	g := d.Gate()
+	if g.OnFraction != 0.01 || g.Period != simtime.Millisecond {
+		t.Errorf("clamped gate = %+v", g)
+	}
+	d.SetGate(GateConfig{Period: simtime.Millisecond, OnFraction: 7})
+	if d.Gate().OnFraction != 1 {
+		t.Errorf("OnFraction not clamped to 1: %+v", d.Gate())
+	}
+}
+
+func TestPeakLatency(t *testing.T) {
+	d := New(std())
+	if got := d.PeakLatency(); got != simtime.FromNanos(65) {
+		t.Errorf("ungated PeakLatency = %v", got)
+	}
+	d.SetGate(GateConfig{Period: 100 * simtime.Microsecond, OnFraction: 0.5, WakeNanos: 500})
+	want := 50*simtime.Microsecond + simtime.FromNanos(500) + simtime.FromNanos(65)
+	if got := d.PeakLatency(); got != want {
+		t.Errorf("gated PeakLatency = %v, want %v", got, want)
+	}
+}
+
+// TestGatingOnlyAddsLatency: for any arrival time, the gated latency is
+// at least the ungated latency and at most ungated + off-window + wake.
+func TestGatingOnlyAddsLatency(t *testing.T) {
+	f := func(nowMicros uint32, addr uint64) bool {
+		now := simtime.Duration(nowMicros) * simtime.Microsecond
+		gated := New(std())
+		gated.SetGate(GateConfig{Period: 100 * simtime.Microsecond, OnFraction: 0.1, WakeNanos: 2000})
+		plain := New(std())
+		lg := gated.Access(now, addr, false)
+		lp := plain.Access(now, addr, false)
+		maxExtra := 90*simtime.Microsecond + simtime.FromNanos(2000)
+		return lg >= lp && lg <= lp+maxExtra
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAccountingInvariant: hits + misses == reads + writes.
+func TestAccountingInvariant(t *testing.T) {
+	f := func(addrs []uint32, writes []bool) bool {
+		d := New(std())
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			d.Access(0, uint64(a), w)
+		}
+		s := d.Stats()
+		return s.RowHits+s.RowMisses == s.Reads+s.Writes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeepGatingProducesHugeAverages(t *testing.T) {
+	// The Figure 4 mechanism: with a 1% duty cycle, average latency
+	// over uniformly spread arrivals is orders of magnitude above 65ns.
+	d := New(std())
+	d.SetGate(GateConfig{Period: simtime.Millisecond, OnFraction: 0.01, WakeNanos: 5000})
+	var total simtime.Duration
+	n := 0
+	for now := simtime.Duration(0); now < 50*simtime.Millisecond; now += 97 * simtime.Microsecond {
+		total += d.Access(now, uint64(n)*64, false)
+		n++
+	}
+	avg := total.Nanos() / float64(n)
+	if avg < 10_000 { // >= 10 µs average vs 65 ns ungated
+		t.Errorf("deep-gated average = %.0f ns, want >= 10000", avg)
+	}
+}
+
+func TestLatencyScale(t *testing.T) {
+	d := New(std())
+	d.SetGate(GateConfig{Period: simtime.Millisecond, OnFraction: 1, LatencyScale: 2.5})
+	if lat := d.Access(0, 0, false); lat != simtime.FromNanos(65*2.5) {
+		t.Errorf("scaled cold latency = %v", lat)
+	}
+	if lat := d.Access(0, 0x100, false); lat != simtime.FromNanos(50*2.5) {
+		t.Errorf("scaled row-hit latency = %v", lat)
+	}
+	if got := d.PeakLatency(); got != simtime.FromNanos(65*2.5) {
+		t.Errorf("scaled PeakLatency = %v", got)
+	}
+}
+
+func TestLatencyScaleBelowOneClamped(t *testing.T) {
+	d := New(std())
+	d.SetGate(GateConfig{Period: simtime.Millisecond, OnFraction: 1, LatencyScale: 0.1})
+	if lat := d.Access(0, 0, false); lat != simtime.FromNanos(65) {
+		t.Errorf("sub-1 scale not clamped: %v", lat)
+	}
+}

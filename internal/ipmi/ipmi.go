@@ -1,0 +1,274 @@
+// Package ipmi implements the out-of-band management protocol between
+// Intel Data Center Manager and a node's BMC, in the architecture of
+// Section II-A of the paper: DCM talks to each Baseboard Management
+// Controller over the BMC's dedicated NIC, without involving the host
+// operating system.
+//
+// The wire format is a simplified IPMI-style binary framing: a fixed
+// header with sequence number, network function and command codes, a
+// length-prefixed payload, and a two's-complement checksum. Command
+// numbers follow the Intel Node Manager OEM extension style (power
+// reading, power limit, capability discovery).
+package ipmi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	magic0  = 'N'
+	magic1  = 'C'
+	version = 1
+
+	// NetFnOEM is the network function used for the power-management
+	// command set (Intel NM uses an OEM netFn).
+	NetFnOEM = 0x2E
+	// NetFnOEMResponse marks response frames.
+	NetFnOEMResponse = 0x2F
+
+	// MaxPayload bounds frame payloads; management traffic is tiny.
+	MaxPayload = 512
+)
+
+// Command codes.
+const (
+	CmdGetDeviceID     = 0x01
+	CmdGetPowerReading = 0x02
+	CmdSetPowerLimit   = 0x03
+	CmdGetPowerLimit   = 0x04
+	CmdGetPStateInfo   = 0x05
+	CmdGetGatingLevel  = 0x06
+	CmdGetCapabilities = 0x07
+)
+
+// Completion codes (subset of IPMI's).
+const (
+	CCOK             = 0x00
+	CCInvalidCommand = 0xC1
+	CCInvalidData    = 0xCC
+	CCUnspecified    = 0xFF
+)
+
+// Frame is one protocol data unit.
+type Frame struct {
+	Seq     uint32
+	NetFn   uint8
+	Cmd     uint8
+	Payload []byte
+}
+
+// header layout: magic(2) version(1) seq(4) netfn(1) cmd(1) len(2).
+const headerLen = 11
+
+// checksum computes the two's-complement checksum IPMI uses: the sum
+// of all bytes plus the checksum equals zero mod 256.
+func checksum(parts ...[]byte) byte {
+	var s byte
+	for _, p := range parts {
+		for _, b := range p {
+			s += b
+		}
+	}
+	return byte(-int8(s))
+}
+
+// Marshal encodes f for the wire.
+func (f Frame) Marshal() ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return nil, fmt.Errorf("ipmi: payload %d exceeds max %d", len(f.Payload), MaxPayload)
+	}
+	buf := make([]byte, headerLen+len(f.Payload)+1)
+	buf[0], buf[1], buf[2] = magic0, magic1, version
+	binary.BigEndian.PutUint32(buf[3:], f.Seq)
+	buf[7] = f.NetFn
+	buf[8] = f.Cmd
+	binary.BigEndian.PutUint16(buf[9:], uint16(len(f.Payload)))
+	copy(buf[headerLen:], f.Payload)
+	buf[len(buf)-1] = checksum(buf[:len(buf)-1])
+	return buf, nil
+}
+
+// ReadFrame decodes one frame from r, verifying magic, version, bounds
+// and checksum.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return Frame{}, fmt.Errorf("ipmi: bad magic %#x %#x", hdr[0], hdr[1])
+	}
+	if hdr[2] != version {
+		return Frame{}, fmt.Errorf("ipmi: unsupported version %d", hdr[2])
+	}
+	plen := binary.BigEndian.Uint16(hdr[9:])
+	if plen > MaxPayload {
+		return Frame{}, fmt.Errorf("ipmi: payload length %d exceeds max", plen)
+	}
+	body := make([]byte, int(plen)+1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	sum := checksum(hdr[:], body[:plen])
+	if body[plen] != sum {
+		return Frame{}, fmt.Errorf("ipmi: checksum mismatch: got %#x want %#x", body[plen], sum)
+	}
+	return Frame{
+		Seq:     binary.BigEndian.Uint32(hdr[3:]),
+		NetFn:   hdr[7],
+		Cmd:     hdr[8],
+		Payload: body[:plen:plen],
+	}, nil
+}
+
+// WriteFrame encodes and writes f to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf, err := f.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// --- payload codecs -------------------------------------------------
+
+// Watts are carried as centiwatts in a uint32, IPMI style (no floats
+// on the wire).
+func putWatts(b []byte, w float64) {
+	binary.BigEndian.PutUint32(b, uint32(w*100+0.5))
+}
+
+func getWatts(b []byte) float64 {
+	return float64(binary.BigEndian.Uint32(b)) / 100
+}
+
+// DeviceInfo describes a managed node.
+type DeviceInfo struct {
+	DeviceID       uint8
+	FirmwareMajor  uint8
+	FirmwareMinor  uint8
+	ManufacturerID uint32
+	ProductID      uint16
+}
+
+// EncodeDeviceInfo packs a GetDeviceID response payload.
+func EncodeDeviceInfo(d DeviceInfo) []byte {
+	b := make([]byte, 9)
+	b[0] = d.DeviceID
+	b[1] = d.FirmwareMajor
+	b[2] = d.FirmwareMinor
+	binary.BigEndian.PutUint32(b[3:], d.ManufacturerID)
+	binary.BigEndian.PutUint16(b[7:], d.ProductID)
+	return b
+}
+
+// DecodeDeviceInfo unpacks a GetDeviceID response payload.
+func DecodeDeviceInfo(b []byte) (DeviceInfo, error) {
+	if len(b) != 9 {
+		return DeviceInfo{}, fmt.Errorf("ipmi: device info payload length %d", len(b))
+	}
+	return DeviceInfo{
+		DeviceID:       b[0],
+		FirmwareMajor:  b[1],
+		FirmwareMinor:  b[2],
+		ManufacturerID: binary.BigEndian.Uint32(b[3:]),
+		ProductID:      binary.BigEndian.Uint16(b[7:]),
+	}, nil
+}
+
+// PowerReading is a GetPowerReading response.
+type PowerReading struct {
+	CurrentWatts float64
+	AverageWatts float64
+}
+
+// EncodePowerReading packs a power reading.
+func EncodePowerReading(p PowerReading) []byte {
+	b := make([]byte, 8)
+	putWatts(b[0:], p.CurrentWatts)
+	putWatts(b[4:], p.AverageWatts)
+	return b
+}
+
+// DecodePowerReading unpacks a power reading.
+func DecodePowerReading(b []byte) (PowerReading, error) {
+	if len(b) != 8 {
+		return PowerReading{}, fmt.Errorf("ipmi: power reading payload length %d", len(b))
+	}
+	return PowerReading{CurrentWatts: getWatts(b[0:]), AverageWatts: getWatts(b[4:])}, nil
+}
+
+// PowerLimit is a Set/GetPowerLimit payload.
+type PowerLimit struct {
+	Enabled  bool
+	CapWatts float64
+}
+
+// EncodePowerLimit packs a power limit.
+func EncodePowerLimit(p PowerLimit) []byte {
+	b := make([]byte, 5)
+	if p.Enabled {
+		b[0] = 1
+	}
+	putWatts(b[1:], p.CapWatts)
+	return b
+}
+
+// DecodePowerLimit unpacks a power limit.
+func DecodePowerLimit(b []byte) (PowerLimit, error) {
+	if len(b) != 5 {
+		return PowerLimit{}, fmt.Errorf("ipmi: power limit payload length %d", len(b))
+	}
+	return PowerLimit{Enabled: b[0] != 0, CapWatts: getWatts(b[1:])}, nil
+}
+
+// PStateInfo is a GetPStateInfo response.
+type PStateInfo struct {
+	Index   uint8
+	Count   uint8
+	FreqMHz uint16
+}
+
+// EncodePStateInfo packs P-state information.
+func EncodePStateInfo(p PStateInfo) []byte {
+	b := make([]byte, 4)
+	b[0] = p.Index
+	b[1] = p.Count
+	binary.BigEndian.PutUint16(b[2:], p.FreqMHz)
+	return b
+}
+
+// DecodePStateInfo unpacks P-state information.
+func DecodePStateInfo(b []byte) (PStateInfo, error) {
+	if len(b) != 4 {
+		return PStateInfo{}, fmt.Errorf("ipmi: pstate payload length %d", len(b))
+	}
+	return PStateInfo{Index: b[0], Count: b[1], FreqMHz: binary.BigEndian.Uint16(b[2:])}, nil
+}
+
+// Capabilities is a GetCapabilities response: the cap range the
+// platform can honour.
+type Capabilities struct {
+	MinCapWatts float64 // at/below this the platform cannot track the cap
+	MaxCapWatts float64
+}
+
+// EncodeCapabilities packs a capability range.
+func EncodeCapabilities(c Capabilities) []byte {
+	b := make([]byte, 8)
+	putWatts(b[0:], c.MinCapWatts)
+	putWatts(b[4:], c.MaxCapWatts)
+	return b
+}
+
+// DecodeCapabilities unpacks a capability range.
+func DecodeCapabilities(b []byte) (Capabilities, error) {
+	if len(b) != 8 {
+		return Capabilities{}, fmt.Errorf("ipmi: capabilities payload length %d", len(b))
+	}
+	return Capabilities{MinCapWatts: getWatts(b[0:]), MaxCapWatts: getWatts(b[4:])}, nil
+}

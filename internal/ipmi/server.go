@@ -1,0 +1,270 @@
+package ipmi
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// NodeControl is the management surface a BMC endpoint exposes over
+// IPMI. Implementations must be safe for concurrent use (the server
+// serializes per connection but accepts several connections).
+type NodeControl interface {
+	DeviceInfo() DeviceInfo
+	PowerReading() PowerReading
+	SetPowerLimit(PowerLimit) error
+	PowerLimit() PowerLimit
+	PStateInfo() PStateInfo
+	GatingLevel() int
+	Capabilities() Capabilities
+}
+
+// Server serves the BMC management endpoint over TCP (the BMC's
+// dedicated NIC in the paper's architecture).
+type Server struct {
+	ctl NodeControl
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer builds a server for ctl.
+func NewServer(ctl NodeControl) *Server {
+	return &Server{ctl: ctl, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
+// bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("ipmi: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF, malformed frame, or closed connection
+		}
+		resp := s.Handle(req)
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Handle processes one request frame and produces the response frame.
+// Exposed so in-process tests can exercise the dispatch table without
+// sockets.
+func (s *Server) Handle(req Frame) Frame {
+	resp := Frame{Seq: req.Seq, NetFn: NetFnOEMResponse, Cmd: req.Cmd}
+	fail := func(cc byte) Frame {
+		resp.Payload = []byte{cc}
+		return resp
+	}
+	if req.NetFn != NetFnOEM {
+		return fail(CCInvalidCommand)
+	}
+	switch req.Cmd {
+	case CmdGetDeviceID:
+		resp.Payload = append([]byte{CCOK}, EncodeDeviceInfo(s.ctl.DeviceInfo())...)
+	case CmdGetPowerReading:
+		resp.Payload = append([]byte{CCOK}, EncodePowerReading(s.ctl.PowerReading())...)
+	case CmdSetPowerLimit:
+		lim, err := DecodePowerLimit(req.Payload)
+		if err != nil {
+			return fail(CCInvalidData)
+		}
+		if err := s.ctl.SetPowerLimit(lim); err != nil {
+			return fail(CCUnspecified)
+		}
+		resp.Payload = []byte{CCOK}
+	case CmdGetPowerLimit:
+		resp.Payload = append([]byte{CCOK}, EncodePowerLimit(s.ctl.PowerLimit())...)
+	case CmdGetPStateInfo:
+		resp.Payload = append([]byte{CCOK}, EncodePStateInfo(s.ctl.PStateInfo())...)
+	case CmdGetGatingLevel:
+		resp.Payload = []byte{CCOK, byte(s.ctl.GatingLevel())}
+	case CmdGetCapabilities:
+		resp.Payload = append([]byte{CCOK}, EncodeCapabilities(s.ctl.Capabilities())...)
+	default:
+		return fail(CCInvalidCommand)
+	}
+	return resp
+}
+
+// Close stops the listener and all connections, waiting for handlers
+// to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Client is a DCM-side connection to one BMC.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	seq  uint32
+}
+
+// Dial connects to a BMC endpoint.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// NewClientConn wraps an existing connection (e.g. a net.Pipe end in
+// tests).
+func NewClientConn(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Close shuts the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one request/response exchange.
+func (c *Client) call(cmd uint8, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	req := Frame{Seq: c.seq, NetFn: NetFnOEM, Cmd: cmd, Payload: payload}
+	if err := WriteFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Seq != req.Seq {
+		return nil, fmt.Errorf("ipmi: sequence mismatch: sent %d got %d", req.Seq, resp.Seq)
+	}
+	if resp.NetFn != NetFnOEMResponse || resp.Cmd != cmd {
+		return nil, fmt.Errorf("ipmi: mismatched response netfn=%#x cmd=%#x", resp.NetFn, resp.Cmd)
+	}
+	if len(resp.Payload) < 1 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if cc := resp.Payload[0]; cc != CCOK {
+		return nil, fmt.Errorf("ipmi: completion code %#x", cc)
+	}
+	return resp.Payload[1:], nil
+}
+
+// GetDeviceID fetches the node's identity.
+func (c *Client) GetDeviceID() (DeviceInfo, error) {
+	b, err := c.call(CmdGetDeviceID, nil)
+	if err != nil {
+		return DeviceInfo{}, err
+	}
+	return DecodeDeviceInfo(b)
+}
+
+// GetPowerReading fetches current and windowed-average power.
+func (c *Client) GetPowerReading() (PowerReading, error) {
+	b, err := c.call(CmdGetPowerReading, nil)
+	if err != nil {
+		return PowerReading{}, err
+	}
+	return DecodePowerReading(b)
+}
+
+// SetPowerLimit pushes a capping policy to the BMC.
+func (c *Client) SetPowerLimit(lim PowerLimit) error {
+	_, err := c.call(CmdSetPowerLimit, EncodePowerLimit(lim))
+	return err
+}
+
+// GetPowerLimit fetches the active policy.
+func (c *Client) GetPowerLimit() (PowerLimit, error) {
+	b, err := c.call(CmdGetPowerLimit, nil)
+	if err != nil {
+		return PowerLimit{}, err
+	}
+	return DecodePowerLimit(b)
+}
+
+// GetPStateInfo fetches DVFS state.
+func (c *Client) GetPStateInfo() (PStateInfo, error) {
+	b, err := c.call(CmdGetPStateInfo, nil)
+	if err != nil {
+		return PStateInfo{}, err
+	}
+	return DecodePStateInfo(b)
+}
+
+// GetGatingLevel fetches the sub-DVFS gating ladder position.
+func (c *Client) GetGatingLevel() (int, error) {
+	b, err := c.call(CmdGetGatingLevel, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != 1 {
+		return 0, fmt.Errorf("ipmi: gating payload length %d", len(b))
+	}
+	return int(b[0]), nil
+}
+
+// GetCapabilities fetches the platform's cap range.
+func (c *Client) GetCapabilities() (Capabilities, error) {
+	b, err := c.call(CmdGetCapabilities, nil)
+	if err != nil {
+		return Capabilities{}, err
+	}
+	return DecodeCapabilities(b)
+}

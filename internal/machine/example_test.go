@@ -1,0 +1,48 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"nodecap/internal/machine"
+	"nodecap/internal/simtime"
+)
+
+// tinyKernel is a minimal workload for the example: a compute loop
+// over an L1-resident buffer.
+type tinyKernel struct{}
+
+func (tinyKernel) Name() string   { return "tiny-kernel" }
+func (tinyKernel) CodePages() int { return 8 }
+func (tinyKernel) Run(m *machine.Machine) {
+	base := m.Alloc(4096)
+	for i := 0; i < 300000; i++ {
+		m.Compute(40, 32)
+		m.Load(base + uint64(i%64)*64)
+	}
+}
+
+// Build the paper's platform, enforce a cap, run a workload, and read
+// the study's metrics. The output is deterministic for a fixed seed.
+func Example() {
+	cfg := machine.Romley()
+	m := machine.New(cfg)
+	m.SetPolicy(130) // the paper's frequency-floor region
+
+	res := m.RunWorkload(tinyKernel{})
+
+	fmt.Printf("cap        : %.0f W\n", res.CapWatts)
+	fmt.Printf("frequency  : pinned near floor = %v\n", res.AvgFreqMHz < 1400)
+	fmt.Printf("power      : under cap = %v\n", res.AvgPowerWatts <= 130)
+	fmt.Printf("slowdown   : >1.8x = %v\n",
+		res.ExecTime > simtime.Duration(1.8*float64(uncappedTime())))
+	// Output:
+	// cap        : 130 W
+	// frequency  : pinned near floor = true
+	// power      : under cap = true
+	// slowdown   : >1.8x = true
+}
+
+func uncappedTime() simtime.Duration {
+	m := machine.New(machine.Romley())
+	return m.RunWorkload(tinyKernel{}).ExecTime
+}

@@ -1,0 +1,441 @@
+package machine
+
+import (
+	"testing"
+
+	"nodecap/internal/simtime"
+)
+
+// computeWork is a compute-bound synthetic workload: tight loops over
+// a tiny L1-resident buffer.
+type computeWork struct {
+	iters int
+}
+
+func (w *computeWork) Name() string   { return "compute" }
+func (w *computeWork) CodePages() int { return 48 }
+func (w *computeWork) Run(m *Machine) {
+	base := m.Alloc(4096)
+	for i := 0; i < w.iters; i++ {
+		m.Compute(40, 30)
+		m.Load(base + uint64(i%64)*64)
+		m.Store(base + uint64(i%64)*64)
+	}
+}
+
+// streamWork streams a buffer larger than the L3, SIRE-style.
+type streamWork struct {
+	bytes  int
+	passes int
+}
+
+func (w *streamWork) Name() string   { return "stream" }
+func (w *streamWork) CodePages() int { return 16 }
+func (w *streamWork) Run(m *Machine) {
+	base := m.Alloc(w.bytes)
+	elems := w.bytes / 8
+	for p := 0; p < w.passes; p++ {
+		for i := 0; i < elems; i++ {
+			m.Load(base + uint64(i)*8)
+			m.Compute(8, 6)
+		}
+	}
+}
+
+func capped(t *testing.T, w Workload, cap float64, seed uint64) RunResult {
+	t.Helper()
+	m := New(RomleyWithSeed(seed))
+	m.SetPolicy(cap)
+	return m.RunWorkload(w)
+}
+
+// RomleyWithSeed is a test helper mirroring what the experiment runner
+// does per trial.
+func RomleyWithSeed(seed uint64) Config {
+	cfg := Romley()
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestUncappedComputePower(t *testing.T) {
+	r := capped(t, &computeWork{iters: 1200000}, 0, 1)
+	if r.AvgPowerWatts < 144 || r.AvgPowerWatts > 158 {
+		t.Errorf("compute-bound uncapped power = %.1f W, want ~145-156", r.AvgPowerWatts)
+	}
+	if r.AvgFreqMHz < 2699 || r.AvgFreqMHz > 2701 {
+		t.Errorf("uncapped frequency = %.0f, want 2700", r.AvgFreqMHz)
+	}
+	if r.ExecTime <= 0 {
+		t.Error("non-positive exec time")
+	}
+}
+
+func TestUncappedStreamPower(t *testing.T) {
+	r := capped(t, &streamWork{bytes: 24 << 20, passes: 1}, 0, 1)
+	if r.AvgPowerWatts < 150 || r.AvgPowerWatts > 160 {
+		t.Errorf("streaming uncapped power = %.1f W, want ~153-158", r.AvgPowerWatts)
+	}
+}
+
+func TestHighCapBehavesLikeBaseline(t *testing.T) {
+	base := capped(t, &computeWork{iters: 1200000}, 0, 2)
+	c160 := capped(t, &computeWork{iters: 1200000}, 160, 2)
+	ratio := float64(c160.ExecTime) / float64(base.ExecTime)
+	if ratio < 0.99 || ratio > 1.10 {
+		t.Errorf("160 W cap time ratio = %.3f, want ~1.00-1.06 (paper A1: +3%%)", ratio)
+	}
+	if c160.AvgFreqMHz < 2690 {
+		t.Errorf("160 W cap frequency = %.0f", c160.AvgFreqMHz)
+	}
+}
+
+func TestModerateCapUsesDVFSOnly(t *testing.T) {
+	r := capped(t, &computeWork{iters: 1200000}, 140, 3)
+	if r.FinalGatingLevel != 0 {
+		t.Errorf("140 W cap ended at gating level %d, want 0", r.FinalGatingLevel)
+	}
+	if r.AvgFreqMHz >= 2700 || r.AvgFreqMHz <= 1200 {
+		t.Errorf("140 W cap avg frequency = %.0f, want intermediate", r.AvgFreqMHz)
+	}
+	if r.AvgPowerWatts > 143 {
+		t.Errorf("140 W cap average power = %.1f W", r.AvgPowerWatts)
+	}
+}
+
+func TestLowCapPinsFrequencyFloor(t *testing.T) {
+	r := capped(t, &computeWork{iters: 600000}, 130, 4)
+	// The controller settles at P14/P15 (the paper's A7/B7 rows report
+	// 1200-1207 MHz); allow for the convergence transient.
+	if r.AvgFreqMHz > 1400 {
+		t.Errorf("130 W cap avg frequency = %.0f, want near the 1200 MHz floor", r.AvgFreqMHz)
+	}
+}
+
+func TestVeryLowCapEngagesGating(t *testing.T) {
+	r := capped(t, &computeWork{iters: 600000}, 125, 5)
+	if r.FinalGatingLevel == 0 && r.BMCStats.GateEscalate == 0 {
+		t.Error("125 W cap never engaged the gating ladder")
+	}
+	if r.AvgFreqMHz > 1250 {
+		t.Errorf("125 W cap avg frequency = %.0f", r.AvgFreqMHz)
+	}
+}
+
+func TestUnreachableCapOvershoots(t *testing.T) {
+	r := capped(t, &computeWork{iters: 600000}, 120, 6)
+	if r.AvgPowerWatts <= 120 {
+		t.Errorf("120 W cap average power = %.1f W; paper's platform floor is ~124 W", r.AvgPowerWatts)
+	}
+	if r.AvgPowerWatts > 127 {
+		t.Errorf("120 W cap average power = %.1f W, want near the ~122-125 floor", r.AvgPowerWatts)
+	}
+	if r.BMCStats.AtFloorTicks == 0 {
+		t.Error("controller never reported at-floor operation")
+	}
+}
+
+func TestExecutionTimeMonotoneInCap(t *testing.T) {
+	w := func() Workload { return &computeWork{iters: 600000} }
+	var prev simtime.Duration
+	for i, cap := range []float64{0, 150, 140, 130, 120} {
+		r := capped(t, w(), cap, 7)
+		if i > 0 && r.ExecTime < prev*95/100 {
+			t.Errorf("time decreased at cap %.0f: %v < %v", cap, r.ExecTime, prev)
+		}
+		prev = r.ExecTime
+	}
+}
+
+func TestEnergyRisesAtDeepCaps(t *testing.T) {
+	base := capped(t, &computeWork{iters: 600000}, 0, 8)
+	deep := capped(t, &computeWork{iters: 600000}, 125, 8)
+	if deep.EnergyJoules <= base.EnergyJoules {
+		t.Errorf("125 W energy %.1f J <= baseline %.1f J; paper shows large energy growth",
+			deep.EnergyJoules, base.EnergyJoules)
+	}
+	if deep.ExecTime <= base.ExecTime*2 {
+		t.Errorf("125 W time %v not much larger than baseline %v", deep.ExecTime, base.ExecTime)
+	}
+}
+
+func TestCommittedInstructionsInvariantAcrossCaps(t *testing.T) {
+	// Section IV: "for each application the number of instructions
+	// committed is identical" across caps.
+	a := capped(t, &computeWork{iters: 20000}, 0, 9)
+	b := capped(t, &computeWork{iters: 20000}, 125, 9)
+	if a.Counters.InstructionsCommitted != b.Counters.InstructionsCommitted {
+		t.Errorf("committed instructions differ: %d vs %d",
+			a.Counters.InstructionsCommitted, b.Counters.InstructionsCommitted)
+	}
+	// Issued (speculative) counts drift, but only slightly (<= ~2%).
+	ai, bi := float64(a.Counters.InstructionsIssued), float64(b.Counters.InstructionsIssued)
+	if bi >= ai {
+		t.Errorf("slower run issued more instructions: %v >= %v", bi, ai)
+	}
+	if (ai-bi)/ai > 0.05 {
+		t.Errorf("issued-instruction drift %.2f%% too large", (ai-bi)/ai*100)
+	}
+}
+
+func TestITLBMissesExplodeAtDeepCaps(t *testing.T) {
+	// Workload with a code footprint that fits the full ITLB but
+	// thrashes a gated one.
+	w := func() Workload { return &computeWork{iters: 600000} }
+	base := capped(t, w(), 0, 10)
+	deep := capped(t, w(), 120, 10)
+	if base.Counters.ITLBMisses == 0 {
+		t.Skip("no baseline iTLB activity to compare")
+	}
+	ratio := float64(deep.Counters.ITLBMisses) / float64(base.Counters.ITLBMisses)
+	if ratio < 3 {
+		t.Errorf("iTLB miss ratio at 120 W = %.1fx, want explosive growth (paper: 64-85x)", ratio)
+	}
+}
+
+func TestStreamL3MissesStableUnderWayGating(t *testing.T) {
+	// SIRE-like streaming: L3 misses are compulsory; way gating must
+	// not change them much (Table II rows B0-B9: 0% difference).
+	w := func() Workload { return &streamWork{bytes: 24 << 20, passes: 1} }
+	base := capped(t, w(), 0, 11)
+	deep := capped(t, w(), 125, 11)
+	rb := float64(base.Counters.L3Misses)
+	rd := float64(deep.Counters.L3Misses)
+	if rd < rb*0.9 || rd > rb*1.25 {
+		t.Errorf("stream L3 misses changed %.0f -> %.0f under deep cap; want stable", rb, rd)
+	}
+}
+
+func TestAllocLaysOutDisjointRegions(t *testing.T) {
+	m := New(Romley())
+	a := m.Alloc(10000)
+	b := m.Alloc(4096)
+	if a%4096 != 0 || b%4096 != 0 {
+		t.Error("allocations not page aligned")
+	}
+	if b < a+10000 {
+		t.Errorf("regions overlap: a=%#x (10000B), b=%#x", a, b)
+	}
+}
+
+func TestCounterSnapshotMonotone(t *testing.T) {
+	m := New(Romley())
+	before := m.CounterSnapshot()
+	(&computeWork{iters: 1000}).Run(m)
+	after := m.CounterSnapshot()
+	if after.InstructionsCommitted <= before.InstructionsCommitted {
+		t.Error("committed instructions did not advance")
+	}
+	if after.Cycles <= before.Cycles {
+		t.Error("cycles did not advance")
+	}
+}
+
+func TestAdvanceIdleFiresEvents(t *testing.T) {
+	m := New(Romley())
+	m.SetPolicy(140)
+	m.AdvanceIdle(10 * simtime.Millisecond)
+	if m.BMC().Stats().Ticks == 0 {
+		t.Error("no BMC ticks during idle advance")
+	}
+	if m.Meter().Len() == 0 {
+		t.Error("no meter samples during idle advance")
+	}
+	// Idle power well under cap: controller must sit at P0.
+	if m.Core().PStateIndex() != 0 {
+		t.Errorf("idle P-state = %d", m.Core().PStateIndex())
+	}
+}
+
+func TestSpeculativeLoadsScaleWithFrequency(t *testing.T) {
+	run := func(cap float64) uint64 {
+		m := New(Romley())
+		m.SetPolicy(cap)
+		m.AdvanceIdle(2 * simtime.Millisecond)
+		base := m.Alloc(1 << 20)
+		start := m.CounterSnapshot()
+		for i := 0; i < 20000; i++ {
+			m.Load(base + uint64(i*64))
+		}
+		return m.CounterSnapshot().Loads - start.Loads - 20000 // spec extras
+	}
+	fast := run(0)
+	// Force the slow path by directly running capped long enough to
+	// reach the floor frequency.
+	m := New(Romley())
+	m.SetPolicy(130)
+	m.AdvanceIdle(2 * simtime.Millisecond)
+	w := &streamWork{bytes: 4 << 20, passes: 1}
+	m.RunWorkload(w) // drags frequency down
+	base := m.Alloc(1 << 20)
+	s0 := m.CounterSnapshot()
+	for i := 0; i < 20000; i++ {
+		m.Load(base + uint64(i*64))
+	}
+	slow := m.CounterSnapshot().Loads - s0.Loads - 20000
+	if slow >= fast {
+		t.Errorf("speculative loads at low frequency (%d) >= at full speed (%d)", slow, fast)
+	}
+}
+
+func TestGatingLevelAppliedToHierarchy(t *testing.T) {
+	m := New(Romley())
+	p := (*plant)(m)
+	p.SetGatingLevel(4)
+	g := m.Hierarchy().Gated()
+	if g.L3WaysGated != 14 || g.L2WaysGated != 4 {
+		t.Errorf("level 4 gating = %+v", g)
+	}
+	p.SetGatingLevel(0)
+	if m.Hierarchy().Gated().L3WaysGated != 0 {
+		t.Error("ungating did not restore ways")
+	}
+}
+
+func TestPlantClampsGatingLevel(t *testing.T) {
+	m := New(Romley())
+	p := (*plant)(m)
+	p.SetGatingLevel(999)
+	if m.GatingLevel() != len(m.Config().Ladder)-1 {
+		t.Errorf("gating level = %d", m.GatingLevel())
+	}
+	p.SetGatingLevel(-5)
+	if m.GatingLevel() != 0 {
+		t.Errorf("gating level = %d", m.GatingLevel())
+	}
+}
+
+func TestLadderMonotonePower(t *testing.T) {
+	// Each ladder level must not increase node power, or the BMC's
+	// escalation search breaks.
+	cfg := Romley()
+	m := New(cfg)
+	p := (*plant)(m)
+	m.Core().SetPState(15)
+	prev := 1e18
+	for l := 0; l < len(cfg.Ladder); l++ {
+		p.SetGatingLevel(l)
+		g := m.Hierarchy().Gated()
+		st := powerStateForTest(m, g)
+		w := cfg.Power.NodeWatts(st)
+		if w > prev+1e-9 {
+			t.Errorf("ladder level %d raises power: %.2f > %.2f", l, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestDVFSOnlyLadderHasSingleLevel(t *testing.T) {
+	if got := len(DVFSOnlyLadder()); got != 1 {
+		t.Errorf("DVFSOnlyLadder has %d levels", got)
+	}
+}
+
+func TestCapFloorWatts(t *testing.T) {
+	m := New(Romley())
+	floor := m.CapFloorWatts()
+	// The paper's platform cannot honour 120 W but does reach ~123-125.
+	if floor <= 120 || floor >= 126 {
+		t.Errorf("CapFloorWatts = %.2f, want in (120, 126)", floor)
+	}
+}
+
+func TestControlHookFires(t *testing.T) {
+	cfg := Romley()
+	calls := 0
+	cfg.ControlHook = func(m *Machine) { calls++ }
+	m := New(cfg)
+	m.AdvanceIdle(5 * simtime.Millisecond)
+	if calls == 0 {
+		t.Error("control hook never fired")
+	}
+}
+
+// DefaultTStates is the ACPI-style clock-modulation ladder used by the
+// T-state tests and ablation.
+func defaultTStates() []float64 { return []float64{0.75, 0.5, 0.25, 0.125} }
+
+func TestTStatesExtendEscalation(t *testing.T) {
+	cfg := Romley()
+	cfg.TStates = defaultTStates()
+	m := New(cfg)
+	p := (*plant)(m)
+	if got := p.MaxGatingLevel(); got != len(cfg.Ladder)-1+4 {
+		t.Fatalf("MaxGatingLevel = %d", got)
+	}
+	p.SetGatingLevel(len(cfg.Ladder) - 1 + 2) // second T-state
+	if m.clockDuty != 0.5 {
+		t.Errorf("clockDuty = %v, want 0.5", m.clockDuty)
+	}
+	// Hierarchy stays at the deepest ladder level.
+	if m.Hierarchy().Gated().L3WaysGated != 16 {
+		t.Errorf("hierarchy gating = %+v", m.Hierarchy().Gated())
+	}
+	p.SetGatingLevel(0)
+	if m.clockDuty != 1 {
+		t.Errorf("clockDuty after ungating = %v", m.clockDuty)
+	}
+}
+
+func TestClockModulationStretchesTime(t *testing.T) {
+	run := func(duty float64) simtime.Duration {
+		cfg := Romley()
+		// A bare DVFS ladder keeps the hierarchy ungated so the
+		// instruction fetches stay free L1I hits and the measurement
+		// isolates the clock modulation itself.
+		cfg.Ladder = DVFSOnlyLadder()
+		cfg.TStates = []float64{duty}
+		m := New(cfg)
+		(*plant)(m).SetGatingLevel(len(cfg.Ladder)) // first T-state
+		start := m.Now()
+		for i := 0; i < 5000; i++ {
+			m.Compute(30, 24)
+		}
+		return m.Now() - start
+	}
+	full := run(1) // duty 1 behaves unmodulated
+	half := run(0.5)
+	ratio := float64(half) / float64(full)
+	// Somewhat under 2x: instruction-fetch miss stalls are wall-bound,
+	// not clock-bound, and do not stretch.
+	if ratio < 1.7 || ratio > 2.1 {
+		t.Errorf("50%% clock modulation stretched time %.2fx, want ~1.8-2x", ratio)
+	}
+}
+
+// TestTStatesReachThePaperUnreachableCap: with clock modulation
+// available, the platform could have honoured 120 W — the ablation
+// answer to the paper's Table II overshoot rows.
+func TestTStatesReachThePaperUnreachableCap(t *testing.T) {
+	cfg := Romley()
+	cfg.TStates = defaultTStates()
+	m := New(cfg)
+	m.SetPolicy(120)
+	r := m.RunWorkload(&computeWork{iters: 600000})
+	if r.AvgPowerWatts > 120.8 {
+		t.Errorf("with T-states, 120 W cap average = %.1f W; want honoured", r.AvgPowerWatts)
+	}
+	if r.FinalGatingLevel <= len(cfg.Ladder)-1 {
+		t.Errorf("T-states never engaged: level %d", r.FinalGatingLevel)
+	}
+}
+
+func TestDeepMemoryGatingLadderShape(t *testing.T) {
+	l := DeepMemoryGatingLadder()
+	d := DefaultLadder()
+	if len(l) != len(d) {
+		t.Fatalf("deep ladder length %d != default %d", len(l), len(d))
+	}
+	// Shallow levels identical; deepest two harsher.
+	for i := 0; i < len(l)-2; i++ {
+		if l[i].DRAMGate != d[i].DRAMGate {
+			t.Errorf("level %d differs from default", i)
+		}
+	}
+	last := l[len(l)-1].DRAMGate
+	if last.OnFraction >= d[len(d)-1].DRAMGate.OnFraction {
+		t.Error("deep ladder not harsher than default")
+	}
+	if last.Period <= d[len(d)-1].DRAMGate.Period {
+		t.Error("deep ladder period not longer")
+	}
+}

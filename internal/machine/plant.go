@@ -1,0 +1,70 @@
+package machine
+
+// plant adapts Machine to the bmc.Plant interface. It is a separate
+// named type so the actuation surface the firmware sees stays explicit
+// and narrow.
+type plant Machine
+
+func (p *plant) m() *Machine { return (*Machine)(p) }
+
+// PowerWatts reports the power estimate computed at the current
+// control tick — the BMC's out-of-band sensor reading.
+func (p *plant) PowerWatts() float64 { return p.m().curPower }
+
+func (p *plant) PStateIndex() int { return p.m().core.PStateIndex() }
+func (p *plant) NumPStates() int  { return len(p.m().cfg.PStates) }
+
+// SetPState performs the DVFS transition, posting its stall to the
+// running workload (frequency changes halt the clock briefly).
+func (p *plant) SetPState(i int) {
+	m := p.m()
+	m.pendingStall += m.core.SetPState(i)
+}
+
+func (p *plant) GatingLevel() int { return p.m().gatingLevel }
+
+// MaxGatingLevel spans the hierarchy ladder plus any configured
+// T-state (clock modulation) levels beyond it.
+func (p *plant) MaxGatingLevel() int {
+	m := p.m()
+	return len(m.cfg.Ladder) - 1 + len(m.cfg.TStates)
+}
+
+// ForceGatingLevel pins the hierarchy to ladder level l, bypassing the
+// controller. Used by the gating-detection microbenchmarks' validation
+// and by ablation studies; enabling a capping policy afterwards hands
+// control back to the BMC.
+func (m *Machine) ForceGatingLevel(l int) {
+	(*plant)(m).SetGatingLevel(l)
+}
+
+// SetGatingLevel reconfigures the machine to escalation level l:
+// hierarchy ladder levels first, then (when configured) the T-state
+// clock-modulation levels beyond them. Way flushes and TLB shootdowns
+// stall the core briefly.
+func (p *plant) SetGatingLevel(l int) {
+	m := p.m()
+	ladderMax := len(m.cfg.Ladder) - 1
+	if l < 0 {
+		l = 0
+	}
+	if max := ladderMax + len(m.cfg.TStates); l > max {
+		l = max
+	}
+	if l == m.gatingLevel {
+		return
+	}
+	m.gatingLevel = l
+
+	hl := l
+	if hl > ladderMax {
+		hl = ladderMax
+	}
+	m.hier.ApplyGating(m.clock.Now(), m.cfg.Ladder[hl])
+	if l > ladderMax {
+		m.clockDuty = m.cfg.TStates[l-ladderMax-1]
+	} else {
+		m.clockDuty = 1
+	}
+	m.pendingStall += 5 * 1000 * 1000 // 5 µs in picoseconds
+}

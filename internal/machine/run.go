@@ -1,0 +1,77 @@
+package machine
+
+import (
+	"nodecap/internal/bmc"
+	"nodecap/internal/counters"
+	"nodecap/internal/simtime"
+)
+
+// Workload is a program the machine can execute: it drives the
+// Compute/Load/Store API against addresses it laid out with Alloc.
+type Workload interface {
+	// Name identifies the workload in results and reports.
+	Name() string
+	// CodePages is the instruction-footprint estimate (4 KiB pages)
+	// used by the machine's fetch synthesis.
+	CodePages() int
+	// Run executes the workload to completion on m.
+	Run(m *Machine)
+}
+
+// RunResult carries every metric the paper reports for one run.
+type RunResult struct {
+	Workload string
+	// CapWatts is the enforced cap; 0 means uncapped baseline.
+	CapWatts float64
+
+	ExecTime      simtime.Duration
+	AvgPowerWatts float64
+	EnergyJoules  float64
+	AvgFreqMHz    float64
+
+	Counters counters.Snapshot
+	BMCStats bmc.Stats
+	// FinalGatingLevel is the ladder position when the run finished.
+	FinalGatingLevel int
+}
+
+// RunWorkload executes w under the machine's current policy and
+// returns the measured metrics. The sequence mirrors the study's
+// procedure: the policy is already enforced, the node idles briefly
+// (letting the controller settle against idle power), then the
+// application runs while the meter and counters record.
+func (m *Machine) RunWorkload(w Workload) RunResult {
+	// Idle lead-in: two control periods, as between real trials.
+	m.AdvanceIdle(4 * m.cfg.BMC.ControlPeriod)
+
+	m.SetCodeFootprint(w.CodePages())
+	m.meter.Reset()
+	m.hier.ResetStats()
+	m.core.ResetCounters()
+	m.ctrl.ResetStats()
+
+	start := m.clock.Now()
+	m.updatePower(start)
+	m.meter.Record(start, m.curPower)
+	m.running = true
+
+	w.Run(m)
+	m.drainPendingStall()
+
+	end := m.clock.Now()
+	m.running = false
+	m.updatePower(end)
+	m.meter.Record(end, m.curPower)
+
+	return RunResult{
+		Workload:         w.Name(),
+		CapWatts:         m.ctrl.Policy().CapWatts,
+		ExecTime:         end - start,
+		AvgPowerWatts:    m.meter.AverageWatts(),
+		EnergyJoules:     m.meter.EnergyJoules(),
+		AvgFreqMHz:       m.core.AverageFreqMHz(),
+		Counters:         m.CounterSnapshot(),
+		BMCStats:         m.ctrl.Stats(),
+		FinalGatingLevel: m.gatingLevel,
+	}
+}

@@ -1,0 +1,269 @@
+package multicore
+
+import (
+	"nodecap/internal/cache"
+	"nodecap/internal/counters"
+	"nodecap/internal/cpu"
+	"nodecap/internal/simtime"
+	"nodecap/internal/tlb"
+)
+
+// CoreHandle is the operation API one shard drives — the multi-core
+// analogue of the machine package's Compute/Load/Store surface. Each
+// handle owns a core's private hierarchy levels and local clock.
+type CoreHandle struct {
+	m  *Machine
+	id int
+
+	core *cpu.Core
+	l1i  *cache.Cache
+	l1d  *cache.Cache
+	l2   *cache.Cache
+	itlb *tlb.TLB
+	dtlb *tlb.TLB
+
+	clock simtime.Duration
+	done  bool
+
+	ifetchDown int
+	fetchSeq   uint64
+	specAcc    float64
+
+	accBusy, accStall simtime.Duration
+}
+
+func (m *Machine) newCoreHandle(id int) *CoreHandle {
+	h := m.cfg.Base.Hierarchy
+	c := &CoreHandle{
+		m:          m,
+		id:         id,
+		core:       cpu.MustCore(id, m.cfg.Base.PStates, m.cfg.Base.CStates),
+		l1i:        cache.New(h.L1I),
+		l1d:        cache.New(h.L1D),
+		l2:         cache.New(h.L2),
+		itlb:       tlb.New(h.ITLB),
+		dtlb:       tlb.New(h.DTLB),
+		ifetchDown: m.cfg.Base.IFetchEvery,
+		fetchSeq:   (m.cfg.Base.Seed + uint64(id)*7919) * 1021,
+	}
+	// Stagger start phases slightly so cores do not step in lockstep.
+	c.clock = simtime.Duration(id) * 137 * simtime.Nanosecond
+	return c
+}
+
+// ID reports the core number.
+func (c *CoreHandle) ID() int { return c.id }
+
+// Now reports this core's local clock.
+func (c *CoreHandle) Now() simtime.Duration { return c.clock }
+
+func (c *CoreHandle) freq() int { return c.core.PState().FreqMHz }
+
+func (c *CoreHandle) advanceBusy(d simtime.Duration) {
+	c.clock += d
+	c.core.AccountBusy(d)
+	c.accBusy += d
+}
+
+func (c *CoreHandle) advanceStall(d simtime.Duration) {
+	c.clock += d
+	c.core.AccountStall(d)
+	c.accStall += d
+}
+
+// Compute executes instrs committed instructions over cycles core
+// cycles on this core.
+func (c *CoreHandle) Compute(cycles int64, instrs uint64) {
+	if cycles <= 0 {
+		cycles = 1
+	}
+	c.advanceBusy(simtime.Cycles(cycles, c.freq()))
+	c.core.InstructionsCommitted += instrs
+	c.core.InstructionsExecuted += instrs
+	c.fetchForInstrs(instrs)
+}
+
+// Load performs one committed read at addr.
+func (c *CoreHandle) Load(addr uint64) { c.memop(addr, false) }
+
+// Store performs one committed write at addr.
+func (c *CoreHandle) Store(addr uint64) { c.memop(addr, true) }
+
+func (c *CoreHandle) memop(addr uint64, write bool) {
+	c.fetchForInstrs(1)
+
+	var cycles int64
+	if !c.dtlb.Lookup(addr) {
+		cycles += int64(c.m.cfg.Base.Hierarchy.DTLB.MissPenaltyCycles)
+	}
+	h := c.m.cfg.Base.Hierarchy
+	cycles += int64(h.L1D.HitLatencyCycles)
+	r1 := c.l1d.Access(addr, write)
+	if r1.WritebackValid {
+		// Private dirty evictions land in the shared L3 (inclusive-ish
+		// behaviour); if absent there they go to memory.
+		if !c.m.l3.Update(r1.WritebackAddr) {
+			c.m.dramWrite(c.clock, r1.WritebackAddr)
+		}
+	}
+	if r1.Hit {
+		c.commitMemop(write, simtime.Cycles(cycles, c.freq()), true)
+		c.speculate(addr)
+		return
+	}
+
+	cycles += int64(h.L2.HitLatencyCycles)
+	r2 := c.l2.Access(addr, write)
+	if r2.WritebackValid {
+		if !c.m.l3.Update(r2.WritebackAddr) {
+			c.m.dramWrite(c.clock, r2.WritebackAddr)
+		}
+	}
+	if r2.Hit {
+		c.commitMemop(write, simtime.Cycles(cycles, c.freq()), true)
+		c.speculate(addr)
+		return
+	}
+
+	cycles += int64(h.L3.HitLatencyCycles)
+	r3 := c.m.l3.Access(addr, write)
+	if r3.WritebackValid {
+		c.m.dramWrite(c.clock, r3.WritebackAddr)
+	}
+	if r3.Hit {
+		c.commitMemop(write, simtime.Cycles(cycles, c.freq()), true)
+		c.speculate(addr)
+		return
+	}
+
+	lat := simtime.Cycles(cycles, c.freq()) + c.m.dramRead(c.clock+simtime.Cycles(cycles, c.freq()), addr)
+	c.commitMemop(write, lat, false)
+	c.speculate(addr)
+}
+
+// commitMemop finishes a memory operation's accounting.
+func (c *CoreHandle) commitMemop(write bool, lat simtime.Duration, busy bool) {
+	if busy {
+		c.advanceBusy(lat)
+	} else {
+		c.advanceStall(lat)
+	}
+	c.core.InstructionsCommitted++
+	c.core.InstructionsExecuted++
+	if write {
+		c.core.StoresExecuted++
+	} else {
+		c.core.LoadsExecuted++
+	}
+}
+
+// speculate issues the frequency-scaled speculative next-line access.
+func (c *CoreHandle) speculate(addr uint64) {
+	c.specAcc += float64(c.freq()) / float64(c.m.cfg.Base.PStates.Fastest().FreqMHz) /
+		float64(c.m.cfg.Base.SpecEvery)
+	if c.specAcc >= 1 {
+		c.specAcc--
+		spec := addr + uint64(c.m.cfg.Base.Hierarchy.L1D.LineBytes)
+		if !c.l1d.Access(spec, false).Hit {
+			if !c.l2.Access(spec, false).Hit {
+				c.m.l3.Access(spec, false)
+			}
+		}
+		c.core.InstructionsExecuted++
+		c.core.LoadsExecuted++
+	}
+}
+
+// fetchForInstrs synthesizes instruction fetches, as the single-core
+// machine does; the code region is shared but each core fetches
+// through its own L1I/ITLB.
+func (c *CoreHandle) fetchForInstrs(n uint64) {
+	c.ifetchDown -= int(n)
+	for c.ifetchDown <= 0 {
+		c.ifetchDown += c.m.cfg.Base.IFetchEvery
+		addr := c.nextFetchAddr()
+		var cycles int64
+		if !c.itlb.Lookup(addr) {
+			cycles += int64(c.m.cfg.Base.Hierarchy.ITLB.MissPenaltyCycles)
+		}
+		hit := c.l1i.Access(addr, false).Hit
+		if !hit {
+			cycles += int64(c.m.cfg.Base.Hierarchy.L2.HitLatencyCycles)
+			if !c.l2.Access(addr, false).Hit {
+				cycles += int64(c.m.cfg.Base.Hierarchy.L3.HitLatencyCycles)
+				c.m.l3.Access(addr, false)
+			}
+		}
+		if cycles > 0 {
+			c.advanceStall(simtime.Cycles(cycles, c.freq()))
+		}
+	}
+}
+
+const (
+	mcCodeBase     = 16 << 20
+	mcFarCodeBase  = mcCodeBase + (4096 << 12)
+	mcFarCodePages = 512
+)
+
+func (c *CoreHandle) nextFetchAddr() uint64 {
+	c.fetchSeq++
+	seq := c.fetchSeq
+	if seq%499 == 0 {
+		h := seq * 0x9E3779B97F4A7C15
+		return mcFarCodeBase + ((h >> 33) % mcFarCodePages * 4096)
+	}
+	pages := c.m.codePages
+	hot := 4
+	if pages < hot {
+		hot = pages
+	}
+	var page uint64
+	if seq%5 == 0 && pages > hot {
+		page = (seq / 5) % uint64(pages)
+	} else {
+		page = seq % uint64(hot)
+	}
+	line := (seq * 13) % 64
+	return mcCodeBase + page*4096 + line*64
+}
+
+// dramRead times a shared-channel read beginning at now, including
+// queueing behind other cores' transfers.
+func (m *Machine) dramRead(now simtime.Duration, addr uint64) simtime.Duration {
+	start := now
+	if m.ramBusyUntil > start {
+		start = m.ramBusyUntil
+	}
+	lat := m.ram.Access(start, addr, false)
+	// The channel is occupied for the data transfer (64 B at ~6.4 GB/s
+	// effective: ~10 ns), not the full access latency.
+	m.ramBusyUntil = start + lat - simtime.FromNanos(40)
+	if m.ramBusyUntil < start {
+		m.ramBusyUntil = start + simtime.FromNanos(10)
+	}
+	m.dramBytes += 64
+	return (start - now) + lat
+}
+
+// dramWrite posts a write-back (off the critical path).
+func (m *Machine) dramWrite(now simtime.Duration, addr uint64) {
+	m.ram.Access(now, addr, true)
+	m.dramBytes += 64
+}
+
+// coreSnapshot reads one core's private counters.
+func (m *Machine) coreSnapshot(c *CoreHandle) counters.Snapshot {
+	return counters.Snapshot{
+		L1DMisses:             c.l1d.Stats().Misses,
+		L1IMisses:             c.l1i.Stats().Misses,
+		L2Misses:              c.l2.Stats().Misses,
+		DTLBMisses:            c.dtlb.Stats().Misses,
+		ITLBMisses:            c.itlb.Stats().Misses,
+		InstructionsCommitted: c.core.InstructionsCommitted,
+		InstructionsIssued:    c.core.InstructionsExecuted,
+		Loads:                 c.core.LoadsExecuted,
+		Stores:                c.core.StoresExecuted,
+		Cycles:                c.core.Cycles,
+	}
+}

@@ -1,0 +1,287 @@
+// Package multicore implements the first item of the paper's future
+// work: "explore how multi-core applications are affected by power
+// capping".
+//
+// It simulates several cores executing shards of one parallel workload
+// under a single node power cap. Each core owns private L1I/L1D/L2
+// caches and TLBs; all cores share the 20 MB L3, and DRAM is a shared
+// channel with occupancy, so co-running shards contend the way threads
+// on the real part do. DVFS is package-level (one PLL for the socket,
+// as on Sandy Bridge): the BMC's P-state decision applies to every
+// core, and the gating ladder gates the shared structures once.
+//
+// The engine always advances the runnable core with the earliest local
+// clock, so shared-resource timestamps (DRAM occupancy, control
+// events) observe a globally monotonic time.
+package multicore
+
+import (
+	"fmt"
+
+	"nodecap/internal/bmc"
+	"nodecap/internal/cache"
+	"nodecap/internal/counters"
+	"nodecap/internal/dram"
+	"nodecap/internal/machine"
+	"nodecap/internal/power"
+	"nodecap/internal/sensors"
+	"nodecap/internal/simtime"
+)
+
+// Config assembles a multi-core machine. Geometry and calibration are
+// borrowed from the single-core machine configuration.
+type Config struct {
+	Cores int
+	Base  machine.Config
+}
+
+// DefaultConfig returns the paper platform's socket with the given
+// core count (the study's board has 2 x 8 cores; one socket is the
+// capping domain here).
+func DefaultConfig(cores int) Config {
+	return Config{Cores: cores, Base: machine.Romley()}
+}
+
+// Shard is one core's portion of a parallel workload: a resumable
+// iterator. Step issues a small batch of operations (an inner-loop
+// iteration) against its core handle and reports whether more work
+// remains. Steps on different shards interleave in simulated-time
+// order.
+type Shard interface {
+	Step(c *CoreHandle) bool
+}
+
+// Workload is a parallel program: it splits itself into one shard per
+// core and describes its instruction footprint.
+type Workload interface {
+	Name() string
+	CodePages() int
+	// Shards lays out shared data with alloc and returns exactly one
+	// shard per core.
+	Shards(cores int, alloc func(size int) uint64) []Shard
+}
+
+// Machine is the multi-core node.
+type Machine struct {
+	cfg Config
+
+	cores  []*CoreHandle
+	shards []Shard
+
+	l3  *cache.Cache
+	ram *dram.DRAM
+	// ramBusyUntil serializes DRAM data transfers: a second in-flight
+	// miss waits for the channel, the contention mechanism that limits
+	// parallel speedup for memory-bound shards.
+	ramBusyUntil simtime.Duration
+	dramBytes    uint64
+
+	meter *sensors.Meter
+	ctrl  *bmc.BMC
+
+	gatingLevel int
+	running     bool
+	codePages   int
+
+	events    *simtime.EventQueue
+	nextEvent simtime.Duration
+	hasEvent  bool
+	lastPower simtime.Duration
+	curPower  float64
+
+	allocNext uint64
+}
+
+// New builds a multi-core machine; invalid static configuration
+// panics.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		panic("multicore: non-positive core count")
+	}
+	if err := cfg.Base.Power.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		cfg:       cfg,
+		l3:        cache.New(cfg.Base.Hierarchy.L3),
+		ram:       dram.New(cfg.Base.Hierarchy.DRAM),
+		meter:     sensors.NewMeter(cfg.Base.MeterNoiseWatts),
+		events:    simtime.NewEventQueue(),
+		allocNext: 1 << 30,
+		codePages: 16,
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, m.newCoreHandle(i))
+	}
+	m.ctrl = bmc.New(cfg.Base.BMC, (*mcPlant)(m))
+	m.curPower = cfg.Base.Power.NodeWatts(power.NodeState{DRAMDuty: 1})
+	m.scheduleMeter(cfg.Base.MeterInterval)
+	m.scheduleBMC(cfg.Base.BMC.ControlPeriod)
+	m.refreshNextEvent()
+	return m
+}
+
+// Meter returns the wall power meter.
+func (m *Machine) Meter() *sensors.Meter { return m.meter }
+
+// BMC returns the capping controller.
+func (m *Machine) BMC() *bmc.BMC { return m.ctrl }
+
+// GatingLevel reports the sub-DVFS ladder position.
+func (m *Machine) GatingLevel() int { return m.gatingLevel }
+
+// Cores reports the core count.
+func (m *Machine) Cores() int { return m.cfg.Cores }
+
+// L3 exposes the shared last-level cache (tests, examples).
+func (m *Machine) L3() *cache.Cache { return m.l3 }
+
+// DRAM exposes the shared memory model.
+func (m *Machine) DRAM() *dram.DRAM { return m.ram }
+
+// SetPolicy installs the node cap (0 disables).
+func (m *Machine) SetPolicy(capWatts float64) {
+	m.ctrl.SetPolicy(bmc.Policy{Enabled: capWatts > 0, CapWatts: capWatts})
+}
+
+// Alloc reserves simulated address space (shared among shards).
+func (m *Machine) Alloc(size int) uint64 {
+	base := m.allocNext
+	pages := uint64(size+4095) / 4096
+	m.allocNext += (pages + 1) * 4096
+	return base
+}
+
+// Result carries one parallel run's metrics.
+type Result struct {
+	Workload      string
+	CapWatts      float64
+	ExecTime      simtime.Duration // wall time: slowest core
+	AvgPowerWatts float64
+	EnergyJoules  float64
+	AvgFreqMHz    float64
+	Counters      counters.Snapshot // summed over cores; L3 shared
+	PerCoreBusy   []simtime.Duration
+}
+
+// SpeedupOver computes wall-clock speedup relative to another run of
+// the same total work (typically the single-core run).
+func (r Result) SpeedupOver(single Result) float64 {
+	if r.ExecTime <= 0 {
+		return 0
+	}
+	return single.ExecTime.Seconds() / r.ExecTime.Seconds()
+}
+
+// Run executes w across the configured cores to completion.
+func (m *Machine) Run(w Workload) Result {
+	m.codePages = w.CodePages()
+	m.shards = w.Shards(m.cfg.Cores, m.Alloc)
+	if len(m.shards) != m.cfg.Cores {
+		panic(fmt.Sprintf("multicore: workload produced %d shards for %d cores",
+			len(m.shards), m.cfg.Cores))
+	}
+	m.running = true
+	start := m.minClock()
+	m.meter.Reset()
+	m.meter.Record(start, m.curPower)
+
+	active := m.cfg.Cores
+	for active > 0 {
+		c := m.earliestRunnable()
+		if !m.shards[c.id].Step(c) {
+			c.done = true
+			c.core.EnterCState(6)
+			active--
+			// A finished core's clock must not hold back event
+			// processing: pin it forward as the others proceed.
+		}
+		m.runDueEvents(m.minRunnableClock())
+	}
+	end := m.maxClock()
+	m.running = false
+	m.updatePower(end)
+	m.meter.Record(end, m.curPower)
+
+	res := Result{
+		Workload:      w.Name(),
+		CapWatts:      m.ctrl.Policy().CapWatts,
+		ExecTime:      end - start,
+		AvgPowerWatts: m.meter.AverageWatts(),
+		EnergyJoules:  m.meter.EnergyJoules(),
+		AvgFreqMHz:    m.cores[0].core.AverageFreqMHz(),
+	}
+	for _, c := range m.cores {
+		res.PerCoreBusy = append(res.PerCoreBusy, c.core.BusyTime())
+		res.Counters = sumSnapshots(res.Counters, m.coreSnapshot(c))
+	}
+	res.Counters.L3Misses = m.l3.Stats().Misses
+	return res
+}
+
+// earliestRunnable picks the not-done core with the smallest clock.
+// Run guarantees at least one exists.
+func (m *Machine) earliestRunnable() *CoreHandle {
+	var best *CoreHandle
+	for _, c := range m.cores {
+		if c.done {
+			continue
+		}
+		if best == nil || c.clock < best.clock {
+			best = c
+		}
+	}
+	return best
+}
+
+// minRunnableClock is the time horizon events may fire up to.
+func (m *Machine) minRunnableClock() simtime.Duration {
+	var min simtime.Duration
+	found := false
+	for _, c := range m.cores {
+		if c.done {
+			continue
+		}
+		if !found || c.clock < min {
+			min, found = c.clock, true
+		}
+	}
+	if !found {
+		return m.maxClock()
+	}
+	return min
+}
+
+func (m *Machine) minClock() simtime.Duration {
+	min := m.cores[0].clock
+	for _, c := range m.cores[1:] {
+		if c.clock < min {
+			min = c.clock
+		}
+	}
+	return min
+}
+
+func (m *Machine) maxClock() simtime.Duration {
+	max := m.cores[0].clock
+	for _, c := range m.cores[1:] {
+		if c.clock > max {
+			max = c.clock
+		}
+	}
+	return max
+}
+
+func sumSnapshots(a, b counters.Snapshot) counters.Snapshot {
+	a.L1DMisses += b.L1DMisses
+	a.L1IMisses += b.L1IMisses
+	a.L2Misses += b.L2Misses
+	a.DTLBMisses += b.DTLBMisses
+	a.ITLBMisses += b.ITLBMisses
+	a.InstructionsCommitted += b.InstructionsCommitted
+	a.InstructionsIssued += b.InstructionsIssued
+	a.Loads += b.Loads
+	a.Stores += b.Stores
+	a.Cycles += b.Cycles
+	return a
+}

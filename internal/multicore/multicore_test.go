@@ -1,0 +1,258 @@
+package multicore
+
+import (
+	"testing"
+
+	"nodecap/internal/machine"
+	"nodecap/internal/simtime"
+)
+
+// spinWork is a trivially parallel compute shard set: each shard runs
+// a fixed number of compute+L1 iterations.
+type spinWork struct {
+	iters int
+	base  uint64
+}
+
+func (w *spinWork) Name() string   { return "spin" }
+func (w *spinWork) CodePages() int { return 8 }
+func (w *spinWork) Shards(cores int, alloc func(int) uint64) []Shard {
+	w.base = alloc(1 << 20)
+	out := make([]Shard, cores)
+	for i := range out {
+		out[i] = &spinShard{w: w, left: w.iters, off: uint64(i) * 4096}
+	}
+	return out
+}
+
+type spinShard struct {
+	w    *spinWork
+	left int
+	off  uint64
+	i    int
+}
+
+func (s *spinShard) Step(c *CoreHandle) bool {
+	if s.left <= 0 {
+		return false
+	}
+	s.left--
+	s.i++
+	c.Compute(30, 24)
+	c.Load(s.w.base + s.off + uint64(s.i%64)*64)
+	return s.left > 0
+}
+
+// streamWork shards stream disjoint halves of a > L3 buffer: DRAM
+// channel contention limits their combined speedup.
+type streamWork struct {
+	bytes int
+	base  uint64
+}
+
+func (w *streamWork) Name() string   { return "stream" }
+func (w *streamWork) CodePages() int { return 8 }
+func (w *streamWork) Shards(cores int, alloc func(int) uint64) []Shard {
+	w.base = alloc(w.bytes)
+	per := w.bytes / cores / 8
+	out := make([]Shard, cores)
+	for i := range out {
+		out[i] = &streamShard{w: w, idx: i * per, end: (i + 1) * per}
+	}
+	return out
+}
+
+type streamShard struct {
+	w        *streamWork
+	idx, end int
+}
+
+func (s *streamShard) Step(c *CoreHandle) bool {
+	if s.idx >= s.end {
+		return false
+	}
+	for n := 0; n < 8 && s.idx < s.end; n++ {
+		c.Load(s.w.base + uint64(s.idx)*8)
+		c.Compute(4, 3)
+		s.idx++
+	}
+	return s.idx < s.end
+}
+
+func run(t *testing.T, cores int, w Workload, capWatts float64) Result {
+	t.Helper()
+	m := New(DefaultConfig(cores))
+	m.SetPolicy(capWatts)
+	return m.Run(w)
+}
+
+func TestSingleCoreMatchesShape(t *testing.T) {
+	r := run(t, 1, &spinWork{iters: 400000}, 0)
+	if r.AvgPowerWatts < 140 || r.AvgPowerWatts > 158 {
+		t.Errorf("1-core busy power = %.1f W", r.AvgPowerWatts)
+	}
+	if r.AvgFreqMHz != 2700 {
+		t.Errorf("uncapped frequency = %.0f", r.AvgFreqMHz)
+	}
+}
+
+func TestComputeBoundScalesNearLinearly(t *testing.T) {
+	// Per-shard fixed work: wall time should stay ~constant as cores
+	// grow (weak scaling) for compute-bound shards.
+	one := run(t, 1, &spinWork{iters: 200000}, 0)
+	four := run(t, 4, &spinWork{iters: 200000}, 0)
+	ratio := four.ExecTime.Seconds() / one.ExecTime.Seconds()
+	if ratio > 1.25 {
+		t.Errorf("weak-scaling wall ratio 4c/1c = %.2f, want ~1.0", ratio)
+	}
+}
+
+func TestMorePowerWithMoreCores(t *testing.T) {
+	one := run(t, 1, &spinWork{iters: 150000}, 0)
+	eight := run(t, 8, &spinWork{iters: 150000}, 0)
+	if eight.AvgPowerWatts <= one.AvgPowerWatts+40 {
+		t.Errorf("8-core power %.1f W not well above 1-core %.1f W",
+			eight.AvgPowerWatts, one.AvgPowerWatts)
+	}
+}
+
+func TestMemoryBoundContention(t *testing.T) {
+	// Strong scaling of a fixed-size stream: the shared DRAM channel
+	// caps speedup well below core count.
+	total := 48 << 20
+	one := run(t, 1, &streamWork{bytes: total}, 0)
+	eight := run(t, 8, &streamWork{bytes: total}, 0)
+	speedup := eight.SpeedupOver(one)
+	if speedup < 1.2 {
+		t.Errorf("8-core stream speedup = %.2f, want > 1.2", speedup)
+	}
+	if speedup > 6.5 {
+		t.Errorf("8-core stream speedup = %.2f; DRAM contention should cap it below ~6.5", speedup)
+	}
+}
+
+func TestCapThrottlesHarderWithMoreCores(t *testing.T) {
+	// The same cap must cost multi-core runs more frequency: eight
+	// busy cores draw far more than one, so a 260 W cap that leaves a
+	// single core untouched forces deep DVFS on eight (eight busy
+	// cores' leakage alone puts the floor near 240 W).
+	one := run(t, 1, &spinWork{iters: 150000}, 260)
+	eight := run(t, 8, &spinWork{iters: 150000}, 260)
+	if one.AvgFreqMHz < 2650 {
+		t.Errorf("1-core at 260 W cap throttled to %.0f MHz", one.AvgFreqMHz)
+	}
+	if eight.AvgFreqMHz > 2300 {
+		t.Errorf("8-core at 260 W cap ran at %.0f MHz; expected deep throttling", eight.AvgFreqMHz)
+	}
+	if eight.AvgPowerWatts > 263 {
+		t.Errorf("8-core capped power = %.1f W above cap", eight.AvgPowerWatts)
+	}
+}
+
+func TestPackageDVFSAppliesToAllCores(t *testing.T) {
+	m := New(DefaultConfig(4))
+	p := (*mcPlant)(m)
+	p.SetPState(10)
+	for i, c := range m.cores {
+		if c.core.PStateIndex() != 10 {
+			t.Errorf("core %d P-state = %d", i, c.core.PStateIndex())
+		}
+	}
+}
+
+func TestGatingAppliesToSharedAndPrivate(t *testing.T) {
+	m := New(DefaultConfig(2))
+	p := (*mcPlant)(m)
+	p.SetGatingLevel(5)
+	if m.l3.ActiveWays() != 4 {
+		t.Errorf("shared L3 ways = %d, want 4", m.l3.ActiveWays())
+	}
+	for i, c := range m.cores {
+		if c.l2.ActiveWays() != 2 {
+			t.Errorf("core %d L2 ways = %d, want 2", i, c.l2.ActiveWays())
+		}
+		if c.itlb.ActiveWays() != 1 {
+			t.Errorf("core %d ITLB ways = %d", i, c.itlb.ActiveWays())
+		}
+	}
+	p.SetGatingLevel(0)
+	if m.l3.ActiveWays() != 20 {
+		t.Errorf("L3 not ungated: %d ways", m.l3.ActiveWays())
+	}
+}
+
+func TestSharedL3Visible(t *testing.T) {
+	// A line loaded by core 0 must hit in L3 when core 1 misses its
+	// private levels.
+	m := New(DefaultConfig(2))
+	w := &spinWork{iters: 1}
+	_ = w
+	c0, c1 := m.cores[0], m.cores[1]
+	addr := uint64(1 << 31)
+	c0.Load(addr)
+	before := m.l3.Stats().Misses
+	c1.Load(addr)
+	if m.l3.Stats().Misses != before {
+		t.Error("core 1 missed L3 on a line core 0 fetched")
+	}
+}
+
+func TestDRAMChannelSerializes(t *testing.T) {
+	m := New(DefaultConfig(2))
+	// Two reads at the same instant: the second must queue.
+	l1 := m.dramRead(0, 0)
+	l2 := m.dramRead(0, 1<<26)
+	if l2 <= l1/2 {
+		t.Errorf("concurrent DRAM reads did not serialize: %v then %v", l1, l2)
+	}
+}
+
+func TestRunPanicsOnShardMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on shard mismatch")
+		}
+	}()
+	m := New(DefaultConfig(2))
+	m.Run(badWorkload{})
+}
+
+type badWorkload struct{}
+
+func (badWorkload) Name() string                         { return "bad" }
+func (badWorkload) CodePages() int                       { return 1 }
+func (badWorkload) Shards(int, func(int) uint64) []Shard { return nil }
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero cores")
+		}
+	}()
+	New(Config{Cores: 0, Base: machine.Romley()})
+}
+
+func TestEventsAdvanceWithCores(t *testing.T) {
+	m := New(DefaultConfig(2))
+	m.SetPolicy(150)
+	m.Run(&spinWork{iters: 100000})
+	if m.BMC().Stats().Ticks == 0 {
+		t.Error("no BMC ticks during multi-core run")
+	}
+	if m.Meter().Len() == 0 {
+		t.Error("no meter samples during multi-core run")
+	}
+}
+
+func TestResultCountersSummed(t *testing.T) {
+	r := run(t, 4, &spinWork{iters: 50000}, 0)
+	// 4 shards x 50000 iters x (24+1) committed instructions, plus
+	// memops' own commits: at least 4*50000*25.
+	if r.Counters.InstructionsCommitted < 4*50000*25 {
+		t.Errorf("summed committed = %d", r.Counters.InstructionsCommitted)
+	}
+	if len(r.PerCoreBusy) != 4 {
+		t.Errorf("PerCoreBusy = %d entries", len(r.PerCoreBusy))
+	}
+	var _ simtime.Duration = r.ExecTime
+}

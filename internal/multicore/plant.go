@@ -1,0 +1,168 @@
+package multicore
+
+import (
+	"nodecap/internal/dram"
+	"nodecap/internal/power"
+	"nodecap/internal/simtime"
+)
+
+// mcPlant adapts the multi-core machine to bmc.Plant. DVFS and gating
+// are package-wide.
+type mcPlant Machine
+
+func (p *mcPlant) m() *Machine { return (*Machine)(p) }
+
+func (p *mcPlant) PowerWatts() float64 { return p.m().curPower }
+
+func (p *mcPlant) PStateIndex() int { return p.m().cores[0].core.PStateIndex() }
+func (p *mcPlant) NumPStates() int  { return len(p.m().cfg.Base.PStates) }
+
+// SetPState transitions every core (one package PLL).
+func (p *mcPlant) SetPState(i int) {
+	for _, c := range p.m().cores {
+		stall := c.core.SetPState(i)
+		if stall > 0 && !c.done {
+			c.advanceStall(stall)
+		}
+	}
+}
+
+func (p *mcPlant) GatingLevel() int    { return p.m().gatingLevel }
+func (p *mcPlant) MaxGatingLevel() int { return len(p.m().cfg.Base.Ladder) - 1 }
+
+// SetGatingLevel applies the ladder level to the shared L3/DRAM and to
+// every core's private structures.
+func (p *mcPlant) SetGatingLevel(l int) {
+	m := p.m()
+	if l < 0 {
+		l = 0
+	}
+	if max := len(m.cfg.Base.Ladder) - 1; l > max {
+		l = max
+	}
+	if l == m.gatingLevel {
+		return
+	}
+	m.gatingLevel = l
+	g := m.cfg.Base.Ladder[l]
+	h := m.cfg.Base.Hierarchy
+
+	or := func(v, full int) int {
+		if v <= 0 {
+			return full
+		}
+		return v
+	}
+	now := m.maxClock()
+	for _, addr := range m.l3.SetActiveWays(or(g.L3Ways, h.L3.Ways)) {
+		m.dramWrite(now, addr)
+	}
+	gate := g.DRAMGate
+	if gate.Period == 0 {
+		gate = dram.Ungated
+	}
+	if g.DRAMDuty > 0 {
+		gate.OnFraction = g.DRAMDuty
+	}
+	m.ram.SetGate(gate)
+
+	for _, c := range m.cores {
+		for _, addr := range c.l1d.SetActiveWays(or(g.L1Ways, h.L1D.Ways)) {
+			m.dramWrite(now, addr)
+		}
+		c.l1i.SetActiveWays(or(g.L1Ways, h.L1I.Ways))
+		for _, addr := range c.l2.SetActiveWays(or(g.L2Ways, h.L2.Ways)) {
+			m.dramWrite(now, addr)
+		}
+		c.itlb.SetActiveWays(or(g.ITLBWays, h.ITLB.Ways))
+		c.dtlb.SetActiveWays(or(g.DTLBWays, h.DTLB.Ways))
+		if !c.done {
+			c.advanceStall(5 * simtime.Microsecond)
+		}
+	}
+}
+
+// --- periodic events --------------------------------------------------
+
+func (m *Machine) scheduleMeter(at simtime.Duration) {
+	m.events.Schedule(at, func(now simtime.Duration) {
+		m.updatePower(now)
+		m.meter.Record(now, m.curPower)
+		m.scheduleMeter(now + m.cfg.Base.MeterInterval)
+	})
+}
+
+func (m *Machine) scheduleBMC(at simtime.Duration) {
+	m.events.Schedule(at, func(now simtime.Duration) {
+		m.updatePower(now)
+		m.ctrl.Tick()
+		m.scheduleBMC(now + m.cfg.Base.BMC.ControlPeriod)
+	})
+}
+
+func (m *Machine) runDueEvents(horizon simtime.Duration) {
+	if !m.hasEvent || horizon < m.nextEvent {
+		return
+	}
+	m.events.RunUntil(horizon)
+	m.refreshNextEvent()
+}
+
+func (m *Machine) refreshNextEvent() {
+	m.nextEvent, m.hasEvent = m.events.PeekTime()
+}
+
+// updatePower recomputes node power from all cores' activity since the
+// last update.
+func (m *Machine) updatePower(now simtime.Duration) {
+	dt := now - m.lastPower
+	if dt <= 0 {
+		return
+	}
+	var busy, stall simtime.Duration
+	active := 0
+	for _, c := range m.cores {
+		busy += c.accBusy
+		stall += c.accStall
+		c.accBusy, c.accStall = 0, 0
+		if m.running && !c.done {
+			active++
+		}
+	}
+	activity := 0.0
+	if busy+stall > 0 {
+		activity = float64(busy) / float64(busy+stall)
+	}
+	memUtil := float64(m.dramBytes) / (dt.Seconds() * m.cfg.Base.Hierarchy.PeakBytesPerSec * float64(m.cfg.Cores))
+	if memUtil > 1 {
+		memUtil = 1
+	}
+	m.dramBytes = 0
+	m.lastPower = now
+
+	g := m.cfg.Base.Ladder[m.gatingLevel]
+	h := m.cfg.Base.Hierarchy
+	or := func(v, full int) int {
+		if v <= 0 {
+			return full
+		}
+		return v
+	}
+	duty := m.ram.Gate().OnFraction
+	if scale := m.ram.Gate().LatencyScale; scale > 1 {
+		duty *= 0.6 + 0.4/scale
+	}
+	c0 := m.cores[0]
+	st := power.NodeState{
+		FreqMHz:     c0.core.PState().FreqMHz,
+		VoltageMV:   c0.core.PState().VoltageMV,
+		ActiveCores: active,
+		Activity:    activity,
+		MemUtil:     memUtil,
+		L3WaysGated: h.L3.Ways - or(g.L3Ways, h.L3.Ways),
+		L2WaysGated: (h.L2.Ways - or(g.L2Ways, h.L2.Ways)) * m.cfg.Cores,
+		L1WaysGated: 2 * (h.L1D.Ways - or(g.L1Ways, h.L1D.Ways)) * m.cfg.Cores,
+		DRAMDuty:    duty,
+	}
+	m.curPower = m.cfg.Base.Power.NodeWatts(st)
+}

@@ -1,0 +1,226 @@
+// Package nodeagent hosts a simulated node as a long-running service:
+// it owns the machine (which is single-threaded by design), advances
+// its virtual clock, optionally runs workloads in a loop, and exposes
+// the BMC management surface so an ipmi.Server can serve it
+// concurrently. Management commands are marshalled onto the machine's
+// goroutine and applied at safe points — between idle slices, or at
+// BMC control ticks while a workload is running, which is exactly when
+// real out-of-band policy changes take effect.
+package nodeagent
+
+import (
+	"sync"
+	"time"
+
+	"nodecap/internal/ipmi"
+	"nodecap/internal/machine"
+	"nodecap/internal/simtime"
+)
+
+// Options configures an agent.
+type Options struct {
+	// Workload, when non-nil, builds workload instances the agent runs
+	// back to back (a busy node). Nil means the node idles.
+	Workload func() machine.Workload
+	// IdleSlice is the virtual time advanced per idle iteration.
+	IdleSlice simtime.Duration
+	// Throttle is wall-clock sleep per idle slice so an idle daemon
+	// does not spin a host CPU; zero free-runs (tests).
+	Throttle time.Duration
+}
+
+// Agent hosts one machine.
+type Agent struct {
+	opts Options
+	cmds chan func(*machine.Machine)
+
+	mu       sync.Mutex
+	lastRun  *machine.RunResult
+	runCount int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds an agent around cfg. The agent installs its command-drain
+// hook into the machine configuration.
+func New(cfg machine.Config, opts Options) *Agent {
+	if opts.IdleSlice <= 0 {
+		opts.IdleSlice = simtime.Millisecond
+	}
+	a := &Agent{
+		opts: opts,
+		cmds: make(chan func(*machine.Machine), 64),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	prev := cfg.ControlHook
+	cfg.ControlHook = func(m *machine.Machine) {
+		if prev != nil {
+			prev(m)
+		}
+		a.drain(m)
+	}
+	m := machine.New(cfg)
+	go a.loop(m)
+	return a
+}
+
+// loop is the machine-owner goroutine.
+func (a *Agent) loop(m *machine.Machine) {
+	defer close(a.done)
+	for {
+		select {
+		case <-a.stop:
+			a.drain(m)
+			return
+		default:
+		}
+		a.drain(m)
+		if a.opts.Workload != nil {
+			res := m.RunWorkload(a.opts.Workload())
+			a.mu.Lock()
+			a.lastRun = &res
+			a.runCount++
+			a.mu.Unlock()
+			continue
+		}
+		m.AdvanceIdle(a.opts.IdleSlice)
+		if a.opts.Throttle > 0 {
+			time.Sleep(a.opts.Throttle)
+		}
+	}
+}
+
+// drain applies queued management commands.
+func (a *Agent) drain(m *machine.Machine) {
+	for {
+		select {
+		case f := <-a.cmds:
+			f(m)
+		default:
+			return
+		}
+	}
+}
+
+// Do runs f on the machine goroutine and waits for it.
+func (a *Agent) Do(f func(*machine.Machine)) {
+	doneCh := make(chan struct{})
+	select {
+	case a.cmds <- func(m *machine.Machine) {
+		f(m)
+		close(doneCh)
+	}:
+	case <-a.done:
+		return
+	}
+	select {
+	case <-doneCh:
+	case <-a.done:
+	}
+}
+
+// Stop halts the loop after the current run or idle slice.
+func (a *Agent) Stop() {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	<-a.done
+}
+
+// LastRun reports the most recent workload result and how many runs
+// have completed.
+func (a *Agent) LastRun() (machine.RunResult, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var r machine.RunResult
+	if a.lastRun != nil {
+		r = *a.lastRun
+	}
+	return r, a.runCount
+}
+
+// --- ipmi.NodeControl ------------------------------------------------
+
+var _ ipmi.NodeControl = (*Agent)(nil)
+
+// DeviceInfo identifies the simulated platform.
+func (a *Agent) DeviceInfo() ipmi.DeviceInfo {
+	return ipmi.DeviceInfo{
+		DeviceID:       0x20,
+		FirmwareMajor:  1,
+		FirmwareMinor:  0,
+		ManufacturerID: 343,    // Intel's IANA enterprise number
+		ProductID:      0x0B2D, // arbitrary S2R2-family stand-in
+	}
+}
+
+// PowerReading reports the node's current and recent-average power.
+func (a *Agent) PowerReading() ipmi.PowerReading {
+	var out ipmi.PowerReading
+	a.Do(func(m *machine.Machine) {
+		out.CurrentWatts = m.PowerWatts()
+		out.AverageWatts = m.Meter().WindowAverageWatts(10 * simtime.Millisecond)
+		if out.AverageWatts == 0 {
+			out.AverageWatts = out.CurrentWatts
+		}
+	})
+	return out
+}
+
+// SetPowerLimit applies a capping policy.
+func (a *Agent) SetPowerLimit(lim ipmi.PowerLimit) error {
+	a.Do(func(m *machine.Machine) {
+		if lim.Enabled {
+			m.SetPolicy(lim.CapWatts)
+		} else {
+			m.SetPolicy(0)
+		}
+	})
+	return nil
+}
+
+// PowerLimit reports the active policy.
+func (a *Agent) PowerLimit() ipmi.PowerLimit {
+	var out ipmi.PowerLimit
+	a.Do(func(m *machine.Machine) {
+		p := m.BMC().Policy()
+		out = ipmi.PowerLimit{Enabled: p.Enabled, CapWatts: p.CapWatts}
+	})
+	return out
+}
+
+// PStateInfo reports DVFS state.
+func (a *Agent) PStateInfo() ipmi.PStateInfo {
+	var out ipmi.PStateInfo
+	a.Do(func(m *machine.Machine) {
+		out = ipmi.PStateInfo{
+			Index:   uint8(m.Core().PStateIndex()),
+			Count:   uint8(len(m.Core().PStates())),
+			FreqMHz: uint16(m.Core().PState().FreqMHz),
+		}
+	})
+	return out
+}
+
+// GatingLevel reports the sub-DVFS ladder position.
+func (a *Agent) GatingLevel() int {
+	var out int
+	a.Do(func(m *machine.Machine) { out = m.GatingLevel() })
+	return out
+}
+
+// Capabilities reports the trackable cap range.
+func (a *Agent) Capabilities() ipmi.Capabilities {
+	var out ipmi.Capabilities
+	a.Do(func(m *machine.Machine) {
+		out = ipmi.Capabilities{
+			MinCapWatts: m.CapFloorWatts(),
+			MaxCapWatts: 250,
+		}
+	})
+	return out
+}

@@ -1,0 +1,241 @@
+// Package report renders the study's tables and figures from sweep
+// results: Table I (baselines), Table II (the full cap sweep with
+// percent differences), Figures 1 and 2 (normalized metric series),
+// and Figures 3 and 4 (stride-probe curves). Each artefact has a
+// plain-text renderer for terminals and a CSV renderer for plotting.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nodecap/internal/core"
+	"nodecap/internal/sensors"
+	"nodecap/internal/simtime"
+	"nodecap/internal/stats"
+	"nodecap/internal/workloads/stride"
+)
+
+// fmtTime renders an execution time: the paper's h:m:s for runs of a
+// second or more, milliseconds for the simulator's scaled runs.
+func fmtTime(d simtime.Duration) string {
+	if d >= simtime.Second {
+		return d.HMS()
+	}
+	return fmt.Sprintf("%.1fms", d.Nanos()/1e6)
+}
+
+// TableI renders the baseline table: average node power and execution
+// time per workload, uncapped.
+func TableI(results []core.SweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: baseline power consumption and execution time\n")
+	fmt.Fprintf(&b, "%-18s %22s %16s\n", "Code", "Avg Node Power (W)", "Execution Time")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-18s %22.0f %16s\n",
+			r.Workload, r.Baseline.PowerWatts, fmtTime(r.Baseline.Time))
+	}
+	return b.String()
+}
+
+// TableII renders the full sweep for one workload in the paper's
+// two-block layout: power/energy/frequency/time, then the counter
+// columns, each with rounded percent differences against the baseline.
+func TableII(res core.SweepResult, rowPrefix string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II (%s): performance data averaged over trials\n", res.Workload)
+	fmt.Fprintf(&b, "%-5s %-9s %10s %6s %14s %6s %9s %6s %10s %6s\n",
+		"Expt", "Cap(W)", "Power(W)", "%Diff", "Energy(J)", "%Diff", "Freq(MHz)", "%Diff", "Time", "%Diff")
+	for i, r := range res.All() {
+		d := res.DiffVsBaseline(r)
+		label := fmt.Sprintf("%s%d", rowPrefix, i)
+		cap := "baseline"
+		if r.CapWatts > 0 {
+			cap = fmt.Sprintf("%.0f", r.CapWatts)
+		}
+		fmt.Fprintf(&b, "%-5s %-9s %10.1f %6d %14.1f %6d %9.0f %6d %10s %6d\n",
+			label, cap,
+			r.PowerWatts, stats.RoundPercent(d.Power),
+			r.EnergyJoules, stats.RoundPercent(d.Energy),
+			r.FreqMHz, stats.RoundPercent(d.Freq),
+			fmtTime(r.Time), stats.RoundPercent(d.Time))
+	}
+	fmt.Fprintf(&b, "\n%-5s %16s %6s %16s %6s %14s %6s %14s %6s %12s %6s\n",
+		"Expt", "L1 Misses", "%Diff", "L2 Misses", "%Diff", "L3 Misses", "%Diff",
+		"TLB Data", "%Diff", "TLB Instr", "%Diff")
+	for i, r := range res.All() {
+		d := res.DiffVsBaseline(r)
+		label := fmt.Sprintf("%s%d", rowPrefix, i)
+		c := r.Counters
+		fmt.Fprintf(&b, "%-5s %16s %6d %16s %6d %14s %6d %14s %6d %12s %6d\n",
+			label,
+			stats.FormatCount(c.L1Misses), stats.RoundPercent(d.L1),
+			stats.FormatCount(c.L2Misses), stats.RoundPercent(d.L2),
+			stats.FormatCount(c.L3Misses), stats.RoundPercent(d.L3),
+			stats.FormatCount(c.DTLBMisses), stats.RoundPercent(d.DTLB),
+			stats.FormatCount(c.ITLBMisses), stats.RoundPercent(d.ITLB))
+	}
+	return b.String()
+}
+
+// FigureSeries is one named, normalized series across the cap sweep.
+type FigureSeries struct {
+	Name   string
+	Values []float64
+}
+
+// Figure12Series builds the normalized series of Figure 1 (SIRE/RSM)
+// or Figure 2 (Stereo Matching, which adds the L2/L3 miss-rate
+// curves).
+func Figure12Series(res core.SweepResult, includeCacheMissRates bool) []FigureSeries {
+	var out []FigureSeries
+	add := func(name string, metric func(core.CapResult) float64) {
+		out = append(out, FigureSeries{Name: name, Values: stats.Normalize(res.Series(metric))})
+	}
+	if includeCacheMissRates {
+		add("L2 Miss Rate", func(r core.CapResult) float64 {
+			if r.Counters.Loads+r.Counters.Stores == 0 {
+				return 0
+			}
+			return r.Counters.L2Misses / (r.Counters.Loads + r.Counters.Stores)
+		})
+		add("L3 Miss Rate", func(r core.CapResult) float64 {
+			if r.Counters.Loads+r.Counters.Stores == 0 {
+				return 0
+			}
+			return r.Counters.L3Misses / (r.Counters.Loads + r.Counters.Stores)
+		})
+	}
+	add("TLB Instruction Misses", func(r core.CapResult) float64 { return r.Counters.ITLBMisses })
+	add("Frequency", func(r core.CapResult) float64 { return r.FreqMHz })
+	add("Time", func(r core.CapResult) float64 { return r.TimeSeconds })
+	add("Power Consumption", func(r core.CapResult) float64 { return r.PowerWatts })
+	add("Energy Consumption", func(r core.CapResult) float64 { return r.EnergyJoules })
+	return out
+}
+
+// Figure12 renders a normalized-series figure as a text table: one row
+// per series, one column per cap, values in [0,1].
+func Figure12(res core.SweepResult, title string, includeCacheMissRates bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (normalized to each series' maximum)\n", title)
+	fmt.Fprintf(&b, "%-24s", "Series \\ Cap (W)")
+	for _, r := range res.All() {
+		fmt.Fprintf(&b, " %8s", r.Label)
+	}
+	b.WriteByte('\n')
+	for _, s := range Figure12Series(res, includeCacheMissRates) {
+		fmt.Fprintf(&b, "%-24s", s.Name)
+		for _, v := range s.Values {
+			fmt.Fprintf(&b, " %8.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure12CSV renders the same data as CSV (series per column).
+func Figure12CSV(res core.SweepResult, includeCacheMissRates bool) string {
+	series := Figure12Series(res, includeCacheMissRates)
+	var b strings.Builder
+	b.WriteString("cap")
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s", strings.ReplaceAll(s.Name, " ", "_"))
+	}
+	b.WriteByte('\n')
+	for i, r := range res.All() {
+		fmt.Fprintf(&b, "%s", r.Label)
+		for _, s := range series {
+			fmt.Fprintf(&b, ",%.6f", s.Values[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// StrideFigure renders a stride-probe result in the layout of
+// Figures 3 and 4: rows are strides, columns are array sizes, cells
+// are average access times in ns.
+func StrideFigure(points []stride.Point, title string) string {
+	series := stride.SeriesByArray(points)
+	sizes := sortedKeys(series)
+	strideSet := map[int]bool{}
+	for _, pt := range points {
+		strideSet[pt.StrideBytes] = true
+	}
+	var strides []int
+	for s := range strideSet {
+		strides = append(strides, s)
+	}
+	sort.Ints(strides)
+
+	lookup := make(map[[2]int]float64, len(points))
+	for _, pt := range points {
+		lookup[[2]int{pt.ArrayBytes, pt.StrideBytes}] = pt.AvgAccessNanos
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\naccess time (ns); rows = stride, columns = array size\n", title)
+	fmt.Fprintf(&b, "%-8s", "stride")
+	for _, sz := range sizes {
+		fmt.Fprintf(&b, " %9s", byteLabel(sz))
+	}
+	b.WriteByte('\n')
+	for _, st := range strides {
+		fmt.Fprintf(&b, "%-8s", byteLabel(st))
+		for _, sz := range sizes {
+			if v, ok := lookup[[2]int{sz, st}]; ok {
+				fmt.Fprintf(&b, " %9.1f", v)
+			} else {
+				fmt.Fprintf(&b, " %9s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// StrideCSV renders probe points as CSV rows.
+func StrideCSV(points []stride.Point) string {
+	var b strings.Builder
+	b.WriteString("array_bytes,stride_bytes,avg_access_ns\n")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%d,%d,%.3f\n", pt.ArrayBytes, pt.StrideBytes, pt.AvgAccessNanos)
+	}
+	return b.String()
+}
+
+// byteLabel renders sizes the way the paper labels its axes (8B, 4K,
+// 2M, ...).
+func byteLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func sortedKeys(m map[int][]stride.Point) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PowerTraceCSV renders a meter trace as CSV (seconds, watts) — the
+// raw material of a Watts Up! log, useful for plotting the
+// controller's convergence and dithering.
+func PowerTraceCSV(samples []sensors.Sample) string {
+	var b strings.Builder
+	b.WriteString("time_s,watts\n")
+	for _, s := range samples {
+		fmt.Fprintf(&b, "%.6f,%.2f\n", s.At.Seconds(), s.Watts)
+	}
+	return b.String()
+}

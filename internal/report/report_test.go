@@ -1,0 +1,189 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"nodecap/internal/core"
+	"nodecap/internal/sensors"
+	"nodecap/internal/simtime"
+	"nodecap/internal/workloads/stride"
+)
+
+// fakeSweep builds a deterministic SweepResult without running a
+// machine.
+func fakeSweep() core.SweepResult {
+	mk := func(label string, cap, pw, en, fq, ts float64, l2, itlb float64) core.CapResult {
+		return core.CapResult{
+			Label: label, CapWatts: cap,
+			PowerWatts: pw, EnergyJoules: en, FreqMHz: fq,
+			TimeSeconds: ts, Time: simtime.FromSeconds(ts),
+			Counters: core.CounterMeans{
+				L1Misses: 1_000_000, L2Misses: l2, L3Misses: 50_000,
+				DTLBMisses: 9_000, ITLBMisses: itlb,
+				Loads: 2_000_000, Stores: 500_000,
+			},
+		}
+	}
+	return core.SweepResult{
+		Workload: "Stereo Matching",
+		Baseline: mk("baseline", 0, 153.1, 13626, 2701, 89, 69_000, 61_000),
+		Capped: []core.CapResult{
+			mk("160", 160, 153.3, 13435, 2701, 92, 67_000, 49_000),
+			mk("120", 120, 124.9, 395921, 1200, 3168, 237_000, 4_001_000),
+		},
+	}
+}
+
+func TestTableI(t *testing.T) {
+	out := TableI([]core.SweepResult{fakeSweep()})
+	if !strings.Contains(out, "Stereo Matching") {
+		t.Error("workload name missing")
+	}
+	if !strings.Contains(out, "153") {
+		t.Error("baseline power missing")
+	}
+	if !strings.Contains(out, "0:01:29") {
+		t.Error("baseline time missing")
+	}
+}
+
+func TestTableIIStructure(t *testing.T) {
+	out := TableII(fakeSweep(), "A")
+	for _, want := range []string{"A0", "A1", "A2", "baseline", "0:52:48", "237,000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q\n%s", want, out)
+		}
+	}
+	// A2 row: time diff (3168-89)/89 = +3460%.
+	if !strings.Contains(out, "3460") {
+		t.Errorf("Table II missing +3460%% time diff\n%s", out)
+	}
+	// Frequency diff at 120 W: (1200-2701)/2701 = -56%.
+	if !strings.Contains(out, "-56") {
+		t.Errorf("Table II missing -56%% frequency diff\n%s", out)
+	}
+}
+
+func TestFigure12SeriesNormalized(t *testing.T) {
+	series := Figure12Series(fakeSweep(), true)
+	names := map[string]bool{}
+	for _, s := range series {
+		names[s.Name] = true
+		if len(s.Values) != 3 {
+			t.Errorf("series %s has %d values", s.Name, len(s.Values))
+		}
+		var peak float64
+		for _, v := range s.Values {
+			if v > peak {
+				peak = v
+			}
+			if v < 0 || v > 1 {
+				t.Errorf("series %s value %v outside [0,1]", s.Name, v)
+			}
+		}
+		if peak < 0.999 {
+			t.Errorf("series %s peak %v, want 1", s.Name, peak)
+		}
+	}
+	for _, want := range []string{"L2 Miss Rate", "L3 Miss Rate", "TLB Instruction Misses",
+		"Frequency", "Time", "Power Consumption", "Energy Consumption"} {
+		if !names[want] {
+			t.Errorf("missing series %q", want)
+		}
+	}
+	// Figure 1 (SIRE) omits the cache-miss-rate curves.
+	fig1 := Figure12Series(fakeSweep(), false)
+	if len(fig1) != len(series)-2 {
+		t.Errorf("figure-1 series count = %d, want %d", len(fig1), len(series)-2)
+	}
+}
+
+func TestFigure12Render(t *testing.T) {
+	out := Figure12(fakeSweep(), "Figure 2", true)
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "baseline") {
+		t.Error("figure header wrong")
+	}
+	if !strings.Contains(out, "Energy Consumption") {
+		t.Error("series rows missing")
+	}
+}
+
+func TestFigure12CSV(t *testing.T) {
+	out := Figure12CSV(fakeSweep(), false)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "cap,TLB_Instruction_Misses") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func strideFixture() []stride.Point {
+	return []stride.Point{
+		{ArrayBytes: 4096, StrideBytes: 8, AvgAccessNanos: 1.5},
+		{ArrayBytes: 4096, StrideBytes: 2048, AvgAccessNanos: 1.6},
+		{ArrayBytes: 1 << 20, StrideBytes: 8, AvgAccessNanos: 2.4},
+		{ArrayBytes: 1 << 20, StrideBytes: 2048, AvgAccessNanos: 9.1},
+	}
+}
+
+func TestStrideFigure(t *testing.T) {
+	out := StrideFigure(strideFixture(), "Figure 3")
+	for _, want := range []string{"Figure 3", "4K", "1M", "8B", "2K", "9.1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stride figure missing %q\n%s", want, out)
+		}
+	}
+	// The (4K, 2048) exists but (missing combos render "-"): none here.
+	if strings.Count(out, "-") != 0 {
+		// 4K has stride 2048 and 1M has both: no gaps expected.
+		t.Errorf("unexpected gaps\n%s", out)
+	}
+}
+
+func TestStrideCSV(t *testing.T) {
+	out := StrideCSV(strideFixture())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if lines[0] != "array_bytes,stride_bytes,avg_access_ns" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "4096,8,1.500" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestByteLabel(t *testing.T) {
+	cases := map[int]string{
+		8:        "8B",
+		1024:     "1K",
+		4096:     "4K",
+		1 << 20:  "1M",
+		64 << 20: "64M",
+		48:       "48B",
+	}
+	for n, want := range cases {
+		if got := byteLabel(n); got != want {
+			t.Errorf("byteLabel(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestPowerTraceCSV(t *testing.T) {
+	samples := []sensors.Sample{
+		{At: 0, Watts: 101},
+		{At: simtime.Second / 2, Watts: 153.37},
+	}
+	out := PowerTraceCSV(samples)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 || lines[0] != "time_s,watts" {
+		t.Fatalf("trace = %q", out)
+	}
+	if lines[2] != "0.500000,153.37" {
+		t.Errorf("row = %q", lines[2])
+	}
+}

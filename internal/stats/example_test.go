@@ -1,0 +1,31 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"nodecap/internal/stats"
+)
+
+// The percent-difference presentation of Table II: each capped datum
+// against the baseline, rounded to the nearest integer.
+func ExamplePercentDiff() {
+	baseline := 89.0 // seconds, Stereo Matching uncapped
+	at120W := 3168.0 // 0:52:48 under the 120 W cap
+	fmt.Printf("%+d%%\n", stats.RoundPercent(stats.PercentDiff(at120W, baseline)))
+	// Output: +3460%
+}
+
+// Figures 1 and 2 normalize each metric series to its own maximum.
+func ExampleNormalize() {
+	freqs := []float64{2701, 2168, 1200}
+	for _, v := range stats.Normalize(freqs) {
+		fmt.Printf("%.3f ", v)
+	}
+	fmt.Println()
+	// Output: 1.000 0.803 0.444
+}
+
+func ExampleFormatCount() {
+	fmt.Println(stats.FormatCount(1664150370))
+	// Output: 1,664,150,370
+}

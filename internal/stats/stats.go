@@ -1,0 +1,90 @@
+// Package stats provides the small numerical toolkit the study's
+// tables are built from: multi-trial averaging, the percent-difference
+// columns of Table II, and the normalization used by Figures 1 and 2.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (0 for fewer than
+// two values).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// PercentDiff reports (val-base)/base in percent. It returns 0 when
+// the base is 0, matching how the paper treats empty baselines.
+func PercentDiff(val, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (val - base) / base * 100
+}
+
+// RoundPercent rounds a percent difference to the nearest integer, the
+// presentation used throughout Table II.
+func RoundPercent(p float64) int {
+	return int(math.Round(p))
+}
+
+// Normalize scales xs by its maximum absolute value so the largest
+// magnitude becomes 1, the scheme behind Figures 1 and 2. A zero
+// series is returned unchanged.
+func Normalize(xs []float64) []float64 {
+	var peak float64
+	for _, x := range xs {
+		if a := math.Abs(x); a > peak {
+			peak = a
+		}
+	}
+	out := make([]float64, len(xs))
+	if peak == 0 {
+		copy(out, xs)
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / peak
+	}
+	return out
+}
+
+// FormatCount renders a large counter value with comma separators, as
+// Table II prints raw event counts.
+func FormatCount(v float64) string {
+	n := int64(math.Round(v))
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	s := fmt.Sprintf("%d", n)
+	for i := len(s) - 3; i > 0; i -= 3 {
+		s = s[:i] + "," + s[i:]
+	}
+	if neg {
+		s = "-" + s
+	}
+	return s
+}

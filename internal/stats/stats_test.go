@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Error("Stddev of one value != 0")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Errorf("Stddev = %v", got)
+	}
+}
+
+func TestPercentDiff(t *testing.T) {
+	if got := PercentDiff(110, 100); got != 10 {
+		t.Errorf("PercentDiff = %v", got)
+	}
+	if got := PercentDiff(90, 100); got != -10 {
+		t.Errorf("PercentDiff = %v", got)
+	}
+	if got := PercentDiff(5, 0); got != 0 {
+		t.Errorf("PercentDiff with zero base = %v", got)
+	}
+	// The paper's A9 row (0:52:48 vs 0:01:29 baseline): +3,460% on
+	// whole seconds; the printed +3,467% uses unrounded sub-second
+	// baselines.
+	if got := RoundPercent(PercentDiff(3168, 89)); got != 3460 {
+		t.Errorf("A9-style percent = %d", got)
+	}
+}
+
+func TestRoundPercent(t *testing.T) {
+	if RoundPercent(2.5) != 3 || RoundPercent(-2.5) != -3 || RoundPercent(0.4) != 0 {
+		t.Error("rounding wrong")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 1})
+	want := []float64{0.5, 1, 0.25}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Normalize[%d] = %v", i, got[i])
+		}
+	}
+	z := Normalize([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Error("zero series changed")
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+		}
+		out := Normalize(xs)
+		for _, v := range out {
+			if math.Abs(v) > 1+1e-12 {
+				return false
+			}
+		}
+		return len(out) == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{1664150370, "1,664,150,370"}, // Table II row A0
+		{-12345, "-12,345"},
+	}
+	for _, c := range cases {
+		if got := FormatCount(c.v); got != c.want {
+			t.Errorf("FormatCount(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package tlb models translation lookaside buffers with LRU
+// replacement and entry gating.
+//
+// The paper's low-cap counter data shows instruction-TLB misses
+// exploding by up to 8,481% while data-TLB misses stay nearly flat,
+// which the authors attribute to power-management techniques that
+// reconfigure architectural structures. Entry gating — powering down a
+// fraction of the TLB's entries — is the mechanism modelled here.
+package tlb
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes a TLB's geometry.
+type Config struct {
+	Name      string
+	Entries   int // total entries; Entries/Ways sets, power of two
+	Ways      int
+	PageBytes int // power of two; 4 KiB on the modelled platform
+	// MissPenaltyCycles is the page-walk cost charged per miss, in
+	// core cycles (the hardware walker competes with the core for the
+	// cache ports, so it scales with frequency like cache latency).
+	MissPenaltyCycles int
+}
+
+// Sets reports the number of sets.
+func (c Config) Sets() int { return c.Entries / c.Ways }
+
+// Validate reports an error for unrealizable geometry.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || c.Ways <= 0 || c.PageBytes <= 0 {
+		return fmt.Errorf("tlb %s: non-positive geometry %+v", c.Name, c)
+	}
+	if c.Entries%c.Ways != 0 {
+		return fmt.Errorf("tlb %s: entries %d not divisible by ways %d", c.Name, c.Entries, c.Ways)
+	}
+	if bits.OnesCount(uint(c.Sets())) != 1 {
+		return fmt.Errorf("tlb %s: set count %d not a power of two", c.Name, c.Sets())
+	}
+	if bits.OnesCount(uint(c.PageBytes)) != 1 {
+		return fmt.Errorf("tlb %s: page size %d not a power of two", c.Name, c.PageBytes)
+	}
+	return nil
+}
+
+// Stats counts TLB activity.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	GateDrop uint64 // entries dropped by gating
+}
+
+// MissRate reports misses per access, 0 when untouched.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type entry struct {
+	vpn     uint64
+	valid   bool
+	lastUse uint64
+}
+
+// TLB is a set-associative translation buffer. Translations are
+// identity-mapped (the simulator has no real page tables); only the
+// hit/miss behaviour and its cost matter to the study.
+type TLB struct {
+	cfg        Config
+	sets       [][]entry
+	setMask    uint64
+	pageShift  uint
+	activeWays int
+	useClock   uint64
+	stats      Stats
+}
+
+// New builds a TLB, panicking on invalid static geometry.
+func New(cfg Config) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Sets()
+	t := &TLB{
+		cfg:        cfg,
+		sets:       make([][]entry, nsets),
+		setMask:    uint64(nsets - 1),
+		pageShift:  uint(bits.TrailingZeros(uint(cfg.PageBytes))),
+		activeWays: cfg.Ways,
+	}
+	backing := make([]entry, nsets*cfg.Ways)
+	for i := range t.sets {
+		t.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return t
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Stats returns a snapshot of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters, leaving translations resident.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// ActiveWays reports the number of powered ways.
+func (t *TLB) ActiveWays() int { return t.activeWays }
+
+// Lookup translates the page containing addr, reporting whether it hit.
+// Misses install the translation (hardware-walked, identity-mapped).
+func (t *TLB) Lookup(addr uint64) bool {
+	t.stats.Accesses++
+	t.useClock++
+	vpn := addr >> t.pageShift
+	setIdx := vpn & t.setMask
+	tag := vpn >> uint(bits.Len64(t.setMask))
+	set := t.sets[setIdx][:t.activeWays]
+
+	for i := range set {
+		if set[i].valid && set[i].vpn == tag {
+			t.stats.Hits++
+			set[i].lastUse = t.useClock
+			return true
+		}
+	}
+	t.stats.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	set[victim] = entry{vpn: tag, valid: true, lastUse: t.useClock}
+	return false
+}
+
+// SetActiveWays gates the TLB to n powered ways, clamped to
+// [1, cfg.Ways]. Entries in disabled ways are dropped (translations
+// are clean; nothing to write back).
+func (t *TLB) SetActiveWays(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > t.cfg.Ways {
+		n = t.cfg.Ways
+	}
+	if n < t.activeWays {
+		for setIdx := range t.sets {
+			for w := n; w < t.activeWays; w++ {
+				if t.sets[setIdx][w].valid {
+					t.stats.GateDrop++
+					t.sets[setIdx][w].valid = false
+				}
+			}
+		}
+	}
+	t.activeWays = n
+}
+
+// Flush invalidates all entries (e.g., on a context switch).
+func (t *TLB) Flush() {
+	for setIdx := range t.sets {
+		for w := range t.sets[setIdx] {
+			t.sets[setIdx][w].valid = false
+		}
+	}
+}
+
+// Reach reports the bytes of address space covered by a fully
+// populated TLB at the current gating level.
+func (t *TLB) Reach() int64 {
+	return int64(t.cfg.Sets()) * int64(t.activeWays) * int64(t.cfg.PageBytes)
+}

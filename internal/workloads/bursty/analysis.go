@@ -1,0 +1,76 @@
+package bursty
+
+import (
+	"nodecap/internal/machine"
+	"nodecap/internal/sensors"
+)
+
+// PowerProfile summarizes a run's meter trace for the Discussion's
+// battery-vs-generator analysis.
+type PowerProfile struct {
+	PeakWatts    float64
+	MeanWatts    float64
+	MinWatts     float64
+	EnergyJoules float64
+	// OverBudgetFraction is the fraction of samples above the supply
+	// budget passed to Analyze (0 when no budget given).
+	OverBudgetFraction float64
+}
+
+// Analyze derives a profile from a meter trace. budgetWatts is the
+// power supply's rating (generator size or battery regulator limit);
+// pass 0 to skip the over-budget accounting.
+func Analyze(meter *sensors.Meter, budgetWatts float64) PowerProfile {
+	samples := meter.Samples()
+	if len(samples) == 0 {
+		return PowerProfile{}
+	}
+	p := PowerProfile{PeakWatts: samples[0].Watts, MinWatts: samples[0].Watts}
+	over := 0
+	for _, s := range samples {
+		if s.Watts > p.PeakWatts {
+			p.PeakWatts = s.Watts
+		}
+		if s.Watts < p.MinWatts {
+			p.MinWatts = s.Watts
+		}
+		if budgetWatts > 0 && s.Watts > budgetWatts {
+			over++
+		}
+	}
+	p.MeanWatts = meter.AverageWatts()
+	p.EnergyJoules = meter.EnergyJoules()
+	if budgetWatts > 0 {
+		p.OverBudgetFraction = float64(over) / float64(len(samples))
+	}
+	return p
+}
+
+// CapStudy is one row of the unpredictable-workload experiment.
+type CapStudy struct {
+	CapWatts float64 // 0 = uncapped
+	Profile  PowerProfile
+	Result   machine.RunResult
+}
+
+// RunStudy executes the workload uncapped and under each cap,
+// analyzing every run against budgetWatts. It answers the Discussion's
+// question concretely: an uncapped unpredictable workload violates a
+// tight supply budget during bursts, while a cap at the budget holds
+// the peak at the cost of time.
+func RunStudy(cfg Config, caps []float64, budgetWatts float64) []CapStudy {
+	out := make([]CapStudy, 0, len(caps)+1)
+	for _, cap := range append([]float64{0}, caps...) {
+		mcfg := machine.Romley()
+		mcfg.Seed = cfg.Seed
+		m := machine.New(mcfg)
+		m.SetPolicy(cap)
+		res := m.RunWorkload(New(cfg))
+		out = append(out, CapStudy{
+			CapWatts: cap,
+			Profile:  Analyze(m.Meter(), budgetWatts),
+			Result:   res,
+		})
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+// Package bursty implements the third item of the paper's future work:
+// "experiment using unpredictable workloads".
+//
+// The workload cycles through pseudo-random phases — compute bursts,
+// memory bursts, and idle gaps — so its power draw varies widely and
+// unpredictably, the profile the paper's Discussion says power capping
+// is actually for: "power capping is best used when the workload is
+// unpredictable in terms of its power consumption". The package also
+// provides the analysis helpers for the battery-vs-generator question
+// the Discussion raises: peak draw (what a generator must be sized
+// for), energy (what drains a battery), and how a cap trades between
+// them.
+package bursty
+
+import (
+	"nodecap/internal/machine"
+	"nodecap/internal/simtime"
+)
+
+// PhaseKind labels one burst type.
+type PhaseKind int
+
+// Phase kinds.
+const (
+	PhaseCompute PhaseKind = iota
+	PhaseMemory
+	PhaseIdle
+)
+
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseCompute:
+		return "compute"
+	case PhaseMemory:
+		return "memory"
+	default:
+		return "idle"
+	}
+}
+
+// Config sizes the workload.
+type Config struct {
+	// Phases is the number of bursts executed.
+	Phases int
+	// MeanPhaseOps scales burst lengths (operations per burst).
+	MeanPhaseOps int
+	// MemFootprintBytes is the memory bursts' streaming buffer; the
+	// default exceeds the L3 so memory bursts draw DRAM power.
+	MemFootprintBytes int
+	// IdleSlice is the simulated duration of one idle phase.
+	IdleSlice simtime.Duration
+	// Seed drives the phase schedule.
+	Seed uint64
+}
+
+// DefaultConfig returns a several-millisecond unpredictable workload.
+func DefaultConfig() Config {
+	return Config{
+		Phases:            60,
+		MeanPhaseOps:      70000,
+		MemFootprintBytes: 24 << 20,
+		IdleSlice:         400 * simtime.Microsecond,
+		Seed:              1,
+	}
+}
+
+// Workload is a runnable bursty instance.
+type Workload struct {
+	cfg  Config
+	rng  uint64
+	base uint64
+
+	// Trace records the executed phase schedule for analysis.
+	Trace []PhaseKind
+}
+
+// New builds the workload.
+func New(cfg Config) *Workload {
+	if cfg.Phases <= 0 {
+		cfg.Phases = 1
+	}
+	if cfg.MeanPhaseOps <= 0 {
+		cfg.MeanPhaseOps = 1000
+	}
+	return &Workload{cfg: cfg, rng: cfg.Seed*0x9E3779B97F4A7C15 + 1}
+}
+
+// Name implements machine.Workload.
+func (w *Workload) Name() string { return "bursty" }
+
+// CodePages implements machine.Workload: phase dispatch plus three
+// kernels.
+func (w *Workload) CodePages() int { return 24 }
+
+func (w *Workload) rand() uint64 {
+	w.rng ^= w.rng >> 12
+	w.rng ^= w.rng << 25
+	w.rng ^= w.rng >> 27
+	return w.rng * 2685821657736338717
+}
+
+// Run implements machine.Workload.
+func (w *Workload) Run(m *machine.Machine) {
+	w.base = m.Alloc(w.cfg.MemFootprintBytes)
+	w.Trace = w.Trace[:0]
+	memPos := 0
+	elems := w.cfg.MemFootprintBytes / 8
+
+	for p := 0; p < w.cfg.Phases; p++ {
+		r := w.rand()
+		kind := PhaseKind(r % 3)
+		w.Trace = append(w.Trace, kind)
+		// Burst length varies 0.25x-1.75x around the mean.
+		ops := w.cfg.MeanPhaseOps/4 + int(r>>32)%(w.cfg.MeanPhaseOps*3/2)
+
+		switch kind {
+		case PhaseCompute:
+			for i := 0; i < ops; i++ {
+				m.Compute(34, 28)
+				if i%8 == 0 {
+					m.Load(w.base + uint64(i%512)*64)
+				}
+			}
+		case PhaseMemory:
+			for i := 0; i < ops; i++ {
+				m.Load(w.base + uint64(memPos)*8)
+				m.Compute(5, 4)
+				memPos++
+				if memPos >= elems {
+					memPos = 0
+				}
+			}
+		case PhaseIdle:
+			m.AdvanceIdle(w.cfg.IdleSlice)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package bursty
+
+import (
+	"testing"
+
+	"nodecap/internal/machine"
+)
+
+func runBursty(t *testing.T, cfg Config, capWatts float64) (*Workload, machine.RunResult, *machine.Machine) {
+	t.Helper()
+	mcfg := machine.Romley()
+	mcfg.Seed = cfg.Seed
+	m := machine.New(mcfg)
+	m.SetPolicy(capWatts)
+	w := New(cfg)
+	res := m.RunWorkload(w)
+	return w, res, m
+}
+
+func TestPhaseMixCoversAllKinds(t *testing.T) {
+	w, _, _ := runBursty(t, DefaultConfig(), 0)
+	seen := map[PhaseKind]int{}
+	for _, k := range w.Trace {
+		seen[k]++
+	}
+	for _, k := range []PhaseKind{PhaseCompute, PhaseMemory, PhaseIdle} {
+		if seen[k] == 0 {
+			t.Errorf("no %v phases in %d-phase schedule", k, len(w.Trace))
+		}
+	}
+}
+
+func TestUnpredictablePowerSwings(t *testing.T) {
+	// Uncapped: the meter must see both near-idle valleys and busy
+	// peaks — the wide, unpredictable draw the paper's Discussion
+	// targets.
+	_, _, m := runBursty(t, DefaultConfig(), 0)
+	p := Analyze(m.Meter(), 0)
+	if p.PeakWatts < 145 {
+		t.Errorf("peak = %.1f W, want busy-level", p.PeakWatts)
+	}
+	if p.MinWatts > 115 {
+		t.Errorf("min = %.1f W, want near-idle valleys", p.MinWatts)
+	}
+	if p.PeakWatts-p.MinWatts < 35 {
+		t.Errorf("swing = %.1f W, want wide", p.PeakWatts-p.MinWatts)
+	}
+}
+
+func TestCapHoldsPeakUnderBudget(t *testing.T) {
+	const budget = 135
+	uncapped, _, mu := runBursty(t, DefaultConfig(), 0)
+	_ = uncapped
+	pu := Analyze(mu.Meter(), budget)
+	if pu.OverBudgetFraction < 0.10 {
+		t.Fatalf("uncapped workload only exceeds a %d W budget %.0f%% of the time; scenario too easy",
+			budget, pu.OverBudgetFraction*100)
+	}
+
+	_, _, mc := runBursty(t, DefaultConfig(), budget)
+	pc := Analyze(mc.Meter(), budget)
+	// The controller needs a convergence transient and dithers near
+	// the cap, so allow a small residual.
+	if pc.OverBudgetFraction > pu.OverBudgetFraction/3 {
+		t.Errorf("capped over-budget fraction %.2f not well below uncapped %.2f",
+			pc.OverBudgetFraction, pu.OverBudgetFraction)
+	}
+	if pc.PeakWatts > pu.PeakWatts {
+		t.Errorf("capped peak %.1f W above uncapped %.1f W", pc.PeakWatts, pu.PeakWatts)
+	}
+}
+
+func TestCapCostsTime(t *testing.T) {
+	_, base, _ := runBursty(t, DefaultConfig(), 0)
+	_, capped, _ := runBursty(t, DefaultConfig(), 135)
+	if capped.ExecTime <= base.ExecTime {
+		t.Errorf("cap did not slow the bursty run: %v vs %v", capped.ExecTime, base.ExecTime)
+	}
+	if capped.Counters.InstructionsCommitted != base.Counters.InstructionsCommitted {
+		t.Error("committed instructions differ across caps")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	a, _, _ := runBursty(t, DefaultConfig(), 0)
+	b, _, _ := runBursty(t, DefaultConfig(), 0)
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatal("schedule lengths differ")
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("schedule differs at %d", i)
+		}
+	}
+}
+
+func TestRunStudyShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Phases = 60
+	rows := RunStudy(cfg, []float64{140, 130}, 135)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].CapWatts != 0 || rows[1].CapWatts != 140 || rows[2].CapWatts != 130 {
+		t.Errorf("row order wrong: %+v", rows)
+	}
+	// Deeper caps: lower peaks, more time.
+	if rows[2].Profile.PeakWatts > rows[0].Profile.PeakWatts {
+		t.Errorf("130 W peak %.1f above uncapped %.1f",
+			rows[2].Profile.PeakWatts, rows[0].Profile.PeakWatts)
+	}
+	if rows[2].Result.ExecTime <= rows[0].Result.ExecTime {
+		t.Error("deep cap not slower")
+	}
+}
+
+func TestAnalyzeEmptyMeter(t *testing.T) {
+	m := machine.New(machine.Romley())
+	m.Meter().Reset()
+	p := Analyze(m.Meter(), 100)
+	if p != (PowerProfile{}) {
+		t.Errorf("empty profile = %+v", p)
+	}
+}
+
+func TestPhaseKindStrings(t *testing.T) {
+	if PhaseCompute.String() != "compute" || PhaseMemory.String() != "memory" || PhaseIdle.String() != "idle" {
+		t.Error("phase names wrong")
+	}
+}

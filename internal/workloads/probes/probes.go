@@ -1,0 +1,318 @@
+// Package probes implements the second item of the paper's future
+// work: "determine, using microbenchmarks, what techniques other than
+// DVFS are being used to manage power consumption".
+//
+// Each probe is a short targeted kernel that infers one architectural
+// parameter from timing alone, the way the paper's stride benchmark
+// inferred hierarchy geometry:
+//
+//   - FrequencyProbe times a fixed cycle count → effective clock.
+//   - CapacityProbe walks growing line footprints → a cache level's
+//     effective capacity, and with the known set count its effective
+//     way count (detects way gating).
+//   - TLBReachProbe touches p distinct pages for growing p → the
+//     effective data-TLB capacity (detects entry gating).
+//   - MemoryGatingProbe samples isolated DRAM accesses → the latency
+//     distribution's median and tail (detects interface down-clocking
+//     and duty cycling).
+//
+// Detect runs them all and assembles a GatingReport — the diagnosis
+// methodology the paper's authors wanted for their own platform.
+package probes
+
+import (
+	"sort"
+
+	"nodecap/internal/machine"
+)
+
+// FrequencyEstimate is the FrequencyProbe result.
+type FrequencyEstimate struct {
+	MHz float64
+}
+
+// FrequencyProbe times known cycle counts against the virtual clock.
+// It reports the fastest of several segments: firmware interrupts and
+// fetch stalls only ever add time, so the least-disturbed segment is
+// the best clock estimate (the standard min-filter of timing
+// microbenchmarks, essential under deep gating where stalls are large
+// and bursty).
+func FrequencyProbe(m *machine.Machine) FrequencyEstimate {
+	const segCycles = 200_000
+	best := 0.0
+	for seg := 0; seg < 12; seg++ {
+		start := m.Now()
+		for i := 0; i < 10; i++ {
+			m.Compute(segCycles/10, segCycles/10)
+		}
+		elapsed := m.Now() - start
+		if elapsed <= 0 {
+			continue
+		}
+		if mhz := float64(segCycles) / elapsed.Seconds() / 1e6; mhz > best {
+			best = mhz
+		}
+	}
+	return FrequencyEstimate{MHz: best}
+}
+
+// Level selects the cache a capacity probe targets.
+type Level int
+
+// Probe targets.
+const (
+	L1 Level = iota
+	L2
+	L3
+)
+
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	default:
+		return "L3"
+	}
+}
+
+// CapacityEstimate is the CapacityProbe result.
+type CapacityEstimate struct {
+	Level Level
+	// Bytes is the largest probed footprint that still runs at the
+	// level's hit speed: the effective capacity.
+	Bytes int
+	// Ways converts capacity to effective associativity using the
+	// level's set count (way gating shrinks capacity one way at a
+	// time).
+	Ways int
+	// HitNanos is the plateau access time observed while fitting.
+	HitNanos float64
+}
+
+// CapacityProbe measures a level's effective capacity by walking
+// line-granularity footprints of w x (one way's worth) bytes for
+// w = 1..ways+2 and classifying each against an L1 reference time
+// (4 KiB walk): a cyclic LRU walk runs entirely at one level's speed,
+// so the time-to-reference ratio names the level serving the walk, and
+// the effective capacity is the largest footprint still served at or
+// above the target level's speed. Ratios of cache levels are
+// frequency-invariant (all cycle-based), so the probe works unchanged
+// under DVFS. Contiguous footprints keep TLB pressure amortized and
+// spread lines across all sets, so — unlike a same-set probe — the
+// measurement survives inner-level and TLB interference.
+func CapacityProbe(m *machine.Machine, level Level) CapacityEstimate {
+	h := m.Hierarchy().Config()
+	var wayBytes, ways int
+	var maxRatio float64
+	switch level {
+	case L1:
+		wayBytes, ways = h.L1D.SizeBytes/h.L1D.Ways, h.L1D.Ways
+		maxRatio = 1.7 // above this the walk is L2-served
+	case L2:
+		wayBytes, ways = h.L2.SizeBytes/h.L2.Ways, h.L2.Ways
+		maxRatio = 4.5 // above this the walk is L3-served
+	default:
+		wayBytes, ways = h.L3.SizeBytes/h.L3.Ways, h.L3.Ways
+		maxRatio = 14 // above this the walk is DRAM-served
+	}
+	base := m.Alloc(wayBytes*(ways+3) + 4096)
+	timeFootprint(m, base, 4096) // discard: absorbs machine cold-start
+	ref := minFootprintTime(m, base, 4096, 3)
+
+	est := CapacityEstimate{Level: level, HitNanos: ref}
+	for w := 1; w <= ways+2; w++ {
+		avg := minFootprintTime(m, base, w*wayBytes, 2)
+		if avg > ref*maxRatio {
+			return est
+		}
+		est.Bytes = w * wayBytes
+		est.Ways = w
+		est.HitNanos = avg
+	}
+	return est
+}
+
+// minFootprintTime min-filters timeFootprint over reps repetitions,
+// discarding bursty firmware and fetch-stall noise.
+func minFootprintTime(m *machine.Machine, base uint64, bytes, reps int) float64 {
+	best := timeFootprint(m, base, bytes)
+	for i := 1; i < reps; i++ {
+		if v := timeFootprint(m, base, bytes); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// timeFootprint walks bytes of contiguous lines repeatedly and reports
+// the steady-state average access time.
+func timeFootprint(m *machine.Machine, base uint64, bytes int) float64 {
+	lines := bytes / 64
+	// Full warm pass.
+	for i := 0; i < lines; i++ {
+		m.Load(base + uint64(i)*64)
+	}
+	rounds := 3
+	if lines < 4096 {
+		rounds = 16384 / lines
+	}
+	start := m.Now()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < lines; i++ {
+			m.Load(base + uint64(i)*64)
+		}
+	}
+	elapsed := m.Now() - start
+	return elapsed.Nanos() / float64(rounds*lines)
+}
+
+// TLBEstimate is the TLBReachProbe result.
+type TLBEstimate struct {
+	// Entries is the largest page count that cycles without
+	// translation misses: the effective (possibly gated) capacity.
+	Entries int
+}
+
+// TLBReachProbe measures effective DTLB capacity: touch p pages for
+// growing p until the per-access time jumps by a page-walk. The line
+// within each page varies so the accesses spread over L1 sets and the
+// cliff is attributable to translation alone.
+func TLBReachProbe(m *machine.Machine) TLBEstimate {
+	h := m.Hierarchy().Config()
+	maxPages := h.DTLB.Entries * 2
+	base := m.Alloc(4096 * (maxPages + 1))
+
+	est := TLBEstimate{}
+	var plateau float64
+	timePageCycle(m, base, 4) // discard: absorbs cold-start
+	for p := 4; p <= maxPages; p *= 2 {
+		avg := minPageCycleTime(m, base, p, 2)
+		if plateau == 0 {
+			plateau = avg
+			est.Entries = p
+			continue
+		}
+		if avg > plateau*1.8 {
+			return est
+		}
+		est.Entries = p
+	}
+	return est
+}
+
+// minPageCycleTime min-filters timePageCycle over reps repetitions.
+func minPageCycleTime(m *machine.Machine, base uint64, pages, reps int) float64 {
+	best := timePageCycle(m, base, pages)
+	for i := 1; i < reps; i++ {
+		if v := timePageCycle(m, base, pages); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func timePageCycle(m *machine.Machine, base uint64, pages int) float64 {
+	addr := func(i int) uint64 {
+		return base + uint64(i)*4096 + uint64(i%64)*64
+	}
+	for r := 0; r < 2; r++ {
+		for i := 0; i < pages; i++ {
+			m.Load(addr(i))
+		}
+	}
+	// Constant total touches so cold-start fetch effects amortize
+	// equally at every page count.
+	rounds := 8192 / pages
+	if rounds < 4 {
+		rounds = 4
+	}
+	start := m.Now()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < pages; i++ {
+			m.Load(addr(i))
+		}
+	}
+	elapsed := m.Now() - start
+	return elapsed.Nanos() / float64(rounds*pages)
+}
+
+// MemoryEstimate is the MemoryGatingProbe result.
+type MemoryEstimate struct {
+	MedianNanos float64
+	P95Nanos    float64
+	// DutyCycled reports whether the tail indicates controller
+	// off-windows (p95 far above the median).
+	DutyCycled bool
+	// Downclocked reports whether even the median is well above the
+	// nominal DRAM latency.
+	Downclocked bool
+}
+
+// nominalDRAMNanos is the uncapped row-miss latency the probe compares
+// against (a real probe calibrates this uncapped first).
+const nominalDRAMNanos = 65
+
+// MemoryGatingProbe samples isolated cold DRAM accesses spread over
+// time and characterizes the latency distribution.
+func MemoryGatingProbe(m *machine.Machine) MemoryEstimate {
+	const samples = 160
+	base := m.Alloc(samples * 1 << 20)
+	lat := make([]float64, 0, samples)
+	for i := 0; i < samples; i++ {
+		// Space the accesses out so they land at varied controller
+		// phases.
+		m.Compute(3000, 2400)
+		start := m.Now()
+		m.Load(base + uint64(i)<<20)
+		lat = append(lat, (m.Now() - start).Nanos())
+	}
+	sort.Float64s(lat)
+	med := lat[len(lat)/2]
+	p95 := lat[len(lat)*95/100]
+	return MemoryEstimate{
+		MedianNanos: med,
+		P95Nanos:    p95,
+		DutyCycled:  p95 > 10*med && p95 > 1000,
+		Downclocked: med > nominalDRAMNanos*1.4,
+	}
+}
+
+// GatingReport is the combined detection result.
+type GatingReport struct {
+	Frequency  FrequencyEstimate
+	L1, L2, L3 CapacityEstimate
+	DTLB       TLBEstimate
+	Memory     MemoryEstimate
+}
+
+// DVFSOnly reports whether the platform state is explainable by
+// frequency scaling alone: full capacities, full TLB reach, and
+// nominal memory behaviour.
+func (r GatingReport) DVFSOnly(m *machine.Machine) bool {
+	h := m.Hierarchy().Config()
+	return r.L1.Ways >= h.L1D.Ways &&
+		r.L2.Ways >= h.L2.Ways &&
+		r.L3.Ways >= h.L3.Ways-1 && // one-way probe resolution at 20 ways
+		r.DTLB.Entries >= h.DTLB.Entries/2 && // power-of-two resolution
+		!r.Memory.DutyCycled && !r.Memory.Downclocked
+}
+
+// Detect runs every probe against m. The probes themselves are the
+// node's load while detection runs (marked via SetBusy), which is what
+// makes in-situ diagnosis under an enforced cap possible: the
+// controller reacts to the probes exactly as it reacts to an
+// application.
+func Detect(m *machine.Machine) GatingReport {
+	m.SetBusy(true)
+	defer m.SetBusy(false)
+	var r GatingReport
+	r.Frequency = FrequencyProbe(m)
+	r.L1 = CapacityProbe(m, L1)
+	r.L2 = CapacityProbe(m, L2)
+	r.L3 = CapacityProbe(m, L3)
+	r.DTLB = TLBReachProbe(m)
+	r.Memory = MemoryGatingProbe(m)
+	return r
+}

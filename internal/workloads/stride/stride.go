@@ -1,0 +1,252 @@
+// Package stride implements the memory-stride microbenchmark from
+// Hennessy & Patterson that the paper uses to probe the memory
+// hierarchy (its Figures 3 and 4): a nested loop that reads and writes
+// arrays of increasing size at increasing strides, from which cache
+// sizes, block sizes, associativities, and per-level access times can
+// be inferred.
+//
+// Run under no cap the probe recovers the platform's geometry (32 KB
+// L1, 256 KB L2, 20 MB L3, 64 B lines, ~1.5/3.5/8.6/60 ns access
+// times). Run under a 120 W cap it reproduces the paper's Figure 4:
+// every level's apparent access time inflates, and values become
+// erratic and non-monotonic because the BMC is dynamically dithering
+// P-states and gating levels while the loop runs.
+package stride
+
+import (
+	"fmt"
+
+	"nodecap/internal/machine"
+	"nodecap/internal/simtime"
+)
+
+// Config sizes the probe.
+type Config struct {
+	// MinArrayBytes and MaxArrayBytes bound the array-size sweep
+	// (powers of two, inclusive). The paper sweeps 4 KB to 64 MB.
+	MinArrayBytes, MaxArrayBytes int
+	// MinStrideBytes is the smallest stride (the paper uses 8 B);
+	// strides sweep by powers of two up to half the array size.
+	MinStrideBytes int
+	// TouchesPerPoint is the number of measured read-modify-write
+	// touches per (array, stride) point.
+	TouchesPerPoint int
+	// WarmCapTouches bounds the cache-warming pass per point. The
+	// warm pass touches the array at line granularity, so the default
+	// of 512 Ki touches covers 32 MiB — enough to fully warm anything
+	// that fits the L3 and to flush it for anything that does not.
+	WarmCapTouches int
+}
+
+// DefaultConfig matches the paper's sweep.
+func DefaultConfig() Config {
+	return Config{
+		MinArrayBytes:   4 << 10,
+		MaxArrayBytes:   64 << 20,
+		MinStrideBytes:  8,
+		TouchesPerPoint: 4096,
+		WarmCapTouches:  512 << 10,
+	}
+}
+
+// CappedConfig is the sweep used for the 120 W run (Figure 4): deep
+// memory gating stretches every miss by tens of microseconds, so the
+// probe trims per-point work to keep total simulated time sane while
+// preserving the per-level shape.
+func CappedConfig() Config {
+	return Config{
+		MinArrayBytes:   4 << 10,
+		MaxArrayBytes:   64 << 20,
+		MinStrideBytes:  8,
+		TouchesPerPoint: 512,
+		WarmCapTouches:  128 << 10,
+	}
+}
+
+// SmallConfig is a reduced sweep for unit tests.
+func SmallConfig() Config {
+	return Config{
+		MinArrayBytes:   4 << 10,
+		MaxArrayBytes:   1 << 20,
+		MinStrideBytes:  8,
+		TouchesPerPoint: 1024,
+		WarmCapTouches:  64 << 10,
+	}
+}
+
+// Point is one measured (array size, stride) cell.
+type Point struct {
+	ArrayBytes     int
+	StrideBytes    int
+	AvgAccessNanos float64
+}
+
+// Probe is the runnable microbenchmark. It implements
+// machine.Workload; after RunWorkload the measurements are available
+// from Points.
+type Probe struct {
+	cfg    Config
+	points []Point
+}
+
+// New builds a probe.
+func New(cfg Config) *Probe {
+	if cfg.TouchesPerPoint <= 0 {
+		cfg.TouchesPerPoint = 4096
+	}
+	return &Probe{cfg: cfg}
+}
+
+// Name implements machine.Workload.
+func (p *Probe) Name() string { return "stride-probe" }
+
+// CodePages implements machine.Workload: the probe is a tiny kernel.
+func (p *Probe) CodePages() int { return 4 }
+
+// Points returns the measurements, valid after Run.
+func (p *Probe) Points() []Point { return p.points }
+
+// Run implements machine.Workload.
+func (p *Probe) Run(m *machine.Machine) {
+	c := p.cfg
+	p.points = p.points[:0]
+	base := m.Alloc(c.MaxArrayBytes)
+
+	// Let the capping controller converge against load before
+	// measuring, as a human operator waits for steady state: spin on a
+	// warm region.
+	settleEnd := m.Now() + 4*simtime.Millisecond
+	for i := 0; m.Now() < settleEnd; i++ {
+		m.Load(base + uint64(i%512)*64)
+		m.Compute(20, 16)
+	}
+
+	for size := c.MinArrayBytes; size <= c.MaxArrayBytes; size *= 2 {
+		for stride := c.MinStrideBytes; stride <= size/2; stride *= 2 {
+			p.points = append(p.points, p.measure(m, base, size, stride))
+		}
+	}
+}
+
+// measure times read-modify-write touches of the size-byte array at
+// the given stride.
+//
+// First a warm pass walks the whole array at line granularity (bounded
+// by WarmCapTouches), putting the array into the same cache state a
+// long-running loop would see: arrays that fit a level become resident
+// there; larger arrays flush it. The measured pass then touches at the
+// true stride, cycling over the array (or, when one cycle exceeds the
+// touch budget, over a prefix — whose residency the warm pass has
+// already made representative of steady state).
+func (p *Probe) measure(m *machine.Machine, base uint64, size, stride int) Point {
+	lineStride := stride
+	if lineStride < 64 {
+		lineStride = 64
+	}
+	warm := size / lineStride
+	if warm > p.cfg.WarmCapTouches {
+		warm = p.cfg.WarmCapTouches
+	}
+	for i := 0; i < warm; i++ {
+		m.Load(base + uint64(i*lineStride))
+		m.Compute(2, 2)
+	}
+
+	n := size / stride // touches per full cycle
+	touches := p.cfg.TouchesPerPoint
+	idx := 0
+	start := m.Now()
+	for i := 0; i < touches; i++ {
+		addr := base + uint64(idx*stride)
+		m.Load(addr)
+		m.Store(addr)
+		m.Compute(2, 2) // index update and branch
+		idx++
+		if idx >= n {
+			idx = 0
+		}
+	}
+	elapsed := m.Now() - start
+	// Each touch is two accesses (read + write), as H&P count them.
+	avg := elapsed.Nanos() / float64(2*touches)
+	return Point{ArrayBytes: size, StrideBytes: stride, AvgAccessNanos: avg}
+}
+
+// SeriesByArray groups points into per-array-size series ordered by
+// stride — the curves of Figures 3 and 4.
+func SeriesByArray(points []Point) map[int][]Point {
+	out := make(map[int][]Point)
+	for _, pt := range points {
+		out[pt.ArrayBytes] = append(out[pt.ArrayBytes], pt)
+	}
+	return out
+}
+
+// InferredGeometry extracts the hierarchy parameters the paper reads
+// off Figure 3: capacity boundaries where the minimum-stride curve
+// jumps, and the plateau access times per level.
+type InferredGeometry struct {
+	L1Bytes, L2Bytes, L3Bytes int
+	L1Nanos, L2Nanos, L3Nanos float64
+	MemNanos                  float64
+}
+
+// Infer analyzes a no-cap probe result. It uses each array size's
+// smallest-stride average (sequential streaming amortizes line fills)
+// for capacity boundaries, classifying each size by its fastest-level
+// plateau.
+func Infer(points []Point) (InferredGeometry, error) {
+	series := SeriesByArray(points)
+	if len(series) == 0 {
+		return InferredGeometry{}, fmt.Errorf("stride: no points")
+	}
+	// For capacity detection use exactly one touch per line (stride
+	// 64): it defeats spatial amortization while touching every line
+	// of the array, so the distinct-line footprint equals the array
+	// size. Larger strides shrink the footprint (and can drop whole
+	// arrays back into the L1), hiding the capacity cliffs.
+	level := func(size int) (float64, bool) {
+		for _, pt := range series[size] {
+			if pt.StrideBytes == 64 {
+				return pt.AvgAccessNanos, true
+			}
+		}
+		return 0, false
+	}
+	var g InferredGeometry
+	prev := -1.0
+	var sizes []int
+	for s := range series {
+		sizes = append(sizes, s)
+	}
+	sortInts(sizes)
+	var plateaus []float64
+	var bounds []int
+	for _, s := range sizes {
+		v, ok := level(s)
+		if !ok {
+			continue
+		}
+		if prev > 0 && v > prev*1.4 {
+			bounds = append(bounds, s/2) // previous size was the last to fit
+			plateaus = append(plateaus, prev)
+		}
+		prev = v
+	}
+	plateaus = append(plateaus, prev)
+	if len(bounds) < 3 {
+		return g, fmt.Errorf("stride: found %d capacity boundaries, want 3", len(bounds))
+	}
+	g.L1Bytes, g.L2Bytes, g.L3Bytes = bounds[0], bounds[1], bounds[2]
+	g.L1Nanos, g.L2Nanos, g.L3Nanos = plateaus[0], plateaus[1], plateaus[2]
+	g.MemNanos = plateaus[len(plateaus)-1]
+	return g, nil
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

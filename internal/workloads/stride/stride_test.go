@@ -1,0 +1,166 @@
+package stride
+
+import (
+	"testing"
+
+	"nodecap/internal/machine"
+)
+
+func runProbe(t *testing.T, cfg Config, capWatts float64) []Point {
+	t.Helper()
+	p := New(cfg)
+	m := machine.New(machine.Romley())
+	m.SetPolicy(capWatts)
+	m.RunWorkload(p)
+	return p.Points()
+}
+
+func find(points []Point, size, stride int) (Point, bool) {
+	for _, pt := range points {
+		if pt.ArrayBytes == size && pt.StrideBytes == stride {
+			return pt, true
+		}
+	}
+	return Point{}, false
+}
+
+func TestSweepCoversConfiguredGrid(t *testing.T) {
+	pts := runProbe(t, SmallConfig(), 0)
+	// Sizes 4K..1M (9), strides 8..size/2.
+	want := 0
+	for size := 4 << 10; size <= 1<<20; size *= 2 {
+		for stride := 8; stride <= size/2; stride *= 2 {
+			want++
+		}
+	}
+	if len(pts) != want {
+		t.Errorf("points = %d, want %d", len(pts), want)
+	}
+	if _, ok := find(pts, 4<<10, 8); !ok {
+		t.Error("missing smallest point")
+	}
+	if _, ok := find(pts, 1<<20, 512<<10); !ok {
+		t.Error("missing largest point")
+	}
+}
+
+// TestL1PlateauAndCapacityCliff: a 16 KiB array is L1-resident at
+// line stride (~1.5-1.9 ns); a 64 KiB array at line stride has twice
+// the L1's line footprint and must run at L2 speed.
+func TestL1PlateauAndCapacityCliff(t *testing.T) {
+	pts := runProbe(t, SmallConfig(), 0)
+	small, _ := find(pts, 16<<10, 64)
+	if small.AvgAccessNanos < 1.2 || small.AvgAccessNanos > 2.4 {
+		t.Errorf("L1-resident access = %.2f ns, want ~1.5-1.9", small.AvgAccessNanos)
+	}
+	big, _ := find(pts, 64<<10, 64)
+	if big.AvgAccessNanos < 2.6 || big.AvgAccessNanos > 4.6 {
+		t.Errorf("L2-level access = %.2f ns, want ~3-4", big.AvgAccessNanos)
+	}
+	if big.AvgAccessNanos < small.AvgAccessNanos*1.4 {
+		t.Errorf("no capacity cliff: %.2f vs %.2f", big.AvgAccessNanos, small.AvgAccessNanos)
+	}
+}
+
+// TestSpatialLocalityAtSmallStride: at stride 8 only one touch in
+// eight misses the line, so a >L1 array still averages well below the
+// full L2 latency — the block-size signature of Figure 3.
+func TestSpatialLocalityAtSmallStride(t *testing.T) {
+	pts := runProbe(t, SmallConfig(), 0)
+	seq, _ := find(pts, 256<<10, 8)
+	jump, _ := find(pts, 256<<10, 256)
+	if seq.AvgAccessNanos >= jump.AvgAccessNanos {
+		t.Errorf("sequential (%.2f ns) not cheaper than line-stride (%.2f ns)",
+			seq.AvgAccessNanos, jump.AvgAccessNanos)
+	}
+}
+
+// TestInferRecoversGeometry runs the full sweep and checks the
+// inferences the paper draws from Figure 3.
+func TestInferRecoversGeometry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	pts := runProbe(t, DefaultConfig(), 0)
+	g, err := Infer(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.L1Bytes != 32<<10 {
+		t.Errorf("inferred L1 = %d, want 32 KiB", g.L1Bytes)
+	}
+	if g.L2Bytes != 256<<10 {
+		t.Errorf("inferred L2 = %d, want 256 KiB", g.L2Bytes)
+	}
+	// The paper: "L3 cache size is between 16MB and 32MB (actual 20MB)".
+	if g.L3Bytes != 16<<20 {
+		t.Errorf("inferred L3 = %d, want 16 MiB (last power of two that fits)", g.L3Bytes)
+	}
+	if g.L1Nanos < 1.2 || g.L1Nanos > 2.4 {
+		t.Errorf("L1 time = %.2f ns, want ~1.5-1.9", g.L1Nanos)
+	}
+	if g.L2Nanos < 2.6 || g.L2Nanos > 4.6 {
+		t.Errorf("L2 time = %.2f ns, want ~3-4", g.L2Nanos)
+	}
+	if g.L3Nanos < 4.5 || g.L3Nanos > 11 {
+		t.Errorf("L3 time = %.2f ns, want ~5-9", g.L3Nanos)
+	}
+	if g.MemNanos < 25 || g.MemNanos > 110 {
+		t.Errorf("memory time = %.2f ns, want ~35-90", g.MemNanos)
+	}
+}
+
+// TestCappedProbeInflatesAndPerturbs reproduces Figure 4's qualitative
+// findings at a 120 W cap: every level's access time rises, and the
+// per-stride pattern becomes erratic.
+func TestCappedProbeInflatesAndPerturbs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capped sweep in -short mode")
+	}
+	cfg := SmallConfig()
+	cfg.MaxArrayBytes = 8 << 20 // exceed the 4 MiB way-gated L3
+	cfg.TouchesPerPoint = 512
+	base := runProbe(t, cfg, 0)
+	capped := runProbe(t, cfg, 120)
+
+	// L1-resident work slows at least by the frequency ratio (2.25x).
+	b, _ := find(base, 16<<10, 64)
+	c, _ := find(capped, 16<<10, 64)
+	if c.AvgAccessNanos < 2*b.AvgAccessNanos {
+		t.Errorf("L1-level access under cap = %.2f ns vs %.2f base; want >= 2x", c.AvgAccessNanos, b.AvgAccessNanos)
+	}
+	// An 8 MiB array fits the full L3 (8.6 ns level) but not the
+	// way-gated one: under the cap its misses go to the duty-cycled
+	// DRAM and inflate by orders of magnitude.
+	bm, _ := find(base, 8<<20, 64)
+	cm, _ := find(capped, 8<<20, 64)
+	if cm.AvgAccessNanos < 20*bm.AvgAccessNanos {
+		t.Errorf("deep-level access under cap = %.2f ns vs %.2f base; want >= 20x", cm.AvgAccessNanos, bm.AvgAccessNanos)
+	}
+}
+
+func TestSeriesByArrayGroups(t *testing.T) {
+	pts := []Point{
+		{ArrayBytes: 4096, StrideBytes: 8},
+		{ArrayBytes: 4096, StrideBytes: 16},
+		{ArrayBytes: 8192, StrideBytes: 8},
+	}
+	s := SeriesByArray(pts)
+	if len(s) != 2 || len(s[4096]) != 2 || len(s[8192]) != 1 {
+		t.Errorf("grouping wrong: %v", s)
+	}
+}
+
+func TestInferRejectsEmpty(t *testing.T) {
+	if _, err := Infer(nil); err == nil {
+		t.Error("Infer(nil) succeeded")
+	}
+}
+
+func TestProbeWorkloadInterface(t *testing.T) {
+	p := New(SmallConfig())
+	if p.Name() != "stride-probe" || p.CodePages() <= 0 {
+		t.Error("workload surface wrong")
+	}
+	var _ machine.Workload = p
+}

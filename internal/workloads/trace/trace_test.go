@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nodecap/internal/machine"
+	"nodecap/internal/workloads/stereo"
+)
+
+func stereoSmall() machine.Workload {
+	cfg := stereo.SmallConfig()
+	return stereo.New(cfg)
+}
+
+func TestRecordReplayFidelity(t *testing.T) {
+	// Recording a workload and replaying the trace on a fresh machine
+	// must reproduce the original run exactly: same committed
+	// instructions, same cache misses, same virtual time.
+	var buf bytes.Buffer
+	orig, err := Record(machine.Romley(), stereoSmall(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "Stereo Matching" || tr.CodePages != 40 {
+		t.Errorf("header = %q, %d", tr.Name, tr.CodePages)
+	}
+
+	m := machine.New(machine.Romley())
+	replay := m.RunWorkload(NewPlayer(tr))
+
+	if replay.ExecTime != orig.ExecTime {
+		t.Errorf("replay time %v != original %v", replay.ExecTime, orig.ExecTime)
+	}
+	if replay.Counters.InstructionsCommitted != orig.Counters.InstructionsCommitted {
+		t.Errorf("replay committed %d != original %d",
+			replay.Counters.InstructionsCommitted, orig.Counters.InstructionsCommitted)
+	}
+	if replay.Counters.L2Misses != orig.Counters.L2Misses {
+		t.Errorf("replay L2 misses %d != original %d",
+			replay.Counters.L2Misses, orig.Counters.L2Misses)
+	}
+	if replay.Counters.ITLBMisses != orig.Counters.ITLBMisses {
+		t.Errorf("replay iTLB misses %d != original %d",
+			replay.Counters.ITLBMisses, orig.Counters.ITLBMisses)
+	}
+}
+
+func TestReplayUnderCapThrottles(t *testing.T) {
+	var buf bytes.Buffer
+	base, err := Record(machine.Romley(), stereoSmall(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Romley())
+	m.SetPolicy(130)
+	capped := m.RunWorkload(NewPlayer(tr))
+	if capped.ExecTime <= base.ExecTime {
+		t.Errorf("capped replay (%v) not slower than baseline (%v)", capped.ExecTime, base.ExecTime)
+	}
+	if capped.AvgFreqMHz > 1500 {
+		t.Errorf("capped replay frequency = %.0f", capped.AvgFreqMHz)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	in := &Trace{
+		Name:      "hand-built",
+		CodePages: 7,
+		Ops: []machine.TraceOp{
+			{Kind: machine.TraceCompute, Cycles: 12, Instrs: 10},
+			{Kind: machine.TraceLoad, Addr: 0xdeadbeef},
+			{Kind: machine.TraceStore, Addr: 0x40001000},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.CodePages != in.CodePages || len(out.Ops) != len(in.Ops) {
+		t.Fatalf("round trip = %+v", out)
+	}
+	for i := range in.Ops {
+		if in.Ops[i] != out.Ops[i] {
+			t.Errorf("op %d: %+v vs %+v", i, in.Ops[i], out.Ops[i])
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"not a trace\n",
+		"# nodecap-trace v1\nz 123\n",
+		"# nodecap-trace v1\nc nope 5\n",
+		"# nodecap-trace v1\nc -4 5\n",
+		"# nodecap-trace v1\nl zz\n",
+		"# nodecap-trace v1\nc 5\n",
+		"# nodecap-trace v1\n# codepages: -3\n",
+	}
+	for i, s := range bad {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("malformed trace %d accepted", i)
+		}
+	}
+}
+
+func TestReadTolerantOfCommentsAndBlanks(t *testing.T) {
+	src := "# nodecap-trace v1\n\n# a remark\nc 5 4\n\nl ff\n"
+	tr, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 2 {
+		t.Errorf("ops = %d", len(tr.Ops))
+	}
+}
+
+func TestPlayerSurface(t *testing.T) {
+	tr := &Trace{Name: "x", CodePages: 3, Ops: []machine.TraceOp{{Kind: machine.TraceCompute, Cycles: 1, Instrs: 1}}}
+	p := NewPlayer(tr)
+	if p.Name() != "x" || p.CodePages() != 3 || p.Ops() != 1 {
+		t.Error("player surface wrong")
+	}
+	var _ machine.Workload = p
+}
