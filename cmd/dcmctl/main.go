@@ -29,10 +29,16 @@ import (
 	"nodecap/internal/ipmi"
 )
 
+// callTimeout bounds each control-plane round trip; the -timeout flag
+// overrides it.
+var callTimeout = dcm.DefaultCallTimeout
+
 func main() {
 	server := flag.String("server", "", "dcmd control-plane address")
 	bmcAddr := flag.String("bmc", "", "direct BMC address (bypasses dcmd)")
+	timeout := flag.Duration("timeout", dcm.DefaultCallTimeout, "control-plane call timeout (0 = none)")
 	flag.Parse()
+	callTimeout = *timeout
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -66,7 +72,7 @@ func usage() {
 // viaServer drives the dcmd control plane.
 func viaServer(addr string, args []string) error {
 	call := func(req dcm.Request) (dcm.Response, error) {
-		resp, err := dcm.Call(addr, req)
+		resp, err := dcm.CallTimeout(addr, req, callTimeout)
 		if err != nil {
 			return resp, err
 		}
@@ -119,7 +125,13 @@ func viaServer(addr string, args []string) error {
 		if err != nil {
 			return fmt.Errorf("bad budget %q", args[1])
 		}
-		resp, err := call(dcm.Request{Op: "budget", Budget: watts, Group: strings.Split(args[2], ",")})
+		var group []string
+		for _, name := range strings.Split(args[2], ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				group = append(group, name)
+			}
+		}
+		resp, err := call(dcm.Request{Op: "budget", Budget: watts, Group: group})
 		if err != nil {
 			return err
 		}
@@ -151,16 +163,24 @@ func viaServer(addr string, args []string) error {
 }
 
 func printNodes(nodes []dcm.NodeStatus) {
-	fmt.Printf("%-12s %-22s %-9s %-10s %9s %9s %6s %5s\n",
-		"NAME", "ADDR", "REACHABLE", "CAP", "POWER(W)", "FREQ(MHz)", "PSTATE", "GATE")
+	fmt.Printf("%-12s %-22s %-9s %-10s %9s %9s %6s %5s %5s %6s %s\n",
+		"NAME", "ADDR", "REACHABLE", "CAP", "POWER(W)", "FREQ(MHz)", "PSTATE", "GATE",
+		"FAILS", "RECONN", "LAST-ERR")
 	for _, n := range nodes {
 		cap := "off"
 		if n.CapEnabled {
 			cap = fmt.Sprintf("%.0f W", n.CapWatts)
 		}
-		fmt.Printf("%-12s %-22s %-9v %-10s %9.1f %9d P%-5d %5d\n",
+		lastErr := n.LastError
+		if lastErr == "" {
+			lastErr = "-"
+		} else if len(lastErr) > 40 {
+			lastErr = lastErr[:37] + "..."
+		}
+		fmt.Printf("%-12s %-22s %-9v %-10s %9.1f %9d P%-5d %5d %5d %6d %s\n",
 			n.Name, n.Addr, n.Reachable, cap,
-			n.Last.PowerWatts, n.Last.FreqMHz, n.Last.PState, n.Last.GatingLevel)
+			n.Last.PowerWatts, n.Last.FreqMHz, n.Last.PState, n.Last.GatingLevel,
+			n.ConsecFailures, n.Reconnects, lastErr)
 	}
 }
 

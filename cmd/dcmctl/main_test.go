@@ -59,6 +59,8 @@ func TestViaServerErrors(t *testing.T) {
 		{"setcap", "ghost", "140"},
 		{"setcap", "n0", "watts"},
 		{"budget", "x", "n0"},
+		{"budget", "300", ""}, // empty group must be rejected, not OK
+		{"budget", "300", ", ,"},
 		{"history", "ghost"},
 	}
 	for _, args := range bad {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"nodecap/internal/dcm"
+	"nodecap/internal/ipmi"
 )
 
 func main() {
@@ -26,9 +27,19 @@ func main() {
 	budget := flag.Float64("budget", 0, "group power budget in watts (0 = no auto-balancing)")
 	group := flag.String("group", "", "comma-separated node names the budget covers")
 	rebalance := flag.Duration("rebalance", 5*time.Second, "auto-balance interval")
+	connectTO := flag.Duration("connect-timeout", ipmi.DefaultConnectTimeout, "BMC TCP connect timeout")
+	requestTO := flag.Duration("request-timeout", ipmi.DefaultRequestTimeout, "per-exchange BMC request timeout")
+	retryBase := flag.Duration("retry-base", dcm.DefaultRetryBaseDelay, "initial redial backoff for a failed node")
+	retryMax := flag.Duration("retry-max", dcm.DefaultRetryMaxDelay, "backoff ceiling for a failed node")
+	pollWorkers := flag.Int("poll-workers", dcm.DefaultPollConcurrency, "max nodes sampled in parallel per sweep")
 	flag.Parse()
 
-	mgr := dcm.NewManager(nil)
+	mgr := dcm.NewManager(func(addr string) (dcm.BMC, error) {
+		return ipmi.DialTimeout(addr, *connectTO, *requestTO)
+	})
+	mgr.RetryBaseDelay = *retryBase
+	mgr.RetryMaxDelay = *retryMax
+	mgr.PollConcurrency = *pollWorkers
 	defer mgr.Close()
 	mgr.StartPolling(*poll)
 	if *budget > 0 && *group != "" {

@@ -9,10 +9,20 @@
 // the deployment model (Section II-A) the product was actually sold
 // for; the fielded-platform use of the paper is the single-node
 // special case.
+//
+// Fault model: BMCs are remote devices on their own NICs and fail
+// independently — they hang, reset, partition, and come back. The
+// manager therefore bounds every exchange with the client's request
+// timeout, polls nodes through a bounded worker pool so one stuck node
+// cannot stall the sweep, drops a failed node's connection and redials
+// it on a capped exponential backoff with jitter, and serializes all
+// per-node I/O through an ownership token so a poll, a cap push, and a
+// concurrent RemoveNode can never interleave frames or race a Close.
 package dcm
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -36,10 +46,18 @@ type BMC interface {
 // Dialer opens a BMC connection; injectable for tests.
 type Dialer func(addr string) (BMC, error)
 
-// DefaultDialer dials a real IPMI/TCP endpoint.
+// DefaultDialer dials a real IPMI/TCP endpoint with the package
+// default connect and request timeouts.
 func DefaultDialer(addr string) (BMC, error) {
 	return ipmi.Dial(addr)
 }
+
+// Manager tuning defaults.
+const (
+	DefaultPollConcurrency = 16
+	DefaultRetryBaseDelay  = 500 * time.Millisecond
+	DefaultRetryMaxDelay   = 30 * time.Second
+)
 
 // Sample is one monitoring observation.
 type Sample struct {
@@ -61,14 +79,47 @@ type NodeStatus struct {
 	Last        Sample
 	MinCapWatts float64
 	MaxCapWatts float64
+
+	// Health telemetry maintained by the fault-tolerant control loop.
+	ConsecFailures int       // consecutive failed exchanges; 0 when healthy
+	Reconnects     int       // successful redials since registration
+	LastError      string    // most recent failure, empty when healthy
+	LastOKAt       time.Time // last successful exchange
+	NextRetryAt    time.Time // backoff gate for the next redial attempt
 }
 
+// managedNode is one fleet entry. Locking discipline: status, history,
+// removed, nextRetry and the bmc *pointer* are guarded by Manager.mu;
+// *using* the bmc (any I/O, Close, or swapping the pointer) requires
+// holding the node's ownership token (busy). RemoveNode marks the node
+// removed under mu, then takes the token before closing, so an owner
+// that rechecks removed after acquiring can never use a closed
+// connection.
 type managedNode struct {
 	name, addr string
-	bmc        BMC
+	busy       chan struct{} // capacity 1: per-node I/O ownership token
+	bmc        BMC           // nil while disconnected
+	removed    bool
 	status     NodeStatus
 	history    []Sample
+	nextRetry  time.Time
 }
+
+// acquire takes the node's ownership token, blocking behind any
+// in-flight operation.
+func (n *managedNode) acquire() { n.busy <- struct{}{} }
+
+// tryAcquire takes the token only if it is free.
+func (n *managedNode) tryAcquire() bool {
+	select {
+	case n.busy <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (n *managedNode) release() { <-n.busy }
 
 // Manager is the DCM instance.
 type Manager struct {
@@ -76,9 +127,19 @@ type Manager struct {
 
 	mu    sync.Mutex
 	nodes map[string]*managedNode
+	rng   *rand.Rand
 
 	// HistoryLimit bounds per-node history length.
 	HistoryLimit int
+
+	// PollConcurrency bounds how many nodes one Poll sweep samples in
+	// parallel (default DefaultPollConcurrency).
+	PollConcurrency int
+
+	// RetryBaseDelay and RetryMaxDelay shape the capped exponential
+	// backoff between redial attempts to a failed node.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
 
 	stopPoll    chan struct{}
 	stopBalance chan struct{}
@@ -90,7 +151,15 @@ func NewManager(dial Dialer) *Manager {
 	if dial == nil {
 		dial = DefaultDialer
 	}
-	return &Manager{dial: dial, nodes: make(map[string]*managedNode), HistoryLimit: 4096}
+	return &Manager{
+		dial:            dial,
+		nodes:           make(map[string]*managedNode),
+		rng:             rand.New(rand.NewSource(1)),
+		HistoryLimit:    4096,
+		PollConcurrency: DefaultPollConcurrency,
+		RetryBaseDelay:  DefaultRetryBaseDelay,
+		RetryMaxDelay:   DefaultRetryMaxDelay,
+	}
 }
 
 // AddNode connects to a node's BMC and registers it under name.
@@ -120,24 +189,40 @@ func (m *Manager) AddNode(name, addr string) error {
 	}
 	m.nodes[name] = &managedNode{
 		name: name, addr: addr, bmc: bmc,
+		busy: make(chan struct{}, 1),
 		status: NodeStatus{
 			Name: name, Addr: addr, Reachable: true,
 			MinCapWatts: caps.MinCapWatts, MaxCapWatts: caps.MaxCapWatts,
+			LastOKAt: time.Now(),
 		},
 	}
 	return nil
 }
 
-// RemoveNode drops a node, closing its connection.
+// RemoveNode drops a node, closing its connection. It waits for any
+// in-flight operation on the node to finish, so the close can never
+// race a poll or cap push mid-exchange.
 func (m *Manager) RemoveNode(name string) error {
 	m.mu.Lock()
 	n, ok := m.nodes[name]
-	delete(m.nodes, name)
+	if ok {
+		n.removed = true
+		delete(m.nodes, name)
+	}
 	m.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("dcm: unknown node %q", name)
 	}
-	return n.bmc.Close()
+	n.acquire()
+	defer n.release()
+	m.mu.Lock()
+	bmc := n.bmc
+	n.bmc = nil
+	m.mu.Unlock()
+	if bmc != nil {
+		return bmc.Close()
+	}
+	return nil
 }
 
 // Nodes lists statuses sorted by name.
@@ -163,61 +248,211 @@ func (m *Manager) node(name string) (*managedNode, error) {
 	return n, nil
 }
 
+// backoff returns the redial delay after the given count of
+// consecutive failures: capped exponential with jitter in
+// [delay/2, delay], so it never exceeds RetryMaxDelay. Callers hold
+// m.mu (the rng is guarded by it).
+func (m *Manager) backoff(failures int) time.Duration {
+	base, max := m.RetryBaseDelay, m.RetryMaxDelay
+	if base <= 0 {
+		base = DefaultRetryBaseDelay
+	}
+	if max <= 0 {
+		max = DefaultRetryMaxDelay
+	}
+	d := base
+	for i := 1; i < failures && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(m.rng.Int63n(int64(half)+1))
+	}
+	return d
+}
+
+// recordFailure marks one failed exchange and arms the backoff gate.
+func (m *Manager) recordFailure(n *managedNode, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n.status.Reachable = false
+	n.status.ConsecFailures++
+	n.status.LastError = err.Error()
+	n.nextRetry = time.Now().Add(m.backoff(n.status.ConsecFailures))
+	n.status.NextRetryAt = n.nextRetry
+}
+
+// recordSuccess clears the failure state after a good exchange.
+// Callers hold m.mu.
+func (m *Manager) recordSuccess(n *managedNode) {
+	n.status.Reachable = true
+	n.status.ConsecFailures = 0
+	n.status.LastError = ""
+	n.status.LastOKAt = time.Now()
+	n.status.NextRetryAt = time.Time{}
+	n.nextRetry = time.Time{}
+}
+
+// connect (re)establishes the node's BMC connection. The caller must
+// hold the node's ownership token. Returns the live connection or the
+// dial error (already recorded).
+func (m *Manager) connect(n *managedNode) (BMC, error) {
+	m.mu.Lock()
+	if n.removed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("dcm: unknown node %q", n.name)
+	}
+	if n.bmc != nil {
+		bmc := n.bmc
+		m.mu.Unlock()
+		return bmc, nil
+	}
+	m.mu.Unlock()
+
+	bmc, err := m.dial(n.addr)
+	if err != nil {
+		m.recordFailure(n, err)
+		return nil, fmt.Errorf("dcm: reconnecting to %s: %w", n.addr, err)
+	}
+	m.mu.Lock()
+	if n.removed {
+		m.mu.Unlock()
+		bmc.Close()
+		return nil, fmt.Errorf("dcm: unknown node %q", n.name)
+	}
+	n.bmc = bmc
+	n.status.Reconnects++
+	m.mu.Unlock()
+	return bmc, nil
+}
+
+// dropConn closes and forgets the node's connection after a failed
+// exchange, forcing a redial on the next attempt. The caller must hold
+// the ownership token.
+func (m *Manager) dropConn(n *managedNode, bmc BMC) {
+	bmc.Close()
+	m.mu.Lock()
+	if n.bmc == bmc {
+		n.bmc = nil
+	}
+	m.mu.Unlock()
+}
+
 // SetNodeCap pushes a capping policy to one node. capWatts <= 0
-// disables capping.
+// disables capping. An explicit operator action redials a disconnected
+// node immediately, ignoring the poll loop's backoff gate.
 func (m *Manager) SetNodeCap(name string, capWatts float64) error {
 	n, err := m.node(name)
 	if err != nil {
 		return err
 	}
+	n.acquire()
+	defer n.release()
+	bmc, err := m.connect(n)
+	if err != nil {
+		return err
+	}
 	lim := ipmi.PowerLimit{Enabled: capWatts > 0, CapWatts: capWatts}
-	if err := n.bmc.SetPowerLimit(lim); err != nil {
+	if err := bmc.SetPowerLimit(lim); err != nil {
+		m.dropConn(n, bmc)
+		m.recordFailure(n, err)
 		return fmt.Errorf("dcm: setting cap on %q: %w", name, err)
 	}
 	m.mu.Lock()
-	n.status.CapWatts = capWatts
-	n.status.CapEnabled = lim.Enabled
+	if !n.removed {
+		n.status.CapWatts = capWatts
+		n.status.CapEnabled = lim.Enabled
+		m.recordSuccess(n)
+	}
 	m.mu.Unlock()
 	return nil
 }
 
 // Poll performs one monitoring round across all nodes, updating
-// statuses and history.
+// statuses and history. Nodes are sampled through a bounded worker
+// pool, so a slow or hung BMC delays only its own slot; a node with an
+// operation already in flight is skipped this round rather than
+// queued behind it.
 func (m *Manager) Poll() {
 	m.mu.Lock()
 	nodes := make([]*managedNode, 0, len(m.nodes))
 	for _, n := range m.nodes {
 		nodes = append(nodes, n)
 	}
+	workers := m.PollConcurrency
 	m.mu.Unlock()
-
-	for _, n := range nodes {
-		s, err := m.sampleNode(n)
-		m.mu.Lock()
-		if err != nil {
-			n.status.Reachable = false
-		} else {
-			n.status.Reachable = true
-			n.status.Last = s
-			n.history = append(n.history, s)
-			if len(n.history) > m.HistoryLimit {
-				n.history = n.history[len(n.history)-m.HistoryLimit:]
-			}
-		}
-		m.mu.Unlock()
+	if workers <= 0 {
+		workers = DefaultPollConcurrency
 	}
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(n *managedNode) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m.pollNode(n)
+		}(n)
+	}
+	wg.Wait()
 }
 
-func (m *Manager) sampleNode(n *managedNode) (Sample, error) {
-	pr, err := n.bmc.GetPowerReading()
+// pollNode samples one node, redialing through the backoff gate when
+// disconnected.
+func (m *Manager) pollNode(n *managedNode) {
+	if !n.tryAcquire() {
+		return // another operation owns the node; skip this round
+	}
+	defer n.release()
+
+	m.mu.Lock()
+	if n.removed {
+		m.mu.Unlock()
+		return
+	}
+	gated := n.bmc == nil && time.Now().Before(n.nextRetry)
+	m.mu.Unlock()
+	if gated {
+		return
+	}
+
+	bmc, err := m.connect(n)
+	if err != nil {
+		return // failure already recorded
+	}
+	s, err := sampleBMC(bmc)
+	if err != nil {
+		m.dropConn(n, bmc)
+		m.recordFailure(n, err)
+		return
+	}
+	m.mu.Lock()
+	if !n.removed {
+		m.recordSuccess(n)
+		n.status.Last = s
+		n.history = append(n.history, s)
+		if len(n.history) > m.HistoryLimit {
+			n.history = n.history[len(n.history)-m.HistoryLimit:]
+		}
+	}
+	m.mu.Unlock()
+}
+
+// sampleBMC reads one monitoring observation.
+func sampleBMC(bmc BMC) (Sample, error) {
+	pr, err := bmc.GetPowerReading()
 	if err != nil {
 		return Sample{}, err
 	}
-	ps, err := n.bmc.GetPStateInfo()
+	ps, err := bmc.GetPStateInfo()
 	if err != nil {
 		return Sample{}, err
 	}
-	g, err := n.bmc.GetGatingLevel()
+	g, err := bmc.GetGatingLevel()
 	if err != nil {
 		return Sample{}, err
 	}
@@ -283,7 +518,8 @@ func (m *Manager) StopPolling() {
 	}
 }
 
-// Close stops polling and rebalancing and disconnects every node.
+// Close stops polling and rebalancing and disconnects every node,
+// waiting for in-flight per-node operations to drain first.
 func (m *Manager) Close() {
 	m.StopPolling()
 	m.StopAutoBalance()
@@ -291,8 +527,19 @@ func (m *Manager) Close() {
 	m.mu.Lock()
 	nodes := m.nodes
 	m.nodes = make(map[string]*managedNode)
+	for _, n := range nodes {
+		n.removed = true
+	}
 	m.mu.Unlock()
 	for _, n := range nodes {
-		n.bmc.Close()
+		n.acquire()
+		m.mu.Lock()
+		bmc := n.bmc
+		n.bmc = nil
+		m.mu.Unlock()
+		if bmc != nil {
+			bmc.Close()
+		}
+		n.release()
 	}
 }

@@ -1,0 +1,417 @@
+package dcm
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nodecap/internal/faults"
+	"nodecap/internal/ipmi"
+)
+
+// bmcStub is a minimal ipmi.NodeControl backing real IPMI servers in
+// fault tests.
+type bmcStub struct {
+	mu    sync.Mutex
+	power float64
+	limit ipmi.PowerLimit
+}
+
+func (s *bmcStub) DeviceInfo() ipmi.DeviceInfo { return ipmi.DeviceInfo{DeviceID: 1} }
+func (s *bmcStub) PowerReading() ipmi.PowerReading {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ipmi.PowerReading{CurrentWatts: s.power, AverageWatts: s.power}
+}
+func (s *bmcStub) SetPowerLimit(l ipmi.PowerLimit) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limit = l
+	return nil
+}
+func (s *bmcStub) PowerLimit() ipmi.PowerLimit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.limit
+}
+func (s *bmcStub) PStateInfo() ipmi.PStateInfo {
+	return ipmi.PStateInfo{Index: 0, Count: 16, FreqMHz: 2700}
+}
+func (s *bmcStub) GatingLevel() int { return 0 }
+func (s *bmcStub) Capabilities() ipmi.Capabilities {
+	return ipmi.Capabilities{MinCapWatts: 120, MaxCapWatts: 180}
+}
+
+// faultFleet brings up n real IPMI servers, each dialed through its
+// own faults.Transport, and a manager with tight timeouts and backoff
+// suitable for tests.
+func faultFleet(t *testing.T, n int) (*Manager, []string, []*faults.Transport) {
+	t.Helper()
+	addrs := make([]string, n)
+	transports := make([]*faults.Transport, n)
+	byAddr := make(map[string]*faults.Transport, n)
+	for i := 0; i < n; i++ {
+		srv := ipmi.NewServer(&bmcStub{power: 140 + float64(i)})
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = addr
+		transports[i] = faults.New(faults.Profile{Seed: int64(i) + 1})
+		byAddr[addr] = transports[i]
+	}
+	m := NewManager(func(addr string) (BMC, error) {
+		tr, ok := byAddr[addr]
+		if !ok {
+			return nil, fmt.Errorf("no transport for %s", addr)
+		}
+		conn, err := tr.Dial("tcp", addr, 500*time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		c := ipmi.NewClientConn(conn)
+		c.SetRequestTimeout(150 * time.Millisecond)
+		return c, nil
+	})
+	m.RetryBaseDelay = 10 * time.Millisecond
+	m.RetryMaxDelay = 50 * time.Millisecond
+	t.Cleanup(m.Close)
+	return m, addrs, transports
+}
+
+// TestPollSurvivesHungBMC is the acceptance scenario: a BMC that
+// accepts TCP but never responds must not wedge the sweep; Poll
+// completes within the request timeout, only that node goes
+// unreachable, and once the fault clears a later poll redials it.
+func TestPollSurvivesHungBMC(t *testing.T) {
+	m, addrs, transports := faultFleet(t, 2)
+	for i, addr := range addrs {
+		if err := m.AddNode(fmt.Sprintf("n%d", i), addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Hang n0: its writes are blackholed, so requests run into the
+	// client's read deadline.
+	transports[0].SetProfile(faults.Profile{DropWrites: true})
+
+	start := time.Now()
+	m.Poll()
+	elapsed := time.Since(start)
+	// One exchange deadline is 150ms; the sweep must be bounded by it
+	// (plus slack), not hang forever.
+	if elapsed > 2*time.Second {
+		t.Fatalf("Poll took %v against a hung BMC", elapsed)
+	}
+
+	ns := m.Nodes()
+	if ns[0].Reachable {
+		t.Error("hung node still marked reachable")
+	}
+	if ns[0].ConsecFailures == 0 || ns[0].LastError == "" {
+		t.Errorf("hung node health not recorded: %+v", ns[0])
+	}
+	if !ns[1].Reachable {
+		t.Error("healthy node marked unreachable by neighbour's hang")
+	}
+
+	// Fault clears; the node must come back via redial within the
+	// backoff bound.
+	transports[0].SetProfile(faults.Profile{})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m.Poll()
+		if st := m.Nodes()[0]; st.Reachable {
+			if st.Reconnects == 0 {
+				t.Errorf("recovered without a recorded reconnect: %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hung node never recovered after fault cleared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBackoffGatesRedial: after a failure, polls inside the backoff
+// window must not redial; the gate is capped by RetryMaxDelay.
+func TestBackoffGatesRedial(t *testing.T) {
+	var dials atomic.Int32
+	failing := &flakyBMC{fail: true}
+	m := NewManager(func(addr string) (BMC, error) {
+		dials.Add(1)
+		return failing, nil
+	})
+	defer m.Close()
+	m.RetryBaseDelay = time.Hour
+	m.RetryMaxDelay = 2 * time.Hour
+
+	failing.setFail(false)
+	if err := m.AddNode("n", "x"); err != nil {
+		t.Fatal(err)
+	}
+	failing.setFail(true)
+	m.Poll() // fails, drops conn, arms backoff
+	if got := m.Nodes()[0]; got.Reachable || got.NextRetryAt.IsZero() {
+		t.Fatalf("failure not recorded: %+v", got)
+	}
+	before := dials.Load()
+	for i := 0; i < 5; i++ {
+		m.Poll()
+	}
+	if dials.Load() != before {
+		t.Errorf("poll redialed %d times inside the backoff window", dials.Load()-before)
+	}
+
+	// The computed delay stays within [max/2, max] once failures pile
+	// up, so recovery latency is bounded.
+	m.mu.Lock()
+	for _, f := range []int{1, 3, 10, 30} {
+		d := m.backoff(f)
+		if d > m.RetryMaxDelay {
+			m.mu.Unlock()
+			t.Fatalf("backoff(%d) = %v exceeds cap %v", f, d, m.RetryMaxDelay)
+		}
+	}
+	d := m.backoff(30)
+	m.mu.Unlock()
+	if d < m.RetryMaxDelay/2 {
+		t.Errorf("backoff(30) = %v, want >= half the cap", d)
+	}
+}
+
+// TestSetNodeCapRedialsImmediately: an explicit operator action
+// ignores the poll loop's backoff gate.
+func TestSetNodeCapRedialsImmediately(t *testing.T) {
+	flaky := &flakyBMC{}
+	m := NewManager(func(addr string) (BMC, error) {
+		if flaky.failing() {
+			return nil, errors.New("down")
+		}
+		return flaky, nil
+	})
+	defer m.Close()
+	m.RetryBaseDelay = time.Hour
+	m.RetryMaxDelay = time.Hour
+
+	if err := m.AddNode("n", "x"); err != nil {
+		t.Fatal(err)
+	}
+	flaky.setFail(true)
+	m.Poll() // sample fails, conn dropped, hour-long backoff armed
+	if m.Nodes()[0].Reachable {
+		t.Fatal("failure not recorded")
+	}
+	flaky.setFail(false)
+	if err := m.SetNodeCap("n", 140); err != nil {
+		t.Fatalf("SetNodeCap did not redial through the backoff gate: %v", err)
+	}
+	st := m.Nodes()[0]
+	if !st.Reachable || st.Reconnects != 1 || st.CapWatts != 140 {
+		t.Errorf("status after explicit redial = %+v", st)
+	}
+}
+
+// flakyBMC fails all exchanges while fail is set.
+type flakyBMC struct {
+	mu   sync.Mutex
+	fail bool
+}
+
+func (f *flakyBMC) setFail(v bool) { f.mu.Lock(); f.fail = v; f.mu.Unlock() }
+func (f *flakyBMC) failing() bool  { f.mu.Lock(); defer f.mu.Unlock(); return f.fail }
+func (f *flakyBMC) err() error {
+	if f.failing() {
+		return errors.New("injected failure")
+	}
+	return nil
+}
+func (f *flakyBMC) GetDeviceID() (ipmi.DeviceInfo, error) { return ipmi.DeviceInfo{}, f.err() }
+func (f *flakyBMC) GetPowerReading() (ipmi.PowerReading, error) {
+	return ipmi.PowerReading{CurrentWatts: 150, AverageWatts: 150}, f.err()
+}
+func (f *flakyBMC) SetPowerLimit(ipmi.PowerLimit) error { return f.err() }
+func (f *flakyBMC) GetPowerLimit() (ipmi.PowerLimit, error) {
+	return ipmi.PowerLimit{}, f.err()
+}
+func (f *flakyBMC) GetPStateInfo() (ipmi.PStateInfo, error) {
+	return ipmi.PStateInfo{FreqMHz: 2700}, f.err()
+}
+func (f *flakyBMC) GetGatingLevel() (int, error) { return 0, f.err() }
+func (f *flakyBMC) GetCapabilities() (ipmi.Capabilities, error) {
+	return ipmi.Capabilities{MinCapWatts: 120, MaxCapWatts: 180}, f.err()
+}
+func (f *flakyBMC) Close() error { return nil }
+
+// guardedBMC flags any use after Close — the use-after-close the
+// per-node ownership token must prevent.
+type guardedBMC struct {
+	mu     sync.Mutex
+	closed bool
+	misuse *atomic.Bool
+}
+
+func (g *guardedBMC) check() {
+	g.mu.Lock()
+	if g.closed {
+		g.misuse.Store(true)
+	}
+	g.mu.Unlock()
+}
+func (g *guardedBMC) GetDeviceID() (ipmi.DeviceInfo, error) {
+	g.check()
+	return ipmi.DeviceInfo{}, nil
+}
+func (g *guardedBMC) GetPowerReading() (ipmi.PowerReading, error) {
+	g.check()
+	return ipmi.PowerReading{CurrentWatts: 150, AverageWatts: 150}, nil
+}
+func (g *guardedBMC) SetPowerLimit(ipmi.PowerLimit) error { g.check(); return nil }
+func (g *guardedBMC) GetPowerLimit() (ipmi.PowerLimit, error) {
+	g.check()
+	return ipmi.PowerLimit{}, nil
+}
+func (g *guardedBMC) GetPStateInfo() (ipmi.PStateInfo, error) {
+	g.check()
+	return ipmi.PStateInfo{FreqMHz: 2700}, nil
+}
+func (g *guardedBMC) GetGatingLevel() (int, error) { g.check(); return 0, nil }
+func (g *guardedBMC) GetCapabilities() (ipmi.Capabilities, error) {
+	g.check()
+	return ipmi.Capabilities{MinCapWatts: 120, MaxCapWatts: 180}, nil
+}
+func (g *guardedBMC) Close() error {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+	return nil
+}
+
+// TestConcurrentPollSetcapRemove hammers the three per-node operations
+// concurrently (run with -race). The ownership token must prevent any
+// BMC call from landing after RemoveNode's Close.
+func TestConcurrentPollSetcapRemove(t *testing.T) {
+	var misuse atomic.Bool
+	m := NewManager(func(addr string) (BMC, error) {
+		return &guardedBMC{misuse: &misuse}, nil
+	})
+	defer m.Close()
+	m.RetryBaseDelay = time.Millisecond
+	m.RetryMaxDelay = 2 * time.Millisecond
+
+	const node = "n0"
+	if err := m.AddNode(node, "x"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Poll()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				err := m.SetNodeCap(node, 140)
+				if err != nil && !strings.Contains(err.Error(), "unknown node") {
+					t.Errorf("SetNodeCap: %v", err)
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.RemoveNode(node)
+				m.AddNode(node, "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if misuse.Load() {
+		t.Fatal("a BMC was used after RemoveNode closed it")
+	}
+}
+
+// TestServerCloseWithClientMidConnection: an idle dcmctl connection
+// must not make Close block on its handler.
+func TestServerCloseWithClientMidConnection(t *testing.T) {
+	m := NewManager(func(addr string) (BMC, error) { return &flakyBMC{}, nil })
+	defer m.Close()
+	s := NewServer(m)
+	s.IdleTimeout = time.Hour // deadline alone must not be what unblocks Close
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Let the server accept and park in its read loop.
+	time.Sleep(20 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Server.Close blocked on an idle client connection")
+	}
+}
+
+// TestServerIdleTimeoutReapsStalledClient: with a short idle timeout,
+// the handler goroutine ends on its own.
+func TestServerIdleTimeoutReapsStalledClient(t *testing.T) {
+	m := NewManager(func(addr string) (BMC, error) { return &flakyBMC{}, nil })
+	defer m.Close()
+	s := NewServer(m)
+	s.IdleTimeout = 50 * time.Millisecond
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// The server should hang up once the idle deadline passes; the
+	// client observes EOF/reset on its next read.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("stalled connection was not reaped")
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("server kept the stalled connection past its idle timeout")
+	}
+}
+
+// TestBudgetEmptyGroupRejected: the control plane must refuse a
+// budget over zero nodes instead of reporting success.
+func TestBudgetEmptyGroupRejected(t *testing.T) {
+	m := NewManager(func(addr string) (BMC, error) { return &flakyBMC{}, nil })
+	defer m.Close()
+	s := NewServer(m)
+	if r := s.Handle(Request{Op: "budget", Budget: 300}); r.OK || r.Error == "" {
+		t.Errorf("budget with empty group = %+v, want rejection", r)
+	}
+	if r := s.Handle(Request{Op: "budget", Budget: 300, Group: []string{}}); r.OK {
+		t.Errorf("budget with zero-length group = %+v, want rejection", r)
+	}
+}

@@ -1,0 +1,104 @@
+package dcm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nodecap/internal/faults"
+)
+
+// TestFleetDegradation is the fleet-scale integration test: several
+// agents served over the real IPMI wire protocol behind fault
+// transports, a subset killed mid-sweep and later revived. The
+// survivors must keep being polled throughout, and the revived nodes
+// must reappear Reachable within the backoff bound.
+func TestFleetDegradation(t *testing.T) {
+	const n = 5
+	m, addrs, transports := faultFleet(t, n)
+	for i, addr := range addrs {
+		if err := m.AddNode(fmt.Sprintf("n%d", i), addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := func() map[string]NodeStatus {
+		out := make(map[string]NodeStatus)
+		for _, st := range m.Nodes() {
+			out[st.Name] = st
+		}
+		return out
+	}
+
+	m.Poll()
+	for name, st := range names() {
+		if !st.Reachable {
+			t.Fatalf("%s unreachable before any fault: %+v", name, st)
+		}
+	}
+
+	// Kill n1 and n3 mid-sweep: established connections blackhole and
+	// redials are refused — a partitioned rack.
+	dead := faults.Profile{DropWrites: true, DialErrorProb: 1}
+	transports[1].SetProfile(dead)
+	transports[3].SetProfile(dead)
+
+	// Sweep a few rounds. Survivors must keep producing samples.
+	beforeHist := map[string]int{}
+	for _, i := range []int{0, 2, 4} {
+		h, err := m.History(fmt.Sprintf("n%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		beforeHist[fmt.Sprintf("n%d", i)] = len(h)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m.Poll()
+		ns := names()
+		if !ns["n1"].Reachable && !ns["n3"].Reachable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("killed nodes still reachable: n1=%+v n3=%+v", ns["n1"], ns["n3"])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, i := range []int{0, 2, 4} {
+		name := fmt.Sprintf("n%d", i)
+		h, err := m.History(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h) <= beforeHist[name] {
+			t.Errorf("%s stopped being polled while neighbours were down", name)
+		}
+		if !names()[name].Reachable {
+			t.Errorf("%s marked unreachable by neighbours' faults", name)
+		}
+	}
+
+	// Revive. RetryMaxDelay bounds the redial gate, so recovery must
+	// land within a few backoff windows of polling.
+	transports[1].SetProfile(faults.Profile{})
+	transports[3].SetProfile(faults.Profile{})
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		m.Poll()
+		ns := names()
+		if ns["n1"].Reachable && ns["n3"].Reachable {
+			for _, name := range []string{"n1", "n3"} {
+				if ns[name].Reconnects == 0 {
+					t.Errorf("%s recovered without a recorded reconnect: %+v", name, ns[name])
+				}
+				if ns[name].ConsecFailures != 0 || ns[name].LastError != "" {
+					t.Errorf("%s health not cleared after recovery: %+v", name, ns[name])
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("revived nodes never recovered: n1=%+v n3=%+v", ns["n1"], ns["n3"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -3,13 +3,24 @@ package dcm
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Control-plane protocol: newline-delimited JSON requests and
 // responses over TCP, consumed by the dcmctl command-line tool.
+
+// Default control-plane timeouts.
+const (
+	// DefaultIdleTimeout bounds how long a server-side handler waits
+	// for the next request on an open connection.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultCallTimeout bounds one whole Call round trip.
+	DefaultCallTimeout = time.Minute
+)
 
 // Request is one control-plane operation.
 type Request struct {
@@ -39,14 +50,23 @@ type Response struct {
 type Server struct {
 	mgr *Manager
 
+	// IdleTimeout bounds the wait for a client's next request (and
+	// the write of each response), so an idle or stalled dcmctl
+	// connection cannot pin a handler goroutine forever. Zero means
+	// DefaultIdleTimeout; set before Listen.
+	IdleTimeout time.Duration
+
 	mu       sync.Mutex
 	listener net.Listener
+	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 }
 
 // NewServer wraps mgr.
-func NewServer(mgr *Manager) *Server { return &Server{mgr: mgr} }
+func NewServer(mgr *Manager) *Server {
+	return &Server{mgr: mgr, conns: make(map[net.Conn]struct{})}
+}
 
 // Listen binds addr and serves until Close.
 func (s *Server) Listen(addr string) (string, error) {
@@ -55,6 +75,11 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", err
 	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("dcm: server closed")
+	}
 	s.listener = ln
 	s.mu.Unlock()
 	s.wg.Add(1)
@@ -65,6 +90,14 @@ func (s *Server) Listen(addr string) (string, error) {
 			if err != nil {
 				return
 			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
@@ -76,15 +109,26 @@ func (s *Server) Listen(addr string) (string, error) {
 }
 
 func (s *Server) serve(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	idle := s.IdleTimeout
+	if idle <= 0 {
+		idle = DefaultIdleTimeout
+	}
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	for {
+		conn.SetReadDeadline(time.Now().Add(idle))
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
 		resp := s.Handle(req)
+		conn.SetWriteDeadline(time.Now().Add(idle))
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -116,6 +160,9 @@ func (s *Server) Handle(req Request) Response {
 		}
 		return Response{OK: true}
 	case "budget":
+		if len(req.Group) == 0 {
+			return fail(fmt.Errorf("dcm: budget requires a non-empty node group"))
+		}
 		allocs, err := s.mgr.ApplyBudget(req.Budget, req.Group)
 		if err != nil {
 			return fail(err)
@@ -138,11 +185,16 @@ func (s *Server) Handle(req Request) Response {
 	}
 }
 
-// Close stops the listener and waits for handlers.
+// Close stops the listener and open connections, and waits for
+// handlers. It returns even with clients mid-connection: their
+// connections are closed out from under them.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
@@ -150,13 +202,24 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Call dials a control-plane server, performs one request, and closes.
+// Call dials a control-plane server, performs one request, and closes,
+// bounded by DefaultCallTimeout.
 func Call(addr string, req Request) (Response, error) {
-	conn, err := net.Dial("tcp", addr)
+	return CallTimeout(addr, req, DefaultCallTimeout)
+}
+
+// CallTimeout is Call with an explicit bound on the whole round trip
+// (zero means unbounded, the pre-fault-model behaviour).
+func CallTimeout(addr string, req Request, timeout time.Duration) (Response, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return Response{}, err
 	}
 	defer conn.Close()
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
 	if err := json.NewEncoder(conn).Encode(req); err != nil {
 		return Response{}, err
 	}

@@ -1,0 +1,211 @@
+// Package faults provides a fault-injecting network transport for
+// exercising the DCM↔BMC control plane under degraded conditions:
+// connect refusals, added latency, blackholed writes (a peer that
+// accepts TCP but never answers), connection resets, and corrupted
+// bytes. All probabilistic faults draw from a seeded generator so a
+// given seed reproduces the same fault schedule, which keeps the
+// fleet-degradation tests deterministic.
+//
+// A Transport wraps dialed connections in fault-injecting conns. Its
+// Profile can be swapped at runtime — SetProfile applies to every
+// subsequent operation on both new and already-established
+// connections, so a test can partition a node mid-poll and heal it
+// later without redialing.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Profile configures which faults a Transport injects. The zero value
+// is fully transparent.
+type Profile struct {
+	// Seed keys the fault schedule; transports built from equal
+	// profiles replay identical decisions. Zero means seed 1.
+	Seed int64
+
+	// DialErrorProb is the probability [0,1] that Dial fails outright
+	// with a refused-connection error.
+	DialErrorProb float64
+
+	// ConnectLatency is added to every successful Dial.
+	ConnectLatency time.Duration
+
+	// ReadLatency and WriteLatency are added before each Read/Write.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+
+	// DropWrites blackholes the connection: writes report success but
+	// deliver nothing, so the peer never responds and the caller's
+	// read deadline is what ends the exchange.
+	DropWrites bool
+
+	// ResetProb is the per-operation probability [0,1] that the
+	// connection is torn down with a reset-style error.
+	ResetProb float64
+
+	// CorruptProb is the per-read probability [0,1] that one delivered
+	// byte is bit-flipped (caught downstream by the IPMI checksum).
+	CorruptProb float64
+}
+
+// Stats counts the faults a Transport has injected.
+type Stats struct {
+	Dials          int
+	DialsRefused   int
+	Resets         int
+	DroppedWrites  int
+	CorruptedReads int
+}
+
+// Transport dials and wraps connections, injecting the faults its
+// current Profile describes. Safe for concurrent use.
+type Transport struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	p     Profile
+	stats Stats
+}
+
+// New builds a Transport with profile p.
+func New(p Profile) *Transport {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Transport{rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+// SetProfile replaces the active profile. Existing connections pick up
+// the new behaviour on their next operation (the rng keeps its state,
+// so healing is Profile{} rather than a reseed).
+func (t *Transport) SetProfile(p Profile) {
+	t.mu.Lock()
+	t.p = p
+	t.mu.Unlock()
+}
+
+// Profile returns the active profile.
+func (t *Transport) Profile() Profile {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.p
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// chance draws one probabilistic decision from the seeded schedule.
+func (t *Transport) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return t.rng.Float64() < p
+}
+
+// Dial connects with timeout and wraps the connection. A timeout of
+// zero dials without bound.
+func (t *Transport) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	t.mu.Lock()
+	t.stats.Dials++
+	refused := t.chance(t.p.DialErrorProb)
+	delay := t.p.ConnectLatency
+	if refused {
+		t.stats.DialsRefused++
+	}
+	t.mu.Unlock()
+	if refused {
+		return nil, fmt.Errorf("faults: dial %s %s: injected connection refused", network, addr)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return t.Wrap(conn), nil
+}
+
+// Wrap layers fault injection over an existing connection (e.g. a
+// net.Pipe end in tests).
+func (t *Transport) Wrap(conn net.Conn) net.Conn {
+	return &faultConn{Conn: conn, t: t}
+}
+
+// errReset is the reset-style error injected connections fail with.
+type errReset struct{ op string }
+
+func (e errReset) Error() string { return "faults: injected connection reset during " + e.op }
+
+// faultConn injects the transport's current profile into one
+// connection. Deadlines pass through to the wrapped conn, so a
+// blackholed request still ends when the caller's read deadline fires.
+type faultConn struct {
+	net.Conn
+	t *Transport
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	c.t.mu.Lock()
+	reset := c.t.chance(c.t.p.ResetProb)
+	corrupt := c.t.chance(c.t.p.CorruptProb)
+	delay := c.t.p.ReadLatency
+	if reset {
+		c.t.stats.Resets++
+	}
+	c.t.mu.Unlock()
+	if reset {
+		c.Conn.Close()
+		return 0, errReset{"read"}
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	n, err := c.Conn.Read(b)
+	if corrupt && n > 0 {
+		c.t.mu.Lock()
+		i := c.t.rng.Intn(n)
+		c.t.stats.CorruptedReads++
+		c.t.mu.Unlock()
+		b[i] ^= 0x40
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	c.t.mu.Lock()
+	reset := c.t.chance(c.t.p.ResetProb)
+	drop := c.t.p.DropWrites
+	delay := c.t.p.WriteLatency
+	if reset {
+		c.t.stats.Resets++
+	}
+	if drop && !reset {
+		c.t.stats.DroppedWrites++
+	}
+	c.t.mu.Unlock()
+	if reset {
+		c.Conn.Close()
+		return 0, errReset{"write"}
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		return len(b), nil
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,198 @@
+package faults
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 1024)
+				for {
+					n, err := conn.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := conn.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func roundTrip(t *testing.T, conn net.Conn, msg []byte, timeout time.Duration) ([]byte, error) {
+	t.Helper()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(msg); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, len(msg))
+	n, err := conn.Read(buf)
+	return buf[:n], err
+}
+
+func TestTransparentProfile(t *testing.T) {
+	addr := echoServer(t)
+	tr := New(Profile{})
+	conn, err := tr.Dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := roundTrip(t, conn, []byte("hello"), time.Second)
+	if err != nil || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+}
+
+func TestDialRefused(t *testing.T) {
+	addr := echoServer(t)
+	tr := New(Profile{DialErrorProb: 1})
+	if _, err := tr.Dial("tcp", addr, time.Second); err == nil {
+		t.Fatal("injected dial refusal did not error")
+	}
+	if s := tr.Stats(); s.DialsRefused != 1 {
+		t.Errorf("stats = %+v, want 1 refused dial", s)
+	}
+}
+
+func TestDropWritesBlackholesUntilDeadline(t *testing.T) {
+	addr := echoServer(t)
+	tr := New(Profile{DropWrites: true})
+	conn, err := tr.Dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	_, err = roundTrip(t, conn, []byte("ping"), 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("blackholed write still produced a response")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline did not bound the blackholed read: %v", elapsed)
+	}
+	if s := tr.Stats(); s.DroppedWrites == 0 {
+		t.Errorf("stats = %+v, want dropped writes", s)
+	}
+}
+
+func TestHealRestoresService(t *testing.T) {
+	addr := echoServer(t)
+	tr := New(Profile{DropWrites: true})
+	conn, err := tr.Dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(t, conn, []byte("ping"), 50*time.Millisecond); err == nil {
+		t.Fatal("blackhole inactive")
+	}
+	tr.SetProfile(Profile{}) // heal without redialing
+	got, err := roundTrip(t, conn, []byte("pong"), time.Second)
+	if err != nil || !bytes.Equal(got, []byte("pong")) {
+		t.Fatalf("healed round trip = %q, %v", got, err)
+	}
+}
+
+func TestResetTearsDownConn(t *testing.T) {
+	addr := echoServer(t)
+	tr := New(Profile{ResetProb: 1})
+	conn, err := tr.Dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatal("write on resetting transport succeeded")
+	}
+	if s := tr.Stats(); s.Resets != 1 {
+		t.Errorf("stats = %+v, want 1 reset", s)
+	}
+}
+
+func TestCorruptFlipsAByte(t *testing.T) {
+	addr := echoServer(t)
+	tr := New(Profile{CorruptProb: 1})
+	conn, err := tr.Dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("checksummed-frame")
+	got, err := roundTrip(t, conn, msg, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Error("corrupting read delivered pristine bytes")
+	}
+	if s := tr.Stats(); s.CorruptedReads == 0 {
+		t.Errorf("stats = %+v, want corrupted reads", s)
+	}
+}
+
+// TestDeterministicSchedule: two transports with the same seed inject
+// the same fault sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		tr := New(Profile{Seed: seed, DialErrorProb: 0.5})
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = tr.chance(0.5)
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+	c := schedule(7)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestLatencyIsAdded(t *testing.T) {
+	addr := echoServer(t)
+	tr := New(Profile{WriteLatency: 30 * time.Millisecond, ReadLatency: 30 * time.Millisecond})
+	conn, err := tr.Dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := roundTrip(t, conn, []byte("slow"), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("round trip took %v, want >= 60ms of injected latency", elapsed)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // NodeControl is the management surface a BMC endpoint exposes over
@@ -155,25 +156,55 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Default client timeouts; see DialTimeout.
+const (
+	DefaultConnectTimeout = 5 * time.Second
+	DefaultRequestTimeout = 10 * time.Second
+)
+
+// ErrBroken reports that an earlier exchange on this client failed
+// mid-frame (timeout, reset, short read), so the stream can no longer
+// be trusted to be frame-aligned. The owner must redial.
+var ErrBroken = errors.New("ipmi: connection broken by earlier I/O failure")
+
 // Client is a DCM-side connection to one BMC.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	seq  uint32
+	mu         sync.Mutex
+	conn       net.Conn
+	seq        uint32
+	reqTimeout time.Duration
+	broken     bool
 }
 
-// Dial connects to a BMC endpoint.
+// Dial connects to a BMC endpoint with the default timeouts.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultConnectTimeout, DefaultRequestTimeout)
+}
+
+// DialTimeout connects to a BMC endpoint, bounding the TCP connect by
+// connectTimeout and every subsequent request/response exchange by
+// requestTimeout (zero disables the respective bound).
+func DialTimeout(addr string, connectTimeout, requestTimeout time.Duration) (*Client, error) {
+	d := net.Dialer{Timeout: connectTimeout}
+	conn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, reqTimeout: requestTimeout}, nil
 }
 
 // NewClientConn wraps an existing connection (e.g. a net.Pipe end in
-// tests).
+// tests, or a fault-injecting wrapper). No request timeout is set;
+// use SetRequestTimeout to bound exchanges.
 func NewClientConn(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// SetRequestTimeout bounds each request/response exchange; zero
+// disables the bound.
+func (c *Client) SetRequestTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.reqTimeout = d
+	c.mu.Unlock()
+}
 
 // Close shuts the connection.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -182,25 +213,39 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) call(cmd uint8, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return nil, ErrBroken
+	}
+	if c.reqTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.reqTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	c.seq++
 	req := Frame{Seq: c.seq, NetFn: NetFnOEM, Cmd: cmd, Payload: payload}
 	if err := WriteFrame(c.conn, req); err != nil {
+		c.broken = true
 		return nil, err
 	}
 	resp, err := ReadFrame(c.conn)
 	if err != nil {
+		c.broken = true
 		return nil, err
 	}
 	if resp.Seq != req.Seq {
+		c.broken = true
 		return nil, fmt.Errorf("ipmi: sequence mismatch: sent %d got %d", req.Seq, resp.Seq)
 	}
 	if resp.NetFn != NetFnOEMResponse || resp.Cmd != cmd {
+		c.broken = true
 		return nil, fmt.Errorf("ipmi: mismatched response netfn=%#x cmd=%#x", resp.NetFn, resp.Cmd)
 	}
 	if len(resp.Payload) < 1 {
+		c.broken = true
 		return nil, io.ErrUnexpectedEOF
 	}
 	if cc := resp.Payload[0]; cc != CCOK {
+		// A completion-code failure is a well-formed exchange; the
+		// stream stays aligned and usable.
 		return nil, fmt.Errorf("ipmi: completion code %#x", cc)
 	}
 	return resp.Payload[1:], nil

@@ -1,0 +1,119 @@
+package ipmi
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// silentServer accepts TCP connections, reads and discards everything,
+// and never responds — the "accepts TCP but never answers" BMC failure
+// mode.
+func silentServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 256)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestRequestTimeoutOnSilentBMC(t *testing.T) {
+	addr := silentServer(t)
+	c, err := DialTimeout(addr, time.Second, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, err = c.GetPowerReading()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("request against silent BMC succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("error = %v, want a net timeout", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("timeout took %v, want ~100ms", elapsed)
+	}
+}
+
+func TestBrokenClientFailsFast(t *testing.T) {
+	addr := silentServer(t)
+	c, err := DialTimeout(addr, time.Second, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.GetPowerReading(); err == nil {
+		t.Fatal("first request succeeded")
+	}
+	// The stream is no longer frame-aligned; subsequent calls must
+	// fail immediately instead of waiting out another timeout.
+	start := time.Now()
+	_, err = c.GetGatingLevel()
+	if !errors.Is(err, ErrBroken) {
+		t.Errorf("error = %v, want ErrBroken", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("broken client took %v to fail", elapsed)
+	}
+}
+
+func TestDialTimeoutConnectsToRealServer(t *testing.T) {
+	srv := NewServer(ctlStub{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialTimeout(addr, time.Second, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.GetDeviceID(); err != nil {
+		t.Fatalf("exchange over DialTimeout client: %v", err)
+	}
+	// A well-formed completion-code failure must NOT poison the
+	// stream.
+	if _, err := c.call(0x7F, nil); err == nil {
+		t.Fatal("unknown command succeeded")
+	}
+	if _, err := c.GetDeviceID(); err != nil {
+		t.Fatalf("client poisoned by completion-code failure: %v", err)
+	}
+}
+
+// ctlStub is a minimal NodeControl for wire tests.
+type ctlStub struct{}
+
+func (ctlStub) DeviceInfo() DeviceInfo         { return DeviceInfo{DeviceID: 9} }
+func (ctlStub) PowerReading() PowerReading     { return PowerReading{CurrentWatts: 150} }
+func (ctlStub) SetPowerLimit(PowerLimit) error { return nil }
+func (ctlStub) PowerLimit() PowerLimit         { return PowerLimit{} }
+func (ctlStub) PStateInfo() PStateInfo         { return PStateInfo{Index: 1, Count: 16, FreqMHz: 2700} }
+func (ctlStub) GatingLevel() int               { return 0 }
+func (ctlStub) Capabilities() Capabilities     { return Capabilities{MinCapWatts: 120, MaxCapWatts: 180} }
