@@ -74,7 +74,7 @@ func viaServer(addr string, args []string) error {
 	call := func(req dcm.Request) (dcm.Response, error) {
 		resp, err := dcm.CallTimeout(addr, req, callTimeout)
 		if err != nil {
-			return resp, err
+			return resp, fmt.Errorf("cannot reach dcmd at %s (%v) — is the manager running? start it with: dcmd -listen %s", addr, err, addr)
 		}
 		if !resp.OK {
 			return resp, fmt.Errorf("%s", resp.Error)
@@ -163,13 +163,15 @@ func viaServer(addr string, args []string) error {
 }
 
 func printNodes(nodes []dcm.NodeStatus) {
-	fmt.Printf("%-12s %-22s %-9s %-10s %9s %9s %6s %5s %5s %6s %s\n",
-		"NAME", "ADDR", "REACHABLE", "CAP", "POWER(W)", "FREQ(MHz)", "PSTATE", "GATE",
-		"FAILS", "RECONN", "LAST-ERR")
+	fmt.Printf("%-12s %-22s %-9s %-8s %-8s %9s %9s %6s %5s %-9s %6s %6s %5s %6s %s\n",
+		"NAME", "ADDR", "REACHABLE", "CAP", "REPORTED", "POWER(W)", "FREQ(MHz)", "PSTATE", "GATE",
+		"HEALTH", "DRIFTS", "RECONS", "FAILS", "RECONN", "LAST-ERR")
 	for _, n := range nodes {
-		cap := "off"
-		if n.CapEnabled {
-			cap = fmt.Sprintf("%.0f W", n.CapWatts)
+		capFor := func(enabled bool, watts float64) string {
+			if !enabled {
+				return "off"
+			}
+			return fmt.Sprintf("%.0f W", watts)
 		}
 		lastErr := n.LastError
 		if lastErr == "" {
@@ -177,11 +179,33 @@ func printNodes(nodes []dcm.NodeStatus) {
 		} else if len(lastErr) > 40 {
 			lastErr = lastErr[:37] + "..."
 		}
-		fmt.Printf("%-12s %-22s %-9v %-10s %9.1f %9d P%-5d %5d %5d %6d %s\n",
-			n.Name, n.Addr, n.Reachable, cap,
+		fmt.Printf("%-12s %-22s %-9v %-8s %-8s %9.1f %9d P%-5d %5d %-9s %6d %6d %5d %6d %s\n",
+			n.Name, n.Addr, n.Reachable,
+			capFor(n.CapEnabled, n.CapWatts),
+			capFor(n.ReportedCapEnabled, n.ReportedCapWatts),
 			n.Last.PowerWatts, n.Last.FreqMHz, n.Last.PState, n.Last.GatingLevel,
+			healthFlags(n), n.Drifts, n.Reconciles,
 			n.ConsecFailures, n.Reconnects, lastErr)
 	}
+}
+
+// healthFlags renders the BMC's defensive-controller status: "ok", or
+// the conditions that need an operator's eye.
+func healthFlags(n dcm.NodeStatus) string {
+	var flags []string
+	if n.FailSafe {
+		flags = append(flags, "FAILSAFE")
+	}
+	if n.InfeasibleCap {
+		flags = append(flags, "lowcap")
+	}
+	if n.SensorFaults > 0 {
+		flags = append(flags, fmt.Sprintf("sf=%d", n.SensorFaults))
+	}
+	if len(flags) == 0 {
+		return "ok"
+	}
+	return strings.Join(flags, ",")
 }
 
 // direct drives one BMC without a manager.
@@ -217,6 +241,10 @@ func direct(addr string, args []string) error {
 		if err != nil {
 			return err
 		}
+		h, err := c.GetHealth()
+		if err != nil {
+			return err
+		}
 		fmt.Printf("device     : id=%#x fw=%d.%d mfg=%d product=%#x\n",
 			di.DeviceID, di.FirmwareMajor, di.FirmwareMinor, di.ManufacturerID, di.ProductID)
 		fmt.Printf("power      : %.1f W now, %.1f W average\n", pr.CurrentWatts, pr.AverageWatts)
@@ -228,6 +256,13 @@ func direct(addr string, args []string) error {
 		fmt.Printf("dvfs       : P%d of %d states, %d MHz\n", ps.Index, ps.Count, ps.FreqMHz)
 		fmt.Printf("gating     : level %d\n", g)
 		fmt.Printf("cap range  : %.1f - %.1f W\n", caps.MinCapWatts, caps.MaxCapWatts)
+		health := "ok"
+		if h.FailSafe {
+			health = "FAIL-SAFE (sensor distrusted; node clamped at safe floor)"
+		} else if h.InfeasibleCap {
+			health = "cap below platform floor; node pinned at floor"
+		}
+		fmt.Printf("health     : %s (%d sensor faults)\n", health, h.SensorFaults)
 		return nil
 	case "setcap":
 		if len(args) != 2 {

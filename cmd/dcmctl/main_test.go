@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"nodecap/internal/dcm"
@@ -67,6 +68,19 @@ func TestViaServerErrors(t *testing.T) {
 		if err := viaServer(server, args); err == nil {
 			t.Errorf("%v succeeded, want error", args)
 		}
+	}
+}
+
+func TestViaServerUnreachableEndpoint(t *testing.T) {
+	// No dcmd listening: the operator gets one actionable line, not a
+	// bare connection-refused.
+	err := viaServer("127.0.0.1:1", []string{"nodes"})
+	if err == nil {
+		t.Fatal("call against a dead control plane succeeded")
+	}
+	if !strings.Contains(err.Error(), "is the manager running") ||
+		!strings.Contains(err.Error(), "127.0.0.1:1") {
+		t.Errorf("unhelpful unreachable-endpoint error: %v", err)
 	}
 }
 

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	dcmd -listen 127.0.0.1:9650 -poll 1s
+//
+// With -state-dir the registry, desired caps and any group budget are
+// journaled crash-safely; a restarted dcmd reloads them and reconciles
+// every node's live policy back to the desired state within one poll.
 package main
 
 import (
@@ -32,6 +36,8 @@ func main() {
 	retryBase := flag.Duration("retry-base", dcm.DefaultRetryBaseDelay, "initial redial backoff for a failed node")
 	retryMax := flag.Duration("retry-max", dcm.DefaultRetryMaxDelay, "backoff ceiling for a failed node")
 	pollWorkers := flag.Int("poll-workers", dcm.DefaultPollConcurrency, "max nodes sampled in parallel per sweep")
+	stateDir := flag.String("state-dir", "", "durable state directory: registry, caps and budget survive restarts")
+	staleAfter := flag.Duration("stale-after", dcm.DefaultStaleAfter, "age after which an unreachable node's demand stops counting in budgets")
 	flag.Parse()
 
 	mgr := dcm.NewManager(func(addr string) (dcm.BMC, error) {
@@ -40,12 +46,30 @@ func main() {
 	mgr.RetryBaseDelay = *retryBase
 	mgr.RetryMaxDelay = *retryMax
 	mgr.PollConcurrency = *pollWorkers
+	mgr.StaleAfter = *staleAfter
 	defer mgr.Close()
+	if *stateDir != "" {
+		if err := mgr.OpenStateDir(*stateDir); err != nil {
+			log.Fatalf("dcmd: %v", err)
+		}
+		if n := len(mgr.Nodes()); n > 0 {
+			log.Printf("dcmd: restored %d node(s) from %s; reconciling caps on the next poll", n, *stateDir)
+		}
+	}
 	mgr.StartPolling(*poll)
-	if *budget > 0 && *group != "" {
+	switch {
+	case *budget > 0 && *group != "":
 		names := strings.Split(*group, ",")
 		mgr.StartAutoBalance(*budget, names, *rebalance)
 		log.Printf("dcmd: auto-balancing %.0f W across %v every %v", *budget, names, *rebalance)
+	default:
+		// No budget on the command line: re-arm the one the state dir
+		// holds, if any — a restart must not silently drop the fleet's
+		// power budget.
+		if watts, names, interval, ok := mgr.RestoredBudget(); ok {
+			mgr.StartAutoBalance(watts, names, interval)
+			log.Printf("dcmd: restored auto-balance of %.0f W across %v every %v", watts, names, interval)
+		}
 	}
 
 	srv := dcm.NewServer(mgr)

@@ -20,6 +20,8 @@ import (
 	"syscall"
 	"time"
 
+	"nodecap/internal/bmc"
+	"nodecap/internal/faults"
 	"nodecap/internal/ipmi"
 	"nodecap/internal/machine"
 	"nodecap/internal/nodeagent"
@@ -32,6 +34,23 @@ func main() {
 	workload := flag.String("workload", "idle", "node load: idle, stereo, sar, or mixed")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	throttle := flag.Duration("throttle", time.Millisecond, "wall-clock pacing per idle slice (0 free-runs)")
+
+	// Defensive-firmware knobs (see internal/bmc): -failsafe arms the
+	// sensor watchdog with the study platform's plausibility envelope.
+	failsafe := flag.Bool("failsafe", false, "arm the BMC's defensive sensor watchdog (FailSafeConfig)")
+	faultK := flag.Int("failsafe-after", 0, "untrusted control periods before fail-safe (0 = FailSafeConfig default)")
+	recoverM := flag.Int("recover-after", 0, "sane control periods required to leave fail-safe (0 = FailSafeConfig default)")
+	stuckTicks := flag.Int("stuck-ticks", 0, "identical delivered readings before the sensor counts as stuck (0 = off)")
+
+	// Sensor/actuator fault injection (see internal/faults.FaultyPlant):
+	// a non-default value slides a fault wrapper between firmware and
+	// silicon, for exercising the watchdog end to end.
+	stuckAfter := flag.Int("sensor-stuck-after", 0, "freeze the power sensor after this many reads (0 = off)")
+	dropout := flag.Float64("sensor-dropout", 0, "per-read probability the sensor delivers nothing")
+	drift := flag.Float64("sensor-drift", 0, "cumulative sensor bias in watts per read")
+	spikeProb := flag.Float64("sensor-spike-prob", 0, "per-read probability of an outlier reading")
+	spikeWatts := flag.Float64("sensor-spike-watts", 1000, "outlier reading value in watts")
+	ignoreAct := flag.Bool("ignore-actuations", false, "silently drop the BMC's P-state commands")
 	flag.Parse()
 
 	factory, err := workloadFactory(*workload, *seed)
@@ -41,6 +60,31 @@ func main() {
 
 	cfg := machine.Romley()
 	cfg.Seed = *seed
+	if *failsafe {
+		fs := bmc.FailSafeConfig()
+		fs.ControlPeriod = cfg.BMC.ControlPeriod
+		if *faultK > 0 {
+			fs.FaultToleranceTicks = *faultK
+		}
+		if *recoverM > 0 {
+			fs.RecoveryTicks = *recoverM
+		}
+		fs.StuckSensorTicks = *stuckTicks
+		cfg.BMC = fs
+	}
+	profile := faults.PlantProfile{
+		Seed:              int64(*seed),
+		StuckAfterReads:   *stuckAfter,
+		DropoutProb:       *dropout,
+		DriftWattsPerRead: *drift,
+		SpikeProb:         *spikeProb,
+		SpikeWatts:        *spikeWatts,
+		IgnoreActuations:  *ignoreAct,
+	}
+	if profile != (faults.PlantProfile{Seed: profile.Seed, SpikeWatts: profile.SpikeWatts}) {
+		cfg.WrapPlant = func(p bmc.Plant) bmc.Plant { return faults.NewPlant(p, profile) }
+		log.Printf("nodesimd: injecting sensor/actuator faults: %+v", profile)
+	}
 	agent := nodeagent.New(cfg, nodeagent.Options{
 		Workload: factory,
 		Throttle: *throttle,

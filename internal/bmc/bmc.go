@@ -17,10 +17,21 @@
 //     gating, memory-controller duty cycling — the sub-DVFS techniques
 //     the paper's counter data reveals. These buy only a few watts at
 //     a large performance cost.
+//
+// The controller is additionally defensive about its own instrument:
+// real capping firmware must stay safe when the power sensor lies. A
+// reading can be missing (dropout), outside the plausible envelope,
+// NaN/Inf, or frozen (stuck-at). After FaultToleranceTicks consecutive
+// untrusted readings while a policy is enabled the BMC enters
+// fail-safe mode — it clamps the plant at a safe P-state floor and
+// refuses to step *up* on data it cannot trust — and leaves only after
+// RecoveryTicks consecutive sane readings.
 package bmc
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"nodecap/internal/simtime"
 )
@@ -45,6 +56,27 @@ type Plant interface {
 	// level l (clamped by the plant).
 	SetGatingLevel(l int)
 }
+
+// PowerSampler is an optional Plant extension whose sensor can fail to
+// deliver a sample at all. When the plant implements it the controller
+// reads through PowerSample and treats ok=false as a dropout; plants
+// without it are assumed to always deliver.
+type PowerSampler interface {
+	PowerSample() (watts float64, ok bool)
+}
+
+// FloorReporter is an optional Plant extension that reports the
+// platform's minimum achievable power (full DVFS + gating escalation).
+// A reported floor ≤ 0 means unknown. The BMC uses it only to flag
+// infeasible caps — the policy is still applied, matching the paper's
+// 120 W rows where the node simply pins at its ~123-125 W floor.
+type FloorReporter interface {
+	CapFloorWatts() float64
+}
+
+// ErrInfeasibleCap marks a SetPolicy whose cap lies below the platform
+// floor. The policy IS applied; the error is advisory.
+var ErrInfeasibleCap = errors.New("cap below platform floor")
 
 // Policy is a power-capping policy, as pushed by DCM over IPMI.
 type Policy struct {
@@ -78,13 +110,37 @@ type Config struct {
 	// several P-states in one tick, limiting EWMA-lag overshoot into
 	// the gating ladder.
 	StepWattsPerPState float64
+
+	// MinPlausibleWatts / MaxPlausibleWatts bound the sensor's
+	// plausible envelope; a reading outside it is untrusted. Both zero
+	// disables the range check (NaN/Inf and negative readings are
+	// always untrusted).
+	MinPlausibleWatts float64
+	MaxPlausibleWatts float64
+	// StuckSensorTicks flags the sensor as untrusted after that many
+	// consecutive *identical* delivered readings. Zero disables stuck
+	// detection — it assumes a naturally-noisy sensor, and a simulated
+	// plant in steady state reports exactly constant power.
+	StuckSensorTicks int
+	// FaultToleranceTicks (K) is how many consecutive untrusted
+	// control periods are tolerated before entering fail-safe mode.
+	// Zero disables fail-safe entirely (untrusted readings are still
+	// counted and never actuated on).
+	FaultToleranceTicks int
+	// RecoveryTicks (M) is how many consecutive sane readings are
+	// required to leave fail-safe mode; values below 1 behave as 1.
+	RecoveryTicks int
+	// FailSafePState is the P-state floor held in fail-safe mode. ≤ 0
+	// or out of range means the slowest P-state.
+	FailSafePState int
 }
 
 // DefaultConfig returns the tuning used throughout the study.
 // The control period is expressed in simulated time and is much
 // shorter than real Node Manager's because the simulated runs are
 // scaled-down; the ratio of control period to run length is what
-// matters for convergence and dithering.
+// matters for convergence and dithering. Fail-safe is disabled by
+// default — the study's plants have trustworthy sensors.
 func DefaultConfig() Config {
 	return Config{
 		ControlPeriod:            100 * simtime.Microsecond,
@@ -94,6 +150,20 @@ func DefaultConfig() Config {
 		Smoothing:                0.6,
 		StepWattsPerPState:       2.0,
 	}
+}
+
+// FailSafeConfig returns DefaultConfig hardened for a fallible sensor:
+// a plausibility envelope generously bracketing the platform
+// (idle ~101 W, busy ~157 W), a 5-tick fault watchdog and a 10-tick
+// recovery requirement. Stuck-at detection stays opt-in because the
+// simulated sensor is exactly constant in steady state.
+func FailSafeConfig() Config {
+	c := DefaultConfig()
+	c.MinPlausibleWatts = 50
+	c.MaxPlausibleWatts = 400
+	c.FaultToleranceTicks = 5
+	c.RecoveryTicks = 10
+	return c
 }
 
 // Validate reports nonsensical tunings.
@@ -107,6 +177,16 @@ func (c Config) Validate() error {
 	if c.GuardBandWatts < 0 || c.HysteresisWatts < 0 || c.GateRelaxHysteresisWatts < 0 {
 		return fmt.Errorf("bmc: negative guard band or hysteresis")
 	}
+	if c.MinPlausibleWatts < 0 || c.MaxPlausibleWatts < 0 {
+		return fmt.Errorf("bmc: negative plausibility bound")
+	}
+	if c.MaxPlausibleWatts > 0 && c.MinPlausibleWatts > c.MaxPlausibleWatts {
+		return fmt.Errorf("bmc: plausibility range [%v, %v] inverted",
+			c.MinPlausibleWatts, c.MaxPlausibleWatts)
+	}
+	if c.StuckSensorTicks < 0 || c.FaultToleranceTicks < 0 || c.RecoveryTicks < 0 {
+		return fmt.Errorf("bmc: negative fault-tolerance tick count")
+	}
 	return nil
 }
 
@@ -119,6 +199,10 @@ type Stats struct {
 	GateRelax    uint64
 	OverCapTicks uint64 // ticks where smoothed power exceeded the cap
 	AtFloorTicks uint64 // ticks fully escalated yet still over cap
+
+	SensorFaults    uint64 // untrusted readings (dropout/range/NaN/stuck)
+	FailSafeEntries uint64 // transitions into fail-safe mode
+	FailSafeTicks   uint64 // ticks spent in fail-safe mode
 }
 
 // OverCapFraction reports the fraction of control ticks whose smoothed
@@ -131,6 +215,19 @@ func (s Stats) OverCapFraction() float64 {
 	return float64(s.OverCapTicks) / float64(s.Ticks)
 }
 
+// Health is the defensive-controller status a BMC reports out-of-band
+// (surfaced over IPMI to DCM).
+type Health struct {
+	// FailSafe is true while the controller distrusts its sensor and
+	// holds the fail-safe P-state floor.
+	FailSafe bool
+	// SensorFaults counts untrusted readings over the BMC's lifetime.
+	SensorFaults uint64
+	// InfeasibleCap is true when the active policy's cap lies below
+	// the platform floor (the node pins at the floor, over budget).
+	InfeasibleCap bool
+}
+
 // BMC is the controller instance for one node.
 type BMC struct {
 	cfg      Config
@@ -139,6 +236,14 @@ type BMC struct {
 	smoothed float64
 	haveEWMA bool
 	stats    Stats
+
+	failSafe   bool
+	badTicks   int     // consecutive untrusted readings
+	saneTicks  int     // consecutive trusted readings while in fail-safe
+	lastRaw    float64 // last delivered raw reading (stuck detection)
+	haveRaw    bool
+	stuckRun   int // consecutive identical delivered readings
+	infeasible bool
 }
 
 // New builds a BMC for plant; panics on invalid static config.
@@ -157,14 +262,32 @@ func (b *BMC) Policy() Policy { return b.policy }
 
 // SetPolicy installs a capping policy. Disabling the policy restores
 // full speed and removes all gating, as deactivating a DCM policy
-// does.
-func (b *BMC) SetPolicy(p Policy) {
+// does, and clears any fail-safe condition — the operator has taken
+// over. The returned error is advisory: a cap below the platform
+// floor (when the plant reports one) yields ErrInfeasibleCap but the
+// policy is applied regardless, matching the paper's 120 W rows.
+func (b *BMC) SetPolicy(p Policy) error {
 	b.policy = p
+	b.failSafe = false
+	b.badTicks = 0
+	b.saneTicks = 0
+	b.stuckRun = 0
+	b.haveRaw = false
+	b.infeasible = false
 	if !p.Enabled {
 		b.plant.SetGatingLevel(0)
 		b.plant.SetPState(0)
 		b.haveEWMA = false
+		return nil
 	}
+	if fr, ok := b.plant.(FloorReporter); ok {
+		if floor := fr.CapFloorWatts(); floor > 0 && p.CapWatts < floor {
+			b.infeasible = true
+			return fmt.Errorf("bmc: %w: %.1f W < %.1f W floor (policy applied; node will pin at the floor)",
+				ErrInfeasibleCap, p.CapWatts, floor)
+		}
+	}
+	return nil
 }
 
 // Stats returns a snapshot of controller activity.
@@ -177,6 +300,78 @@ func (b *BMC) ResetStats() { b.stats = Stats{} }
 // controller is acting on.
 func (b *BMC) SmoothedWatts() float64 { return b.smoothed }
 
+// FailSafe reports whether the controller is holding its fail-safe
+// floor because it distrusts the power sensor.
+func (b *BMC) FailSafe() bool { return b.failSafe }
+
+// Health returns the defensive-controller status.
+func (b *BMC) Health() Health {
+	return Health{
+		FailSafe:      b.failSafe,
+		SensorFaults:  b.stats.SensorFaults,
+		InfeasibleCap: b.infeasible,
+	}
+}
+
+// readSensor takes one reading, through PowerSample when the plant can
+// drop out.
+func (b *BMC) readSensor() (float64, bool) {
+	if ps, ok := b.plant.(PowerSampler); ok {
+		return ps.PowerSample()
+	}
+	return b.plant.PowerWatts(), true
+}
+
+// sensorTrusted judges one reading and maintains the stuck-at tracker.
+// Dropouts do not advance the tracker — a frozen sensor is one that
+// keeps *delivering* the same number.
+func (b *BMC) sensorTrusted(w float64, delivered bool) bool {
+	if !delivered {
+		return false
+	}
+	if b.cfg.StuckSensorTicks > 0 {
+		if b.haveRaw && w == b.lastRaw {
+			b.stuckRun++
+		} else {
+			b.stuckRun = 0
+		}
+	}
+	b.lastRaw = w
+	b.haveRaw = true
+	if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+		return false
+	}
+	if b.cfg.MinPlausibleWatts > 0 && w < b.cfg.MinPlausibleWatts {
+		return false
+	}
+	if b.cfg.MaxPlausibleWatts > 0 && w > b.cfg.MaxPlausibleWatts {
+		return false
+	}
+	if b.cfg.StuckSensorTicks > 0 && b.stuckRun >= b.cfg.StuckSensorTicks {
+		return false
+	}
+	return true
+}
+
+// failSafeFloor resolves the configured fail-safe P-state.
+func (b *BMC) failSafeFloor() int {
+	slowest := b.plant.NumPStates() - 1
+	if f := b.cfg.FailSafePState; f > 0 && f <= slowest {
+		return f
+	}
+	return slowest
+}
+
+// clampFailSafe enforces the fail-safe floor: the plant may be slower
+// than the floor (left where the last trusted control decision put
+// it), never faster.
+func (b *BMC) clampFailSafe() {
+	if floor := b.failSafeFloor(); b.plant.PStateIndex() < floor {
+		b.plant.SetPState(floor)
+		b.stats.StepsDown++
+	}
+}
+
 // Tick runs one control decision. The machine calls it every
 // ControlPeriod of simulated time.
 func (b *BMC) Tick() {
@@ -184,7 +379,44 @@ func (b *BMC) Tick() {
 	if !b.policy.Enabled {
 		return
 	}
-	w := b.plant.PowerWatts()
+
+	w, delivered := b.readSensor()
+	if !b.sensorTrusted(w, delivered) {
+		// Never actuate — in particular never step up — on data the
+		// controller cannot trust.
+		b.stats.SensorFaults++
+		b.saneTicks = 0
+		b.badTicks++
+		if k := b.cfg.FaultToleranceTicks; k > 0 && !b.failSafe && b.badTicks >= k {
+			b.failSafe = true
+			b.stats.FailSafeEntries++
+			b.haveEWMA = false
+		}
+		if b.failSafe {
+			b.stats.FailSafeTicks++
+			b.clampFailSafe()
+		}
+		return
+	}
+	b.badTicks = 0
+	if b.failSafe {
+		b.stats.FailSafeTicks++
+		b.saneTicks++
+		m := b.cfg.RecoveryTicks
+		if m < 1 {
+			m = 1
+		}
+		if b.saneTicks < m {
+			b.clampFailSafe()
+			return
+		}
+		// M consecutive sane readings: resume control with a fresh
+		// EWMA so stale pre-fault history cannot drive the first step.
+		b.failSafe = false
+		b.saneTicks = 0
+		b.haveEWMA = false
+	}
+
 	if !b.haveEWMA {
 		b.smoothed = w
 		b.haveEWMA = true

@@ -1,0 +1,251 @@
+package bmc
+
+import (
+	"errors"
+	"testing"
+)
+
+// faultPlant is a linearPlant whose sensor path can be scripted: when
+// override is set it replaces the delivered sample entirely, so tests
+// can freeze, drop, or spike the reading independently of the plant's
+// true draw.
+type faultPlant struct {
+	*linearPlant
+	override func() (watts float64, ok bool)
+}
+
+func (p *faultPlant) PowerSample() (float64, bool) {
+	if p.override != nil {
+		return p.override()
+	}
+	return p.PowerWatts(), true
+}
+
+// flooredPlant additionally reports its platform floor (124 W for the
+// stock linearPlant), implementing FloorReporter.
+type flooredPlant struct{ *linearPlant }
+
+func (p *flooredPlant) CapFloorWatts() float64 {
+	return p.base - float64(p.npstates-1)*p.perP - float64(p.maxG)*p.perG
+}
+
+func TestFailSafeConfigValid(t *testing.T) {
+	if err := FailSafeConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsFaultConfig(t *testing.T) {
+	base := FailSafeConfig()
+	mutate := []func(*Config){
+		func(c *Config) { c.MinPlausibleWatts = -1 },
+		func(c *Config) { c.MaxPlausibleWatts = -1 },
+		func(c *Config) { c.MinPlausibleWatts = 300; c.MaxPlausibleWatts = 200 },
+		func(c *Config) { c.StuckSensorTicks = -1 },
+		func(c *Config) { c.FaultToleranceTicks = -1 },
+		func(c *Config) { c.RecoveryTicks = -1 },
+	}
+	for i, mut := range mutate {
+		c := base
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad fault config %d accepted", i)
+		}
+	}
+}
+
+func TestStuckAtIdleSensorHoldsFailSafeFloor(t *testing.T) {
+	// The sensor freezes at the idle reading (101 W, inside the
+	// plausible envelope) while the node actually runs hot. A naive
+	// controller would un-throttle to full speed on the phantom
+	// headroom; the defensive one must detect the stuck sensor, clamp
+	// to the fail-safe floor, and hold it until RecoveryTicks sane
+	// readings arrive.
+	cfg := FailSafeConfig()
+	cfg.StuckSensorTicks = 3
+	p := &faultPlant{linearPlant: newLinearPlant()}
+	b := New(cfg, p)
+	if err := b.SetPolicy(Policy{Enabled: true, CapWatts: 140}); err != nil {
+		t.Fatal(err)
+	}
+	run(b, 200) // converge on the healthy sensor
+	converged := p.pstate
+	if converged == 0 {
+		t.Fatal("controller never throttled against a 140 W cap")
+	}
+
+	p.override = func() (float64, bool) { return 101, true }
+	run(b, 100)
+	if !b.FailSafe() {
+		t.Fatal("stuck-at-idle sensor never tripped fail-safe")
+	}
+	floor := p.npstates - 1
+	if p.pstate != floor {
+		t.Fatalf("fail-safe holds P%d, want floor P%d", p.pstate, floor)
+	}
+	st := b.Stats()
+	if st.FailSafeEntries != 1 {
+		t.Errorf("FailSafeEntries = %d, want 1", st.FailSafeEntries)
+	}
+	if st.SensorFaults == 0 {
+		t.Error("SensorFaults = 0 despite a stuck sensor")
+	}
+
+	// Heal with a jittering (naturally noisy) sensor. For the first
+	// RecoveryTicks-1 sane readings the controller must keep the clamp;
+	// only after RecoveryTicks does it resume control.
+	tick := 0
+	p.override = func() (float64, bool) {
+		tick++
+		return p.PowerWatts() + 0.01*float64(tick%2), true
+	}
+	for i := 0; i < cfg.RecoveryTicks-1; i++ {
+		b.Tick()
+		if !b.FailSafe() {
+			t.Fatalf("left fail-safe after only %d sane readings, want %d", i+1, cfg.RecoveryTicks)
+		}
+		if p.pstate != floor {
+			t.Fatalf("clamp released at P%d during recovery probation", p.pstate)
+		}
+	}
+	b.Tick()
+	if b.FailSafe() {
+		t.Fatalf("still in fail-safe after %d sane readings", cfg.RecoveryTicks)
+	}
+	run(b, 300)
+	if p.pstate == floor {
+		t.Error("controller never resumed stepping up after recovery")
+	}
+	if got := p.PowerWatts(); got > 140 {
+		t.Errorf("post-recovery power %v above cap", got)
+	}
+}
+
+func TestDropoutsTripFailSafe(t *testing.T) {
+	cfg := FailSafeConfig()
+	p := &faultPlant{linearPlant: newLinearPlant()}
+	b := New(cfg, p)
+	b.SetPolicy(Policy{Enabled: true, CapWatts: 150})
+	run(b, 100)
+
+	p.override = func() (float64, bool) { return 0, false }
+	// badTicks must reach K before entry; one extra tick clamps.
+	run(b, cfg.FaultToleranceTicks-1)
+	if b.FailSafe() {
+		t.Fatalf("entered fail-safe before %d dropouts", cfg.FaultToleranceTicks)
+	}
+	run(b, 2)
+	if !b.FailSafe() {
+		t.Fatal("dropouts never tripped fail-safe")
+	}
+	if p.pstate != p.npstates-1 {
+		t.Errorf("fail-safe holds P%d, want slowest", p.pstate)
+	}
+	if h := b.Health(); !h.FailSafe || h.SensorFaults == 0 {
+		t.Errorf("Health = %+v, want fail-safe with faults", h)
+	}
+}
+
+func TestUntrustedReadingNeverStepsUp(t *testing.T) {
+	// Before the watchdog even fires, an implausible reading must not
+	// actuate — in particular a phantom-idle 10 W reading must not
+	// speed the node up.
+	cfg := FailSafeConfig()
+	p := &faultPlant{linearPlant: newLinearPlant()}
+	b := New(cfg, p)
+	b.SetPolicy(Policy{Enabled: true, CapWatts: 140})
+	run(b, 200)
+	held := p.pstate
+
+	p.override = func() (float64, bool) { return 10, true } // below MinPlausibleWatts
+	for i := 0; i < cfg.FaultToleranceTicks-1; i++ {
+		b.Tick()
+		if p.pstate < held {
+			t.Fatalf("stepped up to P%d on an implausible reading", p.pstate)
+		}
+	}
+	run(b, 5)
+	if p.pstate < held {
+		t.Errorf("fail-safe left node faster (P%d) than last trusted point (P%d)", p.pstate, held)
+	}
+}
+
+func TestTransientSpikeCountedWithoutFailSafe(t *testing.T) {
+	// An isolated out-of-envelope spike is logged as a sensor fault but
+	// must not trip the watchdog: badTicks resets on the next sane
+	// reading.
+	cfg := FailSafeConfig()
+	p := &faultPlant{linearPlant: newLinearPlant()}
+	b := New(cfg, p)
+	b.SetPolicy(Policy{Enabled: true, CapWatts: 150})
+	tick := 0
+	p.override = func() (float64, bool) {
+		tick++
+		if tick%7 == 0 {
+			return 5000, true // far above MaxPlausibleWatts
+		}
+		return p.PowerWatts(), true
+	}
+	run(b, 200)
+	if b.FailSafe() {
+		t.Error("isolated spikes tripped fail-safe")
+	}
+	if got := b.Stats().SensorFaults; got == 0 {
+		t.Error("spikes not counted as sensor faults")
+	}
+}
+
+func TestDisableDuringFailSafeRestoresUncapped(t *testing.T) {
+	cfg := FailSafeConfig()
+	p := &faultPlant{linearPlant: newLinearPlant()}
+	b := New(cfg, p)
+	b.SetPolicy(Policy{Enabled: true, CapWatts: 140})
+	run(b, 100)
+	p.override = func() (float64, bool) { return 0, false }
+	run(b, 50)
+	if !b.FailSafe() {
+		t.Fatal("fail-safe never engaged")
+	}
+
+	// Operator disables the policy mid-fail-safe: the node must return
+	// to full speed with the fault latch cleared.
+	if err := b.SetPolicy(Policy{Enabled: false}); err != nil {
+		t.Fatal(err)
+	}
+	if p.pstate != 0 || p.gating != 0 {
+		t.Errorf("disable left P%d G%d", p.pstate, p.gating)
+	}
+	if b.FailSafe() || b.Health().FailSafe {
+		t.Error("fail-safe latch survived policy disable")
+	}
+	run(b, 50)
+	if p.pstate != 0 {
+		t.Errorf("disabled policy actuated to P%d", p.pstate)
+	}
+}
+
+func TestInfeasibleCapAdvisoryButApplied(t *testing.T) {
+	p := &flooredPlant{newLinearPlant()}
+	b := New(DefaultConfig(), p)
+	err := b.SetPolicy(Policy{Enabled: true, CapWatts: 120})
+	if !errors.Is(err, ErrInfeasibleCap) {
+		t.Fatalf("SetPolicy(120) error = %v, want ErrInfeasibleCap", err)
+	}
+	if !b.Health().InfeasibleCap {
+		t.Error("Health().InfeasibleCap false after infeasible SetPolicy")
+	}
+	// Advisory only: the policy is live and drives the node to its
+	// floor, exactly the paper's 120 W rows.
+	run(b, 500)
+	if p.pstate != p.npstates-1 || p.gating != p.maxG {
+		t.Errorf("infeasible cap not enforced: P%d G%d", p.pstate, p.gating)
+	}
+
+	// A feasible cap clears the flag.
+	if err := b.SetPolicy(Policy{Enabled: true, CapWatts: 140}); err != nil {
+		t.Fatalf("SetPolicy(140) = %v", err)
+	}
+	if b.Health().InfeasibleCap {
+		t.Error("InfeasibleCap latch survived a feasible SetPolicy")
+	}
+}

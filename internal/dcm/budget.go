@@ -1,9 +1,12 @@
 package dcm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
+
+	"nodecap/internal/dcm/store"
 )
 
 // Allocation is one node's share of a group budget.
@@ -30,8 +33,18 @@ type demand struct {
 //     that saturate their demand or platform maximum return the excess
 //     to the pool, which is re-divided among the rest.
 //
+// An unreachable node whose last good exchange is older than
+// StaleAfter is granted only its platform minimum: its frozen
+// Last.AverageWatts is ghost demand that would otherwise keep stealing
+// budget from live nodes.
+//
 // It fails when the budget cannot cover the platform minimums.
 func (m *Manager) AllocateBudget(budgetWatts float64, names []string) ([]Allocation, error) {
+	staleAfter := m.StaleAfter
+	if staleAfter <= 0 {
+		staleAfter = DefaultStaleAfter
+	}
+	now := time.Now()
 	demands := make([]demand, 0, len(names))
 	m.mu.Lock()
 	for _, name := range names {
@@ -40,32 +53,47 @@ func (m *Manager) AllocateBudget(budgetWatts float64, names []string) ([]Allocat
 			m.mu.Unlock()
 			return nil, fmt.Errorf("dcm: unknown node %q", name)
 		}
+		stale := !n.status.Reachable &&
+			(n.status.LastOKAt.IsZero() || now.Sub(n.status.LastOKAt) > staleAfter)
 		want := n.status.Last.AverageWatts
 		if want <= 0 {
 			want = n.status.MaxCapWatts
 		}
 		want *= 1.05 // headroom so a fitting node is not throttled
-		demands = append(demands, demand{
+		d := demand{
 			name: name, want: want,
 			min: n.status.MinCapWatts, max: n.status.MaxCapWatts,
-		})
+		}
+		if stale {
+			// Pin the grant to the platform minimum: ceiling as well as
+			// floor, so surplus budget cannot spill back into a node
+			// that cannot even be told about it.
+			d.want = d.min
+			d.max = d.min
+		}
+		demands = append(demands, d)
 	}
 	m.mu.Unlock()
 	return waterfill(budgetWatts, demands)
 }
 
-// ApplyBudget allocates and pushes the resulting caps.
+// ApplyBudget allocates and pushes the resulting caps. A failed push
+// does not stop the sweep — the remaining nodes still get their caps
+// (and the failed node's desired state is recorded, so reconciliation
+// re-pushes it when the node returns); all push failures are joined
+// into the returned error.
 func (m *Manager) ApplyBudget(budgetWatts float64, names []string) ([]Allocation, error) {
 	allocs, err := m.AllocateBudget(budgetWatts, names)
 	if err != nil {
 		return nil, err
 	}
+	var errs []error
 	for _, a := range allocs {
 		if err := m.SetNodeCap(a.Name, a.CapWatts); err != nil {
-			return allocs, err
+			errs = append(errs, err)
 		}
 	}
-	return allocs, nil
+	return allocs, errors.Join(errs...)
 }
 
 // StartAutoBalance re-divides budgetWatts across the named nodes every
@@ -81,6 +109,13 @@ func (m *Manager) StartAutoBalance(budgetWatts float64, names []string, interval
 	stop := make(chan struct{})
 	m.stopBalance = stop
 	m.mu.Unlock()
+
+	// Journal the budget so a restarted manager can re-arm it (see
+	// RestoredBudget); failures are non-fatal — the balance loop still
+	// runs, it just will not survive a restart.
+	_ = m.journalBudget(&store.BudgetRecord{
+		Watts: budgetWatts, Group: names, Interval: interval,
+	})
 
 	m.pollWG.Add(1)
 	go func() {
@@ -102,15 +137,28 @@ func (m *Manager) StartAutoBalance(budgetWatts float64, names []string, interval
 	}()
 }
 
-// StopAutoBalance halts the rebalancing loop.
+// StopAutoBalance halts the rebalancing loop and clears the journaled
+// budget so a restart does not resurrect it. (Close stops the loop
+// without clearing the journal — a shut-down manager's budget is
+// still its intent, and the restarted daemon re-arms it via
+// RestoredBudget.)
 func (m *Manager) StopAutoBalance() {
+	if m.stopBalanceLoop() {
+		_ = m.journalBudget(nil)
+	}
+}
+
+// stopBalanceLoop halts the loop; reports whether one was running.
+func (m *Manager) stopBalanceLoop() bool {
 	m.mu.Lock()
 	stop := m.stopBalance
 	m.stopBalance = nil
 	m.mu.Unlock()
-	if stop != nil {
-		close(stop)
+	if stop == nil {
+		return false
 	}
+	close(stop)
+	return true
 }
 
 // waterfill implements the allocation; exposed separately for direct

@@ -22,11 +22,13 @@ package dcm
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
+	"nodecap/internal/dcm/store"
 	"nodecap/internal/ipmi"
 )
 
@@ -40,6 +42,7 @@ type BMC interface {
 	GetPStateInfo() (ipmi.PStateInfo, error)
 	GetGatingLevel() (int, error)
 	GetCapabilities() (ipmi.Capabilities, error)
+	GetHealth() (ipmi.Health, error)
 	Close() error
 }
 
@@ -57,6 +60,9 @@ const (
 	DefaultPollConcurrency = 16
 	DefaultRetryBaseDelay  = 500 * time.Millisecond
 	DefaultRetryMaxDelay   = 30 * time.Second
+	// DefaultStaleAfter is how long an unreachable node's last good
+	// sample keeps counting as live demand in budget allocation.
+	DefaultStaleAfter = 30 * time.Second
 )
 
 // Sample is one monitoring observation.
@@ -69,7 +75,10 @@ type Sample struct {
 	GatingLevel  int
 }
 
-// NodeStatus is the manager's view of one node.
+// NodeStatus is the manager's view of one node. CapWatts/CapEnabled
+// are the *desired* policy (operator intent, persisted when a state
+// dir is open); ReportedCapWatts/ReportedCapEnabled are what the BMC
+// last reported, which reconciliation drives back toward desired.
 type NodeStatus struct {
 	Name        string
 	Addr        string
@@ -79,6 +88,19 @@ type NodeStatus struct {
 	Last        Sample
 	MinCapWatts float64
 	MaxCapWatts float64
+
+	// Reconciliation telemetry: the BMC-reported policy as of the last
+	// poll, and how often it disagreed with desired state (Drifts) and
+	// was successfully re-pushed (Reconciles).
+	ReportedCapWatts   float64
+	ReportedCapEnabled bool
+	Drifts             int
+	Reconciles         int
+
+	// BMC-reported defensive-controller health (GetHealth).
+	FailSafe      bool
+	SensorFaults  int
+	InfeasibleCap bool
 
 	// Health telemetry maintained by the fault-tolerant control loop.
 	ConsecFailures int       // consecutive failed exchanges; 0 when healthy
@@ -103,6 +125,13 @@ type managedNode struct {
 	status     NodeStatus
 	history    []Sample
 	nextRetry  time.Time
+
+	// desired is the operator-intended policy; haveDesired
+	// distinguishes "never set" (nothing to reconcile) from "cap
+	// disabled" (uncapped IS the desired state and is re-pushed when a
+	// BMC drifts). Guarded by Manager.mu.
+	desired     ipmi.PowerLimit
+	haveDesired bool
 }
 
 // acquire takes the node's ownership token, blocking behind any
@@ -141,6 +170,14 @@ type Manager struct {
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
 
+	// StaleAfter is how long an unreachable node's frozen last sample
+	// still counts as demand in AllocateBudget; beyond it the node is
+	// granted only its platform minimum (default DefaultStaleAfter).
+	StaleAfter time.Duration
+
+	// store, when non-nil, persists desired state (see OpenStateDir).
+	store *store.Store
+
 	stopPoll    chan struct{}
 	stopBalance chan struct{}
 	pollWG      sync.WaitGroup
@@ -159,6 +196,7 @@ func NewManager(dial Dialer) *Manager {
 		PollConcurrency: DefaultPollConcurrency,
 		RetryBaseDelay:  DefaultRetryBaseDelay,
 		RetryMaxDelay:   DefaultRetryMaxDelay,
+		StaleAfter:      DefaultStaleAfter,
 	}
 }
 
@@ -182,12 +220,12 @@ func (m *Manager) AddNode(name, addr string) error {
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, dup := m.nodes[name]; dup {
+		m.mu.Unlock()
 		bmc.Close()
 		return fmt.Errorf("dcm: node %q already registered", name)
 	}
-	m.nodes[name] = &managedNode{
+	n := &managedNode{
 		name: name, addr: addr, bmc: bmc,
 		busy: make(chan struct{}, 1),
 		status: NodeStatus{
@@ -196,7 +234,9 @@ func (m *Manager) AddNode(name, addr string) error {
 			LastOKAt: time.Now(),
 		},
 	}
-	return nil
+	m.nodes[name] = n
+	m.mu.Unlock()
+	return m.journalNode(store.OpAddNode, n)
 }
 
 // RemoveNode drops a node, closing its connection. It waits for any
@@ -213,6 +253,7 @@ func (m *Manager) RemoveNode(name string) error {
 	if !ok {
 		return fmt.Errorf("dcm: unknown node %q", name)
 	}
+	jerr := m.journalNode(store.OpRemoveNode, n)
 	n.acquire()
 	defer n.release()
 	m.mu.Lock()
@@ -220,9 +261,11 @@ func (m *Manager) RemoveNode(name string) error {
 	n.bmc = nil
 	m.mu.Unlock()
 	if bmc != nil {
-		return bmc.Close()
+		if cerr := bmc.Close(); jerr == nil {
+			jerr = cerr
+		}
 	}
-	return nil
+	return jerr
 }
 
 // Nodes lists statuses sorted by name.
@@ -343,9 +386,23 @@ func (m *Manager) dropConn(n *managedNode, bmc BMC) {
 // SetNodeCap pushes a capping policy to one node. capWatts <= 0
 // disables capping. An explicit operator action redials a disconnected
 // node immediately, ignoring the poll loop's backoff gate.
+//
+// Desired state is recorded (and journaled, when a state dir is open)
+// *before* the push: if the push fails, the intent survives and the
+// reconciliation loop re-pushes it once the node is reachable again.
 func (m *Manager) SetNodeCap(name string, capWatts float64) error {
 	n, err := m.node(name)
 	if err != nil {
+		return err
+	}
+	lim := ipmi.PowerLimit{Enabled: capWatts > 0, CapWatts: capWatts}
+	m.mu.Lock()
+	n.desired = lim
+	n.haveDesired = true
+	n.status.CapWatts = capWatts
+	n.status.CapEnabled = lim.Enabled
+	m.mu.Unlock()
+	if err := m.journalNode(store.OpSetCap, n); err != nil {
 		return err
 	}
 	n.acquire()
@@ -354,7 +411,6 @@ func (m *Manager) SetNodeCap(name string, capWatts float64) error {
 	if err != nil {
 		return err
 	}
-	lim := ipmi.PowerLimit{Enabled: capWatts > 0, CapWatts: capWatts}
 	if err := bmc.SetPowerLimit(lim); err != nil {
 		m.dropConn(n, bmc)
 		m.recordFailure(n, err)
@@ -362,8 +418,8 @@ func (m *Manager) SetNodeCap(name string, capWatts float64) error {
 	}
 	m.mu.Lock()
 	if !n.removed {
-		n.status.CapWatts = capWatts
-		n.status.CapEnabled = lim.Enabled
+		n.status.ReportedCapWatts = lim.CapWatts
+		n.status.ReportedCapEnabled = lim.Enabled
 		m.recordSuccess(n)
 	}
 	m.mu.Unlock()
@@ -424,15 +480,44 @@ func (m *Manager) pollNode(n *managedNode) {
 	if err != nil {
 		return // failure already recorded
 	}
-	s, err := sampleBMC(bmc)
+	s, lim, h, err := sampleBMC(bmc)
 	if err != nil {
 		m.dropConn(n, bmc)
 		m.recordFailure(n, err)
 		return
 	}
+
+	// Reconcile: the BMC's reported policy must match desired state.
+	// A reboot (policy lost) or a write the node missed while the
+	// manager was down shows up here; the policy is idempotently
+	// re-pushed under the ownership token this goroutine already holds.
+	m.mu.Lock()
+	desired, reconcile := n.desired, n.haveDesired
+	m.mu.Unlock()
+	reconcile = reconcile && policyDrifted(desired, lim)
+	if reconcile {
+		m.mu.Lock()
+		n.status.Drifts++
+		m.mu.Unlock()
+		if err := bmc.SetPowerLimit(desired); err != nil {
+			m.dropConn(n, bmc)
+			m.recordFailure(n, err)
+			return
+		}
+		lim = desired
+	}
+
 	m.mu.Lock()
 	if !n.removed {
 		m.recordSuccess(n)
+		if reconcile {
+			n.status.Reconciles++
+		}
+		n.status.ReportedCapWatts = lim.CapWatts
+		n.status.ReportedCapEnabled = lim.Enabled
+		n.status.FailSafe = h.FailSafe
+		n.status.SensorFaults = int(h.SensorFaults)
+		n.status.InfeasibleCap = h.InfeasibleCap
 		n.status.Last = s
 		n.history = append(n.history, s)
 		if len(n.history) > m.HistoryLimit {
@@ -442,19 +527,41 @@ func (m *Manager) pollNode(n *managedNode) {
 	m.mu.Unlock()
 }
 
-// sampleBMC reads one monitoring observation.
-func sampleBMC(bmc BMC) (Sample, error) {
+// policyDrifted reports whether the BMC's reported policy disagrees
+// with desired state. Watts compare at the wire's centiwatt
+// resolution, so a round-tripped cap is never flagged.
+func policyDrifted(desired, reported ipmi.PowerLimit) bool {
+	if desired.Enabled != reported.Enabled {
+		return true
+	}
+	if !desired.Enabled {
+		return false
+	}
+	return math.Abs(desired.CapWatts-reported.CapWatts) > 0.011
+}
+
+// sampleBMC reads one monitoring observation plus the reported policy
+// and controller health.
+func sampleBMC(bmc BMC) (Sample, ipmi.PowerLimit, ipmi.Health, error) {
 	pr, err := bmc.GetPowerReading()
 	if err != nil {
-		return Sample{}, err
+		return Sample{}, ipmi.PowerLimit{}, ipmi.Health{}, err
 	}
 	ps, err := bmc.GetPStateInfo()
 	if err != nil {
-		return Sample{}, err
+		return Sample{}, ipmi.PowerLimit{}, ipmi.Health{}, err
 	}
 	g, err := bmc.GetGatingLevel()
 	if err != nil {
-		return Sample{}, err
+		return Sample{}, ipmi.PowerLimit{}, ipmi.Health{}, err
+	}
+	lim, err := bmc.GetPowerLimit()
+	if err != nil {
+		return Sample{}, ipmi.PowerLimit{}, ipmi.Health{}, err
+	}
+	h, err := bmc.GetHealth()
+	if err != nil {
+		return Sample{}, ipmi.PowerLimit{}, ipmi.Health{}, err
 	}
 	return Sample{
 		At:           time.Now(),
@@ -463,7 +570,7 @@ func sampleBMC(bmc BMC) (Sample, error) {
 		FreqMHz:      int(ps.FreqMHz),
 		PState:       int(ps.Index),
 		GatingLevel:  g,
-	}, nil
+	}, lim, h, nil
 }
 
 // History returns a copy of one node's monitoring history.
@@ -522,7 +629,7 @@ func (m *Manager) StopPolling() {
 // waiting for in-flight per-node operations to drain first.
 func (m *Manager) Close() {
 	m.StopPolling()
-	m.StopAutoBalance()
+	m.stopBalanceLoop() // keep the journaled budget for the restart
 	m.pollWG.Wait()
 	m.mu.Lock()
 	nodes := m.nodes
@@ -541,5 +648,12 @@ func (m *Manager) Close() {
 			bmc.Close()
 		}
 		n.release()
+	}
+	m.mu.Lock()
+	st := m.store
+	m.store = nil
+	m.mu.Unlock()
+	if st != nil {
+		st.Close()
 	}
 }

@@ -21,6 +21,7 @@ type fakeBMC struct {
 	closed bool
 	pstate ipmi.PStateInfo
 	gating int
+	health ipmi.Health
 }
 
 func newFakeBMC(power float64) *fakeBMC {
@@ -57,6 +58,11 @@ func (f *fakeBMC) GetPStateInfo() (ipmi.PStateInfo, error) { return f.pstate, ni
 func (f *fakeBMC) GetGatingLevel() (int, error)            { return f.gating, nil }
 func (f *fakeBMC) GetCapabilities() (ipmi.Capabilities, error) {
 	return ipmi.Capabilities{MinCapWatts: f.minCap, MaxCapWatts: f.maxCap}, nil
+}
+func (f *fakeBMC) GetHealth() (ipmi.Health, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.health, nil
 }
 func (f *fakeBMC) Close() error { f.closed = true; return nil }
 

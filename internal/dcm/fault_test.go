@@ -46,6 +46,7 @@ func (s *bmcStub) GatingLevel() int { return 0 }
 func (s *bmcStub) Capabilities() ipmi.Capabilities {
 	return ipmi.Capabilities{MinCapWatts: 120, MaxCapWatts: 180}
 }
+func (s *bmcStub) Health() ipmi.Health { return ipmi.Health{} }
 
 // faultFleet brings up n real IPMI servers, each dialed through its
 // own faults.Transport, and a manager with tight timeouts and backoff
@@ -248,7 +249,8 @@ func (f *flakyBMC) GetGatingLevel() (int, error) { return 0, f.err() }
 func (f *flakyBMC) GetCapabilities() (ipmi.Capabilities, error) {
 	return ipmi.Capabilities{MinCapWatts: 120, MaxCapWatts: 180}, f.err()
 }
-func (f *flakyBMC) Close() error { return nil }
+func (f *flakyBMC) GetHealth() (ipmi.Health, error) { return ipmi.Health{}, f.err() }
+func (f *flakyBMC) Close() error                    { return nil }
 
 // guardedBMC flags any use after Close — the use-after-close the
 // per-node ownership token must prevent.
@@ -287,6 +289,7 @@ func (g *guardedBMC) GetCapabilities() (ipmi.Capabilities, error) {
 	g.check()
 	return ipmi.Capabilities{MinCapWatts: 120, MaxCapWatts: 180}, nil
 }
+func (g *guardedBMC) GetHealth() (ipmi.Health, error) { g.check(); return ipmi.Health{}, nil }
 func (g *guardedBMC) Close() error {
 	g.mu.Lock()
 	g.closed = true

@@ -1,0 +1,329 @@
+package dcm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nodecap/internal/ipmi"
+)
+
+func readLimit(f *fakeBMC) ipmi.PowerLimit {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.limit
+}
+
+func status(t *testing.T, m *Manager, name string) NodeStatus {
+	t.Helper()
+	for _, s := range m.Nodes() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("node %q not in manager", name)
+	return NodeStatus{}
+}
+
+// TestCrashRecoveryReconciles is the PR's acceptance scenario: a
+// manager with capped nodes dies without any shutdown, a fresh manager
+// restarts from the state dir, and one poll later every node's
+// reported policy equals the desired policy — including a BMC that
+// rebooted (lost its policy) while the manager was down.
+func TestCrashRecoveryReconciles(t *testing.T) {
+	dir := t.TempDir()
+	bmcs := map[string]*fakeBMC{
+		"a": newFakeBMC(150), "b": newFakeBMC(160), "c": newFakeBMC(130),
+	}
+	m1 := fleet(bmcs)
+	if err := m1.OpenStateDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		if err := m1.AddNode(n, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m1.SetNodeCap("a", 140); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.SetNodeCap("b", 150); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.SetNodeCap("c", 0); err != nil { // uncapped IS the intent
+		t.Fatal(err)
+	}
+	// Crash: m1 is abandoned without Close. The journal was fsync'd on
+	// every Apply, so the desired state is already durable.
+
+	// While the manager is down: b's BMC reboots and loses its policy;
+	// something rogue caps c.
+	bmcs["b"].mu.Lock()
+	bmcs["b"].limit = ipmi.PowerLimit{}
+	bmcs["b"].mu.Unlock()
+	bmcs["c"].mu.Lock()
+	bmcs["c"].limit = ipmi.PowerLimit{Enabled: true, CapWatts: 155}
+	bmcs["c"].mu.Unlock()
+
+	m2 := fleet(bmcs)
+	if err := m2.OpenStateDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+
+	// Restored but not yet polled: desired policy present, node marked
+	// unreachable with an explanatory error.
+	st := status(t, m2, "a")
+	if st.CapWatts != 140 || !st.CapEnabled || st.Reachable {
+		t.Fatalf("restored status = %+v", st)
+	}
+	if !strings.Contains(st.LastError, "restored") {
+		t.Errorf("restored LastError = %q", st.LastError)
+	}
+	if st.MinCapWatts != 123 || st.MaxCapWatts != 180 {
+		t.Errorf("cap range not restored: %+v", st)
+	}
+
+	m2.Poll()
+
+	for name, want := range map[string]ipmi.PowerLimit{
+		"a": {Enabled: true, CapWatts: 140},
+		"b": {Enabled: true, CapWatts: 150},
+		"c": {Enabled: false, CapWatts: 0},
+	} {
+		if got := readLimit(bmcs[name]); got != want {
+			t.Errorf("node %s reported policy = %+v, want %+v", name, got, want)
+		}
+		s := status(t, m2, name)
+		if !s.Reachable {
+			t.Errorf("node %s unreachable after poll: %s", name, s.LastError)
+		}
+		if s.ReportedCapWatts != want.CapWatts || s.ReportedCapEnabled != want.Enabled {
+			t.Errorf("node %s reported status = %+v, want %+v", name, s, want)
+		}
+	}
+
+	// a never drifted; b (rebooted) and c (rogue cap) each drifted once
+	// and were reconciled once.
+	if s := status(t, m2, "a"); s.Drifts != 0 || s.Reconciles != 0 {
+		t.Errorf("a drift telemetry = %d/%d, want 0/0", s.Drifts, s.Reconciles)
+	}
+	for _, name := range []string{"b", "c"} {
+		if s := status(t, m2, name); s.Drifts != 1 || s.Reconciles != 1 {
+			t.Errorf("%s drift telemetry = %d/%d, want 1/1", name, s.Drifts, s.Reconciles)
+		}
+	}
+
+	// Steady state: a second poll finds nothing to reconcile.
+	m2.Poll()
+	for _, name := range []string{"b", "c"} {
+		if s := status(t, m2, name); s.Drifts != 1 || s.Reconciles != 1 {
+			t.Errorf("%s reconciled again in steady state: %d/%d", name, s.Drifts, s.Reconciles)
+		}
+	}
+}
+
+// TestDesiredStateSurvivesFailedPush: the intent is journaled before
+// the push, so a cap set while the node is down still lands after a
+// restart.
+func TestDesiredStateSurvivesFailedPush(t *testing.T) {
+	dir := t.TempDir()
+	b := newFakeBMC(150)
+	m1 := fleet(map[string]*fakeBMC{"n": b})
+	if err := m1.OpenStateDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.AddNode("n", "n"); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	b.fail = true
+	b.mu.Unlock()
+	if err := m1.SetNodeCap("n", 135); err == nil {
+		t.Fatal("push to a failing BMC succeeded")
+	}
+	// Crash without Close; node heals while the manager is down.
+	b.mu.Lock()
+	b.fail = false
+	b.closed = false
+	b.mu.Unlock()
+
+	m2 := fleet(map[string]*fakeBMC{"n": b})
+	if err := m2.OpenStateDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	m2.Poll()
+	if got := readLimit(b); !got.Enabled || got.CapWatts != 135 {
+		t.Errorf("reconciled limit = %+v, want the failed push's 135 W", got)
+	}
+}
+
+// TestRemovedNodeStaysRemoved: removal is durable too.
+func TestRemovedNodeStaysRemoved(t *testing.T) {
+	dir := t.TempDir()
+	bmcs := map[string]*fakeBMC{"a": newFakeBMC(150), "b": newFakeBMC(140)}
+	m1 := fleet(bmcs)
+	if err := m1.OpenStateDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	m1.AddNode("a", "a")
+	m1.AddNode("b", "b")
+	if err := m1.RemoveNode("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := fleet(bmcs)
+	if err := m2.OpenStateDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	ns := m2.Nodes()
+	if len(ns) != 1 || ns[0].Name != "a" {
+		t.Errorf("restored fleet = %+v, want only a", ns)
+	}
+}
+
+func TestRestoredBudgetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	bmcs := map[string]*fakeBMC{"a": newFakeBMC(150), "b": newFakeBMC(140)}
+	m1 := fleet(bmcs)
+	if err := m1.OpenStateDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	m1.AddNode("a", "a")
+	m1.AddNode("b", "b")
+	m1.StartAutoBalance(310, []string{"b", "a"}, time.Hour)
+	// Graceful shutdown keeps the journaled budget: a stopped daemon's
+	// budget is still its intent.
+	m1.Close()
+
+	m2 := fleet(bmcs)
+	if err := m2.OpenStateDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	watts, group, interval, ok := m2.RestoredBudget()
+	if !ok || watts != 310 || interval != time.Hour {
+		t.Fatalf("RestoredBudget = %v %v %v %v", watts, group, interval, ok)
+	}
+	if len(group) != 2 || group[0] != "a" || group[1] != "b" {
+		t.Errorf("restored group = %v, want sorted [a b]", group)
+	}
+
+	// An explicit StopAutoBalance clears the budget durably.
+	m2.StartAutoBalance(watts, group, interval)
+	m2.StopAutoBalance()
+	m2.Close()
+
+	m3 := fleet(bmcs)
+	if err := m3.OpenStateDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Close()
+	if _, _, _, ok := m3.RestoredBudget(); ok {
+		t.Error("budget survived an explicit StopAutoBalance")
+	}
+}
+
+func TestOpenStateDirTwiceRejected(t *testing.T) {
+	m := fleet(map[string]*fakeBMC{})
+	defer m.Close()
+	if err := m.OpenStateDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.OpenStateDir(t.TempDir()); err == nil {
+		t.Error("second OpenStateDir accepted")
+	}
+}
+
+// TestReconcileCountsDrift exercises drift detection without any
+// persistence: a BMC whose policy mutates behind the manager's back is
+// driven back to desired state on the next poll.
+func TestReconcileCountsDrift(t *testing.T) {
+	b := newFakeBMC(150)
+	m := fleet(map[string]*fakeBMC{"n": b})
+	m.AddNode("n", "n")
+	if err := m.SetNodeCap("n", 140); err != nil {
+		t.Fatal(err)
+	}
+	m.Poll()
+	if s := status(t, m, "n"); s.Drifts != 0 || s.Reconciles != 0 {
+		t.Fatalf("drift flagged with no drift: %d/%d", s.Drifts, s.Reconciles)
+	}
+
+	b.mu.Lock()
+	b.limit.CapWatts = 100 // rogue write behind the manager's back
+	b.mu.Unlock()
+	m.Poll()
+	if got := readLimit(b); got.CapWatts != 140 {
+		t.Errorf("limit after reconcile = %+v, want 140", got)
+	}
+	s := status(t, m, "n")
+	if s.Drifts != 1 || s.Reconciles != 1 {
+		t.Errorf("drift telemetry = %d/%d, want 1/1", s.Drifts, s.Reconciles)
+	}
+	if s.ReportedCapWatts != 140 {
+		t.Errorf("ReportedCapWatts = %v", s.ReportedCapWatts)
+	}
+}
+
+// TestPollSurfacesHealth: BMC-reported fail-safe and sensor-fault
+// telemetry lands in NodeStatus.
+func TestPollSurfacesHealth(t *testing.T) {
+	b := newFakeBMC(150)
+	b.health = ipmi.Health{FailSafe: true, SensorFaults: 42, InfeasibleCap: true}
+	m := fleet(map[string]*fakeBMC{"n": b})
+	m.AddNode("n", "n")
+	m.Poll()
+	s := status(t, m, "n")
+	if !s.FailSafe || s.SensorFaults != 42 || !s.InfeasibleCap {
+		t.Errorf("health not surfaced: %+v", s)
+	}
+}
+
+// TestAllocateBudgetStaleNodeGetsMin: an unreachable node whose demand
+// data has gone stale is granted only its platform minimum, freeing
+// the budget for live nodes.
+func TestAllocateBudgetStaleNodeGetsMin(t *testing.T) {
+	a, b := newFakeBMC(170), newFakeBMC(170)
+	m := fleet(map[string]*fakeBMC{"a": a, "b": b})
+	m.StaleAfter = 10 * time.Millisecond
+	m.AddNode("a", "a")
+	m.AddNode("b", "b")
+	m.Poll()
+
+	// b dies; its last sample (170 W) is ghost demand.
+	b.mu.Lock()
+	b.fail = true
+	b.mu.Unlock()
+	m.Poll()
+
+	// Still fresh: the dead node's demand counts for now.
+	allocs, err := m.AllocateBudget(340, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grants := map[string]float64{}
+	for _, al := range allocs {
+		grants[al.Name] = al.CapWatts
+	}
+	if grants["b"] <= 123+1e-6 {
+		t.Errorf("fresh-failure grant for b = %.1f, want demand-weighted share", grants["b"])
+	}
+
+	time.Sleep(20 * time.Millisecond) // let b's demand go stale
+	allocs, err = m.AllocateBudget(340, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grants = map[string]float64{}
+	for _, al := range allocs {
+		grants[al.Name] = al.CapWatts
+	}
+	if grants["b"] != 123 {
+		t.Errorf("stale node granted %.1f W, want platform minimum 123", grants["b"])
+	}
+	if grants["a"] <= grants["b"] {
+		t.Errorf("live node granted %.1f W, no more than the stale one", grants["a"])
+	}
+}

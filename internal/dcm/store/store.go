@@ -1,0 +1,350 @@
+// Package store persists the DCM manager's desired state — the node
+// registry, per-node capping policies, and the active group budget —
+// across crashes. Real DCM keeps its policies in a database for the
+// same reason: the manager is the source of truth for operator intent,
+// and a restart that forgets every cap leaves the fleet uncapped (or a
+// rebooted BMC uncapped forever, since polling alone never re-pushes).
+//
+// The design is the classic snapshot-plus-journal pair:
+//
+//   - snapshot.json holds a full State, written atomically (temp file
+//     in the same directory, fsync, rename, directory fsync).
+//   - journal.log is append-only; each line is a crc32-prefixed JSON
+//     record, fsync'd per append. Replay tolerates a torn or corrupt
+//     tail — the signature of a crash mid-append — by truncating the
+//     journal at the first bad line and keeping everything before it.
+//
+// Apply mutates the in-memory State and journals the mutation; once
+// the journal grows past SnapshotEvery records it is folded into a
+// fresh snapshot and truncated.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	snapshotFile = "snapshot.json"
+	journalFile  = "journal.log"
+
+	// DefaultSnapshotEvery is the journal length (in records) that
+	// triggers automatic compaction.
+	DefaultSnapshotEvery = 256
+)
+
+// NodeRecord is the durable desired state for one managed node.
+type NodeRecord struct {
+	Addr        string  `json:"addr"`
+	MinCapWatts float64 `json:"min_cap_watts,omitempty"`
+	MaxCapWatts float64 `json:"max_cap_watts,omitempty"`
+	// HaveCap distinguishes "no policy ever set" from "cap disabled":
+	// both have CapEnabled false, but only the latter is re-pushed.
+	HaveCap    bool    `json:"have_cap,omitempty"`
+	CapEnabled bool    `json:"cap_enabled,omitempty"`
+	CapWatts   float64 `json:"cap_watts,omitempty"`
+}
+
+// BudgetRecord is the durable auto-balance configuration.
+type BudgetRecord struct {
+	Watts    float64       `json:"watts"`
+	Group    []string      `json:"group"`
+	Interval time.Duration `json:"interval,omitempty"`
+}
+
+// State is the full durable manager state.
+type State struct {
+	Nodes  map[string]NodeRecord `json:"nodes"`
+	Budget *BudgetRecord         `json:"budget,omitempty"`
+}
+
+func (s *State) clone() State {
+	out := State{Nodes: make(map[string]NodeRecord, len(s.Nodes))}
+	for k, v := range s.Nodes {
+		out.Nodes[k] = v
+	}
+	if s.Budget != nil {
+		b := *s.Budget
+		b.Group = append([]string(nil), s.Budget.Group...)
+		out.Budget = &b
+	}
+	return out
+}
+
+// Record ops.
+const (
+	OpAddNode    = "add"
+	OpRemoveNode = "remove"
+	OpSetCap     = "setcap"
+	OpBudget     = "budget"
+)
+
+// Record is one journaled mutation.
+type Record struct {
+	Op   string `json:"op"`
+	Name string `json:"name,omitempty"`
+	// Node carries the full record for OpAddNode and OpSetCap.
+	Node *NodeRecord `json:"node,omitempty"`
+	// Budget carries the configuration for OpBudget; nil clears it.
+	Budget *BudgetRecord `json:"budget,omitempty"`
+}
+
+// apply folds one record into s. Unknown ops are ignored so an old
+// binary can replay a newer journal's prefix.
+func (s *State) apply(r Record) {
+	switch r.Op {
+	case OpAddNode, OpSetCap:
+		if r.Name == "" || r.Node == nil {
+			return
+		}
+		s.Nodes[r.Name] = *r.Node
+	case OpRemoveNode:
+		delete(s.Nodes, r.Name)
+	case OpBudget:
+		s.Budget = r.Budget
+	}
+}
+
+// Store is a crash-safe State holder. Safe for concurrent use.
+type Store struct {
+	// SnapshotEvery is the journal length that triggers automatic
+	// compaction on Apply; ≤ 0 means DefaultSnapshotEvery.
+	SnapshotEvery int
+
+	mu       sync.Mutex
+	dir      string
+	state    State
+	journal  *os.File
+	pending  int // records in the journal since the last snapshot
+	closed   bool
+	replayed int // journal records recovered by Open (tests)
+}
+
+// Open loads (or initialises) the store rooted at dir, creating the
+// directory if needed. A torn journal tail is truncated; everything
+// before it is recovered.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	st := State{Nodes: make(map[string]NodeRecord)}
+	if b, err := os.ReadFile(filepath.Join(dir, snapshotFile)); err == nil {
+		if err := json.Unmarshal(b, &st); err != nil {
+			return nil, fmt.Errorf("store: corrupt snapshot %s: %w",
+				filepath.Join(dir, snapshotFile), err)
+		}
+		if st.Nodes == nil {
+			st.Nodes = make(map[string]NodeRecord)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	s := &Store{dir: dir, state: st}
+	if err := s.replayJournal(); err != nil {
+		return nil, err
+	}
+	j, err := os.OpenFile(filepath.Join(dir, journalFile),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.journal = j
+	return s, nil
+}
+
+// replayJournal folds journal records into s.state, truncating the
+// file at the first torn or corrupt line.
+func (s *Store) replayJournal() error {
+	path := filepath.Join(s.dir, journalFile)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	var good int64 // byte offset of the end of the last valid line
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		r, ok := decodeLine(line)
+		if !ok {
+			break
+		}
+		s.state.apply(r)
+		s.pending++
+		s.replayed++
+		good += int64(len(line)) + 1 // trailing '\n'
+	}
+	// Anything past `good` — a bad checksum, invalid JSON, or a final
+	// line without its newline (torn append) — is discarded.
+	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		if err := os.Truncate(path, good); err != nil {
+			return fmt.Errorf("store: truncating torn journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// encodeLine formats r as "crc32hex payloadJSON".
+func encodeLine(r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)), nil
+}
+
+// decodeLine parses one journal line, verifying its checksum.
+func decodeLine(line string) (Record, bool) {
+	sum, payload, ok := strings.Cut(line, " ")
+	if !ok || len(sum) != 8 {
+		return Record{}, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(sum, "%08x", &want); err != nil {
+		return Record{}, false
+	}
+	if crc32.ChecksumIEEE([]byte(payload)) != want {
+		return Record{}, false
+	}
+	var r Record
+	if err := json.Unmarshal([]byte(payload), &r); err != nil {
+		return Record{}, false
+	}
+	return r, true
+}
+
+// State returns a deep copy of the current state.
+func (s *Store) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.clone()
+}
+
+// Replayed reports how many journal records Open recovered.
+func (s *Store) Replayed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replayed
+}
+
+// Apply folds r into the state and journals it durably (fsync before
+// returning). Past SnapshotEvery journal records it compacts.
+func (s *Store) Apply(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	line, err := encodeLine(r)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.journal.Write(line); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("store: journal sync: %w", err)
+	}
+	s.state.apply(r)
+	s.pending++
+	every := s.SnapshotEvery
+	if every <= 0 {
+		every = DefaultSnapshotEvery
+	}
+	if s.pending >= every {
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact folds the journal into a fresh snapshot and truncates it.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	b, err := json.MarshalIndent(s.state, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(b); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, snapshotFile)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	if err := s.journal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating journal: %w", err)
+	}
+	if _, err := s.journal.Seek(0, 0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.pending = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: dir sync: %w", err)
+	}
+	return nil
+}
+
+// Close compacts (so restarts load one clean snapshot) and releases
+// the journal. A crash — i.e. no Close — is still safe: every Apply
+// was fsync'd.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.compactLocked()
+	if cerr := s.journal.Close(); err == nil {
+		err = cerr
+	}
+	s.closed = true
+	return err
+}

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func addNode(t *testing.T, s *Store, name, addr string) {
+	t.Helper()
+	if err := s.Apply(Record{Op: OpAddNode, Name: name,
+		Node: &NodeRecord{Addr: addr, MinCapWatts: 123, MaxCapWatts: 180}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func setCap(t *testing.T, s *Store, name string, watts float64) {
+	t.Helper()
+	st := s.State()
+	n := st.Nodes[name]
+	n.HaveCap = true
+	n.CapEnabled = watts > 0
+	n.CapWatts = watts
+	if err := s.Apply(Record{Op: OpSetCap, Name: name, Node: &n}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripWithoutClose(t *testing.T) {
+	// No Close = a crash: every Apply is fsync'd, so a reopen must see
+	// everything.
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	addNode(t, s, "n0", "10.0.0.1:9623")
+	addNode(t, s, "n1", "10.0.0.2:9623")
+	setCap(t, s, "n0", 140)
+	if err := s.Apply(Record{Op: OpBudget,
+		Budget: &BudgetRecord{Watts: 300, Group: []string{"n0", "n1"}, Interval: time.Second}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(Record{Op: OpRemoveNode, Name: "n1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir)
+	st := r.State()
+	if len(st.Nodes) != 1 {
+		t.Fatalf("nodes = %+v, want just n0", st.Nodes)
+	}
+	n := st.Nodes["n0"]
+	if n.Addr != "10.0.0.1:9623" || !n.HaveCap || !n.CapEnabled || n.CapWatts != 140 {
+		t.Errorf("n0 = %+v", n)
+	}
+	if st.Budget == nil || st.Budget.Watts != 300 || len(st.Budget.Group) != 2 ||
+		st.Budget.Interval != time.Second {
+		t.Errorf("budget = %+v", st.Budget)
+	}
+	if r.Replayed() != 5 {
+		t.Errorf("replayed %d records, want 5", r.Replayed())
+	}
+}
+
+func TestRoundTripThroughSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	addNode(t, s, "n0", "a:1")
+	setCap(t, s, "n0", 130)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close compacts: journal empty, snapshot holds everything.
+	if b, err := os.ReadFile(filepath.Join(dir, journalFile)); err != nil || len(b) != 0 {
+		t.Errorf("journal after Close: %d bytes, err %v", len(b), err)
+	}
+	r := mustOpen(t, dir)
+	if n := r.State().Nodes["n0"]; n.CapWatts != 130 || !n.CapEnabled {
+		t.Errorf("n0 = %+v", n)
+	}
+	if r.Replayed() != 0 {
+		t.Errorf("replayed %d, want 0 (all in snapshot)", r.Replayed())
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	addNode(t, s, "n0", "a:1")
+	setCap(t, s, "n0", 140)
+	path := filepath.Join(dir, journalFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last line mid-payload, as a crash mid-append would.
+	torn := append(append([]byte(nil), b...), []byte("deadbeef {\"op\":\"setc")...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir)
+	if n := r.State().Nodes["n0"]; n.CapWatts != 140 {
+		t.Errorf("n0 = %+v, want intact prefix", n)
+	}
+	if r.Replayed() != 2 {
+		t.Errorf("replayed %d, want 2", r.Replayed())
+	}
+	// The tail must be gone from disk so appends restart cleanly.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(b) {
+		t.Errorf("journal %d bytes after recovery, want %d", len(after), len(b))
+	}
+	// And the reopened store keeps working.
+	setCap(t, r, "n0", 150)
+	rr := mustOpen(t, dir)
+	if n := rr.State().Nodes["n0"]; n.CapWatts != 150 {
+		t.Errorf("post-recovery n0 = %+v", n)
+	}
+}
+
+func TestCorruptMiddleDropsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	addNode(t, s, "n0", "a:1")
+	setCap(t, s, "n0", 140)
+	setCap(t, s, "n0", 150)
+	path := filepath.Join(dir, journalFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	// Flip a byte inside the second record's payload.
+	mid := []byte(lines[1])
+	mid[len(mid)/2] ^= 0x01
+	if err := os.WriteFile(path, []byte(lines[0]+string(mid)+lines[2]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir)
+	// Replay keeps only the valid prefix: the add, not either setcap.
+	if r.Replayed() != 1 {
+		t.Errorf("replayed %d, want 1", r.Replayed())
+	}
+	if n := r.State().Nodes["n0"]; n.HaveCap {
+		t.Errorf("n0 = %+v, want no cap (corrupt suffix dropped)", n)
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	s.SnapshotEvery = 4
+	addNode(t, s, "n0", "a:1")
+	for i := 0; i < 10; i++ {
+		setCap(t, s, "n0", 130+float64(i))
+	}
+	// 11 applies with a threshold of 4: compaction ran, journal short.
+	b, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(b), "\n"); n >= 4 {
+		t.Errorf("journal holds %d records after auto-compaction", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Errorf("snapshot missing: %v", err)
+	}
+	r := mustOpen(t, dir)
+	if n := r.State().Nodes["n0"]; n.CapWatts != 139 {
+		t.Errorf("n0 = %+v, want cap 139", n)
+	}
+}
+
+func TestUnknownOpIgnored(t *testing.T) {
+	st := State{Nodes: map[string]NodeRecord{}}
+	st.apply(Record{Op: "future-op", Name: "x"})
+	if len(st.Nodes) != 0 {
+		t.Error("unknown op mutated state")
+	}
+}

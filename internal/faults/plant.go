@@ -1,0 +1,161 @@
+// Sensor/actuator fault injection: where faults.Transport degrades the
+// wire between DCM and a BMC, FaultyPlant degrades the layer *below*
+// the BMC — the power sensor it reads and the P-state actuator it
+// drives. The bmc package's defensive control loop (plausibility
+// range, stuck-at detection, fail-safe mode) is exercised against this
+// wrapper.
+package faults
+
+import (
+	"math/rand"
+	"sync"
+
+	"nodecap/internal/bmc"
+)
+
+// PlantProfile configures which sensor/actuator faults a FaultyPlant
+// injects. The zero value is fully transparent.
+type PlantProfile struct {
+	// Seed keys the fault schedule; equal profiles replay identical
+	// decisions. Zero means seed 1.
+	Seed int64
+
+	// StuckAfterReads freezes the sensor: after that many successful
+	// reads every subsequent read repeats the last delivered value.
+	// Zero disables.
+	StuckAfterReads int
+
+	// DropoutProb is the per-read probability [0,1] that the sensor
+	// delivers nothing (PowerSample returns ok=false).
+	DropoutProb float64
+
+	// DriftWattsPerRead adds a cumulative bias: each delivered reading
+	// carries drift grown by this much per read (calibration walk-off).
+	DriftWattsPerRead float64
+
+	// SpikeProb is the per-read probability [0,1] that the reading is
+	// replaced by SpikeWatts (an EMI-style outlier).
+	SpikeProb  float64
+	SpikeWatts float64
+
+	// IgnoreActuations makes SetPState a silent no-op — the firmware
+	// commands a transition the silicon never performs.
+	IgnoreActuations bool
+}
+
+// PlantStats counts the faults a FaultyPlant has injected.
+type PlantStats struct {
+	Reads             int
+	Dropouts          int
+	Spikes            int
+	StuckReads        int
+	IgnoredActuations int
+}
+
+// FaultyPlant wraps a bmc.Plant, injecting the sensor/actuator faults
+// its current PlantProfile describes. It implements bmc.PowerSampler
+// (dropouts) and, when the inner plant reports a floor, forwards
+// bmc.FloorReporter. Safe for concurrent use.
+type FaultyPlant struct {
+	inner bmc.Plant
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	p     PlantProfile
+	stats PlantStats
+	drift float64
+	last  float64 // last delivered reading, replayed when stuck
+	have  bool
+}
+
+// NewPlant wraps inner with profile p.
+func NewPlant(inner bmc.Plant, p PlantProfile) *FaultyPlant {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &FaultyPlant{inner: inner, rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+// SetPlantProfile replaces the active profile; the next read uses it.
+// Healing is PlantProfile{} — the rng and stuck/drift state persist so
+// the schedule stays deterministic across a mid-test heal.
+func (f *FaultyPlant) SetPlantProfile(p PlantProfile) {
+	f.mu.Lock()
+	f.p = p
+	f.mu.Unlock()
+}
+
+// PlantStats returns a snapshot of the injected-fault counters.
+func (f *FaultyPlant) PlantStats() PlantStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// PowerSample reads the (possibly lying) sensor; ok=false is a
+// dropout.
+func (f *FaultyPlant) PowerSample() (float64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Reads++
+	if f.p.DropoutProb > 0 && f.rng.Float64() < f.p.DropoutProb {
+		f.stats.Dropouts++
+		return f.last, false
+	}
+	if f.p.StuckAfterReads > 0 && f.have && f.stats.Reads > f.p.StuckAfterReads {
+		f.stats.StuckReads++
+		return f.last, true
+	}
+	w := f.inner.PowerWatts()
+	if f.p.SpikeProb > 0 && f.rng.Float64() < f.p.SpikeProb {
+		f.stats.Spikes++
+		w = f.p.SpikeWatts
+	}
+	f.drift += f.p.DriftWattsPerRead
+	w += f.drift
+	f.last = w
+	f.have = true
+	return w, true
+}
+
+// PowerWatts serves plain consumers: the last delivered value stands
+// in during a dropout.
+func (f *FaultyPlant) PowerWatts() float64 {
+	w, ok := f.PowerSample()
+	if !ok {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.last
+	}
+	return w
+}
+
+func (f *FaultyPlant) PStateIndex() int { return f.inner.PStateIndex() }
+func (f *FaultyPlant) NumPStates() int  { return f.inner.NumPStates() }
+
+// SetPState forwards the actuation unless the profile swallows it.
+func (f *FaultyPlant) SetPState(i int) {
+	f.mu.Lock()
+	ignore := f.p.IgnoreActuations
+	if ignore {
+		f.stats.IgnoredActuations++
+	}
+	f.mu.Unlock()
+	if !ignore {
+		f.inner.SetPState(i)
+	}
+}
+
+func (f *FaultyPlant) GatingLevel() int     { return f.inner.GatingLevel() }
+func (f *FaultyPlant) MaxGatingLevel() int  { return f.inner.MaxGatingLevel() }
+func (f *FaultyPlant) SetGatingLevel(l int) { f.inner.SetGatingLevel(l) }
+
+// CapFloorWatts forwards the inner plant's floor; 0 (unknown) when the
+// inner plant does not report one.
+func (f *FaultyPlant) CapFloorWatts() float64 {
+	if fr, ok := f.inner.(bmc.FloorReporter); ok {
+		return fr.CapFloorWatts()
+	}
+	return 0
+}

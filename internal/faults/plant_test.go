@@ -1,0 +1,237 @@
+package faults
+
+import (
+	"testing"
+
+	"nodecap/internal/bmc"
+)
+
+// stubPlant is a fixed-power bmc.Plant whose actuations are recorded.
+type stubPlant struct {
+	watts  float64
+	pstate int
+	sets   int
+}
+
+func (p *stubPlant) PowerWatts() float64 { return p.watts }
+func (p *stubPlant) PStateIndex() int    { return p.pstate }
+func (p *stubPlant) NumPStates() int     { return 16 }
+func (p *stubPlant) SetPState(i int) {
+	if i < 0 {
+		i = 0
+	}
+	if i > 15 {
+		i = 15
+	}
+	p.pstate = i
+	p.sets++
+}
+func (p *stubPlant) GatingLevel() int     { return 0 }
+func (p *stubPlant) MaxGatingLevel() int  { return 8 }
+func (p *stubPlant) SetGatingLevel(l int) {}
+
+// flooredStub additionally reports a platform floor.
+type flooredStub struct{ stubPlant }
+
+func (p *flooredStub) CapFloorWatts() float64 { return 124 }
+
+var _ bmc.Plant = (*FaultyPlant)(nil)
+var _ bmc.PowerSampler = (*FaultyPlant)(nil)
+var _ bmc.FloorReporter = (*FaultyPlant)(nil)
+
+func sample(f *FaultyPlant, n int) (delivered []float64, dropouts int) {
+	for i := 0; i < n; i++ {
+		if w, ok := f.PowerSample(); ok {
+			delivered = append(delivered, w)
+		} else {
+			dropouts++
+		}
+	}
+	return delivered, dropouts
+}
+
+func TestTransparentByDefault(t *testing.T) {
+	inner := &stubPlant{watts: 150}
+	f := NewPlant(inner, PlantProfile{})
+	got, drops := sample(f, 50)
+	if drops != 0 {
+		t.Errorf("zero profile dropped %d reads", drops)
+	}
+	for _, w := range got {
+		if w != 150 {
+			t.Fatalf("zero profile altered reading: %v", w)
+		}
+	}
+	f.SetPState(7)
+	if inner.pstate != 7 || inner.sets != 1 {
+		t.Errorf("actuation not forwarded: pstate=%d sets=%d", inner.pstate, inner.sets)
+	}
+	if st := f.PlantStats(); st.Reads != 50 || st.Dropouts+st.Spikes+st.StuckReads+st.IgnoredActuations != 0 {
+		t.Errorf("stats %+v for a transparent plant", st)
+	}
+}
+
+func TestDeterministicPlantSchedule(t *testing.T) {
+	prof := PlantProfile{Seed: 42, DropoutProb: 0.3, SpikeProb: 0.1, SpikeWatts: 900}
+	mk := func() ([]float64, []bool) {
+		f := NewPlant(&stubPlant{watts: 150}, prof)
+		var ws []float64
+		var oks []bool
+		for i := 0; i < 200; i++ {
+			w, ok := f.PowerSample()
+			ws = append(ws, w)
+			oks = append(oks, ok)
+		}
+		return ws, oks
+	}
+	w1, ok1 := mk()
+	w2, ok2 := mk()
+	for i := range w1 {
+		if w1[i] != w2[i] || ok1[i] != ok2[i] {
+			t.Fatalf("schedules diverge at read %d: (%v,%v) vs (%v,%v)", i, w1[i], ok1[i], w2[i], ok2[i])
+		}
+	}
+	// A different seed yields a different schedule.
+	prof.Seed = 43
+	w3, ok3 := mk()
+	same := true
+	for i := range w1 {
+		if w1[i] != w3[i] || ok1[i] != ok3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+func TestStuckSensorRepeatsLastDelivered(t *testing.T) {
+	inner := &stubPlant{watts: 150}
+	f := NewPlant(inner, PlantProfile{StuckAfterReads: 3})
+	got, _ := sample(f, 3)
+	frozen := got[len(got)-1]
+	inner.watts = 130 // real draw changes; the stuck sensor must not see it
+	got, _ = sample(f, 20)
+	for _, w := range got {
+		if w != frozen {
+			t.Fatalf("stuck sensor delivered %v, want frozen %v", w, frozen)
+		}
+	}
+	if st := f.PlantStats(); st.StuckReads != 20 {
+		t.Errorf("StuckReads = %d, want 20", st.StuckReads)
+	}
+}
+
+func TestDropoutsCountedAndBounded(t *testing.T) {
+	f := NewPlant(&stubPlant{watts: 150}, PlantProfile{Seed: 7, DropoutProb: 0.5})
+	_, drops := sample(f, 1000)
+	st := f.PlantStats()
+	if st.Dropouts != drops {
+		t.Errorf("Dropouts = %d, observed %d", st.Dropouts, drops)
+	}
+	if drops < 350 || drops > 650 {
+		t.Errorf("%d/1000 dropouts at p=0.5 — schedule implausible", drops)
+	}
+	// PowerWatts degrades gracefully: a dropout replays the last value.
+	if w := f.PowerWatts(); w != 150 {
+		t.Errorf("PowerWatts during dropouts = %v", w)
+	}
+}
+
+func TestSpikesReplaceReading(t *testing.T) {
+	f := NewPlant(&stubPlant{watts: 150}, PlantProfile{Seed: 3, SpikeProb: 0.2, SpikeWatts: 900})
+	got, _ := sample(f, 500)
+	spikes := 0
+	for _, w := range got {
+		switch w {
+		case 900:
+			spikes++
+		case 150:
+		default:
+			t.Fatalf("unexpected reading %v", w)
+		}
+	}
+	if st := f.PlantStats(); st.Spikes != spikes || spikes == 0 {
+		t.Errorf("Spikes = %d, observed %d", st.Spikes, spikes)
+	}
+}
+
+func TestDriftAccumulates(t *testing.T) {
+	f := NewPlant(&stubPlant{watts: 150}, PlantProfile{DriftWattsPerRead: 0.5})
+	got, _ := sample(f, 4)
+	want := []float64{150.5, 151, 151.5, 152}
+	for i, w := range got {
+		if w != want[i] {
+			t.Fatalf("read %d = %v, want %v", i, w, want[i])
+		}
+	}
+}
+
+func TestIgnoredActuations(t *testing.T) {
+	inner := &stubPlant{watts: 150}
+	f := NewPlant(inner, PlantProfile{IgnoreActuations: true})
+	f.SetPState(9)
+	f.SetPState(12)
+	if inner.sets != 0 {
+		t.Errorf("inner saw %d actuations through an ignoring profile", inner.sets)
+	}
+	if st := f.PlantStats(); st.IgnoredActuations != 2 {
+		t.Errorf("IgnoredActuations = %d, want 2", st.IgnoredActuations)
+	}
+	// Healing restores the actuator.
+	f.SetPlantProfile(PlantProfile{})
+	f.SetPState(5)
+	if inner.pstate != 5 {
+		t.Errorf("actuator still dead after heal: pstate=%d", inner.pstate)
+	}
+}
+
+func TestHealRestoresCleanReadings(t *testing.T) {
+	f := NewPlant(&stubPlant{watts: 150}, PlantProfile{Seed: 5, DropoutProb: 1})
+	_, drops := sample(f, 10)
+	if drops != 10 {
+		t.Fatalf("expected 10 dropouts, got %d", drops)
+	}
+	f.SetPlantProfile(PlantProfile{})
+	got, drops := sample(f, 10)
+	if drops != 0 || len(got) != 10 {
+		t.Fatalf("healed sensor still dropping: %d dropouts", drops)
+	}
+	for _, w := range got {
+		if w != 150 {
+			t.Fatalf("healed sensor delivered %v", w)
+		}
+	}
+}
+
+func TestFloorForwarding(t *testing.T) {
+	if got := NewPlant(&stubPlant{}, PlantProfile{}).CapFloorWatts(); got != 0 {
+		t.Errorf("floor %v for a floorless inner plant, want 0 (unknown)", got)
+	}
+	if got := NewPlant(&flooredStub{}, PlantProfile{}).CapFloorWatts(); got != 124 {
+		t.Errorf("floor %v, want 124 forwarded from inner plant", got)
+	}
+}
+
+func TestFaultyPlantDrivesBMCIntoFailSafe(t *testing.T) {
+	// End-to-end across the two packages: a FaultyPlant with a fully
+	// dead sensor must push the defensive controller into fail-safe.
+	inner := &stubPlant{watts: 150}
+	f := NewPlant(inner, PlantProfile{})
+	b := bmc.New(bmc.FailSafeConfig(), f)
+	b.SetPolicy(bmc.Policy{Enabled: true, CapWatts: 140})
+	for i := 0; i < 20; i++ {
+		b.Tick()
+	}
+	f.SetPlantProfile(PlantProfile{DropoutProb: 1})
+	for i := 0; i < 20; i++ {
+		b.Tick()
+	}
+	if !b.FailSafe() {
+		t.Fatal("dead sensor never tripped the controller's fail-safe")
+	}
+	if inner.pstate != inner.NumPStates()-1 {
+		t.Errorf("fail-safe holds P%d, want slowest", inner.pstate)
+	}
+}

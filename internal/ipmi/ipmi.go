@@ -42,6 +42,7 @@ const (
 	CmdGetPStateInfo   = 0x05
 	CmdGetGatingLevel  = 0x06
 	CmdGetCapabilities = 0x07
+	CmdGetHealth       = 0x08
 )
 
 // Completion codes (subset of IPMI's).
@@ -271,4 +272,44 @@ func DecodeCapabilities(b []byte) (Capabilities, error) {
 		return Capabilities{}, fmt.Errorf("ipmi: capabilities payload length %d", len(b))
 	}
 	return Capabilities{MinCapWatts: getWatts(b[0:]), MaxCapWatts: getWatts(b[4:])}, nil
+}
+
+// Health is a GetHealth response: the BMC's defensive-controller
+// status (fail-safe mode, lifetime sensor-fault count, infeasible
+// active cap).
+type Health struct {
+	FailSafe      bool
+	SensorFaults  uint32
+	InfeasibleCap bool
+}
+
+// Health flag bits.
+const (
+	healthFailSafe      = 1 << 0
+	healthInfeasibleCap = 1 << 1
+)
+
+// EncodeHealth packs a health report: flags(1) sensorFaults(4).
+func EncodeHealth(h Health) []byte {
+	b := make([]byte, 5)
+	if h.FailSafe {
+		b[0] |= healthFailSafe
+	}
+	if h.InfeasibleCap {
+		b[0] |= healthInfeasibleCap
+	}
+	binary.BigEndian.PutUint32(b[1:], h.SensorFaults)
+	return b
+}
+
+// DecodeHealth unpacks a health report.
+func DecodeHealth(b []byte) (Health, error) {
+	if len(b) != 5 {
+		return Health{}, fmt.Errorf("ipmi: health payload length %d", len(b))
+	}
+	return Health{
+		FailSafe:      b[0]&healthFailSafe != 0,
+		InfeasibleCap: b[0]&healthInfeasibleCap != 0,
+		SensorFaults:  binary.BigEndian.Uint32(b[1:]),
+	}, nil
 }

@@ -110,6 +110,15 @@ func TestCodecLengthChecks(t *testing.T) {
 	if _, err := DecodeCapabilities([]byte{1}); err == nil {
 		t.Error("short capabilities accepted")
 	}
+	if _, err := DecodeHealth([]byte{1}); err == nil {
+		t.Error("short health accepted")
+	}
+	for _, h := range []Health{{}, {FailSafe: true}, {InfeasibleCap: true, SensorFaults: 42}} {
+		got, err := DecodeHealth(EncodeHealth(h))
+		if err != nil || got != h {
+			t.Errorf("health round trip: %+v -> %+v, %v", h, got, err)
+		}
+	}
 }
 
 // fakeControl is a scripted NodeControl.
@@ -144,6 +153,7 @@ func (f *fakeControl) GatingLevel() int       { return 2 }
 func (f *fakeControl) Capabilities() Capabilities {
 	return Capabilities{MinCapWatts: 123, MaxCapWatts: 180}
 }
+func (f *fakeControl) Health() Health { return Health{FailSafe: true, SensorFaults: 7} }
 
 func TestClientServerOverTCP(t *testing.T) {
 	ctl := &fakeControl{}
@@ -186,6 +196,10 @@ func TestClientServerOverTCP(t *testing.T) {
 	caps, err := c.GetCapabilities()
 	if err != nil || caps.MinCapWatts != 123 {
 		t.Errorf("GetCapabilities = %+v, %v", caps, err)
+	}
+	h, err := c.GetHealth()
+	if err != nil || !h.FailSafe || h.InfeasibleCap || h.SensorFaults != 7 {
+		t.Errorf("GetHealth = %+v, %v", h, err)
 	}
 }
 

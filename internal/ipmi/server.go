@@ -20,6 +20,7 @@ type NodeControl interface {
 	PStateInfo() PStateInfo
 	GatingLevel() int
 	Capabilities() Capabilities
+	Health() Health
 }
 
 // Server serves the BMC management endpoint over TCP (the BMC's
@@ -133,6 +134,8 @@ func (s *Server) Handle(req Frame) Frame {
 		resp.Payload = []byte{CCOK, byte(s.ctl.GatingLevel())}
 	case CmdGetCapabilities:
 		resp.Payload = append([]byte{CCOK}, EncodeCapabilities(s.ctl.Capabilities())...)
+	case CmdGetHealth:
+		resp.Payload = append([]byte{CCOK}, EncodeHealth(s.ctl.Health())...)
 	default:
 		return fail(CCInvalidCommand)
 	}
@@ -312,4 +315,13 @@ func (c *Client) GetCapabilities() (Capabilities, error) {
 		return Capabilities{}, err
 	}
 	return DecodeCapabilities(b)
+}
+
+// GetHealth fetches the BMC's defensive-controller status.
+func (c *Client) GetHealth() (Health, error) {
+	b, err := c.call(CmdGetHealth, nil)
+	if err != nil {
+		return Health{}, err
+	}
+	return DecodeHealth(b)
 }

@@ -117,3 +117,4 @@ func (ctlStub) PowerLimit() PowerLimit         { return PowerLimit{} }
 func (ctlStub) PStateInfo() PStateInfo         { return PStateInfo{Index: 1, Count: 16, FreqMHz: 2700} }
 func (ctlStub) GatingLevel() int               { return 0 }
 func (ctlStub) Capabilities() Capabilities     { return Capabilities{MinCapWatts: 120, MaxCapWatts: 180} }
+func (ctlStub) Health() Health                 { return Health{} }

@@ -70,6 +70,11 @@ type Config struct {
 	// out-of-band management commands (policy pushes over IPMI) at a
 	// point where mutating the machine is safe, even mid-workload.
 	ControlHook func(m *Machine)
+	// WrapPlant, when set, wraps the actuation/sensing surface the BMC
+	// sees. Fault-injection tests and the node daemon use it to slide a
+	// faults.FaultyPlant between the firmware and the silicon; the
+	// machine itself is untouched.
+	WrapPlant func(p bmc.Plant) bmc.Plant
 	// OpTrace, when set, observes every committed operation the
 	// running workload issues (Compute/Load/Store), in order. The
 	// trace package uses it to record replayable workload traces; the
@@ -175,7 +180,13 @@ func New(cfg Config) *Machine {
 		codePages:  16,
 		ifetchDown: cfg.IFetchEvery,
 	}
-	m.ctrl = bmc.New(cfg.BMC, (*plant)(m))
+	var pl bmc.Plant = (*plant)(m)
+	if cfg.WrapPlant != nil {
+		if wrapped := cfg.WrapPlant(pl); wrapped != nil {
+			pl = wrapped
+		}
+	}
+	m.ctrl = bmc.New(cfg.BMC, pl)
 	// The node draws idle power from the instant it exists; events
 	// will refine the estimate as soon as activity accumulates.
 	m.curPower = cfg.Power.NodeWatts(power.NodeState{DRAMDuty: 1})
@@ -244,9 +255,12 @@ func (m *Machine) CapFloorWatts() float64 {
 }
 
 // SetPolicy installs the capping policy (CapWatts <= 0 disables
-// capping entirely, the paper's baseline configuration).
-func (m *Machine) SetPolicy(capWatts float64) {
-	m.ctrl.SetPolicy(bmc.Policy{Enabled: capWatts > 0, CapWatts: capWatts})
+// capping entirely, the paper's baseline configuration). The returned
+// error is advisory — a cap below the platform floor yields
+// bmc.ErrInfeasibleCap but is applied regardless, as the paper's
+// 120 W rows require.
+func (m *Machine) SetPolicy(capWatts float64) error {
+	return m.ctrl.SetPolicy(bmc.Policy{Enabled: capWatts > 0, CapWatts: capWatts})
 }
 
 // Alloc reserves size bytes of simulated address space, page-aligned,

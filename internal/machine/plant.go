@@ -14,6 +14,10 @@ func (p *plant) PowerWatts() float64 { return p.m().curPower }
 func (p *plant) PStateIndex() int { return p.m().core.PStateIndex() }
 func (p *plant) NumPStates() int  { return len(p.m().cfg.PStates) }
 
+// CapFloorWatts implements bmc.FloorReporter so the firmware can flag
+// caps the platform cannot track.
+func (p *plant) CapFloorWatts() float64 { return p.m().CapFloorWatts() }
+
 // SetPState performs the DVFS transition, posting its stall to the
 // running workload (frequency changes halt the clock briefly).
 func (p *plant) SetPState(i int) {

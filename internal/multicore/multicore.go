@@ -139,9 +139,10 @@ func (m *Machine) L3() *cache.Cache { return m.l3 }
 // DRAM exposes the shared memory model.
 func (m *Machine) DRAM() *dram.DRAM { return m.ram }
 
-// SetPolicy installs the node cap (0 disables).
-func (m *Machine) SetPolicy(capWatts float64) {
-	m.ctrl.SetPolicy(bmc.Policy{Enabled: capWatts > 0, CapWatts: capWatts})
+// SetPolicy installs the node cap (0 disables). The error is advisory
+// (bmc.ErrInfeasibleCap); the policy is applied regardless.
+func (m *Machine) SetPolicy(capWatts float64) error {
+	return m.ctrl.SetPolicy(bmc.Policy{Enabled: capWatts > 0, CapWatts: capWatts})
 }
 
 // Alloc reserves simulated address space (shared among shards).

@@ -171,7 +171,11 @@ func (a *Agent) PowerReading() ipmi.PowerReading {
 	return out
 }
 
-// SetPowerLimit applies a capping policy.
+// SetPowerLimit applies a capping policy. An infeasible cap (below
+// the platform floor) is still applied — the paper's 120 W rows depend
+// on that — so it is NOT a wire error; the condition is surfaced
+// through Health().InfeasibleCap instead, where the manager reads it
+// without treating the node as failed.
 func (a *Agent) SetPowerLimit(lim ipmi.PowerLimit) error {
 	a.Do(func(m *machine.Machine) {
 		if lim.Enabled {
@@ -220,6 +224,20 @@ func (a *Agent) Capabilities() ipmi.Capabilities {
 		out = ipmi.Capabilities{
 			MinCapWatts: m.CapFloorWatts(),
 			MaxCapWatts: 250,
+		}
+	})
+	return out
+}
+
+// Health reports the BMC's defensive-controller status.
+func (a *Agent) Health() ipmi.Health {
+	var out ipmi.Health
+	a.Do(func(m *machine.Machine) {
+		h := m.BMC().Health()
+		out = ipmi.Health{
+			FailSafe:      h.FailSafe,
+			SensorFaults:  uint32(h.SensorFaults),
+			InfeasibleCap: h.InfeasibleCap,
 		}
 	})
 	return out

@@ -34,12 +34,17 @@ func NewMeter(noiseWatts float64) *Meter {
 	return &Meter{NoiseWatts: noiseWatts}
 }
 
-// Record appends a reading taken at time at.
+// Record appends a reading taken at time at. The stored reading is
+// clamped at 0 W: pseudo-noise on a near-idle reading can swing below
+// zero, and a negative wall sample would poison trapezoidal energy.
 func (m *Meter) Record(at simtime.Duration, watts float64) {
 	if m.NoiseWatts > 0 {
 		watts += m.NoiseWatts * noise(m.nextSeq)
 	}
 	m.nextSeq++
+	if watts < 0 {
+		watts = 0
+	}
 	m.samples = append(m.samples, Sample{At: at, Watts: watts})
 }
 
@@ -93,12 +98,19 @@ func (m *Meter) WindowAverageWatts(window simtime.Duration) float64 {
 	if len(w) < 2 {
 		return w[len(w)-1].Watts
 	}
+	span := w[len(w)-1].At - w[0].At
+	if span <= 0 {
+		// Every window sample shares one timestamp (possible when the
+		// clock did not advance between recordings): no time base to
+		// weight by, so report the latest reading rather than 0/0.
+		return w[len(w)-1].Watts
+	}
 	var joules float64
 	for i := 1; i < len(w); i++ {
 		dt := (w[i].At - w[i-1].At).Seconds()
 		joules += dt * (w[i].Watts + w[i-1].Watts) / 2
 	}
-	return joules / (w[len(w)-1].At - w[0].At).Seconds()
+	return joules / span.Seconds()
 }
 
 // EnergyJoules integrates the samples trapezoidally, the way the

@@ -139,6 +139,39 @@ func TestNoiseAveragesOut(t *testing.T) {
 	}
 }
 
+func TestRecordClampsNegativeNoise(t *testing.T) {
+	// Huge noise amplitude around a near-zero reading: without the 0 W
+	// clamp some samples go negative and poison trapezoidal energy.
+	m := NewMeter(50)
+	for i := 0; i < 500; i++ {
+		m.Record(simtime.Duration(i)*simtime.Second, 1)
+	}
+	for i, s := range m.Samples() {
+		if s.Watts < 0 {
+			t.Fatalf("sample %d = %v W, want >= 0", i, s.Watts)
+		}
+	}
+	if e := m.EnergyJoules(); e < 0 {
+		t.Errorf("EnergyJoules = %v, want >= 0", e)
+	}
+}
+
+func TestWindowAverageZeroSpan(t *testing.T) {
+	// All window samples at one timestamp: no time base to weight by.
+	// This used to return NaN (0/0).
+	m := NewMeter(0)
+	m.Record(simtime.Second, 140)
+	m.Record(simtime.Second, 160)
+	m.Record(simtime.Second, 180)
+	got := m.WindowAverageWatts(10 * simtime.Second)
+	if math.IsNaN(got) {
+		t.Fatal("WindowAverageWatts = NaN on zero-span window")
+	}
+	if got != 180 {
+		t.Errorf("WindowAverageWatts = %v, want 180 (latest reading)", got)
+	}
+}
+
 // TestAverageWithinSampleRange: the time-weighted average of any
 // noiseless trace lies within [min, max] of its samples.
 func TestAverageWithinSampleRange(t *testing.T) {
