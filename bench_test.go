@@ -342,11 +342,11 @@ func BenchmarkFutureWorkAmenability(b *testing.B) {
 
 	var stScore, saScore float64
 	for i := 0; i < b.N; i++ {
-		cal := amenability.Calibrate(cfg, []float64{140, 120})
+		cal := amenability.Calibrate(cfg, []float64{140, 120}, 0)
 		st := amenability.ProfileApp("stereo",
-			func() machine.Workload { return stereo.New(stereoCfg) }, cfg)
+			func() machine.Workload { return stereo.New(stereoCfg) }, cfg, 0)
 		sa := amenability.ProfileApp("sar",
-			func() machine.Workload { return sar.New(sarCfg) }, cfg)
+			func() machine.Workload { return sar.New(sarCfg) }, cfg, 0)
 		stScore, saScore = st.Score(cal), sa.Score(cal)
 	}
 	b.ReportMetric(stScore, "stereo-deepcap-x")
@@ -360,7 +360,7 @@ func BenchmarkFutureWorkBurstyCap(b *testing.B) {
 	cfg := bursty.DefaultConfig()
 	var rows []bursty.CapStudy
 	for i := 0; i < b.N; i++ {
-		rows = bursty.RunStudy(cfg, []float64{135}, 135)
+		rows = bursty.RunStudy(cfg, []float64{135}, 135, 0)
 	}
 	b.ReportMetric(rows[0].Profile.OverBudgetFraction, "uncapped-overbudget")
 	b.ReportMetric(rows[1].Profile.OverBudgetFraction, "capped-overbudget")
@@ -379,6 +379,34 @@ func BenchmarkMachineOpThroughput(b *testing.B) {
 	}
 }
 
+// sweepAtParallelism runs the ISSUE's reference grid (4 caps x 3
+// trials + baseline) at a fixed worker-pool width so the two variants
+// below measure the pool's wall-clock scaling on the same work.
+func sweepAtParallelism(b *testing.B, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		_, err := core.Experiment{
+			NewWorkload: func() machine.Workload { return stereo.New(benchStereoConfig()) },
+			Caps:        []float64{150, 140, 130, 120},
+			Trials:      3,
+			Parallelism: parallelism,
+		}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel1 is the sequential reference for the cap-sweep
+// worker pool; compare against BenchmarkSweepParallel4 on a multi-core
+// host to see the scaling.
+func BenchmarkSweepParallel1(b *testing.B) { sweepAtParallelism(b, 1) }
+
+// BenchmarkSweepParallel4 runs the same grid on four workers. The
+// sweep is embarrassingly parallel (15 independent machine runs), so
+// on >= 4 free cores this approaches a 4x speedup over Parallel1.
+func BenchmarkSweepParallel4(b *testing.B) { sweepAtParallelism(b, 4) }
+
 // BenchmarkBMCSettle measures how much simulated time the controller
 // needs to settle a 130 W cap from cold, reported in virtual
 // microseconds.
@@ -388,14 +416,10 @@ func BenchmarkBMCSettle(b *testing.B) {
 		cfg := machine.Romley()
 		m := machine.New(cfg)
 		m.SetPolicy(130)
-		w := stereo.New(benchStereoConfig())
-		start := m.Now()
-		res := m.RunWorkload(w)
-		_ = res
+		res := m.RunWorkload(stereo.New(benchStereoConfig()))
 		// Settled when the frequency floor is reached: approximate via
 		// steps-down count times the control period.
 		settle = simtime.Duration(res.BMCStats.StepsDown) * cfg.BMC.ControlPeriod
-		_ = start
 	}
 	b.ReportMetric(settle.Nanos()/1e3, "settle-virt-us")
 }

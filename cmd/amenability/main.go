@@ -21,13 +21,14 @@ import (
 
 func main() {
 	tolerable := flag.Float64("tolerable", 1.4, "tolerable time-to-solution factor")
+	parallel := flag.Int("parallel", 0, "worker pool size for calibration and profiling runs (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	cfg := machine.Romley()
 	caps := core.PaperCaps()
 
 	fmt.Println("calibrating platform (cap -> operating point)...")
-	cal := amenability.Calibrate(cfg, caps)
+	cal := amenability.Calibrate(cfg, caps, *parallel)
 	fmt.Printf("%8s %10s %12s\n", "cap(W)", "freq(MHz)", "gating level")
 	for _, p := range cal.Points {
 		fmt.Printf("%8.0f %10.0f %12d\n", p.CapWatts, p.FreqMHz, p.GatingLevel)
@@ -51,7 +52,7 @@ func main() {
 
 	for _, app := range apps {
 		fmt.Printf("\nprofiling %s (baseline + two forced-gating runs)...\n", app.name)
-		prof := amenability.ProfileApp(app.name, app.mk, cfg)
+		prof := amenability.ProfileApp(app.name, app.mk, cfg, *parallel)
 		fmt.Printf("  busy %.0f%%, memory-stall %.0f%%; way-gating x%.2f, deep-gating x%.1f\n",
 			prof.BusyFraction*100, prof.MemStallFraction*100,
 			prof.WayGatingRatio, prof.DeepGatingRatio)

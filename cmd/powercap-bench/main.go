@@ -32,9 +32,10 @@ import (
 )
 
 type options struct {
-	fast   bool
-	trials int
-	csvDir string
+	fast     bool
+	trials   int
+	parallel int
+	csvDir   string
 }
 
 func main() {
@@ -49,11 +50,12 @@ func main() {
 		fig4deep = flag.Bool("fig4deep", false, "Figure 4 with the deep memory-gating ladder (paper-magnitude access times)")
 		fast     = flag.Bool("fast", false, "reduced inputs and trials")
 		trials   = flag.Int("trials", 0, "trials per cap (default 5, or 2 with -fast)")
+		parallel = flag.Int("parallel", 0, "worker pool size for sweep runs (0 = one per CPU, 1 = sequential)")
 		csvDir   = flag.String("csv", "", "directory for CSV artefacts (optional)")
 	)
 	flag.Parse()
 
-	opt := options{fast: *fast, trials: *trials, csvDir: *csvDir}
+	opt := options{fast: *fast, trials: *trials, parallel: *parallel, csvDir: *csvDir}
 	if opt.trials <= 0 {
 		opt.trials = 5
 		if opt.fast {
@@ -147,6 +149,7 @@ func runSweep(opt options, name string) core.SweepResult {
 	res, err := core.Experiment{
 		NewWorkload: sweepWorkload(opt, name),
 		Trials:      opt.trials,
+		Parallelism: opt.parallel,
 	}.Run()
 	if err != nil {
 		log.Fatalf("powercap-bench: %v", err)

@@ -33,6 +33,7 @@ import (
 	"sort"
 
 	"nodecap/internal/machine"
+	"nodecap/internal/pool"
 	"nodecap/internal/simtime"
 )
 
@@ -52,12 +53,18 @@ type AppProfile struct {
 	DeepGatingRatio float64
 }
 
-// ProfileApp measures an application's profile with three short runs.
-// mk must build identical workload instances.
-func ProfileApp(name string, mk func() machine.Workload, cfg machine.Config) AppProfile {
-	base := runAt(mk(), cfg, 0)
-	wayGated := runAt(mk(), cfg, 6)
-	deepGated := runAt(mk(), cfg, len(cfg.Ladder)-1)
+// ProfileApp measures an application's profile with three short runs,
+// executed on up to parallelism workers (<= 0 means one per CPU; the
+// runs are independent machines, so the profile is identical at any
+// width). mk must build identical workload instances and must be safe
+// to call concurrently.
+func ProfileApp(name string, mk func() machine.Workload, cfg machine.Config, parallelism int) AppProfile {
+	levels := [3]int{0, 6, len(cfg.Ladder) - 1}
+	var runs [3]runMetrics
+	pool.ForEach(len(levels), parallelism, func(i int) {
+		runs[i] = runAt(mk(), cfg, levels[i])
+	})
+	base, wayGated, deepGated := runs[0], runs[1], runs[2]
 
 	p := AppProfile{
 		Name:         name,
@@ -130,24 +137,28 @@ func (c *calibrationLoad) Run(m *machine.Machine) {
 }
 
 // Calibrate maps each cap to the platform's settled operating point.
-func Calibrate(cfg machine.Config, caps []float64) Calibration {
+// The caps are measured on up to parallelism workers (<= 0 means one
+// per CPU); each cap gets its own machine, and the points land in a
+// pre-indexed slice, so the result is identical at any width.
+func Calibrate(cfg machine.Config, caps []float64, parallelism int) Calibration {
 	cal := Calibration{
 		BaseFreqMHz: float64(cfg.PStates.Fastest().FreqMHz),
 		MaxGating:   len(cfg.Ladder) - 1,
+		Points:      make([]CalPoint, len(caps)),
 	}
-	for _, cap := range caps {
+	pool.ForEach(len(caps), parallelism, func(i int) {
 		m := machine.New(cfg)
-		m.SetPolicy(cap)
+		m.SetPolicy(caps[i])
 		// Two runs: the first converges the controller, the second is
 		// the settled observation.
 		m.RunWorkload(&calibrationLoad{iters: 400000})
 		res := m.RunWorkload(&calibrationLoad{iters: 400000})
-		cal.Points = append(cal.Points, CalPoint{
-			CapWatts:    cap,
+		cal.Points[i] = CalPoint{
+			CapWatts:    caps[i],
 			FreqMHz:     res.AvgFreqMHz,
 			GatingLevel: res.FinalGatingLevel,
-		})
-	}
+		}
+	})
 	sort.Slice(cal.Points, func(i, j int) bool {
 		return cal.Points[i].CapWatts > cal.Points[j].CapWatts
 	})

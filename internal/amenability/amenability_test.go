@@ -24,8 +24,8 @@ func sarMk() func() machine.Workload {
 
 func TestProfilesCaptureThePaperContrast(t *testing.T) {
 	cfg := machine.Romley()
-	st := ProfileApp("stereo", stereoMk(), cfg)
-	sa := ProfileApp("sar", sarMk(), cfg)
+	st := ProfileApp("stereo", stereoMk(), cfg, 0)
+	sa := ProfileApp("sar", sarMk(), cfg, 0)
 
 	// SAR streams: more memory-stall time than the cache-resident
 	// stereo matcher.
@@ -53,7 +53,7 @@ func TestProfilesCaptureThePaperContrast(t *testing.T) {
 
 func TestCalibrationShape(t *testing.T) {
 	cfg := machine.Romley()
-	cal := Calibrate(cfg, []float64{150, 130, 120})
+	cal := Calibrate(cfg, []float64{150, 130, 120}, 0)
 	if len(cal.Points) != 3 {
 		t.Fatalf("points = %d", len(cal.Points))
 	}
@@ -81,13 +81,13 @@ func TestCalibrationShape(t *testing.T) {
 func TestPredictionMatchesMeasurementShape(t *testing.T) {
 	cfg := machine.Romley()
 	caps := []float64{150, 140, 130, 120}
-	cal := Calibrate(cfg, caps)
+	cal := Calibrate(cfg, caps, 0)
 
 	for _, app := range []struct {
 		name string
 		mk   func() machine.Workload
 	}{{"stereo", stereoMk()}, {"sar", sarMk()}} {
-		prof := ProfileApp(app.name, app.mk, cfg)
+		prof := ProfileApp(app.name, app.mk, cfg, 0)
 		prev := 0.0
 		for _, cap := range caps {
 			pred, err := prof.PredictSlowdown(cal, cap)
@@ -116,9 +116,9 @@ func TestPredictionMatchesMeasurementShape(t *testing.T) {
 
 func TestAmenabilityOrderingMatchesPaper(t *testing.T) {
 	cfg := machine.Romley()
-	cal := Calibrate(cfg, []float64{150, 140, 130, 120})
-	st := ProfileApp("stereo", stereoMk(), cfg)
-	sa := ProfileApp("sar", sarMk(), cfg)
+	cal := Calibrate(cfg, []float64{150, 140, 130, 120}, 0)
+	st := ProfileApp("stereo", stereoMk(), cfg, 0)
+	sa := ProfileApp("sar", sarMk(), cfg, 0)
 	// The paper: SIRE/RSM is more amenable to capping than Stereo
 	// Matching. Lower score = more amenable.
 	if sa.Score(cal) >= st.Score(cal) {
@@ -128,8 +128,8 @@ func TestAmenabilityOrderingMatchesPaper(t *testing.T) {
 
 func TestAmenableCap(t *testing.T) {
 	cfg := machine.Romley()
-	cal := Calibrate(cfg, []float64{150, 140, 130, 120})
-	sa := ProfileApp("sar", sarMk(), cfg)
+	cal := Calibrate(cfg, []float64{150, 140, 130, 120}, 0)
+	sa := ProfileApp("sar", sarMk(), cfg, 0)
 	cap, ok := sa.AmenableCap(cal, 1.4)
 	if !ok {
 		t.Fatal("no amenable cap found for SAR at 1.4x")
@@ -144,7 +144,7 @@ func TestAmenableCap(t *testing.T) {
 }
 
 func TestPointLookupError(t *testing.T) {
-	cal := Calibrate(machine.Romley(), []float64{150})
+	cal := Calibrate(machine.Romley(), []float64{150}, 0)
 	p := AppProfile{BusyFraction: 1}
 	if _, err := p.PredictSlowdown(cal, 777); err == nil {
 		t.Error("uncalibrated cap accepted")

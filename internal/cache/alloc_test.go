@@ -1,0 +1,23 @@
+package cache
+
+import "testing"
+
+// TestAccessZeroAlloc pins the hot path's allocation budget at zero:
+// every simulated memory op scans three cache levels, so a single
+// per-access allocation would dominate the simulator's profile. The
+// mix covers MRU hits, scan hits, fills, and evictions.
+func TestAccessZeroAlloc(t *testing.T) {
+	c := New(Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8,
+		HitLatencyCycles: 4, WriteBack: true})
+	var i uint64
+	allocs := testing.AllocsPerRun(20000, func() {
+		// Stride over more lines than the cache holds so fills and
+		// evictions (incl. dirty write-backs) stay on the path.
+		c.Access((i%1024)*64, i%3 == 0)
+		c.Access((i%1024)*64, false) // immediate re-touch: MRU hit
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Cache.Access allocates %.1f times per op, want 0", allocs)
+	}
+}

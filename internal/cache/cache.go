@@ -101,49 +101,76 @@ type AccessResult struct {
 	EvictedValid bool
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	// lastUse orders lines for LRU. A per-cache monotonic counter is
-	// cheaper than list manipulation and exact for LRU purposes.
-	lastUse uint64
-}
-
 // Cache is one level of a memory hierarchy. It tracks only tags and
 // metadata; data contents live in the workload's real Go memory.
+//
+// The line state is stored structure-of-arrays, flat and set-major
+// (set s owns index range [s*ways, (s+1)*ways)): the hit scan walks a
+// packed array of tag words and touches nothing else, so an 8-way set
+// costs one host cache line instead of the three an array-of-structs
+// layout spreads it over — the difference is the simulator's op
+// throughput, since every simulated access scans three cache levels.
+//
+// tags packs each way's tag and valid bit into one comparable word:
+// tag<<1|1 when valid, 0 when invalid, so one load-and-compare decides
+// a way. The packing is lossless for any address below 2^63 shifted
+// down by at least one line-offset or set-index bit — every geometry
+// this simulator builds (the machine lays its regions out below 2^31).
 type Cache struct {
-	cfg        Config
-	sets       [][]line
+	cfg   Config
+	tags  []uint64 // tagv per way (tag<<1|1, 0 = invalid)
+	use   []uint64 // LRU clocks; a monotonic counter is exact for LRU
+	dirty []bool
+	// full marks sets whose active ways are all valid: their scans skip
+	// first-invalid tracking. A set earns its bit on the first miss that
+	// finds no invalid way and loses it whenever a line is dropped
+	// (Invalidate, Flush, way gating).
+	full       []bool
 	setMask    uint64
 	lineShift  uint
+	tagShift   uint // set-index width; splits a block into set and tag
+	ways       int
 	activeWays int
-	useClock   uint64
-	rng        uint64 // Random replacement state
-	stats      Stats
+	writeback  bool // cfg.WriteBack, hoisted for the access path
+	random     bool // cfg.Replacement == Random, hoisted likewise
+	// mruIdx/mruBlk remember the last line that hit or filled: the MRU
+	// filter in front of the set scan. Stream-dominated workloads (the
+	// stride probe, SAR) touch the same line repeatedly, and a
+	// repeated-line hit skips the scan entirely. mruIdx is -1 when no
+	// resident line is cached.
+	mruIdx   int
+	mruBlk   uint64
+	useClock uint64
+	rng      uint64 // Random replacement state
+	stats    Stats
 }
 
 // New builds a cache from cfg, panicking on invalid geometry: every
 // configuration in this codebase is static, so a bad one is a
-// programming error, not a runtime condition.
+// programming error, not a runtime condition. The set mask, line
+// shift, and tag shift are precomputed here so the per-access path
+// never re-derives geometry.
 func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	nsets := cfg.Sets()
-	c := &Cache{
+	n := cfg.Sets() * cfg.Ways
+	return &Cache{
 		cfg:        cfg,
-		sets:       make([][]line, nsets),
-		setMask:    uint64(nsets - 1),
+		tags:       make([]uint64, n),
+		use:        make([]uint64, n),
+		dirty:      make([]bool, n),
+		full:       make([]bool, cfg.Sets()),
+		setMask:    uint64(cfg.Sets() - 1),
 		lineShift:  uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		tagShift:   uint(bits.Len64(uint64(cfg.Sets() - 1))),
+		ways:       cfg.Ways,
 		activeWays: cfg.Ways,
+		writeback:  cfg.WriteBack,
+		random:     cfg.Replacement == Random,
+		mruIdx:     -1,
 		rng:        0x243F6A8885A308D3, // fixed seed: deterministic runs
 	}
-	backing := make([]line, nsets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
-	}
-	return c
 }
 
 // Config returns the cache geometry.
@@ -163,7 +190,7 @@ func (c *Cache) ActiveWays() int { return c.activeWays }
 // indexOf splits an address into set index and tag.
 func (c *Cache) indexOf(addr uint64) (set uint64, tag uint64) {
 	blk := addr >> c.lineShift
-	return blk & c.setMask, blk >> uint(bits.Len64(c.setMask))
+	return blk & c.setMask, blk >> c.tagShift
 }
 
 // LineAddr reports the line-aligned address containing addr.
@@ -171,24 +198,95 @@ func (c *Cache) LineAddr(addr uint64) uint64 {
 	return addr &^ (uint64(c.cfg.LineBytes) - 1)
 }
 
+// Eviction flags reported by AccessPacked.
+const (
+	// EvictedFlag marks a valid line (clean or dirty) replaced by the
+	// fill; its address is the second return value.
+	EvictedFlag = 1 << 0
+	// WritebackFlag marks the evicted line dirty: the caller owes a
+	// write-back of the same address to the next level.
+	WritebackFlag = 1 << 1
+)
+
 // Access performs one read (write=false) or write (write=true) of the
 // line containing addr, updating LRU state and statistics. On a miss
 // the line is filled (write-allocate) unless the cache is configured
 // write-through, in which case write misses do not allocate.
 func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	hit, ev, flags := c.AccessPacked(addr, write)
+	res := AccessResult{Hit: hit}
+	if flags&EvictedFlag != 0 {
+		res.EvictedAddr, res.EvictedValid = ev, true
+		if flags&WritebackFlag != 0 {
+			res.WritebackAddr, res.WritebackValid = ev, true
+		}
+	}
+	return res
+}
+
+// AccessPacked is Access with the outcome packed into scalar returns
+// (hit, evicted-line address, EvictedFlag|WritebackFlag bits). The
+// hierarchy scans three levels per simulated memory op, and returning
+// a 40-byte AccessResult by value at each level was a measurable slice
+// of the op budget; three scalars travel back in registers. The MRU
+// filter and the flat scan produce statistics and LRU state identical
+// to a plain set scan; only the work to get there differs.
+func (c *Cache) AccessPacked(addr uint64, write bool) (hit bool, evictedAddr uint64, evFlags uint32) {
 	c.stats.Accesses++
 	c.useClock++
-	setIdx, tag := c.indexOf(addr)
-	set := c.sets[setIdx][:c.activeWays]
+	blk := addr >> c.lineShift
+	tagv := (blk>>c.tagShift)<<1 | 1
+	markDirty := write && c.writeback
 
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	// MRU filter: a repeated-line access skips the set scan.
+	if blk == c.mruBlk && c.mruIdx >= 0 {
+		if c.tags[c.mruIdx] == tagv {
 			c.stats.Hits++
-			set[i].lastUse = c.useClock
-			if write && c.cfg.WriteBack {
-				set[i].dirty = true
+			c.use[c.mruIdx] = c.useClock
+			if markDirty {
+				c.dirty[c.mruIdx] = true
 			}
-			return AccessResult{Hit: true}
+			return true, 0, 0
+		}
+	}
+
+	setIdx := blk & c.setMask
+	base := int(setIdx) * c.ways
+	tags := c.tags[base : base+c.activeWays]
+	inv := -1
+	if c.full[setIdx] {
+		// Steady state: every active way is valid, so the scan is a
+		// pure tag compare with no invalid-way bookkeeping.
+		for i := range tags {
+			if tags[i] == tagv {
+				c.stats.Hits++
+				c.use[base+i] = c.useClock
+				if markDirty {
+					c.dirty[base+i] = true
+				}
+				c.mruBlk, c.mruIdx = blk, base+i
+				return true, 0, 0
+			}
+		}
+	} else {
+		// Warm-up: one pass decides hit or miss and remembers the first
+		// invalid way so the fill below rarely needs a second scan.
+		for i := range tags {
+			if tags[i] == tagv {
+				c.stats.Hits++
+				c.use[base+i] = c.useClock
+				if markDirty {
+					c.dirty[base+i] = true
+				}
+				c.mruBlk, c.mruIdx = blk, base+i
+				return true, 0, 0
+			}
+			if inv < 0 && tags[i] == 0 {
+				inv = i
+			}
+		}
+		if inv < 0 {
+			c.full[setIdx] = true
 		}
 	}
 
@@ -196,51 +294,46 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	if !write {
 		c.stats.ReadMisses++
 	}
-	if write && !c.cfg.WriteBack {
+	if write && !c.writeback {
 		// Write-through/no-allocate: the write goes straight down.
-		return AccessResult{}
+		return false, 0, 0
 	}
 
-	// Fill: choose an invalid way, else the policy's victim.
-	victim := -1
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-	}
+	// Fill: the first invalid way, else the policy's victim.
+	victim := inv
 	if victim < 0 {
-		if c.cfg.Replacement == Random {
+		if c.random {
 			c.rng ^= c.rng << 13
 			c.rng ^= c.rng >> 7
 			c.rng ^= c.rng << 17
-			victim = int(c.rng % uint64(len(set)))
+			victim = int(c.rng % uint64(len(tags)))
 		} else {
+			use := c.use[base : base+c.activeWays]
 			victim = 0
-			for i := range set {
-				if set[i].lastUse < set[victim].lastUse {
+			oldest := use[0]
+			for i := 1; i < len(use); i++ {
+				if use[i] < oldest {
+					oldest = use[i]
 					victim = i
 				}
 			}
 		}
 	}
-	res := AccessResult{}
-	v := &set[victim]
-	if v.valid {
-		res.EvictedAddr = c.reconstruct(setIdx, v.tag)
-		res.EvictedValid = true
-		if v.dirty {
+	vi := base + victim
+	if old := c.tags[vi]; old != 0 {
+		evictedAddr = c.reconstruct(setIdx, old>>1)
+		evFlags = EvictedFlag
+		if c.dirty[vi] {
 			c.stats.Writebacks++
-			res.WritebackAddr = res.EvictedAddr
-			res.WritebackValid = true
+			evFlags |= WritebackFlag
 		}
 	}
 	c.stats.Fills++
-	v.valid = true
-	v.dirty = write && c.cfg.WriteBack
-	v.tag = tag
-	v.lastUse = c.useClock
-	return res
+	c.tags[vi] = tagv
+	c.dirty[vi] = markDirty
+	c.use[vi] = c.useClock
+	c.mruBlk, c.mruIdx = blk, vi
+	return false, evictedAddr, evFlags
 }
 
 // Update marks the line containing addr dirty if it is resident,
@@ -249,14 +342,16 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 // the line, and when it does not the write-back is simply forwarded
 // downward rather than allocating here.
 func (c *Cache) Update(addr uint64) bool {
-	setIdx, tag := c.indexOf(addr)
-	set := c.sets[setIdx][:c.activeWays]
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	blk := addr >> c.lineShift
+	tagv := (blk>>c.tagShift)<<1 | 1
+	base := int(blk&c.setMask) * c.ways
+	tags := c.tags[base : base+c.activeWays]
+	for i := range tags {
+		if tags[i] == tagv {
 			c.useClock++
-			set[i].lastUse = c.useClock
+			c.use[base+i] = c.useClock
 			if c.cfg.WriteBack {
-				set[i].dirty = true
+				c.dirty[base+i] = true
 			}
 			return true
 		}
@@ -268,10 +363,12 @@ func (c *Cache) Update(addr uint64) bool {
 // not perturb LRU state or statistics; it exists for tests and for the
 // hierarchy's inclusion checks.
 func (c *Cache) Contains(addr uint64) bool {
-	setIdx, tag := c.indexOf(addr)
-	set := c.sets[setIdx][:c.activeWays]
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	blk := addr >> c.lineShift
+	tagv := (blk>>c.tagShift)<<1 | 1
+	base := int(blk&c.setMask) * c.ways
+	tags := c.tags[base : base+c.activeWays]
+	for i := range tags {
+		if tags[i] == tagv {
 			return true
 		}
 	}
@@ -280,7 +377,7 @@ func (c *Cache) Contains(addr uint64) bool {
 
 // reconstruct rebuilds a line-aligned address from set index and tag.
 func (c *Cache) reconstruct(setIdx, tag uint64) uint64 {
-	return (tag<<uint(bits.Len64(c.setMask)) | setIdx) << c.lineShift
+	return (tag<<c.tagShift | setIdx) << c.lineShift
 }
 
 // SetActiveWays gates the cache down (or back up) to n powered ways,
@@ -295,41 +392,51 @@ func (c *Cache) SetActiveWays(n int) []uint64 {
 	if n > c.cfg.Ways {
 		n = c.cfg.Ways
 	}
+	if n != c.activeWays {
+		// Any associativity change invalidates the full-set bits: gating
+		// down drops lines below, and gating up adds empty ways.
+		for i := range c.full {
+			c.full[i] = false
+		}
+	}
 	if n >= c.activeWays {
 		c.activeWays = n
 		return nil
 	}
 	var dirty []uint64
-	for setIdx := range c.sets {
+	nsets := len(c.tags) / c.ways
+	for setIdx := 0; setIdx < nsets; setIdx++ {
 		for w := n; w < c.activeWays; w++ {
-			l := &c.sets[setIdx][w]
-			if l.valid {
+			i := setIdx*c.ways + w
+			if c.tags[i] != 0 {
 				c.stats.GateFlush++
-				if l.dirty {
-					dirty = append(dirty, c.reconstruct(uint64(setIdx), l.tag))
+				if c.dirty[i] {
+					dirty = append(dirty, c.reconstruct(uint64(setIdx), c.tags[i]>>1))
 				}
-				l.valid = false
-				l.dirty = false
+				c.tags[i] = 0
+				c.dirty[i] = false
 			}
 		}
 	}
 	c.activeWays = n
+	c.mruIdx = -1 // the cached line may just have been gated off
 	return dirty
 }
 
 // Flush invalidates every line, returning the addresses of dirty ones.
 func (c *Cache) Flush() []uint64 {
 	var dirty []uint64
-	for setIdx := range c.sets {
-		for w := range c.sets[setIdx] {
-			l := &c.sets[setIdx][w]
-			if l.valid && l.dirty {
-				dirty = append(dirty, c.reconstruct(uint64(setIdx), l.tag))
-			}
-			l.valid = false
-			l.dirty = false
+	for i := range c.tags {
+		if c.tags[i] != 0 && c.dirty[i] {
+			dirty = append(dirty, c.reconstruct(uint64(i/c.ways), c.tags[i]>>1))
 		}
+		c.tags[i] = 0
+		c.dirty[i] = false
 	}
+	for i := range c.full {
+		c.full[i] = false
+	}
+	c.mruIdx = -1
 	return dirty
 }
 
@@ -337,13 +444,19 @@ func (c *Cache) Flush() []uint64 {
 // whether it was dirty. The hierarchy uses it to maintain inclusion
 // when an outer level evicts.
 func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
-	setIdx, tag := c.indexOf(addr)
-	set := c.sets[setIdx] // search gated ways too: they are invalid anyway
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			wasDirty = set[i].dirty
-			set[i].valid = false
-			set[i].dirty = false
+	blk := addr >> c.lineShift
+	tagv := (blk>>c.tagShift)<<1 | 1
+	base := int(blk&c.setMask) * c.ways
+	tags := c.tags[base : base+c.ways] // search gated ways too: they are invalid anyway
+	for i := range tags {
+		if tags[i] == tagv {
+			wasDirty = c.dirty[base+i]
+			tags[i] = 0
+			c.dirty[base+i] = false
+			c.full[blk&c.setMask] = false
+			if c.mruIdx == base+i {
+				c.mruIdx = -1
+			}
 			return wasDirty
 		}
 	}

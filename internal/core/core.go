@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"nodecap/internal/machine"
+	"nodecap/internal/pool"
 	"nodecap/internal/simtime"
 	"nodecap/internal/stats"
 )
@@ -34,6 +35,15 @@ type Experiment struct {
 	Caps []float64
 	// Trials per cap; the paper uses 5.
 	Trials int
+	// Parallelism bounds how many (cap, trial) simulations run
+	// concurrently: <= 0 selects GOMAXPROCS, 1 forces the sequential
+	// schedule. Every run derives its seed from its (cap, trial) grid
+	// position and trial results reduce in grid order, so the sweep
+	// result is bit-identical at every parallelism level. NewWorkload
+	// and MachineConfig must be safe for concurrent calls when
+	// Parallelism permits more than one worker (pure constructors over
+	// shared read-only configuration are).
+	Parallelism int
 }
 
 // Defaults fills unset fields.
@@ -102,7 +112,12 @@ type SweepResult struct {
 	Capped   []CapResult
 }
 
-// Run executes the experiment.
+// Run executes the experiment: the baseline plus every cap, Trials
+// runs each. The full (cap, trial) grid fans out across a bounded
+// worker pool (see Parallelism); each run lands in its pre-indexed
+// slot and each cap's trials reduce in trial order, so the result is
+// identical to the sequential schedule no matter how the goroutines
+// interleave.
 func (e Experiment) Run() (SweepResult, error) {
 	if err := e.defaults(); err != nil {
 		return SweepResult{}, err
@@ -110,27 +125,39 @@ func (e Experiment) Run() (SweepResult, error) {
 	var out SweepResult
 	out.Workload = e.NewWorkload().Name()
 
-	out.Baseline = e.runCap(0, "baseline", 1)
+	// Grid row 0 is the baseline (seed base 1, as the sequential
+	// schedule always had); row i+1 is Caps[i] (seed base i+2).
+	rows := 1 + len(e.Caps)
+	runs := make([]machine.RunResult, rows*e.Trials)
+	pool.ForEach(len(runs), e.Parallelism, func(job int) {
+		row, trial := job/e.Trials, job%e.Trials
+		var capWatts float64
+		if row > 0 {
+			capWatts = e.Caps[row-1]
+		}
+		seed := uint64(row+1)*1000 + uint64(trial)
+		m := machine.New(e.MachineConfig(seed))
+		m.SetPolicy(capWatts)
+		runs[job] = m.RunWorkload(e.NewWorkload())
+	})
+
+	out.Baseline = e.reduceCap(0, "baseline", runs[:e.Trials])
 	for i, cap := range e.Caps {
 		label := fmt.Sprintf("%.0f", cap)
-		out.Capped = append(out.Capped, e.runCap(cap, label, uint64(i+2)))
+		out.Capped = append(out.Capped,
+			e.reduceCap(cap, label, runs[(i+1)*e.Trials:(i+2)*e.Trials]))
 	}
 	return out, nil
 }
 
-// runCap averages Trials runs at one cap.
-func (e Experiment) runCap(capWatts float64, label string, seedBase uint64) CapResult {
+// reduceCap averages one cap's trial runs, in trial order.
+func (e Experiment) reduceCap(capWatts float64, label string, trials []machine.RunResult) CapResult {
 	var (
 		power, energy, freq, tsec                        []float64
 		l1, l2, l3, dtlb, itlb, com, iss, lds, strs, cyc []float64
 		totalTime                                        simtime.Duration
 	)
-	for trial := 0; trial < e.Trials; trial++ {
-		seed := seedBase*1000 + uint64(trial)
-		m := machine.New(e.MachineConfig(seed))
-		m.SetPolicy(capWatts)
-		r := m.RunWorkload(e.NewWorkload())
-
+	for _, r := range trials {
 		power = append(power, r.AvgPowerWatts)
 		energy = append(energy, r.EnergyJoules)
 		freq = append(freq, r.AvgFreqMHz)

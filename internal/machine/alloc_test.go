@@ -1,0 +1,27 @@
+package machine
+
+import "testing"
+
+// TestLoadSteadyStateZeroAlloc pins the simulator's end-to-end memory
+// op (TLB lookups, three cache levels, DRAM timing, event pump) at
+// zero steady-state allocations per op. Periodic machinery — meter
+// sample appends, BMC control ticks — allocates only on slice growth,
+// which amortizes to zero at this run count; anything that allocates
+// per op fails the test.
+func TestLoadSteadyStateZeroAlloc(t *testing.T) {
+	m := New(Romley())
+	base := m.Alloc(1 << 22)
+	// Warm the hierarchy and the periodic-event slices first so the
+	// measured window is steady state.
+	for i := 0; i < 100000; i++ {
+		m.Load(base + uint64(i%65536)*64)
+	}
+	var i uint64
+	allocs := testing.AllocsPerRun(200000, func() {
+		m.Load(base + uint64(i%65536)*64)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Machine.Load allocates %.1f times per op in steady state, want 0", allocs)
+	}
+}

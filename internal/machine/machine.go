@@ -149,6 +149,10 @@ type Machine struct {
 	specAcc      float64
 	pendingStall simtime.Duration
 
+	// Hot-path constants hoisted out of cfg at construction.
+	fastestMHz  int
+	specLineOff uint64
+
 	smmSeq uint64
 }
 
@@ -170,15 +174,17 @@ func New(cfg Config) *Machine {
 		cfg.SpecEvery = 32
 	}
 	m := &Machine{
-		cfg:        cfg,
-		clock:      simtime.NewClock(),
-		events:     simtime.NewEventQueue(),
-		core:       cpu.MustCore(0, cfg.PStates, cfg.CStates),
-		hier:       mem.New(cfg.Hierarchy),
-		meter:      sensors.NewMeter(cfg.MeterNoiseWatts),
-		allocNext:  dataRegionBase,
-		codePages:  16,
-		ifetchDown: cfg.IFetchEvery,
+		cfg:         cfg,
+		clock:       simtime.NewClock(),
+		events:      simtime.NewEventQueue(),
+		core:        cpu.MustCore(0, cfg.PStates, cfg.CStates),
+		hier:        mem.New(cfg.Hierarchy),
+		meter:       sensors.NewMeter(cfg.MeterNoiseWatts),
+		allocNext:   dataRegionBase,
+		codePages:   16,
+		ifetchDown:  cfg.IFetchEvery,
+		fastestMHz:  cfg.PStates.Fastest().FreqMHz,
+		specLineOff: uint64(cfg.Hierarchy.L1D.LineBytes),
 	}
 	var pl bmc.Plant = (*plant)(m)
 	if cfg.WrapPlant != nil {
@@ -343,7 +349,8 @@ func (m *Machine) memop(addr uint64, kind mem.AccessKind) {
 	m.drainPendingStall()
 	m.fetchForInstrs(1)
 
-	r := m.hier.Access(m.clock.Now(), m.freq(), addr, kind)
+	freq := m.freq()
+	r := m.hier.Access(m.clock.Now(), freq, addr, kind)
 	if r.Level <= mem.LevelL3 {
 		// On-chip hits: the out-of-order engine overlaps them with
 		// useful work, so they count as busy (high-activity) time.
@@ -362,11 +369,11 @@ func (m *Machine) memop(addr uint64, kind mem.AccessKind) {
 
 	// Speculative work scales with frequency: a faster front end runs
 	// further ahead of a stalled retirement point.
-	m.specAcc += float64(m.freq()) / float64(m.cfg.PStates.Fastest().FreqMHz) / float64(m.cfg.SpecEvery)
+	m.specAcc += float64(freq) / float64(m.fastestMHz) / float64(m.cfg.SpecEvery)
 	if m.specAcc >= 1 {
 		m.specAcc--
-		specAddr := addr + uint64(m.cfg.Hierarchy.L1D.LineBytes)
-		m.hier.Access(m.clock.Now(), m.freq(), specAddr, mem.Load)
+		specAddr := addr + m.specLineOff
+		m.hier.Access(m.clock.Now(), freq, specAddr, mem.Load)
 		m.core.InstructionsExecuted++
 		m.core.LoadsExecuted++
 	}

@@ -117,6 +117,12 @@ type Hierarchy struct {
 	dtlb *tlb.TLB
 	ram  *dram.DRAM
 
+	// Per-access constants hoisted out of cfg so the hot path loads
+	// scalars instead of walking nested config structs.
+	l1iHit, l1dHit, l2Hit, l3Hit int64
+	itlbMiss, dtlbMiss           int64
+	lineBytes                    uint64
+
 	dramBytes uint64 // traffic accumulator for bandwidth utilization
 }
 
@@ -127,14 +133,21 @@ func New(cfg Config) *Hierarchy {
 		cfg.PeakBytesPerSec = DefaultConfig().PeakBytesPerSec
 	}
 	return &Hierarchy{
-		cfg:  cfg,
-		l1i:  cache.New(cfg.L1I),
-		l1d:  cache.New(cfg.L1D),
-		l2:   cache.New(cfg.L2),
-		l3:   cache.New(cfg.L3),
-		itlb: tlb.New(cfg.ITLB),
-		dtlb: tlb.New(cfg.DTLB),
-		ram:  dram.New(cfg.DRAM),
+		cfg:       cfg,
+		l1i:       cache.New(cfg.L1I),
+		l1d:       cache.New(cfg.L1D),
+		l2:        cache.New(cfg.L2),
+		l3:        cache.New(cfg.L3),
+		itlb:      tlb.New(cfg.ITLB),
+		dtlb:      tlb.New(cfg.DTLB),
+		ram:       dram.New(cfg.DRAM),
+		l1iHit:    int64(cfg.L1I.HitLatencyCycles),
+		l1dHit:    int64(cfg.L1D.HitLatencyCycles),
+		l2Hit:     int64(cfg.L2.HitLatencyCycles),
+		l3Hit:     int64(cfg.L3.HitLatencyCycles),
+		itlbMiss:  int64(cfg.ITLB.MissPenaltyCycles),
+		dtlbMiss:  int64(cfg.DTLB.MissPenaltyCycles),
+		lineBytes: uint64(cfg.L3.LineBytes),
 	}
 }
 
@@ -156,58 +169,52 @@ func (h *Hierarchy) Access(now simtime.Duration, freqMHz int, addr uint64, kind 
 	var cycles int64
 
 	// Address translation.
-	switch kind {
-	case IFetch:
-		if !h.itlb.Lookup(addr) {
-			res.TLBMiss = true
-			cycles += int64(h.cfg.ITLB.MissPenaltyCycles)
-		}
-	default:
-		if !h.dtlb.Lookup(addr) {
-			res.TLBMiss = true
-			cycles += int64(h.cfg.DTLB.MissPenaltyCycles)
-		}
-	}
-
 	write := kind == Store
 	l1 := h.l1d
-	l1cfg := h.cfg.L1D
+	l1Hit := h.l1dHit
 	if kind == IFetch {
+		if !h.itlb.Lookup(addr) {
+			res.TLBMiss = true
+			cycles += h.itlbMiss
+		}
 		l1 = h.l1i
-		l1cfg = h.cfg.L1I
+		l1Hit = h.l1iHit
+	} else if !h.dtlb.Lookup(addr) {
+		res.TLBMiss = true
+		cycles += h.dtlbMiss
 	}
 
-	cycles += int64(l1cfg.HitLatencyCycles)
-	r1 := l1.Access(addr, write)
-	if r1.WritebackValid {
-		h.writeback(now, 1, r1.WritebackAddr)
+	cycles += l1Hit
+	hit1, ev1, fl1 := l1.AccessPacked(addr, write)
+	if fl1&cache.WritebackFlag != 0 {
+		h.writeback(now, 1, ev1)
 	}
-	if r1.Hit {
+	if hit1 {
 		res.Level = LevelL1
 		res.Latency = simtime.Cycles(cycles, freqMHz)
 		return res
 	}
 
-	cycles += int64(h.cfg.L2.HitLatencyCycles)
-	r2 := h.l2.Access(addr, write)
-	if r2.WritebackValid {
-		h.writeback(now, 2, r2.WritebackAddr)
+	cycles += h.l2Hit
+	hit2, ev2, fl2 := h.l2.AccessPacked(addr, write)
+	if fl2&cache.WritebackFlag != 0 {
+		h.writeback(now, 2, ev2)
 	}
-	if r2.Hit {
+	if hit2 {
 		res.Level = LevelL2
 		res.Latency = simtime.Cycles(cycles, freqMHz)
 		return res
 	}
 
-	cycles += int64(h.cfg.L3.HitLatencyCycles)
-	r3 := h.l3.Access(addr, write)
-	if r3.EvictedValid {
-		h.backInvalidate(now, r3.EvictedAddr)
+	cycles += h.l3Hit
+	hit3, ev3, fl3 := h.l3.AccessPacked(addr, write)
+	if fl3&cache.EvictedFlag != 0 {
+		h.backInvalidate(now, ev3)
+		if fl3&cache.WritebackFlag != 0 {
+			h.dramWrite(now, ev3)
+		}
 	}
-	if r3.WritebackValid {
-		h.dramWrite(now, r3.WritebackAddr)
-	}
-	if r3.Hit {
+	if hit3 {
 		res.Level = LevelL3
 		res.Latency = simtime.Cycles(cycles, freqMHz)
 		return res
@@ -215,9 +222,10 @@ func (h *Hierarchy) Access(now simtime.Duration, freqMHz int, addr uint64, kind 
 
 	// Miss to memory: line fill on the critical path.
 	res.Level = LevelMemory
-	dramLat := h.ram.Access(now+simtime.Cycles(cycles, freqMHz), addr, false)
-	h.dramBytes += uint64(h.cfg.L3.LineBytes)
-	res.Latency = simtime.Cycles(cycles, freqMHz) + dramLat
+	onChip := simtime.Cycles(cycles, freqMHz)
+	dramLat := h.ram.Access(now+onChip, addr, false)
+	h.dramBytes += h.lineBytes
+	res.Latency = onChip + dramLat
 	return res
 }
 
@@ -240,7 +248,7 @@ func (h *Hierarchy) writeback(now simtime.Duration, fromLevel int, addr uint64) 
 // counters only; posted writes are not on the load critical path).
 func (h *Hierarchy) dramWrite(now simtime.Duration, addr uint64) {
 	h.ram.Access(now, addr, true)
-	h.dramBytes += uint64(h.cfg.L3.LineBytes)
+	h.dramBytes += h.lineBytes
 }
 
 // backInvalidate enforces L3 inclusion: a line evicted from L3 may not

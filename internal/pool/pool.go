@@ -1,0 +1,63 @@
+// Package pool provides the bounded worker pool shared by every
+// multi-run experiment driver (core sweeps, amenability calibration,
+// the bursty cap study). Each (cap, trial) simulation is fully
+// independent, so the drivers fan their run grids out across
+// goroutines and collect into pre-indexed slots; the pool only
+// schedules indices and guarantees completion, never ordering, which
+// keeps determinism a property of the callers' index math rather than
+// of goroutine interleaving.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a parallelism request: values <= 0 select
+// GOMAXPROCS (saturate the host), anything else is used as given.
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// ForEach invokes fn(i) for every i in [0, n), running at most
+// Workers(parallelism) invocations concurrently. With an effective
+// worker count of one (or n <= 1) it degenerates to a plain in-order
+// loop on the calling goroutine — the sequential schedule — so callers
+// need one code path for both modes. fn must be safe for concurrent
+// invocation when parallelism permits it; ForEach returns only after
+// every invocation has completed.
+func ForEach(n, parallelism int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Workers(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

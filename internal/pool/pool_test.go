@@ -1,0 +1,54 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, par := range []int{1, 2, 8, 64} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		ForEach(n, par, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("parallelism %d: index %d invoked %d times", par, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var order []int
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order = %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("sequential order = %v", order)
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	ForEach(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+	calls := 0
+	ForEach(1, 4, func(i int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("n=1 invoked %d times", calls)
+	}
+}

@@ -1,0 +1,22 @@
+package tlb
+
+import "testing"
+
+// TestLookupZeroAlloc pins the translation path's allocation budget at
+// zero; the lookup runs before every cache access, so any allocation
+// here is paid twice per simulated op (ITLB + DTLB).
+func TestLookupZeroAlloc(t *testing.T) {
+	tl := New(Config{Name: "DTLB", Entries: 64, Ways: 4, PageBytes: 4096,
+		MissPenaltyCycles: 30})
+	var i uint64
+	allocs := testing.AllocsPerRun(20000, func() {
+		// Walk more pages than the TLB reaches so misses and evictions
+		// stay on the path, with a same-page re-touch for the MRU hit.
+		tl.Lookup((i % 257) * 4096)
+		tl.Lookup((i%257)*4096 + 64)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("TLB.Lookup allocates %.1f times per op, want 0", allocs)
+	}
+}

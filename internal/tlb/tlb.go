@@ -61,43 +61,51 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
-type entry struct {
-	vpn     uint64
-	valid   bool
-	lastUse uint64
-}
-
 // TLB is a set-associative translation buffer. Translations are
 // identity-mapped (the simulator has no real page tables); only the
 // hit/miss behaviour and its cost matter to the study.
+//
+// Entry state is stored structure-of-arrays, flat and set-major, the
+// same layout the cache uses: the lookup scan walks a packed array of
+// tag words (vpn-tag<<1|1 when valid, 0 when invalid) and decides each
+// way with a single load-and-compare.
 type TLB struct {
 	cfg        Config
-	sets       [][]entry
+	tags       []uint64 // tagv per way (tag<<1|1, 0 = invalid)
+	use        []uint64 // LRU clocks
 	setMask    uint64
 	pageShift  uint
+	tagShift   uint // set-index width; splits a vpn into set and tag
+	ways       int
 	activeWays int
-	useClock   uint64
-	stats      Stats
+	// mruIdx/mruVpn remember the last translation that hit: repeated
+	// same-page accesses (any streaming workload touches a page ~64
+	// line-accesses in a row) skip the set scan. mruIdx is -1 when no
+	// resident entry is cached.
+	mruIdx   int
+	mruVpn   uint64
+	useClock uint64
+	stats    Stats
 }
 
-// New builds a TLB, panicking on invalid static geometry.
+// New builds a TLB, panicking on invalid static geometry. The shifts
+// and masks the lookup needs are precomputed here.
 func New(cfg Config) *TLB {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	nsets := cfg.Sets()
-	t := &TLB{
+	n := cfg.Sets() * cfg.Ways
+	return &TLB{
 		cfg:        cfg,
-		sets:       make([][]entry, nsets),
-		setMask:    uint64(nsets - 1),
+		tags:       make([]uint64, n),
+		use:        make([]uint64, n),
+		setMask:    uint64(cfg.Sets() - 1),
 		pageShift:  uint(bits.TrailingZeros(uint(cfg.PageBytes))),
+		tagShift:   uint(bits.Len64(uint64(cfg.Sets() - 1))),
+		ways:       cfg.Ways,
 		activeWays: cfg.Ways,
+		mruIdx:     -1,
 	}
-	backing := make([]entry, nsets*cfg.Ways)
-	for i := range t.sets {
-		t.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
-	}
-	return t
 }
 
 // Config returns the TLB geometry.
@@ -118,29 +126,39 @@ func (t *TLB) Lookup(addr uint64) bool {
 	t.stats.Accesses++
 	t.useClock++
 	vpn := addr >> t.pageShift
-	setIdx := vpn & t.setMask
-	tag := vpn >> uint(bits.Len64(t.setMask))
-	set := t.sets[setIdx][:t.activeWays]
+	tagv := (vpn>>t.tagShift)<<1 | 1
 
+	// MRU filter: a repeated-page access skips the set scan.
+	if vpn == t.mruVpn && t.mruIdx >= 0 && t.tags[t.mruIdx] == tagv {
+		t.stats.Hits++
+		t.use[t.mruIdx] = t.useClock
+		return true
+	}
+
+	base := int(vpn&t.setMask) * t.ways
+	set := t.tags[base : base+t.activeWays]
 	for i := range set {
-		if set[i].valid && set[i].vpn == tag {
+		if set[i] == tagv {
 			t.stats.Hits++
-			set[i].lastUse = t.useClock
+			t.use[base+i] = t.useClock
+			t.mruVpn, t.mruIdx = vpn, base+i
 			return true
 		}
 	}
 	t.stats.Misses++
 	victim := 0
 	for i := range set {
-		if !set[i].valid {
+		if set[i] == 0 {
 			victim = i
 			break
 		}
-		if set[i].lastUse < set[victim].lastUse {
+		if t.use[base+i] < t.use[base+victim] {
 			victim = i
 		}
 	}
-	set[victim] = entry{vpn: tag, valid: true, lastUse: t.useClock}
+	set[victim] = tagv
+	t.use[base+victim] = t.useClock
+	t.mruVpn, t.mruIdx = vpn, base+victim
 	return false
 }
 
@@ -155,25 +173,26 @@ func (t *TLB) SetActiveWays(n int) {
 		n = t.cfg.Ways
 	}
 	if n < t.activeWays {
-		for setIdx := range t.sets {
+		nsets := len(t.tags) / t.ways
+		for setIdx := 0; setIdx < nsets; setIdx++ {
 			for w := n; w < t.activeWays; w++ {
-				if t.sets[setIdx][w].valid {
+				if idx := setIdx*t.ways + w; t.tags[idx] != 0 {
 					t.stats.GateDrop++
-					t.sets[setIdx][w].valid = false
+					t.tags[idx] = 0
 				}
 			}
 		}
+		t.mruIdx = -1 // the cached translation may just have been gated off
 	}
 	t.activeWays = n
 }
 
 // Flush invalidates all entries (e.g., on a context switch).
 func (t *TLB) Flush() {
-	for setIdx := range t.sets {
-		for w := range t.sets[setIdx] {
-			t.sets[setIdx][w].valid = false
-		}
+	for i := range t.tags {
+		t.tags[i] = 0
 	}
+	t.mruIdx = -1
 }
 
 // Reach reports the bytes of address space covered by a fully

@@ -2,6 +2,7 @@ package bursty
 
 import (
 	"nodecap/internal/machine"
+	"nodecap/internal/pool"
 	"nodecap/internal/sensors"
 )
 
@@ -58,19 +59,24 @@ type CapStudy struct {
 // question concretely: an uncapped unpredictable workload violates a
 // tight supply budget during bursts, while a cap at the budget holds
 // the peak at the cost of time.
-func RunStudy(cfg Config, caps []float64, budgetWatts float64) []CapStudy {
-	out := make([]CapStudy, 0, len(caps)+1)
-	for _, cap := range append([]float64{0}, caps...) {
+//
+// The runs execute on up to parallelism workers (<= 0 means one per
+// CPU). Each row is an independent machine writing a pre-indexed slot,
+// so the study is identical at any width.
+func RunStudy(cfg Config, caps []float64, budgetWatts float64, parallelism int) []CapStudy {
+	rows := append([]float64{0}, caps...)
+	out := make([]CapStudy, len(rows))
+	pool.ForEach(len(rows), parallelism, func(i int) {
 		mcfg := machine.Romley()
 		mcfg.Seed = cfg.Seed
 		m := machine.New(mcfg)
-		m.SetPolicy(cap)
+		m.SetPolicy(rows[i])
 		res := m.RunWorkload(New(cfg))
-		out = append(out, CapStudy{
-			CapWatts: cap,
+		out[i] = CapStudy{
+			CapWatts: rows[i],
 			Profile:  Analyze(m.Meter(), budgetWatts),
 			Result:   res,
-		})
-	}
+		}
+	})
 	return out
 }

@@ -97,7 +97,7 @@ func TestDeterministicSchedule(t *testing.T) {
 func TestRunStudyShape(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Phases = 60
-	rows := RunStudy(cfg, []float64{140, 130}, 135)
+	rows := RunStudy(cfg, []float64{140, 130}, 135, 0)
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
