@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunEmitsDeterministicVerdict: the CLI's whole contract — exit 0
+// and bit-identical JSON for the same flags.
+func TestRunEmitsDeterministicVerdict(t *testing.T) {
+	args := []string{"-scenario", "partition", "-seed", "9", "-ticks", "400", "-nodes", "3"}
+	var out1, out2, errb bytes.Buffer
+	if code := run(args, &out1, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if code := run(args, &out2, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("verdicts diverge:\n%s\n%s", out1.String(), out2.String())
+	}
+	var v struct {
+		Pass   bool           `json:"pass"`
+		Checks map[string]int `json:"checks"`
+	}
+	if err := json.Unmarshal(out1.Bytes(), &v); err != nil {
+		t.Fatalf("verdict is not JSON: %v", err)
+	}
+	if !v.Pass {
+		t.Error("partition scenario did not pass")
+	}
+	if len(v.Checks) != 4 {
+		t.Errorf("verdict reports %d invariants, want 4", len(v.Checks))
+	}
+}
+
+// TestRunExitCodes: 2 for harness errors, 0 for -list.
+func TestRunExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scenario", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("unknown scenario: exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Errorf("-list: exit %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "crash-restart") {
+		t.Errorf("-list output missing scenarios: %q", out.String())
+	}
+}

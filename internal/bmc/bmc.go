@@ -266,7 +266,19 @@ func (b *BMC) Policy() Policy { return b.policy }
 // over. The returned error is advisory: a cap below the platform
 // floor (when the plant reports one) yields ErrInfeasibleCap but the
 // policy is applied regardless, matching the paper's 120 W rows.
+//
+// Re-pushing the policy already in force is a no-op that preserves the
+// defensive state: a manager reconciliation sweep or periodic
+// rebalance that lands on the same cap must not reset fail-safe or the
+// sensor-vetting counters — only a *changed* operator intent does.
 func (b *BMC) SetPolicy(p Policy) error {
+	if p == b.policy {
+		if b.infeasible {
+			return fmt.Errorf("bmc: %w: %.1f W (policy already in force; node pinned at the floor)",
+				ErrInfeasibleCap, p.CapWatts)
+		}
+		return nil
+	}
 	b.policy = p
 	b.failSafe = false
 	b.badTicks = 0

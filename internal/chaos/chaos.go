@@ -1,0 +1,251 @@
+// Package chaos is a deterministic chaos harness for the DCM↔BMC
+// control plane: it drives a simulated fleet of capped nodes through a
+// seeded schedule of composed failures — network partitions (including
+// asymmetric ones), sensor storms, manager crash-restarts with torn
+// journal writes, and node churn under load — while a fleet-wide
+// invariant checker asserts, after every control tick, the properties
+// the paper's architecture is supposed to guarantee:
+//
+//  1. cap_respected — no node's sustained true power exceeds the cap
+//     its BMC has applied, beyond the settle tolerance, while the
+//     sensor is honest and the controller is not in fail-safe. A cap
+//     below the platform floor is exempt: the paper's 120 W rows pin
+//     at the floor by design.
+//  2. budget_conserved — the sum of the manager's enabled desired
+//     caps never exceeds the group budget, including across
+//     crash-restart (every journal prefix is within budget because
+//     ApplyBudget pushes decreases first) and stale-node repinning.
+//  3. no_failsafe_speedup — while the controller distrusts its sensor
+//     the plant never steps a P-state up, and never runs faster than
+//     the configured fail-safe floor.
+//  4. recovery_integrity — after every injected crash, the state the
+//     reopened store recovers equals the fold of every journaled
+//     operation that survived the torn cut (tracked by an independent
+//     shadow model).
+//
+// Determinism: a Scenario is a pure function of (name, seed, ticks,
+// nodes). All randomness comes from seeded math/rand streams — the
+// schedule generator and the per-node sensor-noise/fault streams —
+// and the manager is configured so its own jittered timers never draw
+// randomness (1 ns delays skip the jitter draw). Running the same
+// in-process scenario twice yields bit-identical verdict JSON. Wire
+// mode (real TCP sockets through faults.Transport) exercises the same
+// schedule but is NOT bit-deterministic: socket timing feeds the
+// transport's fault stream.
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Event kinds. Node-scoped kinds target Event.Node; crash/restart act
+// on the manager globally.
+const (
+	// EvPartition blackholes the manager↔node link both ways.
+	EvPartition = "partition"
+	// EvPartitionAsym delivers requests but loses responses: the node
+	// applies commands the manager believes failed.
+	EvPartitionAsym = "partition-asym"
+	// EvHeal restores the node's link.
+	EvHeal = "heal"
+	// EvSensorStorm makes the node's power sensor drop every reading
+	// (the BMC must ride through on fail-safe).
+	EvSensorStorm = "sensor-storm"
+	// EvSensorHeal restores the node's sensor.
+	EvSensorHeal = "sensor-heal"
+	// EvCrash kills the manager without graceful shutdown and tears
+	// the journal at a byte offset derived from Event.TornBytes.
+	EvCrash = "crash"
+	// EvRestart reopens the state dir with a fresh manager and runs
+	// the recovery-integrity check.
+	EvRestart = "restart"
+	// EvRemoveNode unregisters the node mid-sweep (the node machine
+	// keeps running — capping is out-of-band).
+	EvRemoveNode = "remove-node"
+	// EvAddNode (re-)registers the node.
+	EvAddNode = "add-node"
+)
+
+// Event is one scheduled fault (or recovery) in a scenario timeline.
+type Event struct {
+	Tick int    `json:"tick"`
+	Kind string `json:"kind"`
+	// Node indexes the target node for node-scoped kinds.
+	Node int `json:"node,omitempty"`
+	// TornBytes seeds the torn-write cut for EvCrash: the journal is
+	// truncated at TornBytes modulo (journal length + 1), so a crash
+	// can land mid-record, between records, or lose nothing.
+	TornBytes int `json:"torn_bytes,omitempty"`
+}
+
+// Scenario is a reproducible chaos timeline. Identical scenarios
+// (including Seed) replay identical schedules; in-process runs also
+// produce bit-identical verdicts.
+type Scenario struct {
+	Name  string  `json:"name"`
+	Seed  int64   `json:"seed"`
+	Ticks int     `json:"ticks"`
+	Nodes int     `json:"nodes"`
+	// BudgetWatts is the group budget rebalanced across registered
+	// nodes; 0 means 140 W per node.
+	BudgetWatts float64 `json:"budget_watts,omitempty"`
+	// PollEvery / RebalanceEvery are in ticks; 0 means the defaults
+	// (5 and 25).
+	PollEvery      int     `json:"poll_every,omitempty"`
+	RebalanceEvery int     `json:"rebalance_every,omitempty"`
+	Events         []Event `json:"events"`
+
+	// BreakFailSafeFloor disables the fail-safe P-state floor in the
+	// simulated plant (the plant creeps back up while the controller
+	// distrusts its sensor). It exists to prove the invariant checker
+	// detects real violations; see TestBrokenGuardCaught.
+	BreakFailSafeFloor bool `json:"break_fail_safe_floor,omitempty"`
+
+	// Wire runs the fleet over real TCP sockets through
+	// faults.Transport instead of in-process frame dispatch. Slower
+	// and not bit-deterministic; asymmetric partitions degrade to
+	// symmetric ones.
+	Wire bool `json:"wire,omitempty"`
+
+	// StateDir overrides the manager's state directory (default: a
+	// fresh temp dir removed when Run returns).
+	StateDir string `json:"-"`
+}
+
+// Verdict is the outcome of one scenario run. In-process verdicts are
+// bit-identical across runs of the same scenario.
+type Verdict struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Nodes    int    `json:"nodes"`
+	Ticks    int    `json:"ticks"`
+	// SimSeconds is the simulated time covered (ticks × the BMC
+	// control period).
+	SimSeconds float64 `json:"sim_seconds"`
+
+	Events        int `json:"events"`
+	EventsApplied int `json:"events_applied"`
+	Crashes       int `json:"crashes"`
+	Restarts      int `json:"restarts"`
+	// LostRecords counts journal records destroyed by torn cuts —
+	// operations the recovered state is allowed (and required) to
+	// have forgotten.
+	LostRecords int `json:"lost_records"`
+
+	// FailSafeEntries / SensorFaults aggregate the fleet's defensive
+	// controller stats.
+	FailSafeEntries uint64 `json:"fail_safe_entries"`
+	SensorFaults    uint64 `json:"sensor_faults"`
+
+	// Checks counts how many times each invariant was asserted.
+	Checks map[string]int `json:"checks"`
+	// Violations lists the first violations found (bounded);
+	// ViolationCount is the true total.
+	Violations     []string `json:"violations"`
+	ViolationCount int      `json:"violation_count"`
+	Pass           bool     `json:"pass"`
+}
+
+// Defaults for Scenario zero fields.
+const (
+	DefaultPollEvery       = 5
+	DefaultRebalanceEvery  = 25
+	DefaultBudgetPerNodeW  = 140
+)
+
+// Run executes one scenario and returns its verdict. The error is for
+// harness failures (bad scenario, state-dir I/O); invariant violations
+// are reported in the verdict, not the error.
+func Run(s Scenario) (Verdict, error) {
+	if s.Ticks <= 0 || s.Nodes <= 0 {
+		return Verdict{}, fmt.Errorf("chaos: scenario needs positive ticks and nodes (got %d, %d)", s.Ticks, s.Nodes)
+	}
+	for _, e := range s.Events {
+		if e.Node < 0 || e.Node >= s.Nodes {
+			return Verdict{}, fmt.Errorf("chaos: event %q at tick %d targets node %d outside [0,%d)", e.Kind, e.Tick, e.Node, s.Nodes)
+		}
+	}
+	pollEvery := s.PollEvery
+	if pollEvery <= 0 {
+		pollEvery = DefaultPollEvery
+	}
+	rebalanceEvery := s.RebalanceEvery
+	if rebalanceEvery <= 0 {
+		rebalanceEvery = DefaultRebalanceEvery
+	}
+	budget := s.BudgetWatts
+	if budget <= 0 {
+		budget = DefaultBudgetPerNodeW * float64(s.Nodes)
+	}
+
+	dir := s.StateDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "chaos-state-*")
+		if err != nil {
+			return Verdict{}, fmt.Errorf("chaos: %w", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	f, err := newFleet(s, dir)
+	if err != nil {
+		return Verdict{}, err
+	}
+	defer f.stop()
+	for i := 0; i < s.Nodes; i++ {
+		if err := f.addNode(i); err != nil {
+			return Verdict{}, fmt.Errorf("chaos: registering node %d: %w", i, err)
+		}
+	}
+
+	events := append([]Event(nil), s.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Tick < events[j].Tick })
+
+	v := Verdict{
+		Scenario:   s.Name,
+		Seed:       s.Seed,
+		Nodes:      s.Nodes,
+		Ticks:      s.Ticks,
+		SimSeconds: float64(s.Ticks) * controlPeriodSeconds,
+		Events:     len(events),
+	}
+	iv := newInvariants(f, budget)
+
+	next := 0
+	for tick := 0; tick < s.Ticks; tick++ {
+		for next < len(events) && events[next].Tick <= tick {
+			if err := f.applyEvent(events[next], iv, &v); err != nil {
+				return Verdict{}, err
+			}
+			next++
+		}
+		f.tickNodes()
+		if f.mgr != nil && tick%pollEvery == pollEvery-1 {
+			f.mgr.Poll()
+		}
+		if f.mgr != nil && tick%rebalanceEvery == rebalanceEvery-1 {
+			if group := f.group(); len(group) > 0 {
+				// Push failures (partitioned nodes) are expected; the
+				// desired caps are journaled regardless, so the shadow
+				// must mirror every returned allocation.
+				allocs, _ := f.mgr.ApplyBudget(budget, group)
+				f.mirrorAllocs(allocs)
+			}
+		}
+		iv.checkTick(tick)
+	}
+
+	v.Checks = iv.checks
+	v.Violations = iv.violations
+	v.ViolationCount = iv.violationCount
+	for _, n := range f.sims {
+		st := n.stats()
+		v.FailSafeEntries += st.FailSafeEntries
+		v.SensorFaults += st.SensorFaults
+	}
+	v.Pass = v.ViolationCount == 0
+	return v, nil
+}

@@ -1,0 +1,724 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"nodecap/internal/bmc"
+	"nodecap/internal/dcm"
+	"nodecap/internal/dcm/store"
+	"nodecap/internal/faults"
+	"nodecap/internal/ipmi"
+)
+
+// The simulated platform: an analytic plant with the paper's power
+// envelope — ~157 W busy at P0, DVFS worth 2 W per P-state down to
+// 127 W, then a 4-level gating ladder worth 1.2 W each, for a
+// ~122.2 W floor (the paper's nodes floor at ~123-125 W).
+const (
+	numPStates     = 16
+	maxGatingLevel = 4
+	p0Watts        = 157.0
+	wattsPerPState = 2.0
+	wattsPerGate   = 1.2
+	noiseWatts     = 0.4 // sensor noise amplitude (uniform ±)
+
+	maxCapWatts = 180.0
+
+	// failSafePState is the fail-safe floor the fleet's BMCs hold
+	// (P12 ≈ 133 W — safely under every feasible cap).
+	failSafePState = 12
+
+	// controlPeriodSeconds converts ticks to simulated seconds (the
+	// BMC default control period is 100 µs of simtime).
+	controlPeriodSeconds = 100e-6
+)
+
+// simPlant is the analytic plant. All access is serialized by the
+// owning simNode's mutex.
+type simPlant struct {
+	pstate int
+	gating int
+	rng    *rand.Rand // sensor noise only; TrueWatts never draws
+}
+
+// TrueWatts is the node's actual draw — what the invariant checker
+// audits. It never consumes randomness.
+func (p *simPlant) TrueWatts() float64 {
+	return p0Watts - wattsPerPState*float64(p.pstate) - wattsPerGate*float64(p.gating)
+}
+
+// PowerWatts is the sensor reading: truth plus bounded noise.
+func (p *simPlant) PowerWatts() float64 {
+	return p.TrueWatts() + (p.rng.Float64()*2-1)*noiseWatts
+}
+
+func (p *simPlant) PStateIndex() int { return p.pstate }
+func (p *simPlant) NumPStates() int  { return numPStates }
+func (p *simPlant) SetPState(i int) {
+	if i < 0 {
+		i = 0
+	}
+	if i > numPStates-1 {
+		i = numPStates - 1
+	}
+	p.pstate = i
+}
+func (p *simPlant) GatingLevel() int    { return p.gating }
+func (p *simPlant) MaxGatingLevel() int { return maxGatingLevel }
+func (p *simPlant) SetGatingLevel(l int) {
+	if l < 0 {
+		l = 0
+	}
+	if l > maxGatingLevel {
+		l = maxGatingLevel
+	}
+	p.gating = l
+}
+func (p *simPlant) CapFloorWatts() float64 {
+	return p0Watts - wattsPerPState*(numPStates-1) - wattsPerGate*maxGatingLevel
+}
+
+// simNode is one simulated machine: plant → fault injector → BMC,
+// plus the per-tick bookkeeping the invariant checker reads. mu
+// guards everything — the manager's poll workers (and, in wire mode,
+// the IPMI server's connection goroutines) call in concurrently with
+// the tick loop.
+type simNode struct {
+	name, addr string
+	index      int
+
+	mu     sync.Mutex
+	plant  *simPlant
+	faulty *faults.FaultyPlant
+	ctl    *bmc.BMC
+	srv    *ipmi.Server
+
+	breakFloor bool
+	down, asym bool
+
+	// sinceCapChange counts ticks since the last material policy
+	// change (> 1 W or an enabled flip); the cap-respected invariant
+	// waits out the controller's settle window after one. Allocation
+	// jitter from sensor noise re-pushes sub-watt deltas every
+	// rebalance, which must NOT reset the clock.
+	sinceCapChange int
+	// Pre/post tick observations for the fail-safe-speedup invariant.
+	prePState, postPState     int
+	preFailSafe, postFailSafe bool
+	overTicks                 int // consecutive settled ticks above cap
+}
+
+func newSimNode(i int, seed int64, breakFloor bool) *simNode {
+	plant := &simPlant{rng: rand.New(rand.NewSource(seed ^ int64(i)<<16 | 1))}
+	faulty := faults.NewPlant(plant, faults.PlantProfile{Seed: seed + int64(i)*7919})
+	cfg := bmc.FailSafeConfig()
+	cfg.FailSafePState = failSafePState
+	n := &simNode{
+		name:       fmt.Sprintf("node-%d", i),
+		addr:       fmt.Sprintf("node-%d", i),
+		index:      i,
+		plant:      plant,
+		faulty:     faulty,
+		ctl:        bmc.New(cfg, faulty),
+		breakFloor: breakFloor,
+	}
+	n.srv = ipmi.NewServer(&nodeCtl{n: n})
+	return n
+}
+
+// tick runs one BMC control period and records the observations the
+// invariant checker needs.
+func (n *simNode) tick() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.prePState = n.plant.pstate
+	n.preFailSafe = n.ctl.FailSafe()
+	n.ctl.Tick()
+	if n.breakFloor && n.ctl.FailSafe() {
+		// The "broken guard": the plant ignores the fail-safe clamp
+		// and creeps back toward full speed on untrusted sensor data.
+		if p := n.plant.pstate; p > 0 {
+			n.plant.pstate = p - 1
+		}
+	}
+	n.postPState = n.plant.pstate
+	n.postFailSafe = n.ctl.FailSafe()
+	n.sinceCapChange++
+}
+
+func (n *simNode) stats() bmc.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ctl.Stats()
+}
+
+func (n *simNode) setLink(down, asym bool) {
+	n.mu.Lock()
+	n.down, n.asym = down, asym
+	n.mu.Unlock()
+}
+
+func (n *simNode) linkState() (down, asym bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down, n.asym
+}
+
+func (n *simNode) setSensorProfile(p faults.PlantProfile) {
+	// FaultyPlant has its own lock; keep profile swaps ordered with
+	// ticks by taking the node lock too.
+	n.mu.Lock()
+	n.faulty.SetPlantProfile(p)
+	n.mu.Unlock()
+}
+
+// nodeCtl adapts a simNode to ipmi.NodeControl, the BMC's management
+// surface.
+type nodeCtl struct{ n *simNode }
+
+func (c *nodeCtl) DeviceInfo() ipmi.DeviceInfo {
+	return ipmi.DeviceInfo{
+		DeviceID:       0x20,
+		FirmwareMajor:  1,
+		ManufacturerID: 343, // Intel's IANA enterprise number
+		ProductID:      0x0C4A,
+	}
+}
+
+// PowerReading reports the controller's smoothed estimate rather than
+// a fresh sensor draw: management polls must not perturb the seeded
+// per-tick noise stream, and DCM's demand signal is a recent average
+// anyway.
+func (c *nodeCtl) PowerReading() ipmi.PowerReading {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	w := c.n.ctl.SmoothedWatts()
+	if w == 0 {
+		w = c.n.plant.TrueWatts()
+	}
+	return ipmi.PowerReading{CurrentWatts: w, AverageWatts: w}
+}
+
+func (c *nodeCtl) SetPowerLimit(lim ipmi.PowerLimit) error {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	old := c.n.ctl.Policy()
+	err := c.n.ctl.SetPolicy(bmc.Policy{Enabled: lim.Enabled, CapWatts: lim.CapWatts})
+	if old.Enabled != lim.Enabled || math.Abs(old.CapWatts-lim.CapWatts) > 1 {
+		c.n.sinceCapChange = 0
+		c.n.overTicks = 0
+	}
+	if err != nil && !errors.Is(err, bmc.ErrInfeasibleCap) {
+		return err
+	}
+	// Infeasible caps are applied-but-flagged (the paper's 120 W
+	// rows); surfaced via Health, not as a wire error.
+	return nil
+}
+
+func (c *nodeCtl) PowerLimit() ipmi.PowerLimit {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	p := c.n.ctl.Policy()
+	return ipmi.PowerLimit{Enabled: p.Enabled, CapWatts: p.CapWatts}
+}
+
+func (c *nodeCtl) PStateInfo() ipmi.PStateInfo {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	i := c.n.plant.pstate
+	return ipmi.PStateInfo{
+		Index:   uint8(i),
+		Count:   numPStates,
+		FreqMHz: uint16(3000 - 120*i),
+	}
+}
+
+func (c *nodeCtl) GatingLevel() int {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	return c.n.plant.gating
+}
+
+func (c *nodeCtl) Capabilities() ipmi.Capabilities {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	return ipmi.Capabilities{
+		MinCapWatts: c.n.plant.CapFloorWatts(),
+		MaxCapWatts: maxCapWatts,
+	}
+}
+
+func (c *nodeCtl) Health() ipmi.Health {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	h := c.n.ctl.Health()
+	return ipmi.Health{
+		FailSafe:      h.FailSafe,
+		SensorFaults:  uint32(h.SensorFaults),
+		InfeasibleCap: h.InfeasibleCap,
+	}
+}
+
+var (
+	errLinkDown = errors.New("chaos: link partitioned")
+	errLinkAsym = errors.New("chaos: response lost (asymmetric partition)")
+)
+
+// memLink implements dcm.BMC by round-tripping real wire frames
+// through the node's ipmi.Server dispatch table in-process — the full
+// codec path without socket timing. An asymmetric partition applies
+// the request but loses the response, exactly the failure mode where
+// a manager must not assume a failed push changed nothing.
+type memLink struct {
+	n   *simNode
+	seq uint32
+}
+
+func (l *memLink) call(cmd uint8, payload []byte) ([]byte, error) {
+	down, asym := l.n.linkState()
+	if down {
+		return nil, errLinkDown
+	}
+	l.seq++
+	req := ipmi.Frame{Seq: l.seq, NetFn: ipmi.NetFnOEM, Cmd: cmd, Payload: payload}
+	b, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	onWire, err := ipmi.ReadFrame(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	resp := l.n.srv.Handle(onWire)
+	if asym {
+		return nil, errLinkAsym
+	}
+	rb, err := resp.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	back, err := ipmi.ReadFrame(bytes.NewReader(rb))
+	if err != nil {
+		return nil, err
+	}
+	if len(back.Payload) == 0 {
+		return nil, errors.New("chaos: empty response payload")
+	}
+	if cc := back.Payload[0]; cc != ipmi.CCOK {
+		return nil, fmt.Errorf("chaos: completion code %#02x", cc)
+	}
+	return back.Payload[1:], nil
+}
+
+func (l *memLink) GetDeviceID() (ipmi.DeviceInfo, error) {
+	p, err := l.call(ipmi.CmdGetDeviceID, nil)
+	if err != nil {
+		return ipmi.DeviceInfo{}, err
+	}
+	return ipmi.DecodeDeviceInfo(p)
+}
+
+func (l *memLink) GetPowerReading() (ipmi.PowerReading, error) {
+	p, err := l.call(ipmi.CmdGetPowerReading, nil)
+	if err != nil {
+		return ipmi.PowerReading{}, err
+	}
+	return ipmi.DecodePowerReading(p)
+}
+
+func (l *memLink) SetPowerLimit(lim ipmi.PowerLimit) error {
+	_, err := l.call(ipmi.CmdSetPowerLimit, ipmi.EncodePowerLimit(lim))
+	return err
+}
+
+func (l *memLink) GetPowerLimit() (ipmi.PowerLimit, error) {
+	p, err := l.call(ipmi.CmdGetPowerLimit, nil)
+	if err != nil {
+		return ipmi.PowerLimit{}, err
+	}
+	return ipmi.DecodePowerLimit(p)
+}
+
+func (l *memLink) GetPStateInfo() (ipmi.PStateInfo, error) {
+	p, err := l.call(ipmi.CmdGetPStateInfo, nil)
+	if err != nil {
+		return ipmi.PStateInfo{}, err
+	}
+	return ipmi.DecodePStateInfo(p)
+}
+
+func (l *memLink) GetGatingLevel() (int, error) {
+	p, err := l.call(ipmi.CmdGetGatingLevel, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(p) < 1 {
+		return 0, errors.New("chaos: short gating payload")
+	}
+	return int(p[0]), nil
+}
+
+func (l *memLink) GetCapabilities() (ipmi.Capabilities, error) {
+	p, err := l.call(ipmi.CmdGetCapabilities, nil)
+	if err != nil {
+		return ipmi.Capabilities{}, err
+	}
+	return ipmi.DecodeCapabilities(p)
+}
+
+func (l *memLink) GetHealth() (ipmi.Health, error) {
+	p, err := l.call(ipmi.CmdGetHealth, nil)
+	if err != nil {
+		return ipmi.Health{}, err
+	}
+	return ipmi.DecodeHealth(p)
+}
+
+func (l *memLink) Close() error { return nil }
+
+// nodeMeta is the manager-visible registration data the shadow model
+// mirrors into journal records.
+type nodeMeta struct {
+	addr     string
+	min, max float64
+}
+
+// Fleet is the simulated data center a scenario runs against: the sim
+// nodes, the (possibly crashed) manager, and the shadow model of
+// every journaled operation used by the recovery-integrity check.
+type Fleet struct {
+	scenario Scenario
+	dir      string
+	sims     []*simNode
+
+	mgr        *dcm.Manager // nil while crashed
+	registered []bool
+	meta       []nodeMeta
+
+	// shadow mirrors, in order, every record the manager journaled.
+	// A torn cut trims its tail by exactly the lost line count.
+	shadow []store.Record
+
+	// Wire-mode plumbing.
+	transports []*faults.Transport
+	wireAddrs  []string
+}
+
+func newFleet(s Scenario, dir string) (*Fleet, error) {
+	f := &Fleet{
+		scenario:   s,
+		dir:        dir,
+		sims:       make([]*simNode, s.Nodes),
+		registered: make([]bool, s.Nodes),
+		meta:       make([]nodeMeta, s.Nodes),
+	}
+	for i := range f.sims {
+		f.sims[i] = newSimNode(i, s.Seed, s.BreakFailSafeFloor)
+	}
+	if s.Wire {
+		f.transports = make([]*faults.Transport, s.Nodes)
+		f.wireAddrs = make([]string, s.Nodes)
+		for i, n := range f.sims {
+			addr, err := n.srv.Listen("127.0.0.1:0")
+			if err != nil {
+				return nil, fmt.Errorf("chaos: listening for node %d: %w", i, err)
+			}
+			f.wireAddrs[i] = addr
+			f.transports[i] = faults.New(faults.Profile{Seed: s.Seed + int64(i) + 1})
+		}
+	}
+	mgr, err := f.newManager()
+	if err != nil {
+		return nil, err
+	}
+	f.mgr = mgr
+	return f, nil
+}
+
+// newManager builds a manager wired to the fleet and attached to the
+// state dir. Backoff and staleness windows are 1 ns: wall-clock gates
+// always open by the next poll, and delays this small skip the jitter
+// draw, so the manager's rng never influences the run.
+func (f *Fleet) newManager() (*dcm.Manager, error) {
+	mgr := dcm.NewManager(f.dialer())
+	mgr.RetryBaseDelay = time.Nanosecond
+	mgr.RetryMaxDelay = time.Nanosecond
+	mgr.StaleAfter = time.Nanosecond
+	if err := mgr.OpenStateDir(f.dir); err != nil {
+		return nil, fmt.Errorf("chaos: opening state dir: %w", err)
+	}
+	return mgr, nil
+}
+
+func (f *Fleet) dialer() dcm.Dialer {
+	byAddr := make(map[string]*simNode, len(f.sims))
+	for i, n := range f.sims {
+		addr := n.addr
+		if f.scenario.Wire {
+			addr = f.wireAddrs[i]
+		}
+		byAddr[addr] = n
+	}
+	return func(addr string) (dcm.BMC, error) {
+		n, ok := byAddr[addr]
+		if !ok {
+			return nil, fmt.Errorf("chaos: unknown address %q", addr)
+		}
+		if f.scenario.Wire {
+			conn, err := f.transports[n.index].Dial("tcp", addr, time.Second)
+			if err != nil {
+				return nil, err
+			}
+			c := ipmi.NewClientConn(conn)
+			c.SetRequestTimeout(250 * time.Millisecond)
+			return c, nil
+		}
+		if down, _ := n.linkState(); down {
+			return nil, errLinkDown
+		}
+		return &memLink{n: n}, nil
+	}
+}
+
+func (f *Fleet) nodeAddr(i int) string {
+	if f.scenario.Wire {
+		return f.wireAddrs[i]
+	}
+	return f.sims[i].addr
+}
+
+// addNode registers sim node i with the manager and mirrors the
+// journaled add record.
+func (f *Fleet) addNode(i int) error {
+	if f.mgr == nil {
+		return errors.New("chaos: manager crashed")
+	}
+	name := f.sims[i].name
+	if err := f.mgr.AddNode(name, f.nodeAddr(i)); err != nil {
+		return err
+	}
+	f.registered[i] = true
+	// Mirror the journaled record with the manager's own view, so
+	// float round-trips through the wire codec cannot skew the shadow.
+	for _, st := range f.mgr.Nodes() {
+		if st.Name == name {
+			f.meta[i] = nodeMeta{addr: st.Addr, min: st.MinCapWatts, max: st.MaxCapWatts}
+			f.shadow = append(f.shadow, store.Record{
+				Op: store.OpAddNode, Name: name,
+				Node: &store.NodeRecord{Addr: st.Addr, MinCapWatts: st.MinCapWatts, MaxCapWatts: st.MaxCapWatts},
+			})
+			return nil
+		}
+	}
+	return fmt.Errorf("chaos: node %q missing after AddNode", name)
+}
+
+func (f *Fleet) removeNode(i int) error {
+	if f.mgr == nil || !f.registered[i] {
+		return nil
+	}
+	name := f.sims[i].name
+	if err := f.mgr.RemoveNode(name); err != nil {
+		return err
+	}
+	f.registered[i] = false
+	f.shadow = append(f.shadow, store.Record{Op: store.OpRemoveNode, Name: name})
+	return nil
+}
+
+// mirrorAllocs appends the setcap records ApplyBudget journaled, in
+// push order (the desired cap is journaled before each push, even
+// ones that then fail).
+func (f *Fleet) mirrorAllocs(allocs []dcm.Allocation) {
+	for _, a := range allocs {
+		var idx = -1
+		for i, n := range f.sims {
+			if n.name == a.Name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		m := f.meta[idx]
+		f.shadow = append(f.shadow, store.Record{
+			Op: store.OpSetCap, Name: a.Name,
+			Node: &store.NodeRecord{
+				Addr: m.addr, MinCapWatts: m.min, MaxCapWatts: m.max,
+				HaveCap: true, CapEnabled: a.CapWatts > 0, CapWatts: a.CapWatts,
+			},
+		})
+	}
+}
+
+// group lists the currently registered node names, sorted.
+func (f *Fleet) group() []string {
+	var out []string
+	for i, ok := range f.registered {
+		if ok {
+			out = append(out, f.sims[i].name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// crash kills the manager the hard way — no compaction — then tears
+// the journal tail at a cut derived from tornBytes, trimming the
+// shadow by the lost record count. Returns the number of journal
+// records destroyed.
+func (f *Fleet) crash(tornBytes int) (lost int, err error) {
+	if f.mgr == nil {
+		return 0, nil
+	}
+	f.mgr.Crash()
+	f.mgr = nil
+	path := store.JournalPath(f.dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("chaos: reading journal: %w", err)
+	}
+	cut := len(b)
+	if tornBytes > 0 {
+		cut = tornBytes % (len(b) + 1)
+	}
+	if cut == len(b) {
+		return 0, nil
+	}
+	lost = bytes.Count(b, []byte{'\n'}) - bytes.Count(b[:cut], []byte{'\n'})
+	if err := os.Truncate(path, int64(cut)); err != nil {
+		return 0, fmt.Errorf("chaos: tearing journal: %w", err)
+	}
+	if lost > len(f.shadow) {
+		return 0, fmt.Errorf("chaos: torn cut lost %d records but shadow holds %d", lost, len(f.shadow))
+	}
+	f.shadow = f.shadow[:len(f.shadow)-lost]
+	return lost, nil
+}
+
+// restart reopens the state dir with a fresh manager and rebuilds the
+// registration map from what actually survived. It returns the
+// recovered state and the shadow's expectation for the
+// recovery-integrity check.
+func (f *Fleet) restart() (got, want store.State, err error) {
+	if f.mgr != nil {
+		return store.State{}, store.State{}, nil
+	}
+	mgr, err := f.newManager()
+	if err != nil {
+		return store.State{}, store.State{}, err
+	}
+	f.mgr = mgr
+	got, _ = mgr.StoreState()
+	want = store.Replay(f.shadow)
+	for i := range f.registered {
+		f.registered[i] = false
+	}
+	for i, n := range f.sims {
+		if _, ok := got.Nodes[n.name]; ok {
+			f.registered[i] = true
+		}
+	}
+	return got, want, nil
+}
+
+// tickNodes advances every sim node one control period. Nodes tick
+// whether or not the manager is alive (capping is out-of-band).
+func (f *Fleet) tickNodes() {
+	for _, n := range f.sims {
+		n.tick()
+	}
+}
+
+// applyEvent executes one scheduled event, updating verdict counters
+// and (for restarts) running the recovery-integrity check.
+func (f *Fleet) applyEvent(e Event, iv *invariants, v *Verdict) error {
+	n := f.sims[e.Node]
+	switch e.Kind {
+	case EvPartition:
+		n.setLink(true, false)
+		if f.scenario.Wire {
+			f.transports[e.Node].SetProfile(faults.Profile{
+				Seed: f.scenario.Seed + int64(e.Node) + 1, DialErrorProb: 1, DropWrites: true,
+			})
+		}
+	case EvPartitionAsym:
+		// Wire mode cannot lose only responses; degrade to symmetric.
+		n.setLink(f.scenario.Wire, !f.scenario.Wire)
+		if f.scenario.Wire {
+			f.transports[e.Node].SetProfile(faults.Profile{
+				Seed: f.scenario.Seed + int64(e.Node) + 1, DialErrorProb: 1, DropWrites: true,
+			})
+		}
+	case EvHeal:
+		n.setLink(false, false)
+		if f.scenario.Wire {
+			f.transports[e.Node].SetProfile(faults.Profile{Seed: f.scenario.Seed + int64(e.Node) + 1})
+		}
+	case EvSensorStorm:
+		n.setSensorProfile(faults.PlantProfile{
+			Seed: f.scenario.Seed + int64(e.Node)*7919, DropoutProb: 1,
+		})
+	case EvSensorHeal:
+		n.setSensorProfile(faults.PlantProfile{Seed: f.scenario.Seed + int64(e.Node)*7919})
+	case EvCrash:
+		if f.mgr == nil {
+			return nil
+		}
+		lost, err := f.crash(e.TornBytes)
+		if err != nil {
+			return err
+		}
+		v.Crashes++
+		v.LostRecords += lost
+	case EvRestart:
+		if f.mgr != nil {
+			return nil
+		}
+		got, want, err := f.restart()
+		if err != nil {
+			return err
+		}
+		v.Restarts++
+		iv.checkRecovery(e.Tick, got, want)
+	case EvRemoveNode:
+		if err := f.removeNode(e.Node); err != nil {
+			return nil // unknown node after a rolled-back add; expected
+		}
+	case EvAddNode:
+		if f.mgr == nil || f.registered[e.Node] {
+			return nil
+		}
+		if err := f.addNode(e.Node); err != nil {
+			return nil // link down; the dial failing IS the chaos
+		}
+	default:
+		return fmt.Errorf("chaos: unknown event kind %q", e.Kind)
+	}
+	v.EventsApplied++
+	return nil
+}
+
+// stop releases fleet resources (manager, wire listeners).
+func (f *Fleet) stop() {
+	if f.mgr != nil {
+		f.mgr.Close()
+		f.mgr = nil
+	}
+	for _, n := range f.sims {
+		n.srv.Close()
+	}
+}

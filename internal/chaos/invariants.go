@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+
+	"nodecap/internal/dcm/store"
+)
+
+// Invariant names (the keys of Verdict.Checks).
+const (
+	InvCapRespected      = "cap_respected"
+	InvBudgetConserved   = "budget_conserved"
+	InvNoFailSafeSpeedup = "no_failsafe_speedup"
+	InvRecoveryIntegrity = "recovery_integrity"
+)
+
+// Checker tuning.
+const (
+	// TolWatts is the slack allowed over an applied cap: sensor noise
+	// (±0.4 W) plus controller guard-band dithering.
+	TolWatts = 2.0
+	// SustainTicks is how many consecutive settled over-cap ticks
+	// constitute a violation (a transient dither spike is not).
+	SustainTicks = 8
+	// SettleTicks is the convergence window granted after a material
+	// cap change before the cap is enforced by the checker.
+	SettleTicks = 40
+
+	maxRecordedViolations = 25
+)
+
+// invariants is the per-run checker state.
+type invariants struct {
+	f      *Fleet
+	budget float64
+
+	checks         map[string]int
+	violations     []string
+	violationCount int
+}
+
+func newInvariants(f *Fleet, budget float64) *invariants {
+	return &invariants{
+		f:      f,
+		budget: budget,
+		checks: map[string]int{
+			InvCapRespected:      0,
+			InvBudgetConserved:   0,
+			InvNoFailSafeSpeedup: 0,
+			InvRecoveryIntegrity: 0,
+		},
+		violations: []string{},
+	}
+}
+
+func (iv *invariants) violate(format string, args ...any) {
+	iv.violationCount++
+	if len(iv.violations) < maxRecordedViolations {
+		iv.violations = append(iv.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// checkTick asserts the fleet-wide invariants after one control tick.
+func (iv *invariants) checkTick(tick int) {
+	iv.checkCapsRespected(tick)
+	iv.checkBudgetConserved(tick)
+	iv.checkNoFailSafeSpeedup(tick)
+}
+
+// checkCapsRespected: no node's sustained TRUE power exceeds the cap
+// its own BMC has applied (not the manager's desired cap — a
+// partitioned node correctly keeps enforcing the last cap it heard)
+// beyond tolerance. Exempt while: the policy is disabled, the cap is
+// below the platform floor (applied-but-infeasible, the paper's 120 W
+// rows), the controller is in fail-safe (it refuses to actuate on a
+// lying sensor), the sensor fault injector is active (a plant told to
+// ignore actuations cannot honour anything), or the cap changed
+// within the settle window.
+func (iv *invariants) checkCapsRespected(tick int) {
+	for _, n := range iv.f.sims {
+		n.mu.Lock()
+		pol := n.ctl.Policy()
+		floor := n.plant.CapFloorWatts()
+		eligible := pol.Enabled &&
+			!n.postFailSafe &&
+			n.faulty.PlantProfile().Transparent() &&
+			pol.CapWatts >= floor-1e-9 &&
+			n.sinceCapChange > SettleTicks
+		if !eligible {
+			n.overTicks = 0
+			n.mu.Unlock()
+			continue
+		}
+		truth := n.plant.TrueWatts()
+		if truth > pol.CapWatts+TolWatts {
+			n.overTicks++
+		} else {
+			n.overTicks = 0
+		}
+		over, name := n.overTicks, n.name
+		capW := pol.CapWatts
+		n.mu.Unlock()
+
+		iv.checks[InvCapRespected]++
+		if over == SustainTicks {
+			iv.violate("tick %d: %s: %s: true power %.2f W above applied cap %.2f W for %d settled ticks",
+				tick, name, InvCapRespected, truth, capW, over)
+		}
+	}
+}
+
+// checkBudgetConserved: the sum of the manager's enabled desired caps
+// never exceeds the group budget. This must hold across crash-restart
+// rollback too, which is exactly why ApplyBudget pushes (and
+// journals) decreases before increases: every journal prefix sums
+// within budget. Skipped while the manager is down — there is no
+// allocator state to audit.
+func (iv *invariants) checkBudgetConserved(tick int) {
+	if iv.f.mgr == nil {
+		return
+	}
+	var sum float64
+	for _, st := range iv.f.mgr.Nodes() {
+		if st.CapEnabled {
+			sum += st.CapWatts
+		}
+	}
+	iv.checks[InvBudgetConserved]++
+	if sum > iv.budget+1e-6 {
+		iv.violate("tick %d: %s: allocated caps sum %.3f W over budget %.3f W",
+			tick, InvBudgetConserved, sum, iv.budget)
+	}
+}
+
+// checkNoFailSafeSpeedup: while the controller distrusts its sensor
+// (fail-safe), the plant must never step a P-state up, and must never
+// run faster than the configured fail-safe floor. Observations are
+// the pre/post snapshots the node recorded during its tick, so a
+// policy push between the tick and this check cannot blur them.
+func (iv *invariants) checkNoFailSafeSpeedup(tick int) {
+	for _, n := range iv.f.sims {
+		n.mu.Lock()
+		pre, post := n.prePState, n.postPState
+		preFS, postFS := n.preFailSafe, n.postFailSafe
+		name := n.name
+		n.mu.Unlock()
+
+		iv.checks[InvNoFailSafeSpeedup]++
+		if preFS && postFS && post < pre {
+			iv.violate("tick %d: %s: %s: P-state stepped up %d→%d during fail-safe",
+				tick, name, InvNoFailSafeSpeedup, pre, post)
+			continue
+		}
+		if postFS && post < failSafePState {
+			iv.violate("tick %d: %s: %s: P%d faster than fail-safe floor P%d",
+				tick, name, InvNoFailSafeSpeedup, post, failSafePState)
+		}
+	}
+}
+
+// checkRecovery: after a crash-restart, the state the reopened store
+// recovered must equal the fold of every shadow-tracked operation
+// that survived the torn cut — nothing more (resurrected writes),
+// nothing less (lost acknowledged writes), nothing skewed (float or
+// codec drift).
+func (iv *invariants) checkRecovery(tick int, got, want store.State) {
+	iv.checks[InvRecoveryIntegrity]++
+	if !reflect.DeepEqual(normalizeState(got), normalizeState(want)) {
+		iv.violate("tick %d: %s: recovered state diverges from journaled history: got %+v, want %+v",
+			tick, InvRecoveryIntegrity, got, want)
+	}
+}
+
+// normalizeState maps an empty node set and budget to canonical nil
+// forms so DeepEqual compares semantics, not map allocation identity.
+func normalizeState(s store.State) store.State {
+	if len(s.Nodes) == 0 {
+		s.Nodes = nil
+	}
+	if s.Budget != nil && len(s.Budget.Group) == 0 {
+		b := *s.Budget
+		b.Group = nil
+		s.Budget = &b
+	}
+	return s
+}

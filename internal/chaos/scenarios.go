@@ -1,0 +1,146 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ScenarioNames lists the built-in scenario generators, in the order
+// `cmd/chaos -list` prints them.
+var ScenarioNames = []string{"partition", "crash-restart", "sensor-storm", "churn", "mixed"}
+
+// Build generates the named scenario's event schedule. The schedule
+// is a pure function of (name, seed, ticks, nodes): the same inputs
+// yield a bit-identical Scenario.
+func Build(name string, seed int64, ticks, nodes int) (Scenario, error) {
+	if ticks <= 0 {
+		return Scenario{}, fmt.Errorf("chaos: ticks must be positive, got %d", ticks)
+	}
+	if nodes <= 0 {
+		return Scenario{}, fmt.Errorf("chaos: nodes must be positive, got %d", nodes)
+	}
+	s := Scenario{Name: name, Seed: seed, Ticks: ticks, Nodes: nodes}
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "partition":
+		s.Events = partitionEvents(rng, ticks, nodes, 0, nodes)
+	case "crash-restart":
+		s.Events = crashEvents(rng, ticks)
+	case "sensor-storm":
+		s.Events = stormEvents(rng, ticks, nodes, 0, nodes)
+	case "churn":
+		s.Events = churnEvents(rng, ticks, nodes, 0, nodes)
+	case "mixed":
+		// Disjoint node thirds keep the fault classes from fighting
+		// over one node (a partitioned node cannot be re-added, a
+		// storming node's caps are fail-safe-exempt anyway); crashes
+		// hit the manager globally.
+		third := nodes / 3
+		if third == 0 {
+			third = 1
+		}
+		var ev []Event
+		ev = append(ev, partitionEvents(rng, ticks, nodes, 0, third)...)
+		ev = append(ev, stormEvents(rng, ticks, nodes, third, 2*third)...)
+		ev = append(ev, churnEvents(rng, ticks, nodes, 2*third, nodes)...)
+		ev = append(ev, crashEvents(rng, ticks)...)
+		s.Events = ev
+	default:
+		return Scenario{}, fmt.Errorf("chaos: unknown scenario %q (have %s)",
+			name, strings.Join(ScenarioNames, ", "))
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].Tick < s.Events[j].Tick })
+	return s, nil
+}
+
+// pick returns a node index in [lo, hi) (hi clamped to nodes).
+func pick(rng *rand.Rand, lo, hi, nodes int) int {
+	if hi > nodes {
+		hi = nodes
+	}
+	if hi <= lo {
+		return lo % nodes
+	}
+	return lo + rng.Intn(hi-lo)
+}
+
+// partitionEvents cuts links in [lo,hi) for random windows; every
+// third cut is asymmetric (commands land, acknowledgements vanish).
+func partitionEvents(rng *rand.Rand, ticks, nodes, lo, hi int) []Event {
+	var ev []Event
+	cycle := 0
+	// Start after the first rebalance so there are caps to defend.
+	for t := DefaultRebalanceEvery + 10 + rng.Intn(20); t < ticks-60; t += 80 + rng.Intn(80) {
+		n := pick(rng, lo, hi, nodes)
+		kind := EvPartition
+		if cycle%3 == 2 {
+			kind = EvPartitionAsym
+		}
+		cycle++
+		heal := t + 30 + rng.Intn(60)
+		if heal >= ticks-5 {
+			heal = ticks - 5
+		}
+		ev = append(ev,
+			Event{Tick: t, Kind: kind, Node: n},
+			Event{Tick: heal, Kind: EvHeal, Node: n},
+		)
+	}
+	return ev
+}
+
+// stormEvents blinds sensors in [lo,hi) for windows long enough to
+// force fail-safe entry (> FaultToleranceTicks) and recovery
+// (> RecoveryTicks after heal).
+func stormEvents(rng *rand.Rand, ticks, nodes, lo, hi int) []Event {
+	var ev []Event
+	for t := DefaultRebalanceEvery + 15 + rng.Intn(20); t < ticks-80; t += 100 + rng.Intn(80) {
+		n := pick(rng, lo, hi, nodes)
+		heal := t + 25 + rng.Intn(50)
+		if heal >= ticks-20 {
+			heal = ticks - 20
+		}
+		ev = append(ev,
+			Event{Tick: t, Kind: EvSensorStorm, Node: n},
+			Event{Tick: heal, Kind: EvSensorHeal, Node: n},
+		)
+	}
+	return ev
+}
+
+// churnEvents removes and re-adds nodes in [lo,hi) under load.
+func churnEvents(rng *rand.Rand, ticks, nodes, lo, hi int) []Event {
+	var ev []Event
+	for t := DefaultRebalanceEvery + 20 + rng.Intn(20); t < ticks-60; t += 90 + rng.Intn(70) {
+		n := pick(rng, lo, hi, nodes)
+		back := t + 20 + rng.Intn(40)
+		if back >= ticks-5 {
+			back = ticks - 5
+		}
+		ev = append(ev,
+			Event{Tick: t, Kind: EvRemoveNode, Node: n},
+			Event{Tick: back, Kind: EvAddNode, Node: n},
+		)
+	}
+	return ev
+}
+
+// crashEvents kills and restarts the manager with seeded torn-write
+// offsets. Restart follows a few ticks later, so the fleet runs
+// headless in between (caps keep being enforced out-of-band).
+func crashEvents(rng *rand.Rand, ticks int) []Event {
+	var ev []Event
+	for t := 2*DefaultRebalanceEvery + 5 + rng.Intn(25); t < ticks-40; t += 130 + rng.Intn(110) {
+		restart := t + 8 + rng.Intn(25)
+		if restart >= ticks-10 {
+			restart = ticks - 10
+		}
+		ev = append(ev,
+			Event{Tick: t, Kind: EvCrash, TornBytes: rng.Intn(1 << 17)},
+			Event{Tick: restart, Kind: EvRestart},
+		)
+	}
+	return ev
+}

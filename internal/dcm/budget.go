@@ -82,18 +82,49 @@ func (m *Manager) AllocateBudget(budgetWatts float64, names []string) ([]Allocat
 // (and the failed node's desired state is recorded, so reconciliation
 // re-pushes it when the node returns); all push failures are joined
 // into the returned error.
+//
+// Caps are pushed decreases-first: nodes whose new cap is at or below
+// their current contribution are journaled and pushed before nodes
+// whose cap rises. Any prefix of the push sequence then sums to at
+// most the budget, so a crash (or partition) mid-sweep can never
+// freeze the fleet in an over-budget state — shrinking one node's
+// share before growing another's is the only order for which that
+// holds. The returned slice is in push order.
 func (m *Manager) ApplyBudget(budgetWatts float64, names []string) ([]Allocation, error) {
 	allocs, err := m.AllocateBudget(budgetWatts, names)
 	if err != nil {
 		return nil, err
 	}
-	var errs []error
+
+	// A node's current contribution to the enforced total is its
+	// enabled desired cap, or zero when it has none.
+	contribution := make(map[string]float64, len(allocs))
+	m.mu.Lock()
 	for _, a := range allocs {
+		if n, ok := m.nodes[a.Name]; ok && n.haveDesired && n.desired.Enabled {
+			contribution[a.Name] = n.desired.CapWatts
+		}
+	}
+	m.mu.Unlock()
+	ordered := make([]Allocation, 0, len(allocs))
+	for _, a := range allocs { // decreases (and no-ops) first
+		if a.CapWatts <= contribution[a.Name] {
+			ordered = append(ordered, a)
+		}
+	}
+	for _, a := range allocs { // then increases and first-time caps
+		if a.CapWatts > contribution[a.Name] {
+			ordered = append(ordered, a)
+		}
+	}
+
+	var errs []error
+	for _, a := range ordered {
 		if err := m.SetNodeCap(a.Name, a.CapWatts); err != nil {
 			errs = append(errs, err)
 		}
 	}
-	return allocs, errors.Join(errs...)
+	return ordered, errors.Join(errs...)
 }
 
 // StartAutoBalance re-divides budgetWatts across the named nodes every

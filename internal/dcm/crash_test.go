@@ -1,0 +1,137 @@
+package dcm
+
+import (
+	"math"
+	"testing"
+
+	"nodecap/internal/dcm/store"
+)
+
+// TestManagerCloseIdempotent: chaos crash-restart drills (and sloppy
+// defer stacks) call Close repeatedly; every call after the first
+// must be a no-op.
+func TestManagerCloseIdempotent(t *testing.T) {
+	a := newFakeBMC(150)
+	m := fleet(map[string]*fakeBMC{"a": a})
+	if err := m.OpenStateDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddNode("a", "a"); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m.Close() // must not panic or deadlock
+	if !a.closed {
+		t.Error("Close left the connection open")
+	}
+}
+
+// TestManagerCrashSkipsCompaction: Crash must leave the journal
+// intact (no graceful-shutdown compaction), so a reopened store
+// recovers through replay — the path the chaos harness tears.
+func TestManagerCrashSkipsCompaction(t *testing.T) {
+	dir := t.TempDir()
+	a := newFakeBMC(150)
+	m := fleet(map[string]*fakeBMC{"a": a})
+	if err := m.OpenStateDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddNode("a", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetNodeCap("a", 140); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	m.Crash() // idempotent too
+
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Replayed() == 0 {
+		t.Error("Crash compacted the journal; expected replayable records")
+	}
+	rec, ok := st.State().Nodes["a"]
+	if !ok || !rec.HaveCap || rec.CapWatts != 140 {
+		t.Errorf("recovered state = %+v, want cap 140", rec)
+	}
+}
+
+// TestApplyBudgetPushesDecreasesFirst: re-dividing a budget must
+// shrink shares before growing them, so no push prefix (what a crash
+// mid-sweep would journal) ever sums over budget.
+func TestApplyBudgetPushesDecreasesFirst(t *testing.T) {
+	// a idles (121 W), b is busy (170 W): the first division gives b
+	// the lion's share. Then demand inverts.
+	a, b := newFakeBMC(121), newFakeBMC(170)
+	m := fleet(map[string]*fakeBMC{"a": a, "b": b})
+	for _, n := range []string{"a", "b"} {
+		if err := m.AddNode(n, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Poll()
+	if _, err := m.ApplyBudget(300, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	first := map[string]float64{}
+	for _, st := range m.Nodes() {
+		first[st.Name] = st.CapWatts
+	}
+	if first["b"] <= first["a"] {
+		t.Fatalf("setup broken: b should start with the larger share, got %+v", first)
+	}
+
+	// Demand inverts; the next sweep must push b's decrease before
+	// a's increase.
+	a.mu.Lock()
+	a.power = 170
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.power = 121
+	b.mu.Unlock()
+	m.Poll()
+	allocs, err := m.ApplyBudget(300, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 2 {
+		t.Fatalf("allocs = %+v", allocs)
+	}
+	var iInc, iDec = -1, -1
+	for i, al := range allocs {
+		switch {
+		case al.CapWatts > first[al.Name]:
+			iInc = i
+		case al.CapWatts < first[al.Name]:
+			iDec = i
+		}
+	}
+	if iInc < 0 || iDec < 0 {
+		t.Fatalf("sweep did not both raise and lower a cap: %+v (was %+v)", allocs, first)
+	}
+	if iDec > iInc {
+		t.Errorf("decrease pushed after increase: %+v", allocs)
+	}
+	// Every push prefix stays within budget: the crash-mid-sweep
+	// safety property the order exists for.
+	current := map[string]float64{}
+	for n, w := range first {
+		current[n] = w
+	}
+	for _, al := range allocs {
+		current[al.Name] = al.CapWatts
+		var sum float64
+		for _, w := range current {
+			sum += w
+		}
+		if sum > 300+1e-6 {
+			t.Errorf("after pushing %q, caps sum %.3f W over the 300 W budget", al.Name, sum)
+		}
+	}
+	if math.Abs(current["a"]+current["b"]-300) > 1 {
+		t.Errorf("final division wastes budget: %+v", current)
+	}
+}

@@ -626,8 +626,22 @@ func (m *Manager) StopPolling() {
 }
 
 // Close stops polling and rebalancing and disconnects every node,
-// waiting for in-flight per-node operations to drain first.
+// waiting for in-flight per-node operations to drain first. Idempotent:
+// a second Close is a no-op.
 func (m *Manager) Close() {
+	m.shutdown(false)
+}
+
+// Crash is Close without the store's graceful-shutdown compaction: the
+// state directory is left exactly as a power loss mid-run would leave
+// it, so the next OpenStateDir must recover through journal replay.
+// For crash-recovery drills (internal/chaos); production paths use
+// Close.
+func (m *Manager) Crash() {
+	m.shutdown(true)
+}
+
+func (m *Manager) shutdown(crash bool) {
 	m.StopPolling()
 	m.stopBalanceLoop() // keep the journaled budget for the restart
 	m.pollWG.Wait()
@@ -654,6 +668,10 @@ func (m *Manager) Close() {
 	m.store = nil
 	m.mu.Unlock()
 	if st != nil {
-		st.Close()
+		if crash {
+			st.Crash()
+		} else {
+			st.Close()
+		}
 	}
 }

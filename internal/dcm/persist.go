@@ -72,6 +72,20 @@ func (m *Manager) RestoredBudget() (watts float64, group []string, interval time
 	return b.Watts, append([]string(nil), b.Group...), b.Interval, true
 }
 
+// StoreState returns a deep copy of the attached store's durable state
+// and reports whether a store is open. Recovery drills compare it
+// against an independently maintained shadow of the journaled ops to
+// prove round-trip integrity after a crash.
+func (m *Manager) StoreState() (store.State, bool) {
+	m.mu.Lock()
+	st := m.store
+	m.mu.Unlock()
+	if st == nil {
+		return store.State{}, false
+	}
+	return st.State(), true
+}
+
 // journalNode persists one node's registration + desired policy (or
 // its removal). No-op without a store.
 func (m *Manager) journalNode(op string, n *managedNode) error {

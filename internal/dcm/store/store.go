@@ -20,7 +20,7 @@
 package store
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -161,35 +161,39 @@ func Open(dir string) (*Store, error) {
 }
 
 // replayJournal folds journal records into s.state, truncating the
-// file at the first torn or corrupt line.
+// file at the first torn or corrupt line. Only newline-terminated
+// lines are replayed: a final line missing its '\n' is discarded even
+// when its checksum happens to verify, because the next append would
+// concatenate onto it and corrupt both records' framing.
 func (s *Store) replayJournal() error {
 	path := filepath.Join(s.dir, journalFile)
-	f, err := os.Open(path)
+	b, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	defer f.Close()
 
 	var good int64 // byte offset of the end of the last valid line
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		r, ok := decodeLine(line)
+	rest := b
+	for {
+		i := bytes.IndexByte(rest, '\n')
+		if i < 0 {
+			break // unterminated tail (torn append)
+		}
+		r, ok := decodeLine(string(rest[:i]))
 		if !ok {
-			break
+			break // bad checksum or invalid JSON
 		}
 		s.state.apply(r)
 		s.pending++
 		s.replayed++
-		good += int64(len(line)) + 1 // trailing '\n'
+		good += int64(i) + 1
+		rest = rest[i+1:]
 	}
-	// Anything past `good` — a bad checksum, invalid JSON, or a final
-	// line without its newline (torn append) — is discarded.
-	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+	// Anything past `good` is discarded.
+	if int64(len(b)) > good {
 		if err := os.Truncate(path, good); err != nil {
 			return fmt.Errorf("store: truncating torn journal: %w", err)
 		}
@@ -348,3 +352,34 @@ func (s *Store) Close() error {
 	s.closed = true
 	return err
 }
+
+// Crash releases the journal WITHOUT the graceful-shutdown compaction,
+// leaving the on-disk snapshot+journal pair exactly as a power loss
+// would: the next Open must recover through replay. Idempotent; exists
+// for crash-recovery drills (internal/chaos), not production paths.
+func (s *Store) Crash() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.journal.Close()
+}
+
+// Replay folds a record sequence into a fresh State — the same pure
+// fold Open performs, exported so recovery drills can compute the
+// state a journal prefix must reproduce.
+func Replay(records []Record) State {
+	st := State{Nodes: make(map[string]NodeRecord)}
+	for _, r := range records {
+		st.apply(r)
+	}
+	return st
+}
+
+// JournalPath returns the journal file's location under dir.
+func JournalPath(dir string) string { return filepath.Join(dir, journalFile) }
+
+// SnapshotPath returns the snapshot file's location under dir.
+func SnapshotPath(dir string) string { return filepath.Join(dir, snapshotFile) }

@@ -192,3 +192,114 @@ func TestUnknownOpIgnored(t *testing.T) {
 		t.Error("unknown op mutated state")
 	}
 }
+
+// TestExhaustiveTornTailSweep crashes the journal at EVERY byte
+// offset of a small multi-record journal — mid-checksum, mid-JSON, on
+// a newline, at record boundaries — and verifies that recovery at cut
+// k restores exactly the records whose trailing newline survived:
+// State() equals the pure fold Replay(records[:survivors]), the torn
+// file is truncated to a clean prefix, and the reopened store accepts
+// new writes.
+func TestExhaustiveTornTailSweep(t *testing.T) {
+	// Build the canonical op sequence once, capturing the journal
+	// bytes it produces.
+	master := t.TempDir()
+	s := mustOpen(t, master)
+	records := []Record{
+		{Op: OpAddNode, Name: "n0", Node: &NodeRecord{Addr: "a:1", MinCapWatts: 123, MaxCapWatts: 180}},
+		{Op: OpAddNode, Name: "n1", Node: &NodeRecord{Addr: "b:1", MinCapWatts: 123, MaxCapWatts: 180}},
+		{Op: OpSetCap, Name: "n0", Node: &NodeRecord{Addr: "a:1", MinCapWatts: 123, MaxCapWatts: 180, HaveCap: true, CapEnabled: true, CapWatts: 141.37}},
+		{Op: OpBudget, Budget: &BudgetRecord{Watts: 300, Group: []string{"n0", "n1"}, Interval: time.Second}},
+		{Op: OpSetCap, Name: "n1", Node: &NodeRecord{Addr: "b:1", MinCapWatts: 123, MaxCapWatts: 180, HaveCap: true, CapEnabled: true, CapWatts: 150}},
+		{Op: OpRemoveNode, Name: "n0"},
+	}
+	for _, r := range records {
+		if err := s.Apply(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Crash(); err != nil { // no compaction: keep the journal
+		t.Fatal(err)
+	}
+	journal, err := os.ReadFile(JournalPath(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(journal), "\n"); got != len(records) {
+		t.Fatalf("journal holds %d lines, want %d", got, len(records))
+	}
+
+	for cut := 0; cut <= len(journal); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(JournalPath(dir), journal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r := mustOpen(t, dir)
+
+		survivors := strings.Count(string(journal[:cut]), "\n")
+		if got := r.Replayed(); got != survivors {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, got, survivors)
+		}
+		want := Replay(records[:survivors])
+		got := r.State()
+		if len(got.Nodes) != len(want.Nodes) {
+			t.Fatalf("cut %d: recovered %d nodes, want %d", cut, len(got.Nodes), len(want.Nodes))
+		}
+		for name, w := range want.Nodes {
+			if g, ok := got.Nodes[name]; !ok || g != w {
+				t.Fatalf("cut %d: node %q = %+v, want %+v", cut, name, g, w)
+			}
+		}
+		if (got.Budget == nil) != (want.Budget == nil) {
+			t.Fatalf("cut %d: budget presence mismatch", cut)
+		}
+		if want.Budget != nil && got.Budget.Watts != want.Budget.Watts {
+			t.Fatalf("cut %d: budget = %+v, want %+v", cut, got.Budget, want.Budget)
+		}
+
+		// The torn tail must be gone from disk...
+		onDisk, err := os.ReadFile(JournalPath(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := journal[:len(fullLines(journal[:cut]))]; string(onDisk) != string(want) {
+			t.Fatalf("cut %d: journal not truncated to clean prefix (%d bytes on disk)", cut, len(onDisk))
+		}
+		// ...and the store must still accept writes.
+		if err := r.Apply(Record{Op: OpAddNode, Name: "post", Node: &NodeRecord{Addr: "c:1"}}); err != nil {
+			t.Fatalf("cut %d: store unusable after recovery: %v", cut, err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+	}
+}
+
+// fullLines returns the prefix of b up to and including its last
+// newline (the bytes replay keeps).
+func fullLines(b []byte) []byte {
+	i := strings.LastIndexByte(string(b), '\n')
+	if i < 0 {
+		return nil
+	}
+	return b[:i+1]
+}
+
+// TestStoreCrashIdempotent: Crash after Crash (or Close) is a no-op.
+func TestStoreCrashIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	addNode(t, s, "n0", "a:1")
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(SnapshotPath(dir)); !os.IsNotExist(err) {
+		t.Error("Crash (or Close-after-Crash) wrote a snapshot")
+	}
+}

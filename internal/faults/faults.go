@@ -96,6 +96,13 @@ func (t *Transport) Profile() Profile {
 	return t.p
 }
 
+// Transparent reports whether the profile injects no faults at all —
+// only the seed may differ from the zero profile. A transparent
+// transport passes traffic through untouched.
+func (p Profile) Transparent() bool {
+	return p == Profile{Seed: p.Seed}
+}
+
 // Stats returns a snapshot of the injected-fault counters.
 func (t *Transport) Stats() Stats {
 	t.mu.Lock()

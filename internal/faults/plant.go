@@ -86,6 +86,21 @@ func (f *FaultyPlant) SetPlantProfile(p PlantProfile) {
 	f.mu.Unlock()
 }
 
+// PlantProfile returns the active profile.
+func (f *FaultyPlant) PlantProfile() PlantProfile {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.p
+}
+
+// Transparent reports whether the profile injects no faults at all —
+// only the seed may differ from the zero profile. A transparent plant
+// behaves exactly like its inner plant, so invariant checkers can
+// hold it to the clean-plant contract.
+func (p PlantProfile) Transparent() bool {
+	return p == PlantProfile{Seed: p.Seed}
+}
+
 // PlantStats returns a snapshot of the injected-fault counters.
 func (f *FaultyPlant) PlantStats() PlantStats {
 	f.mu.Lock()

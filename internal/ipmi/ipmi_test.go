@@ -336,3 +336,32 @@ func TestListenAfterClose(t *testing.T) {
 		t.Error("Listen after Close succeeded")
 	}
 }
+
+// TestClientCloseIdempotent: crash-recovery drills and defer stacks
+// close clients more than once; every call after the first must be a
+// nil no-op, and calls after Close must fail rather than hang.
+func TestClientCloseIdempotent(t *testing.T) {
+	srv := NewServer(&fakeControl{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetDeviceID(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("first Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := c.GetDeviceID(); err == nil {
+		t.Error("call on a closed client succeeded")
+	}
+}

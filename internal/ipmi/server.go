@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -177,6 +178,7 @@ type Client struct {
 	seq        uint32
 	reqTimeout time.Duration
 	broken     bool
+	closed     atomic.Bool
 }
 
 // Dial connects to a BMC endpoint with the default timeouts.
@@ -209,8 +211,15 @@ func (c *Client) SetRequestTimeout(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// Close shuts the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close shuts the connection. Idempotent: a second Close returns nil.
+// It deliberately does not take c.mu, so a hung in-flight call can
+// still be aborted by closing the socket underneath it.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	return c.conn.Close()
+}
 
 // call performs one request/response exchange.
 func (c *Client) call(cmd uint8, payload []byte) ([]byte, error) {
