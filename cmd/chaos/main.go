@@ -36,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nodes    = fs.Int("nodes", 6, "fleet size")
 		wire     = fs.Bool("wire", false, "run over real TCP sockets through the fault-injecting transport (slower, not bit-deterministic)")
 		list     = fs.Bool("list", false, "list scenario names and exit")
+		breakFS  = fs.Bool("break-failsafe-floor", false, "deliberately break the fail-safe P-state floor so the checker must flag it (harness self-test)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	s.Wire = *wire
+	s.BreakFailSafeFloor = *breakFS
 	v, err := chaos.Run(s)
 	if err != nil {
 		fmt.Fprintln(stderr, err)

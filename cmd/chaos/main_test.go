@@ -36,6 +36,33 @@ func TestRunEmitsDeterministicVerdict(t *testing.T) {
 	}
 }
 
+// TestRunBrokenGuardExitsOne: -break-failsafe-floor must produce exit
+// status 1 and a verdict whose violations carry trace windows — the
+// contract the CI chaos-smoke job greps for.
+func TestRunBrokenGuardExitsOne(t *testing.T) {
+	args := []string{"-scenario", "sensor-storm", "-seed", "3", "-ticks", "1200", "-nodes", "5", "-break-failsafe-floor"}
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	var v struct {
+		Pass       bool `json:"pass"`
+		Violations []struct {
+			Msg   string            `json:"msg"`
+			Trace []json.RawMessage `json:"trace"`
+		} `json:"violations"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatalf("verdict is not JSON: %v", err)
+	}
+	if v.Pass || len(v.Violations) == 0 {
+		t.Fatalf("broken guard produced a passing verdict: %s", out.String())
+	}
+	if len(v.Violations[0].Trace) == 0 {
+		t.Error("first violation carries no trace window")
+	}
+}
+
 // TestRunExitCodes: 2 for harness errors, 0 for -list.
 func TestRunExitCodes(t *testing.T) {
 	var out, errb bytes.Buffer

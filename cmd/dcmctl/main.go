@@ -9,6 +9,8 @@
 //	dcmctl -server 127.0.0.1:9650 setcap sim0 140
 //	dcmctl -server 127.0.0.1:9650 budget 300 sim0,sim1
 //	dcmctl -server 127.0.0.1:9650 history sim0 20
+//	dcmctl -server 127.0.0.1:9650 trace -node sim0 -n 50
+//	dcmctl -server 127.0.0.1:9650 trace -follow
 //
 // Direct mode (no dcmd; talks IPMI straight to one BMC):
 //
@@ -20,13 +22,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"nodecap/internal/dcm"
 	"nodecap/internal/ipmi"
+	"nodecap/internal/telemetry"
 )
 
 // callTimeout bounds each control-plane round trip; the -timeout flag
@@ -64,6 +70,7 @@ func usage() {
   dcmctl -server ADDR setcap NAME WATTS | uncap NAME
   dcmctl -server ADDR budget WATTS NAME1,NAME2,...
   dcmctl -server ADDR history NAME [N]
+  dcmctl -server ADDR trace [-follow] [-node NAME] [-n N]
   dcmctl -bmc ADDR status | setcap WATTS | uncap
 `)
 	os.Exit(2)
@@ -99,8 +106,10 @@ func viaServer(addr string, args []string) error {
 		if err != nil {
 			return err
 		}
-		printNodes(resp.Nodes)
+		printNodes(os.Stdout, resp.Nodes)
 		return nil
+	case "trace":
+		return traceCmd(call, os.Stdout, args[1:])
 	case "setcap":
 		if len(args) != 3 {
 			usage()
@@ -162,8 +171,14 @@ func viaServer(addr string, args []string) error {
 	}
 }
 
-func printNodes(nodes []dcm.NodeStatus) {
-	fmt.Printf("%-12s %-22s %-9s %-8s %-8s %9s %9s %6s %5s %-9s %6s %6s %5s %6s %s\n",
+// printNodes renders the fleet table. Output is deterministic: rows
+// sort by name (defensively — the server already sorts) and every
+// column has a fixed width, so scripts and golden tests can rely on
+// byte-stable output for the same status.
+func printNodes(w io.Writer, nodes []dcm.NodeStatus) {
+	nodes = append([]dcm.NodeStatus(nil), nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	fmt.Fprintf(w, "%-12s %-22s %-9s %-8s %-8s %9s %9s %6s %5s %-9s %6s %6s %5s %6s %s\n",
 		"NAME", "ADDR", "REACHABLE", "CAP", "REPORTED", "POWER(W)", "FREQ(MHz)", "PSTATE", "GATE",
 		"HEALTH", "DRIFTS", "RECONS", "FAILS", "RECONN", "LAST-ERR")
 	for _, n := range nodes {
@@ -179,7 +194,7 @@ func printNodes(nodes []dcm.NodeStatus) {
 		} else if len(lastErr) > 40 {
 			lastErr = lastErr[:37] + "..."
 		}
-		fmt.Printf("%-12s %-22s %-9v %-8s %-8s %9.1f %9d P%-5d %5d %-9s %6d %6d %5d %6d %s\n",
+		fmt.Fprintf(w, "%-12s %-22s %-9v %-8s %-8s %9.1f %9d P%-5d %5d %-9s %6d %6d %5d %6d %s\n",
 			n.Name, n.Addr, n.Reachable,
 			capFor(n.CapEnabled, n.CapWatts),
 			capFor(n.ReportedCapEnabled, n.ReportedCapWatts),
@@ -187,6 +202,73 @@ func printNodes(nodes []dcm.NodeStatus) {
 			healthFlags(n), n.Drifts, n.Reconciles,
 			n.ConsecFailures, n.Reconnects, lastErr)
 	}
+}
+
+// followInterval paces trace -follow polling; a var so tests can spin
+// faster.
+var followInterval = 500 * time.Millisecond
+
+// traceCmd implements the trace subcommand: a one-shot tail of the
+// manager's control-decision trace, or -follow to stream new events by
+// cursor (Seq) until interrupted.
+func traceCmd(call func(dcm.Request) (dcm.Response, error), w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		follow = fs.Bool("follow", false, "stream new events until interrupted")
+		node   = fs.String("node", "", "only events for this node")
+		n      = fs.Int("n", 64, "tail length for the initial fetch")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := call(dcm.Request{Op: "trace", Name: *node, Limit: *n})
+	if err != nil {
+		return err
+	}
+	var last uint64
+	for _, ev := range resp.Trace {
+		fmt.Fprintln(w, formatEvent(ev))
+		last = ev.Seq
+	}
+	for *follow {
+		time.Sleep(followInterval)
+		resp, err := call(dcm.Request{Op: "trace", Name: *node, Since: last + 1})
+		if err != nil {
+			return err
+		}
+		for _, ev := range resp.Trace {
+			fmt.Fprintln(w, formatEvent(ev))
+			last = ev.Seq
+		}
+	}
+	return nil
+}
+
+// formatEvent renders one trace event as a stable single line.
+func formatEvent(ev telemetry.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8d", ev.Seq)
+	if ev.WallNS != 0 {
+		fmt.Fprintf(&b, "  %s", time.Unix(0, ev.WallNS).Format("15:04:05.000"))
+	} else {
+		fmt.Fprintf(&b, "  tick %-8d", ev.Tick)
+	}
+	name := ev.Node
+	if name == "" {
+		name = "-"
+	}
+	fmt.Fprintf(&b, "  %-12s %-16s", name, ev.Kind)
+	if ev.Watts != 0 {
+		fmt.Fprintf(&b, " %7.1f W", ev.Watts)
+	}
+	if ev.N != 0 {
+		fmt.Fprintf(&b, " n=%d", ev.N)
+	}
+	if ev.Err != "" {
+		fmt.Fprintf(&b, " err=%q", ev.Err)
+	}
+	return b.String()
 }
 
 // healthFlags renders the BMC's defensive-controller status: "ok", or

@@ -1,13 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"nodecap/internal/dcm"
 	"nodecap/internal/ipmi"
 	"nodecap/internal/machine"
 	"nodecap/internal/nodeagent"
+	"nodecap/internal/telemetry"
 )
 
 // harness brings up agent -> IPMI server -> manager -> control-plane
@@ -24,6 +28,7 @@ func harness(t *testing.T) (bmcAddr, serverAddr string) {
 	t.Cleanup(func() { isrv.Close() })
 
 	mgr := dcm.NewManager(nil)
+	mgr.SetTelemetry(telemetry.NewRegistry(), telemetry.NewTrace(256))
 	t.Cleanup(mgr.Close)
 	csrv := dcm.NewServer(mgr)
 	serverAddr, err = csrv.Listen("127.0.0.1:0")
@@ -43,6 +48,8 @@ func TestViaServerLifecycle(t *testing.T) {
 		{"setcap", "n0", "140"},
 		{"history", "n0", "5"},
 		{"budget", "170", "n0"},
+		{"trace"},
+		{"trace", "-node", "n0", "-n", "10"},
 		{"uncap", "n0"},
 		{"remove", "n0"},
 	}
@@ -50,6 +57,101 @@ func TestViaServerLifecycle(t *testing.T) {
 		if err := viaServer(server, args); err != nil {
 			t.Fatalf("%v: %v", args, err)
 		}
+	}
+}
+
+// TestPrintNodesGolden: byte-stable output — rows sorted by name,
+// fixed column widths — so fleet listings diff cleanly in scripts.
+func TestPrintNodesGolden(t *testing.T) {
+	nodes := []dcm.NodeStatus{ // deliberately out of order
+		{
+			Name: "sim1", Addr: "127.0.0.1:9624", Reachable: false,
+			LastError: "dial tcp: connection refused plus enough text to get truncated here",
+		},
+		{
+			Name: "sim0", Addr: "127.0.0.1:9623", Reachable: true,
+			CapEnabled: true, CapWatts: 140,
+			ReportedCapEnabled: true, ReportedCapWatts: 140,
+			Last:   dcm.Sample{PowerWatts: 138.4, FreqMHz: 2100, PState: 5, GatingLevel: 0},
+			Drifts: 2, Reconciles: 1, Reconnects: 3,
+		},
+	}
+	var got1, got2 bytes.Buffer
+	printNodes(&got1, nodes)
+	printNodes(&got2, nodes)
+	if got1.String() != got2.String() {
+		t.Fatal("printNodes is not deterministic")
+	}
+	want := "" +
+		"NAME         ADDR                   REACHABLE CAP      REPORTED  POWER(W) FREQ(MHz) PSTATE  GATE HEALTH    DRIFTS RECONS FAILS RECONN LAST-ERR\n" +
+		"sim0         127.0.0.1:9623         true      140 W    140 W        138.4      2100 P5         0 ok             2      1     0      3 -\n" +
+		"sim1         127.0.0.1:9624         false     off      off            0.0         0 P0         0 ok             0      0     0      0 dial tcp: connection refused plus eno...\n"
+	if got1.String() != want {
+		t.Errorf("printNodes output changed:\ngot:\n%s\nwant:\n%s", got1.String(), want)
+	}
+}
+
+// TestTraceSubcommandTail: a cap push surfaces in `dcmctl trace`, with
+// the node filter honoured.
+func TestTraceSubcommandTail(t *testing.T) {
+	bmc, server := harness(t)
+	for _, args := range [][]string{{"add", "n0", bmc}, {"setcap", "n0", "145"}} {
+		if err := viaServer(server, args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	call := func(req dcm.Request) (dcm.Response, error) {
+		return dcm.Call(server, req)
+	}
+	var out bytes.Buffer
+	if err := traceCmd(call, &out, []string{"-node", "n0"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), telemetry.EvCapPush) || !strings.Contains(out.String(), "145.0 W") {
+		t.Errorf("trace output missing cap push:\n%s", out.String())
+	}
+	out.Reset()
+	if err := traceCmd(call, &out, []string{"-node", "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("ghost node filter returned events:\n%s", out.String())
+	}
+}
+
+// TestTraceFollowAdvancesCursor: -follow re-polls with Since one past
+// the last seen Seq and keeps printing until the link drops.
+func TestTraceFollowAdvancesCursor(t *testing.T) {
+	old := followInterval
+	followInterval = time.Millisecond
+	defer func() { followInterval = old }()
+
+	var calls []dcm.Request
+	call := func(req dcm.Request) (dcm.Response, error) {
+		calls = append(calls, req)
+		switch len(calls) {
+		case 1: // initial tail
+			return dcm.Response{OK: true, Trace: []telemetry.Event{
+				{Seq: 7, Kind: telemetry.EvCapPush, Node: "n0", Watts: 140},
+			}}, nil
+		case 2: // first follow poll
+			return dcm.Response{OK: true, Trace: []telemetry.Event{
+				{Seq: 8, Kind: telemetry.EvDrift, Node: "n0", Watts: 140},
+			}}, nil
+		default:
+			return dcm.Response{}, fmt.Errorf("link dropped")
+		}
+	}
+	var out bytes.Buffer
+	err := traceCmd(call, &out, []string{"-follow"})
+	if err == nil || !strings.Contains(err.Error(), "link dropped") {
+		t.Fatalf("follow did not surface the transport error: %v", err)
+	}
+	if calls[1].Since != 8 || calls[2].Since != 9 {
+		t.Errorf("cursor did not advance: %+v", calls)
+	}
+	if !strings.Contains(out.String(), telemetry.EvCapPush) || !strings.Contains(out.String(), telemetry.EvDrift) {
+		t.Errorf("follow output missing events:\n%s", out.String())
 	}
 }
 

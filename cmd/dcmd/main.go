@@ -5,16 +5,23 @@
 //
 // Usage:
 //
-//	dcmd -listen 127.0.0.1:9650 -poll 1s
+//	dcmd -listen 127.0.0.1:9650 -poll 1s -metrics-addr 127.0.0.1:9651
 //
 // With -state-dir the registry, desired caps and any group budget are
 // journaled crash-safely; a restarted dcmd reloads them and reconciles
 // every node's live policy back to the desired state within one poll.
+//
+// With -metrics-addr the daemon serves /metrics (Prometheus text
+// exposition) and /trace (NDJSON control-decision trace) over HTTP.
 package main
 
 import (
 	"flag"
+	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,62 +30,170 @@ import (
 
 	"nodecap/internal/dcm"
 	"nodecap/internal/ipmi"
+	"nodecap/internal/telemetry"
 )
 
-func main() {
-	listen := flag.String("listen", "127.0.0.1:9650", "control-plane address")
-	poll := flag.Duration("poll", time.Second, "monitoring poll interval")
-	budget := flag.Float64("budget", 0, "group power budget in watts (0 = no auto-balancing)")
-	group := flag.String("group", "", "comma-separated node names the budget covers")
-	rebalance := flag.Duration("rebalance", 5*time.Second, "auto-balance interval")
-	connectTO := flag.Duration("connect-timeout", ipmi.DefaultConnectTimeout, "BMC TCP connect timeout")
-	requestTO := flag.Duration("request-timeout", ipmi.DefaultRequestTimeout, "per-exchange BMC request timeout")
-	retryBase := flag.Duration("retry-base", dcm.DefaultRetryBaseDelay, "initial redial backoff for a failed node")
-	retryMax := flag.Duration("retry-max", dcm.DefaultRetryMaxDelay, "backoff ceiling for a failed node")
-	pollWorkers := flag.Int("poll-workers", dcm.DefaultPollConcurrency, "max nodes sampled in parallel per sweep")
-	stateDir := flag.String("state-dir", "", "durable state directory: registry, caps and budget survive restarts")
-	staleAfter := flag.Duration("stale-after", dcm.DefaultStaleAfter, "age after which an unreachable node's demand stops counting in budgets")
-	flag.Parse()
+// options holds every dcmd flag, separated from flag parsing so tests
+// can build configurations directly.
+type options struct {
+	Listen      string
+	MetricsAddr string
+	Poll        time.Duration
+	Budget      float64
+	Group       string
+	Rebalance   time.Duration
+	ConnectTO   time.Duration
+	RequestTO   time.Duration
+	RetryBase   time.Duration
+	RetryMax    time.Duration
+	PollWorkers int
+	StateDir    string
+	StaleAfter  time.Duration
+}
 
-	mgr := dcm.NewManager(func(addr string) (dcm.BMC, error) {
-		return ipmi.DialTimeout(addr, *connectTO, *requestTO)
-	})
-	mgr.RetryBaseDelay = *retryBase
-	mgr.RetryMaxDelay = *retryMax
-	mgr.PollConcurrency = *pollWorkers
-	mgr.StaleAfter = *staleAfter
-	defer mgr.Close()
-	if *stateDir != "" {
-		if err := mgr.OpenStateDir(*stateDir); err != nil {
-			log.Fatalf("dcmd: %v", err)
-		}
-		if n := len(mgr.Nodes()); n > 0 {
-			log.Printf("dcmd: restored %d node(s) from %s; reconciling caps on the next poll", n, *stateDir)
+// parseFlags parses args into options (no global flag state, so tests
+// can call it repeatedly).
+func parseFlags(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("dcmd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.Listen, "listen", "127.0.0.1:9650", "control-plane address")
+	fs.StringVar(&o.MetricsAddr, "metrics-addr", "", "HTTP address for /metrics and /trace (empty = disabled)")
+	fs.DurationVar(&o.Poll, "poll", time.Second, "monitoring poll interval")
+	fs.Float64Var(&o.Budget, "budget", 0, "group power budget in watts (0 = no auto-balancing)")
+	fs.StringVar(&o.Group, "group", "", "comma-separated node names the budget covers")
+	fs.DurationVar(&o.Rebalance, "rebalance", 5*time.Second, "auto-balance interval")
+	fs.DurationVar(&o.ConnectTO, "connect-timeout", ipmi.DefaultConnectTimeout, "BMC TCP connect timeout")
+	fs.DurationVar(&o.RequestTO, "request-timeout", ipmi.DefaultRequestTimeout, "per-exchange BMC request timeout")
+	fs.DurationVar(&o.RetryBase, "retry-base", dcm.DefaultRetryBaseDelay, "initial redial backoff for a failed node")
+	fs.DurationVar(&o.RetryMax, "retry-max", dcm.DefaultRetryMaxDelay, "backoff ceiling for a failed node")
+	fs.IntVar(&o.PollWorkers, "poll-workers", dcm.DefaultPollConcurrency, "max nodes sampled in parallel per sweep")
+	fs.StringVar(&o.StateDir, "state-dir", "", "durable state directory: registry, caps and budget survive restarts")
+	fs.DurationVar(&o.StaleAfter, "stale-after", dcm.DefaultStaleAfter, "age after which an unreachable node's demand stops counting in budgets")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
+// daemon is a running dcmd instance; tests drive it in-process.
+type daemon struct {
+	mgr   *dcm.Manager
+	srv   *dcm.Server
+	reg   *telemetry.Registry
+	trace *telemetry.Trace
+
+	ControlAddr string
+	MetricsAddr string // empty when disabled
+
+	httpSrv *http.Server
+	httpLn  net.Listener
+}
+
+// start builds and launches a daemon from opts. A nil dial uses the
+// real IPMI dialer (with wire-level request counters); tests inject
+// their own.
+func start(opts options, dial dcm.Dialer, logf func(format string, args ...any)) (*daemon, error) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	reg := telemetry.NewRegistry()
+	trace := telemetry.NewTrace(telemetry.DefaultTraceCapacity)
+	// Register the wire-level series up front so the scrape surface is
+	// stable whether or not the default dialer is in use.
+	ipmiReqs := reg.Counter("ipmi_requests_total")
+	ipmiFails := reg.Counter("ipmi_request_failures_total")
+	if dial == nil {
+		dial = func(addr string) (dcm.BMC, error) {
+			c, err := ipmi.DialTimeout(addr, opts.ConnectTO, opts.RequestTO)
+			if err != nil {
+				return nil, err
+			}
+			c.SetCounters(ipmiReqs, ipmiFails)
+			return c, nil
 		}
 	}
-	mgr.StartPolling(*poll)
+
+	mgr := dcm.NewManager(dial)
+	mgr.RetryBaseDelay = opts.RetryBase
+	mgr.RetryMaxDelay = opts.RetryMax
+	mgr.PollConcurrency = opts.PollWorkers
+	mgr.StaleAfter = opts.StaleAfter
+	mgr.SetTelemetry(reg, trace)
+	if opts.StateDir != "" {
+		if err := mgr.OpenStateDir(opts.StateDir); err != nil {
+			mgr.Close()
+			return nil, err
+		}
+		if n := len(mgr.Nodes()); n > 0 {
+			logf("dcmd: restored %d node(s) from %s; reconciling caps on the next poll", n, opts.StateDir)
+		}
+	}
+	mgr.StartPolling(opts.Poll)
 	switch {
-	case *budget > 0 && *group != "":
-		names := strings.Split(*group, ",")
-		mgr.StartAutoBalance(*budget, names, *rebalance)
-		log.Printf("dcmd: auto-balancing %.0f W across %v every %v", *budget, names, *rebalance)
+	case opts.Budget > 0 && opts.Group != "":
+		names := strings.Split(opts.Group, ",")
+		mgr.StartAutoBalance(opts.Budget, names, opts.Rebalance)
+		logf("dcmd: auto-balancing %.0f W across %v every %v", opts.Budget, names, opts.Rebalance)
 	default:
 		// No budget on the command line: re-arm the one the state dir
 		// holds, if any — a restart must not silently drop the fleet's
 		// power budget.
 		if watts, names, interval, ok := mgr.RestoredBudget(); ok {
 			mgr.StartAutoBalance(watts, names, interval)
-			log.Printf("dcmd: restored auto-balance of %.0f W across %v every %v", watts, names, interval)
+			logf("dcmd: restored auto-balance of %.0f W across %v every %v", watts, names, interval)
 		}
 	}
 
 	srv := dcm.NewServer(mgr)
-	addr, err := srv.Listen(*listen)
+	addr, err := srv.Listen(opts.Listen)
 	if err != nil {
-		log.Fatalf("dcmd: listen: %v", err)
+		mgr.Close()
+		return nil, fmt.Errorf("dcmd: listen: %w", err)
 	}
-	defer srv.Close()
-	log.Printf("dcmd: control plane on %s, polling every %v", addr, *poll)
+	d := &daemon{
+		mgr: mgr, srv: srv, reg: reg, trace: trace,
+		ControlAddr: addr,
+	}
+
+	if opts.MetricsAddr != "" {
+		ln, err := net.Listen("tcp", opts.MetricsAddr)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("dcmd: metrics listen: %w", err)
+		}
+		d.httpLn = ln
+		d.MetricsAddr = ln.Addr().String()
+		d.httpSrv = &http.Server{Handler: telemetry.Handler(reg, trace)}
+		go d.httpSrv.Serve(ln)
+		logf("dcmd: metrics on http://%s/metrics, trace on /trace", d.MetricsAddr)
+	}
+	return d, nil
+}
+
+// Close tears the daemon down (HTTP first, then control plane, then
+// the manager and its pollers).
+func (d *daemon) Close() {
+	if d.httpSrv != nil {
+		d.httpSrv.Close()
+	}
+	if d.srv != nil {
+		d.srv.Close()
+	}
+	d.mgr.Close()
+}
+
+func main() {
+	opts, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	d, err := start(opts, nil, nil)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	defer d.Close()
+	log.Printf("dcmd: control plane on %s, polling every %v", d.ControlAddr, opts.Poll)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

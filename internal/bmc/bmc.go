@@ -34,6 +34,7 @@ import (
 	"math"
 
 	"nodecap/internal/simtime"
+	"nodecap/internal/telemetry"
 )
 
 // Plant is the machine surface the BMC actuates. The machine package
@@ -244,6 +245,13 @@ type BMC struct {
 	haveRaw    bool
 	stuckRun   int // consecutive identical delivered readings
 	infeasible bool
+
+	// Telemetry sinks (SetTelemetry); nil-safe, zero-alloc when wired.
+	trace           *telemetry.Trace
+	traceNode       string
+	mSensorFaults   *telemetry.Counter
+	mFailSafeEnters *telemetry.Counter
+	mFailSafeExits  *telemetry.Counter
 }
 
 // New builds a BMC for plant; panics on invalid static config.
@@ -256,6 +264,19 @@ func New(cfg Config, plant Plant) *BMC {
 
 // Config returns the controller tuning.
 func (b *BMC) Config() Config { return b.cfg }
+
+// SetTelemetry wires fleet metrics and the decision trace into the
+// controller; node labels this BMC's trace events. Either sink may be
+// nil. Counters are shared fleet-wide (same registry, same names), so
+// per-node fault history stays in Stats while the registry aggregates.
+// The instrumented Tick remains allocation-free.
+func (b *BMC) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Trace, node string) {
+	b.trace = tr
+	b.traceNode = node
+	b.mSensorFaults = reg.Counter("bmc_sensor_faults_total")
+	b.mFailSafeEnters = reg.Counter("bmc_failsafe_entries_total")
+	b.mFailSafeExits = reg.Counter("bmc_failsafe_exits_total")
+}
 
 // Policy returns the active policy.
 func (b *BMC) Policy() Policy { return b.policy }
@@ -278,6 +299,11 @@ func (b *BMC) SetPolicy(p Policy) error {
 				ErrInfeasibleCap, p.CapWatts)
 		}
 		return nil
+	}
+	if b.failSafe {
+		// The operator's changed intent overrides the defensive clamp.
+		b.mFailSafeExits.Inc()
+		b.trace.Append(telemetry.Event{Node: b.traceNode, Kind: telemetry.EvFailSafeExit})
 	}
 	b.policy = p
 	b.failSafe = false
@@ -397,11 +423,14 @@ func (b *BMC) Tick() {
 		// Never actuate — in particular never step up — on data the
 		// controller cannot trust.
 		b.stats.SensorFaults++
+		b.mSensorFaults.Inc()
 		b.saneTicks = 0
 		b.badTicks++
 		if k := b.cfg.FaultToleranceTicks; k > 0 && !b.failSafe && b.badTicks >= k {
 			b.failSafe = true
 			b.stats.FailSafeEntries++
+			b.mFailSafeEnters.Inc()
+			b.trace.Append(telemetry.Event{Node: b.traceNode, Kind: telemetry.EvFailSafeEnter})
 			b.haveEWMA = false
 		}
 		if b.failSafe {
@@ -427,6 +456,8 @@ func (b *BMC) Tick() {
 		b.failSafe = false
 		b.saneTicks = 0
 		b.haveEWMA = false
+		b.mFailSafeExits.Inc()
+		b.trace.Append(telemetry.Event{Node: b.traceNode, Kind: telemetry.EvFailSafeExit})
 	}
 
 	if !b.haveEWMA {

@@ -38,6 +38,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"nodecap/internal/telemetry"
 )
 
 // Event kinds. Node-scoped kinds target Event.Node; crash/restart act
@@ -143,9 +145,19 @@ type Verdict struct {
 	Checks map[string]int `json:"checks"`
 	// Violations lists the first violations found (bounded);
 	// ViolationCount is the true total.
-	Violations     []string `json:"violations"`
-	ViolationCount int      `json:"violation_count"`
-	Pass           bool     `json:"pass"`
+	Violations     []Violation `json:"violations"`
+	ViolationCount int         `json:"violation_count"`
+	Pass           bool        `json:"pass"`
+}
+
+// Violation is one invariant failure, captured with the trailing
+// window of fleet control-decision trace events — the cap pushes,
+// backoffs, fail-safe transitions, and budget reallocations that led
+// up to it. In-process runs stamp events with the simulated tick only
+// (no wall clock), so the window is bit-identical across replays.
+type Violation struct {
+	Msg   string            `json:"msg"`
+	Trace []telemetry.Event `json:"trace,omitempty"`
 }
 
 // Defaults for Scenario zero fields.
@@ -216,6 +228,7 @@ func Run(s Scenario) (Verdict, error) {
 
 	next := 0
 	for tick := 0; tick < s.Ticks; tick++ {
+		f.trace.SetTick(int64(tick))
 		for next < len(events) && events[next].Tick <= tick {
 			if err := f.applyEvent(events[next], iv, &v); err != nil {
 				return Verdict{}, err

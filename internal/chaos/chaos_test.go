@@ -160,8 +160,16 @@ func TestBrokenGuardCaught(t *testing.T) {
 	}
 	found := false
 	for _, viol := range v.Violations {
-		if contains(viol, InvNoFailSafeSpeedup) {
+		if contains(viol.Msg, InvNoFailSafeSpeedup) {
 			found = true
+			if len(viol.Trace) == 0 {
+				t.Error("violation carries no trailing trace window")
+			}
+			for _, ev := range viol.Trace {
+				if ev.WallNS != 0 {
+					t.Errorf("trace event %+v carries a wall-clock stamp; verdicts must be simtime-only", ev)
+				}
+			}
 			break
 		}
 	}
@@ -177,6 +185,30 @@ func contains(s, sub string) bool {
 		}
 	}
 	return false
+}
+
+// TestBrokenGuardVerdictDeterministic: even failing verdicts — trace
+// windows included — replay bit-identically, so one (scenario, seed)
+// pair is a complete bug report.
+func TestBrokenGuardVerdictDeterministic(t *testing.T) {
+	run := func() Verdict {
+		s, err := Build("sensor-storm", 3, 1200, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.BreakFailSafeFloor = true
+		s.StateDir = t.TempDir()
+		v, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	j1, _ := json.Marshal(run())
+	j2, _ := json.Marshal(run())
+	if string(j1) != string(j2) {
+		t.Fatalf("failing verdicts diverge:\n%s\n%s", j1, j2)
+	}
 }
 
 // TestTornCutLosesRecordsButNeverIntegrity: across many seeds the

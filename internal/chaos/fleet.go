@@ -16,6 +16,7 @@ import (
 	"nodecap/internal/dcm/store"
 	"nodecap/internal/faults"
 	"nodecap/internal/ipmi"
+	"nodecap/internal/telemetry"
 )
 
 // The simulated platform: an analytic plant with the paper's power
@@ -411,6 +412,12 @@ type Fleet struct {
 	// Wire-mode plumbing.
 	transports []*faults.Transport
 	wireAddrs  []string
+
+	// Fleet-wide observability: wall-clock stamping is disabled on the
+	// trace so in-process verdicts (which embed trace windows) stay
+	// bit-identical, and the run loop stamps the simulated tick instead.
+	reg   *telemetry.Registry
+	trace *telemetry.Trace
 }
 
 func newFleet(s Scenario, dir string) (*Fleet, error) {
@@ -420,9 +427,13 @@ func newFleet(s Scenario, dir string) (*Fleet, error) {
 		sims:       make([]*simNode, s.Nodes),
 		registered: make([]bool, s.Nodes),
 		meta:       make([]nodeMeta, s.Nodes),
+		reg:        telemetry.NewRegistry(),
+		trace:      telemetry.NewTrace(telemetry.DefaultTraceCapacity),
 	}
+	f.trace.SetWallClock(nil)
 	for i := range f.sims {
 		f.sims[i] = newSimNode(i, s.Seed, s.BreakFailSafeFloor)
+		f.sims[i].ctl.SetTelemetry(f.reg, f.trace, f.sims[i].name)
 	}
 	if s.Wire {
 		f.transports = make([]*faults.Transport, s.Nodes)
@@ -453,6 +464,10 @@ func (f *Fleet) newManager() (*dcm.Manager, error) {
 	mgr.RetryBaseDelay = time.Nanosecond
 	mgr.RetryMaxDelay = time.Nanosecond
 	mgr.StaleAfter = time.Nanosecond
+	// One poll worker keeps trace append order a function of the sorted
+	// node list alone, so verdict trace windows replay bit-identically.
+	mgr.PollConcurrency = 1
+	mgr.SetTelemetry(f.reg, f.trace)
 	if err := mgr.OpenStateDir(f.dir); err != nil {
 		return nil, fmt.Errorf("chaos: opening state dir: %w", err)
 	}

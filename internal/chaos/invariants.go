@@ -28,6 +28,10 @@ const (
 	SettleTicks = 40
 
 	maxRecordedViolations = 25
+
+	// violationTraceWindow is how many trailing control-decision trace
+	// events each recorded violation carries for post-mortem context.
+	violationTraceWindow = 12
 )
 
 // invariants is the per-run checker state.
@@ -36,7 +40,7 @@ type invariants struct {
 	budget float64
 
 	checks         map[string]int
-	violations     []string
+	violations     []Violation
 	violationCount int
 }
 
@@ -50,14 +54,17 @@ func newInvariants(f *Fleet, budget float64) *invariants {
 			InvNoFailSafeSpeedup: 0,
 			InvRecoveryIntegrity: 0,
 		},
-		violations: []string{},
+		violations: []Violation{},
 	}
 }
 
 func (iv *invariants) violate(format string, args ...any) {
 	iv.violationCount++
 	if len(iv.violations) < maxRecordedViolations {
-		iv.violations = append(iv.violations, fmt.Sprintf(format, args...))
+		iv.violations = append(iv.violations, Violation{
+			Msg:   fmt.Sprintf(format, args...),
+			Trace: iv.f.trace.Tail(violationTraceWindow, ""),
+		})
 	}
 }
 

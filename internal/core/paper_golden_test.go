@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nodecap/internal/machine"
+)
+
+// The paper-fidelity golden suite locks the simulator to the shape of
+// the study's results (Tables I and II, Figures 1 and 2):
+//
+//   - execution time and energy grow monotonically as the cap drops
+//     from 160 W to 120 W;
+//   - caps at or above 140 W are mild (≤ 1.4× slowdown) while the
+//     120 W row blows up by an order of magnitude — the paper's
+//     headline cliff;
+//   - below ~135 W the core is pinned at its minimum P-state
+//     (~1200 MHz on the study platform);
+//   - sustained power respects every feasible cap;
+//   - the committed instruction count is identical at every cap (the
+//     same work, just slower).
+//
+// Each property is a checker over plain extracted rows, so the
+// negative tests can feed doctored series and prove the tolerances
+// actually bite (a golden suite that cannot fail locks nothing).
+
+// goldenWork is a memory-heavy kernel (8 MiB working set, strided
+// loads/stores between compute bursts) calibrated so the cap sweep
+// spans the paper's dynamic range: ~1× at 160 W to >10× at 120 W.
+type goldenWork struct{ iters int }
+
+func (w *goldenWork) Name() string   { return "golden" }
+func (w *goldenWork) CodePages() int { return 48 }
+func (w *goldenWork) Run(m *machine.Machine) {
+	base := m.Alloc(8 << 20)
+	for i := 0; i < w.iters; i++ {
+		m.Compute(12, 10)
+		m.Load(base + uint64((i*4099*64)%(8<<20)))
+		m.Store(base + uint64((i*8191*64)%(8<<20)))
+	}
+}
+
+// goldenRow is one cap's extracted metrics, in sweep order.
+type goldenRow struct {
+	cap       float64
+	time      float64
+	energy    float64
+	power     float64
+	freq      float64
+	committed float64
+}
+
+// Tolerance bands. monotoneSlack absorbs sub-percent trial jitter in
+// the monotonicity checks; the rest mirror the paper's magnitudes.
+const (
+	monotoneSlack   = 0.995
+	lowCapMinRatio  = 10.0 // 120 W: ≥ 10× the baseline time (Table I shows ~100×)
+	highCapMaxRatio = 1.4  // ≥ 140 W: at most a mild slowdown
+	pinnedCapWatts  = 130  // caps at/below this pin the min P-state...
+	pinnedFreqLo    = 1150 // ...within this band (study platform ~1200 MHz)
+	pinnedFreqHi    = 1260
+	feasibleCapLo   = 130 // caps at/above this are above the platform floor
+	powerSlackWatts = 2.0
+)
+
+var (
+	goldenOnce sync.Once
+	goldenBase goldenRow
+	goldenRows []goldenRow // PaperCaps order: 160 down to 120
+	goldenErr  error
+)
+
+// goldenSweep runs the calibrated experiment once and shares the rows
+// across every golden test.
+func goldenSweep(t *testing.T) (goldenRow, []goldenRow) {
+	t.Helper()
+	goldenOnce.Do(func() {
+		e := Experiment{
+			NewWorkload: func() machine.Workload { return &goldenWork{iters: 120000} },
+			Caps:        PaperCaps(),
+			Trials:      2,
+		}
+		res, err := e.Run()
+		if err != nil {
+			goldenErr = err
+			return
+		}
+		extract := func(r CapResult) goldenRow {
+			return goldenRow{
+				cap: r.CapWatts, time: r.TimeSeconds, energy: r.EnergyJoules,
+				power: r.PowerWatts, freq: r.FreqMHz,
+				committed: r.Counters.Committed,
+			}
+		}
+		goldenBase = extract(res.Baseline)
+		for _, r := range res.Capped {
+			goldenRows = append(goldenRows, extract(r))
+		}
+	})
+	if goldenErr != nil {
+		t.Fatal(goldenErr)
+	}
+	return goldenBase, goldenRows
+}
+
+// checkMonotone: metric never decreases as the cap tightens, within
+// monotoneSlack (Figure 1/2 shapes).
+func checkMonotone(metric string, get func(goldenRow) float64, rows []goldenRow) error {
+	for i := 1; i < len(rows); i++ {
+		prev, cur := get(rows[i-1]), get(rows[i])
+		if cur < prev*monotoneSlack {
+			return fmt.Errorf("%s not monotone: %.4g at %.0f W < %.4g at %.0f W",
+				metric, cur, rows[i].cap, prev, rows[i-1].cap)
+		}
+	}
+	return nil
+}
+
+// checkLowCapBlowup: the tightest cap's slowdown is at least an order
+// of magnitude (the paper's 120 W rows).
+func checkLowCapBlowup(base goldenRow, rows []goldenRow) error {
+	last := rows[len(rows)-1]
+	if ratio := last.time / base.time; ratio < lowCapMinRatio {
+		return fmt.Errorf("cap %.0f W: slowdown ×%.2f below the paper's ≥ ×%.0f cliff", last.cap, ratio, lowCapMinRatio)
+	}
+	return nil
+}
+
+// checkHighCapsMild: caps at or above 140 W cost at most a mild
+// slowdown (Table I's upper rows).
+func checkHighCapsMild(base goldenRow, rows []goldenRow) error {
+	for _, r := range rows {
+		if r.cap < 140 {
+			continue
+		}
+		if ratio := r.time / base.time; ratio > highCapMaxRatio {
+			return fmt.Errorf("cap %.0f W: slowdown ×%.2f above the ×%.1f band", r.cap, ratio, highCapMaxRatio)
+		}
+	}
+	return nil
+}
+
+// checkFreqPinned: caps at or below pinnedCapWatts hold the core at
+// its minimum P-state, and the uncapped baseline runs far above it.
+func checkFreqPinned(base goldenRow, rows []goldenRow) error {
+	if base.freq < 2000 {
+		return fmt.Errorf("baseline frequency %.0f MHz; uncapped core should run ≥ 2000", base.freq)
+	}
+	for _, r := range rows {
+		if r.cap > pinnedCapWatts {
+			continue
+		}
+		if r.freq < pinnedFreqLo || r.freq > pinnedFreqHi {
+			return fmt.Errorf("cap %.0f W: frequency %.0f MHz outside the pinned band [%d, %d]",
+				r.cap, r.freq, pinnedFreqLo, pinnedFreqHi)
+		}
+	}
+	return nil
+}
+
+// checkPowerUnderCaps: sustained power honours every cap above the
+// platform floor (below it, power pins at the floor by design — the
+// paper's infeasible 120 W rows).
+func checkPowerUnderCaps(rows []goldenRow) error {
+	for _, r := range rows {
+		if r.cap < feasibleCapLo {
+			continue
+		}
+		if r.power > r.cap+powerSlackWatts {
+			return fmt.Errorf("cap %.0f W: sustained power %.1f W over cap by more than %.1f W", r.cap, r.power, powerSlackWatts)
+		}
+	}
+	return nil
+}
+
+// checkSameWork: capping slows the work down, it must not change it —
+// committed instructions are identical at every cap.
+func checkSameWork(base goldenRow, rows []goldenRow) error {
+	for _, r := range rows {
+		if r.committed != base.committed {
+			return fmt.Errorf("cap %.0f W committed %.0f instructions, baseline %.0f — capping changed the work",
+				r.cap, r.committed, base.committed)
+		}
+	}
+	return nil
+}
+
+func TestPaperGoldenTimeMonotone(t *testing.T) {
+	_, rows := goldenSweep(t)
+	if err := checkMonotone("time", func(r goldenRow) float64 { return r.time }, rows); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperGoldenEnergyMonotone(t *testing.T) {
+	_, rows := goldenSweep(t)
+	if err := checkMonotone("energy", func(r goldenRow) float64 { return r.energy }, rows); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperGoldenLowCapCliff(t *testing.T) {
+	base, rows := goldenSweep(t)
+	if err := checkLowCapBlowup(base, rows); err != nil {
+		t.Error(err)
+	}
+	if err := checkHighCapsMild(base, rows); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperGoldenFrequencyPinned(t *testing.T) {
+	base, rows := goldenSweep(t)
+	if err := checkFreqPinned(base, rows); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperGoldenPowerUnderCaps(t *testing.T) {
+	_, rows := goldenSweep(t)
+	if err := checkPowerUnderCaps(rows); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperGoldenSameWork(t *testing.T) {
+	base, rows := goldenSweep(t)
+	if err := checkSameWork(base, rows); err != nil {
+		t.Error(err)
+	}
+}
+
+// syntheticRows builds a series that satisfies every checker, for the
+// negative tests to doctor.
+func syntheticRows() (goldenRow, []goldenRow) {
+	base := goldenRow{time: 0.01, energy: 1.5, power: 150, freq: 2700, committed: 1e7}
+	var rows []goldenRow
+	times := map[float64]float64{160: 0.0101, 155: 0.0102, 150: 0.0104, 145: 0.0108,
+		140: 0.0115, 135: 0.013, 130: 0.016, 125: 0.09, 120: 0.23}
+	freqs := map[float64]float64{160: 2650, 155: 2600, 150: 2500, 145: 2300,
+		140: 2100, 135: 1600, 130: 1210, 125: 1202, 120: 1201}
+	for _, cap := range PaperCaps() {
+		rows = append(rows, goldenRow{
+			cap: cap, time: times[cap], energy: times[cap] * 130,
+			power: min(cap-1, 151), freq: freqs[cap], committed: 1e7,
+		})
+	}
+	return base, rows
+}
+
+// TestGoldenCheckersBite: every checker must reject a series whose
+// corresponding property is artificially broken — the suite's
+// tolerances are real, not vacuous.
+func TestGoldenCheckersBite(t *testing.T) {
+	base, rows := syntheticRows()
+	if err := checkMonotone("time", func(r goldenRow) float64 { return r.time }, rows); err != nil {
+		t.Fatalf("synthetic series rejected by monotone: %v", err)
+	}
+	if err := checkLowCapBlowup(base, rows); err != nil {
+		t.Fatalf("synthetic series rejected by blowup: %v", err)
+	}
+	if err := checkHighCapsMild(base, rows); err != nil {
+		t.Fatalf("synthetic series rejected by mild-cap: %v", err)
+	}
+	if err := checkFreqPinned(base, rows); err != nil {
+		t.Fatalf("synthetic series rejected by freq-pin: %v", err)
+	}
+	if err := checkPowerUnderCaps(rows); err != nil {
+		t.Fatalf("synthetic series rejected by power-cap: %v", err)
+	}
+	if err := checkSameWork(base, rows); err != nil {
+		t.Fatalf("synthetic series rejected by same-work: %v", err)
+	}
+
+	doctor := func(mutate func(base *goldenRow, rows []goldenRow)) (goldenRow, []goldenRow) {
+		b, rs := syntheticRows()
+		mutate(&b, rs)
+		return b, rs
+	}
+
+	// A non-monotone bump (faster at a tighter cap) must be flagged.
+	_, rs := doctor(func(_ *goldenRow, rows []goldenRow) { rows[6].time = rows[4].time * 0.5 })
+	if checkMonotone("time", func(r goldenRow) float64 { return r.time }, rs) == nil {
+		t.Error("monotone checker passed a doctored bump")
+	}
+
+	// A flattened cliff (120 W only ×3) must be flagged.
+	b, rs := doctor(func(base *goldenRow, rows []goldenRow) { rows[len(rows)-1].time = base.time * 3 })
+	if checkLowCapBlowup(b, rs) == nil {
+		t.Error("blowup checker passed a flattened cliff")
+	}
+
+	// A heavy slowdown at 145 W must be flagged.
+	b, rs = doctor(func(base *goldenRow, rows []goldenRow) { rows[3].time = base.time * 2 })
+	if checkHighCapsMild(b, rs) == nil {
+		t.Error("mild-cap checker passed a ×2 slowdown at 145 W")
+	}
+
+	// A core running fast under a 125 W cap must be flagged.
+	b, rs = doctor(func(_ *goldenRow, rows []goldenRow) { rows[7].freq = 2400 })
+	if checkFreqPinned(b, rs) == nil {
+		t.Error("freq-pin checker passed an unpinned low-cap core")
+	}
+
+	// Power over a feasible cap must be flagged.
+	b, rs = doctor(func(_ *goldenRow, rows []goldenRow) { rows[2].power = rows[2].cap + 10 })
+	if checkPowerUnderCaps(rs) == nil {
+		t.Error("power checker passed a cap breach")
+	}
+
+	// A run that did different work must be flagged.
+	b, rs = doctor(func(_ *goldenRow, rows []goldenRow) { rows[0].committed *= 2 })
+	if checkSameWork(b, rs) == nil {
+		t.Error("same-work checker passed a changed instruction count")
+	}
+	_ = b
+}

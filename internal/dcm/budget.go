@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nodecap/internal/dcm/store"
+	"nodecap/internal/telemetry"
 )
 
 // Allocation is one node's share of a group budget.
@@ -124,6 +125,12 @@ func (m *Manager) ApplyBudget(budgetWatts float64, names []string) ([]Allocation
 			errs = append(errs, err)
 		}
 	}
+	m.mu.Lock()
+	m.tel.budgetReallocs.Inc()
+	m.tel.trace.Append(telemetry.Event{
+		Kind: telemetry.EvBudgetRealloc, Watts: budgetWatts, N: int64(len(ordered)),
+	})
+	m.mu.Unlock()
 	return ordered, errors.Join(errs...)
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"nodecap/internal/dcm/store"
 	"nodecap/internal/ipmi"
+	"nodecap/internal/telemetry"
 )
 
 // BMC is the per-node management connection the manager drives.
@@ -178,6 +179,12 @@ type Manager struct {
 	// store, when non-nil, persists desired state (see OpenStateDir).
 	store *store.Store
 
+	// tel holds the metric handles and trace sink wired by
+	// SetTelemetry; telReg keeps the registry so a later OpenStateDir
+	// can wire the store. Guarded by mu.
+	tel    managerTelemetry
+	telReg *telemetry.Registry
+
 	stopPoll    chan struct{}
 	stopBalance chan struct{}
 	pollWG      sync.WaitGroup
@@ -236,6 +243,7 @@ func (m *Manager) AddNode(name, addr string) error {
 	}
 	m.nodes[name] = n
 	m.mu.Unlock()
+	m.updateFleetGauges()
 	return m.journalNode(store.OpAddNode, n)
 }
 
@@ -253,6 +261,7 @@ func (m *Manager) RemoveNode(name string) error {
 	if !ok {
 		return fmt.Errorf("dcm: unknown node %q", name)
 	}
+	m.updateFleetGauges()
 	jerr := m.journalNode(store.OpRemoveNode, n)
 	n.acquire()
 	defer n.release()
@@ -325,6 +334,11 @@ func (m *Manager) recordFailure(n *managedNode, err error) {
 	n.status.LastError = err.Error()
 	n.nextRetry = time.Now().Add(m.backoff(n.status.ConsecFailures))
 	n.status.NextRetryAt = n.nextRetry
+	m.tel.backoffs.Inc()
+	m.tel.trace.Append(telemetry.Event{
+		Node: n.name, Kind: telemetry.EvBackoff,
+		N: int64(n.status.ConsecFailures), Err: n.status.LastError,
+	})
 }
 
 // recordSuccess clears the failure state after a good exchange.
@@ -367,6 +381,10 @@ func (m *Manager) connect(n *managedNode) (BMC, error) {
 	}
 	n.bmc = bmc
 	n.status.Reconnects++
+	m.tel.redials.Inc()
+	m.tel.trace.Append(telemetry.Event{
+		Node: n.name, Kind: telemetry.EvRedial, N: int64(n.status.Reconnects),
+	})
 	m.mu.Unlock()
 	return bmc, nil
 }
@@ -409,11 +427,13 @@ func (m *Manager) SetNodeCap(name string, capWatts float64) error {
 	defer n.release()
 	bmc, err := m.connect(n)
 	if err != nil {
+		m.capPushFailed(name, capWatts, err)
 		return err
 	}
 	if err := bmc.SetPowerLimit(lim); err != nil {
 		m.dropConn(n, bmc)
 		m.recordFailure(n, err)
+		m.capPushFailed(name, capWatts, err)
 		return fmt.Errorf("dcm: setting cap on %q: %w", name, err)
 	}
 	m.mu.Lock()
@@ -422,8 +442,23 @@ func (m *Manager) SetNodeCap(name string, capWatts float64) error {
 		n.status.ReportedCapEnabled = lim.Enabled
 		m.recordSuccess(n)
 	}
+	m.tel.capPushes.Inc()
+	m.tel.trace.Append(telemetry.Event{
+		Node: name, Kind: telemetry.EvCapPush, Watts: capWatts,
+	})
 	m.mu.Unlock()
 	return nil
+}
+
+// capPushFailed records cap-push failure telemetry. Callers must NOT
+// hold m.mu.
+func (m *Manager) capPushFailed(name string, capWatts float64, err error) {
+	m.mu.Lock()
+	m.tel.capPushFailures.Inc()
+	m.tel.trace.Append(telemetry.Event{
+		Node: name, Kind: telemetry.EvCapPushFail, Watts: capWatts, Err: err.Error(),
+	})
+	m.mu.Unlock()
 }
 
 // Poll performs one monitoring round across all nodes, updating
@@ -432,16 +467,23 @@ func (m *Manager) SetNodeCap(name string, capWatts float64) error {
 // operation already in flight is skipped this round rather than
 // queued behind it.
 func (m *Manager) Poll() {
+	start := time.Now()
 	m.mu.Lock()
 	nodes := make([]*managedNode, 0, len(m.nodes))
 	for _, n := range m.nodes {
 		nodes = append(nodes, n)
 	}
 	workers := m.PollConcurrency
+	tel := m.tel
 	m.mu.Unlock()
 	if workers <= 0 {
 		workers = DefaultPollConcurrency
 	}
+	// Sweep in name order so the decision-trace events a sequential
+	// sweep (PollConcurrency=1, as the chaos harness runs) appends are
+	// deterministic run-to-run; with a concurrent pool the order is
+	// merely a stable starting schedule.
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].name < nodes[j].name })
 
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
@@ -455,6 +497,9 @@ func (m *Manager) Poll() {
 		}(n)
 	}
 	wg.Wait()
+	tel.polls.Inc()
+	tel.pollSeconds.Observe(time.Since(start).Seconds())
+	m.updateFleetGauges()
 }
 
 // pollNode samples one node, redialing through the backoff gate when
@@ -498,6 +543,10 @@ func (m *Manager) pollNode(n *managedNode) {
 	if reconcile {
 		m.mu.Lock()
 		n.status.Drifts++
+		m.tel.drifts.Inc()
+		m.tel.trace.Append(telemetry.Event{
+			Node: n.name, Kind: telemetry.EvDrift, Watts: lim.CapWatts,
+		})
 		m.mu.Unlock()
 		if err := bmc.SetPowerLimit(desired); err != nil {
 			m.dropConn(n, bmc)
@@ -512,6 +561,10 @@ func (m *Manager) pollNode(n *managedNode) {
 		m.recordSuccess(n)
 		if reconcile {
 			n.status.Reconciles++
+			m.tel.reconciles.Inc()
+			m.tel.trace.Append(telemetry.Event{
+				Node: n.name, Kind: telemetry.EvReconcile, Watts: desired.CapWatts,
+			})
 		}
 		n.status.ReportedCapWatts = lim.CapWatts
 		n.status.ReportedCapEnabled = lim.Enabled

@@ -30,6 +30,7 @@ func (m *Manager) OpenStateDir(dir string) error {
 		return fmt.Errorf("dcm: state dir already open")
 	}
 	m.store = st
+	st.SetTelemetry(m.telReg, m.tel.trace)
 	for name, rec := range st.State().Nodes {
 		if _, dup := m.nodes[name]; dup {
 			continue

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"nodecap/internal/telemetry"
 )
 
 // Control-plane protocol: newline-delimited JSON requests and
@@ -24,7 +26,7 @@ const (
 
 // Request is one control-plane operation.
 type Request struct {
-	Op string `json:"op"` // "add", "remove", "nodes", "setcap", "budget", "poll", "history"
+	Op string `json:"op"` // "add", "remove", "nodes", "setcap", "budget", "poll", "history", "trace"
 
 	Name string  `json:"name,omitempty"`
 	Addr string  `json:"addr,omitempty"`
@@ -33,7 +35,11 @@ type Request struct {
 	Budget float64  `json:"budget,omitempty"`
 	Group  []string `json:"group,omitempty"`
 
-	Limit int `json:"limit,omitempty"` // history tail length
+	Limit int `json:"limit,omitempty"` // history/trace tail length
+
+	// Since is the trace follow cursor: return events with Seq >= Since
+	// (0 means the tail). Name filters trace ops to one node.
+	Since uint64 `json:"since,omitempty"`
 }
 
 // Response carries the result.
@@ -41,9 +47,10 @@ type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
 
-	Nodes   []NodeStatus `json:"nodes,omitempty"`
-	Allocs  []Allocation `json:"allocs,omitempty"`
-	History []Sample     `json:"history,omitempty"`
+	Nodes   []NodeStatus      `json:"nodes,omitempty"`
+	Allocs  []Allocation      `json:"allocs,omitempty"`
+	History []Sample          `json:"history,omitempty"`
+	Trace   []telemetry.Event `json:"trace,omitempty"`
 }
 
 // Server exposes a Manager over the control-plane protocol.
@@ -171,6 +178,8 @@ func (s *Server) Handle(req Request) Response {
 	case "poll":
 		s.mgr.Poll()
 		return Response{OK: true, Nodes: s.mgr.Nodes()}
+	case "trace":
+		return Response{OK: true, Trace: s.mgr.TraceEvents(req.Since, req.Name, req.Limit)}
 	case "history":
 		h, err := s.mgr.History(req.Name)
 		if err != nil {

@@ -29,6 +29,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"nodecap/internal/telemetry"
 )
 
 const (
@@ -125,6 +127,21 @@ type Store struct {
 	pending  int // records in the journal since the last snapshot
 	closed   bool
 	replayed int // journal records recovered by Open (tests)
+
+	// Telemetry sinks (SetTelemetry); nil-safe when unwired.
+	appends     *telemetry.Counter
+	compactions *telemetry.Counter
+	trace       *telemetry.Trace
+}
+
+// SetTelemetry wires journal-append and compaction metrics plus the
+// decision trace into the store. Either argument may be nil.
+func (s *Store) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Trace) {
+	s.mu.Lock()
+	s.appends = reg.Counter("store_journal_appends_total")
+	s.compactions = reg.Counter("store_compactions_total")
+	s.trace = tr
+	s.mu.Unlock()
 }
 
 // Open loads (or initialises) the store rooted at dir, creating the
@@ -264,6 +281,7 @@ func (s *Store) Apply(r Record) error {
 	}
 	s.state.apply(r)
 	s.pending++
+	s.appends.Inc()
 	every := s.SnapshotEvery
 	if every <= 0 {
 		every = DefaultSnapshotEvery
@@ -319,6 +337,8 @@ func (s *Store) compactLocked() error {
 	if _, err := s.journal.Seek(0, 0); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.compactions.Inc()
+	s.trace.Append(telemetry.Event{Kind: telemetry.EvCompact, N: int64(s.pending)})
 	s.pending = 0
 	return nil
 }

@@ -1,0 +1,91 @@
+package dcm
+
+import (
+	"nodecap/internal/telemetry"
+)
+
+// managerTelemetry holds the manager's pre-resolved metric handles and
+// trace sink. All fields are nil until SetTelemetry; every use is
+// nil-safe, so an uninstrumented manager pays only a nil check.
+type managerTelemetry struct {
+	trace *telemetry.Trace
+
+	capPushes       *telemetry.Counter
+	capPushFailures *telemetry.Counter
+	drifts          *telemetry.Counter
+	reconciles      *telemetry.Counter
+	backoffs        *telemetry.Counter
+	redials         *telemetry.Counter
+	polls           *telemetry.Counter
+	budgetReallocs  *telemetry.Counter
+
+	nodes     *telemetry.Gauge
+	reachable *telemetry.Gauge
+
+	pollSeconds *telemetry.Histogram
+}
+
+// SetTelemetry wires a metrics registry and decision trace into the
+// manager (either may be nil). Call before OpenStateDir so the store's
+// journal metrics are wired too; a later OpenStateDir picks the sinks
+// up regardless. Metric names are documented in DESIGN.md §9.
+func (m *Manager) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Trace) {
+	m.mu.Lock()
+	m.telReg = reg
+	m.tel = managerTelemetry{
+		trace:           tr,
+		capPushes:       reg.Counter("dcm_cap_pushes_total"),
+		capPushFailures: reg.Counter("dcm_cap_push_failures_total"),
+		drifts:          reg.Counter("dcm_drifts_total"),
+		reconciles:      reg.Counter("dcm_reconciles_total"),
+		backoffs:        reg.Counter("dcm_backoffs_armed_total"),
+		redials:         reg.Counter("dcm_redials_total"),
+		polls:           reg.Counter("dcm_polls_total"),
+		budgetReallocs:  reg.Counter("dcm_budget_reallocs_total"),
+		nodes:           reg.Gauge("dcm_nodes"),
+		reachable:       reg.Gauge("dcm_nodes_reachable"),
+		pollSeconds:     reg.Histogram("dcm_poll_seconds", telemetry.DefSecondsBuckets),
+	}
+	st := m.store
+	m.mu.Unlock()
+	if st != nil {
+		st.SetTelemetry(reg, tr)
+	}
+}
+
+// TraceEvents reads the manager's decision trace: the last `limit`
+// events when since is 0, otherwise events with Seq >= since (the
+// follow cursor), optionally filtered to one node. Nil without an
+// attached trace.
+func (m *Manager) TraceEvents(since uint64, node string, limit int) []telemetry.Event {
+	m.mu.Lock()
+	tr := m.tel.trace
+	m.mu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	if since == 0 {
+		if limit <= 0 {
+			limit = 256
+		}
+		return tr.Tail(limit, node)
+	}
+	return tr.Since(since, node, limit)
+}
+
+// updateFleetGauges refreshes the node-count gauges. Callers must NOT
+// hold m.mu.
+func (m *Manager) updateFleetGauges() {
+	m.mu.Lock()
+	total := len(m.nodes)
+	var up int
+	for _, n := range m.nodes {
+		if n.status.Reachable {
+			up++
+		}
+	}
+	nodes, reach := m.tel.nodes, m.tel.reachable
+	m.mu.Unlock()
+	nodes.Set(float64(total))
+	reach.Set(float64(up))
+}

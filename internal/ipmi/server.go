@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nodecap/internal/telemetry"
 )
 
 // NodeControl is the management surface a BMC endpoint exposes over
@@ -179,6 +181,11 @@ type Client struct {
 	reqTimeout time.Duration
 	broken     bool
 	closed     atomic.Bool
+
+	// Wire-level telemetry (SetCounters); nil-safe, so an unwired
+	// client pays one predictable no-op per exchange.
+	mRequests *telemetry.Counter
+	mFailures *telemetry.Counter
 }
 
 // Dial connects to a BMC endpoint with the default timeouts.
@@ -211,6 +218,17 @@ func (c *Client) SetRequestTimeout(d time.Duration) {
 	c.mu.Unlock()
 }
 
+// SetCounters wires per-exchange telemetry: requests counts every
+// attempted exchange, failures the subset that errored (broken stream,
+// timeout, frame mismatch, or a non-OK completion code). Either may be
+// nil.
+func (c *Client) SetCounters(requests, failures *telemetry.Counter) {
+	c.mu.Lock()
+	c.mRequests = requests
+	c.mFailures = failures
+	c.mu.Unlock()
+}
+
 // Close shuts the connection. Idempotent: a second Close returns nil.
 // It deliberately does not take c.mu, so a hung in-flight call can
 // still be aborted by closing the socket underneath it.
@@ -225,6 +243,16 @@ func (c *Client) Close() error {
 func (c *Client) call(cmd uint8, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.mRequests.Inc()
+	b, err := c.exchangeLocked(cmd, payload)
+	if err != nil {
+		c.mFailures.Inc()
+	}
+	return b, err
+}
+
+// exchangeLocked is call's body; c.mu must be held.
+func (c *Client) exchangeLocked(cmd uint8, payload []byte) ([]byte, error) {
 	if c.broken {
 		return nil, ErrBroken
 	}

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the observability endpoints over HTTP:
+//
+//	GET /metrics — the registry in Prometheus text exposition format.
+//	GET /trace   — the decision trace as NDJSON (bounded tail).
+//	               Query params: n (tail length, default 256),
+//	               node (filter), since (sequence cursor for polling).
+//
+// Either argument may be nil; the corresponding endpoint then serves
+// an empty body.
+func Handler(reg *Registry, tr *Trace) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		n := 256
+		if s := q.Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		node := q.Get("node")
+		var events []Event
+		if s := q.Get("since"); s != "" {
+			since, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since cursor", http.StatusBadRequest)
+				return
+			}
+			events = tr.Since(since, node, n)
+		} else {
+			events = tr.Tail(n, node)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+	})
+	return mux
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dcm_cap_pushes_total").Add(2)
+	h := Handler(reg, nil)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "dcm_cap_pushes_total 2") {
+		t.Fatalf("metrics body missing series:\n%s", rec.Body.String())
+	}
+}
+
+func TestHandlerTrace(t *testing.T) {
+	tr := NewTrace(16)
+	tr.SetWallClock(nil)
+	tr.Append(Event{Node: "a", Kind: EvCapPush, Watts: 140})
+	tr.Append(Event{Node: "b", Kind: EvDrift})
+	tr.Append(Event{Node: "a", Kind: EvReconcile, Watts: 140})
+	h := Handler(nil, tr)
+
+	get := func(url string) []Event {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s: status %d", url, rec.Code)
+		}
+		var out []Event
+		sc := bufio.NewScanner(rec.Body)
+		for sc.Scan() {
+			var ev Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("%s: bad NDJSON line %q: %v", url, sc.Text(), err)
+			}
+			out = append(out, ev)
+		}
+		return out
+	}
+
+	if all := get("/trace"); len(all) != 3 || all[0].Seq != 1 {
+		t.Fatalf("/trace = %+v", all)
+	}
+	if a := get("/trace?node=a"); len(a) != 2 || a[1].Kind != EvReconcile {
+		t.Fatalf("/trace?node=a = %+v", a)
+	}
+	if tail := get("/trace?n=1"); len(tail) != 1 || tail[0].Seq != 3 {
+		t.Fatalf("/trace?n=1 = %+v", tail)
+	}
+	if since := get("/trace?since=2"); len(since) != 2 || since[0].Seq != 2 {
+		t.Fatalf("/trace?since=2 = %+v", since)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?since=junk", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad cursor: status %d, want 400", rec.Code)
+	}
+}

@@ -1,0 +1,414 @@
+// Package telemetry is the observability layer of the control plane: a
+// dependency-free, race-safe metrics registry (atomic counters, gauges,
+// and fixed-bucket histograms with mergeable snapshots) plus a bounded
+// ring-buffer decision trace (trace.go) that records every control
+// decision the DCM↔BMC stack makes.
+//
+// Design constraints, in order:
+//
+//   - Zero-alloc hot paths. A BMC control tick and an IPMI exchange
+//     increment counters and append trace events; neither may allocate
+//     (pinned by AllocsPerRun tests). Callers therefore hold *Counter /
+//     *Gauge / *Histogram handles resolved once at wiring time — there
+//     are no name lookups on the hot path.
+//   - Nil-safety. Every method is a no-op on a nil receiver, so
+//     instrumentation is wired unconditionally and "telemetry disabled"
+//     is simply a nil registry/trace — no branches at call sites, no
+//     interface indirection.
+//   - Determinism. Nothing in this package feeds back into control
+//     decisions, and the trace's wall clock is injectable (and can be
+//     disabled outright), so chaos replays stay bit-identical with
+//     telemetry enabled.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta (CAS loop; safe for concurrent use).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram. Bucket i counts observations
+// v <= bounds[i]; one implicit overflow bucket (+Inf) catches the rest.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, fixed at creation
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefSecondsBuckets suits sub-second control-plane latencies.
+var DefSecondsBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Counts has
+// len(Bounds)+1 entries; the last is the +Inf overflow bucket.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state. The snapshot is not
+// atomic across buckets — concurrent observers may straddle it — but
+// every read is individually atomic, so it is race-free and each
+// bucket is internally consistent.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Merge combines two snapshots of histograms with identical bounds —
+// the fleet-aggregation primitive. Merging is commutative and
+// associative (counts and sums add), so any merge tree over per-node
+// snapshots yields the same aggregate.
+func (s HistSnapshot) Merge(o HistSnapshot) (HistSnapshot, error) {
+	if len(s.Bounds) == 0 && len(s.Counts) == 0 {
+		return o, nil
+	}
+	if len(o.Bounds) == 0 && len(o.Counts) == 0 {
+		return s, nil
+	}
+	if len(s.Bounds) != len(o.Bounds) {
+		return HistSnapshot{}, fmt.Errorf("telemetry: merging histograms with %d vs %d bounds", len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return HistSnapshot{}, fmt.Errorf("telemetry: merging histograms with different bounds at %d: %v vs %v", i, s.Bounds[i], o.Bounds[i])
+		}
+	}
+	out := HistSnapshot{
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: make([]uint64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out, nil
+}
+
+// Registry holds named metrics. Registration (Counter/Gauge/Histogram)
+// takes a lock; the returned handles are lock-free. Re-registering a
+// name returns the existing metric; registering it as a different type
+// (or a histogram with different bounds) panics — that is a wiring bug.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+func (r *Registry) taken(name, as string) {
+	if _, ok := r.counters[name]; ok && as != "counter" {
+		panic("telemetry: " + name + " already registered as counter")
+	}
+	if _, ok := r.gauges[name]; ok && as != "gauge" {
+		panic("telemetry: " + name + " already registered as gauge")
+	}
+	if _, ok := r.histograms[name]; ok && as != "histogram" {
+		panic("telemetry: " + name + " already registered as histogram")
+	}
+}
+
+// Counter returns (registering if needed) the named counter. Nil
+// registries return a nil handle, whose methods are all no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.taken(name, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (registering if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.taken(name, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (registering if needed) the named histogram with
+// the given ascending bucket bounds. Re-registering with different
+// bounds panics.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram " + name + " bounds not ascending")
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		if len(h.bounds) != len(bounds) {
+			panic("telemetry: " + name + " re-registered with different bounds")
+		}
+		for i := range bounds {
+			if h.bounds[i] != bounds[i] {
+				panic("telemetry: " + name + " re-registered with different bounds")
+			}
+		}
+		return h
+	}
+	r.taken(name, "histogram")
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of a whole registry, suitable for
+// merging across processes or diffing in tests.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Merge combines two registry snapshots: counters and histograms add,
+// gauges sum (the fleet-aggregation semantic — e.g. nodes-reachable
+// across managers). Histogram merges with mismatched bounds fail.
+func (s Snapshot) Merge(o Snapshot) (Snapshot, error) {
+	out := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range o.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range o.Gauges {
+		out.Gauges[k] += v
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[k] = v
+	}
+	for k, v := range o.Histograms {
+		m, err := out.Histograms[k].Merge(v)
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("%s: %w", k, err)
+		}
+		out.Histograms[k] = m
+	}
+	return out, nil
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format, names sorted for stable diffs.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	var names []string
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		if len(h.Counts) > 0 {
+			cum += h.Counts[len(h.Counts)-1]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, cum, name, formatFloat(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Fatal("re-registration did not return the same counter")
+	}
+	g := r.Gauge("y")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1})
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	var tr *Trace
+	tr.Append(Event{Kind: EvCapPush})
+	tr.SetTick(3)
+	tr.SetWallClock(nil)
+	if tr.Total() != 0 || tr.Tail(10, "") != nil || tr.Since(0, "", 0) != nil {
+		t.Fatal("nil trace must be empty")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestTypeCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("name")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("name")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1} // <=1: {0.5, 1}; <=2: {1.5}; <=4: {3}; +Inf: {100}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 || math.Abs(s.Sum-106) > 1e-12 {
+		t.Fatalf("count=%d sum=%v, want 5 / 106", s.Count, s.Sum)
+	}
+}
+
+// TestConcurrentWritersVsSnapshotReaders is the -race workout: many
+// goroutines hammer a counter, a gauge, and a histogram while others
+// take registry snapshots and render Prometheus text.
+func TestConcurrentWritersVsSnapshotReaders(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{0.25, 0.5, 0.75})
+	tr := NewTrace(64)
+
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = r.Snapshot()
+				var sb strings.Builder
+				_ = r.WritePrometheus(&sb)
+				_ = tr.Tail(16, "")
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		ww.Add(1)
+		go func(i int) {
+			defer ww.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j%100) / 100)
+				tr.Append(Event{Node: "n", Kind: EvCapPush, Watts: float64(j)})
+			}
+		}(i)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := g.Value(); got != writers*perWriter {
+		t.Fatalf("gauge = %v, want %d", got, writers*perWriter)
+	}
+	if got := h.Snapshot().Count; got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	if got := tr.Total(); got != writers*perWriter {
+		t.Fatalf("trace total = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestHistogramMergeAssociativity property-checks the fleet-merge
+// algebra: merge(a, merge(b, c)) == merge(merge(a, b), c) for random
+// bucket populations over shared bounds.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	mk := func(counts [5]uint16, sumCenti uint32) HistSnapshot {
+		s := HistSnapshot{Bounds: bounds, Counts: make([]uint64, 5), Sum: float64(sumCenti) / 100}
+		for i, c := range counts {
+			s.Counts[i] = uint64(c)
+			s.Count += uint64(c)
+		}
+		return s
+	}
+	eq := func(a, b HistSnapshot) bool {
+		// Counts must match exactly; float sums only up to the
+		// re-association rounding inherent in a different merge order.
+		sumTol := 1e-9 * math.Max(1, math.Abs(a.Sum)+math.Abs(b.Sum))
+		if a.Count != b.Count || math.Abs(a.Sum-b.Sum) > sumTol || len(a.Counts) != len(b.Counts) {
+			return false
+		}
+		for i := range a.Counts {
+			if a.Counts[i] != b.Counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	prop := func(ca, cb, cc [5]uint16, sa, sb, sc uint32) bool {
+		a, b, c := mk(ca, sa), mk(cb, sb), mk(cc, sc)
+		bc, err1 := b.Merge(c)
+		left, err2 := a.Merge(bc)
+		ab, err3 := a.Merge(b)
+		right, err4 := ab.Merge(c)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		return eq(left, right)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedBounds(t *testing.T) {
+	a := HistSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{0, 0, 0}}
+	b := HistSnapshot{Bounds: []float64{1, 3}, Counts: []uint64{0, 0, 0}}
+	if _, err := a.Merge(b); err == nil {
+		t.Fatal("merging mismatched bounds did not fail")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Counter("c").Add(3)
+	rb.Counter("c").Add(4)
+	rb.Counter("only_b").Inc()
+	ra.Gauge("g").Set(1)
+	rb.Gauge("g").Set(2)
+	ra.Histogram("h", []float64{1}).Observe(0.5)
+	rb.Histogram("h", []float64{1}).Observe(2)
+
+	m, err := ra.Snapshot().Merge(rb.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["c"] != 7 || m.Counters["only_b"] != 1 {
+		t.Fatalf("merged counters: %v", m.Counters)
+	}
+	if m.Gauges["g"] != 3 {
+		t.Fatalf("merged gauge = %v, want 3 (sum semantics)", m.Gauges["g"])
+	}
+	h := m.Histograms["h"]
+	if h.Count != 2 || h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Fatalf("merged histogram: %+v", h)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dcm_cap_pushes_total").Add(3)
+	r.Gauge("dcm_nodes").Set(6)
+	h := r.Histogram("dcm_poll_seconds", []float64{0.5, 1})
+	h.Observe(0.2)
+	h.Observe(0.7)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# TYPE dcm_cap_pushes_total counter
+dcm_cap_pushes_total 3
+# TYPE dcm_nodes gauge
+dcm_nodes 6
+# TYPE dcm_poll_seconds histogram
+dcm_poll_seconds_bucket{le="0.5"} 1
+dcm_poll_seconds_bucket{le="1"} 2
+dcm_poll_seconds_bucket{le="+Inf"} 3
+dcm_poll_seconds_sum 9.9
+dcm_poll_seconds_count 3
+`
+	if got != want {
+		t.Fatalf("prometheus text:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Zero-alloc pins for the hot paths: a BMC tick and an IPMI exchange
+// increment counters / observe histograms / append trace events every
+// control period; none of those may allocate.
+func TestHotPathAllocations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DefSecondsBuckets)
+	tr := NewTrace(128)
+	tr.SetWallClock(nil)
+
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %.1f per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1.5) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %.1f per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.01) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Append(Event{Node: "node-1", Kind: EvFailSafeEnter, Watts: 140})
+	}); n != 0 {
+		t.Errorf("Trace.Append allocates %.1f per op", n)
+	}
+	// The wall clock stays allocation-free too.
+	tr2 := NewTrace(128)
+	if n := testing.AllocsPerRun(1000, func() {
+		tr2.Append(Event{Node: "node-1", Kind: EvCapPush})
+	}); n != 0 {
+		t.Errorf("Trace.Append with wall clock allocates %.1f per op", n)
+	}
+}

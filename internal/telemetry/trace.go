@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Decision-trace event kinds — the control-plane taxonomy (DESIGN §9).
+// Producers share these constants so a trace from any subsystem reads
+// as one timeline.
+const (
+	// EvCapPush: a capping policy was successfully pushed to a node's
+	// BMC (Watts = the cap; 0 = capping disabled).
+	EvCapPush = "cap-push"
+	// EvCapPushFail: the push failed (Err = reason); the desired state
+	// was journaled first, so reconciliation will re-push it.
+	EvCapPushFail = "cap-push-fail"
+	// EvDrift: a poll found the BMC's reported policy disagreeing with
+	// desired state (Watts = the reported cap).
+	EvDrift = "drift"
+	// EvReconcile: the drifted node was re-pushed back to desired
+	// (Watts = the desired cap).
+	EvReconcile = "reconcile"
+	// EvBackoff: an exchange failed and the redial backoff gate was
+	// armed (N = consecutive failures, Err = reason).
+	EvBackoff = "backoff"
+	// EvRedial: a disconnected node was successfully redialed
+	// (N = reconnects since registration).
+	EvRedial = "redial"
+	// EvFailSafeEnter / EvFailSafeExit: a BMC began or stopped
+	// distrusting its power sensor and clamping to the fail-safe floor.
+	EvFailSafeEnter = "failsafe-enter"
+	EvFailSafeExit  = "failsafe-exit"
+	// EvBudgetRealloc: a group budget was re-divided (Watts = budget,
+	// N = allocations pushed).
+	EvBudgetRealloc = "budget-realloc"
+	// EvCompact: the state journal was folded into a snapshot
+	// (N = records compacted away).
+	EvCompact = "compact"
+)
+
+// Event is one decision-trace entry. Seq is assigned by Append and
+// increases monotonically; Tick is the simulated-time tick (SetTick),
+// zero outside simulations; WallNS is wall-clock nanoseconds, omitted
+// when the trace's wall clock is disabled (deterministic replays).
+type Event struct {
+	Seq    uint64  `json:"seq"`
+	Tick   int64   `json:"tick,omitempty"`
+	WallNS int64   `json:"wall_ns,omitempty"`
+	Node   string  `json:"node,omitempty"`
+	Kind   string  `json:"kind"`
+	Watts  float64 `json:"watts,omitempty"`
+	N      int64   `json:"n,omitempty"`
+	Err    string  `json:"err,omitempty"`
+}
+
+// Trace is a bounded ring buffer of decision events. Appends are
+// O(1), lock-guarded, and allocation-free; readers copy slices out.
+// A nil *Trace is a valid no-op sink.
+type Trace struct {
+	mu    sync.Mutex
+	ring  []Event
+	total uint64      // events ever appended; the next event's Seq
+	tick  int64       // current simulated tick, stamped onto appends
+	wall  func() int64 // nil = wall stamping disabled
+}
+
+// DefaultTraceCapacity bounds the ring when NewTrace is given n <= 0.
+const DefaultTraceCapacity = 4096
+
+// NewTrace builds a trace retaining the last n events (n <= 0 means
+// DefaultTraceCapacity). Wall timestamps default to time.Now; disable
+// or replace them with SetWallClock for deterministic replays.
+func NewTrace(n int) *Trace {
+	if n <= 0 {
+		n = DefaultTraceCapacity
+	}
+	return &Trace{
+		ring: make([]Event, n),
+		wall: func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// SetWallClock replaces the wall-clock source; nil disables wall
+// stamping entirely (events carry WallNS == 0, omitted from JSON), the
+// chaos harness's bit-determinism mode.
+func (t *Trace) SetWallClock(f func() int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.wall = f
+	t.mu.Unlock()
+}
+
+// SetTick sets the simulated-time tick stamped onto subsequent
+// appends. Simulation drivers call it once per tick.
+func (t *Trace) SetTick(tick int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tick = tick
+	t.mu.Unlock()
+}
+
+// Append records ev, assigning Seq/Tick/WallNS. Allocation-free.
+func (t *Trace) Append(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.total++
+	ev.Seq = t.total
+	ev.Tick = t.tick
+	if t.wall != nil {
+		ev.WallNS = t.wall()
+	}
+	t.ring[int((t.total-1)%uint64(len(t.ring)))] = ev
+	t.mu.Unlock()
+}
+
+// Total reports how many events were ever appended (the highest Seq).
+func (t *Trace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Tail returns the last n retained events (oldest first), optionally
+// filtered to one node ("" = all).
+func (t *Trace) Tail(n int, node string) []Event {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	return t.collect(0, node, n, true)
+}
+
+// Since returns retained events with Seq >= seq (oldest first),
+// optionally filtered to one node, capped to max (<= 0 = no cap). The
+// follow cursor: pass lastSeen+1.
+func (t *Trace) Since(seq uint64, node string, max int) []Event {
+	if t == nil {
+		return nil
+	}
+	return t.collect(seq, node, max, false)
+}
+
+// collect walks the retained window oldest→newest. When lastN is true,
+// limit selects the *last* limit matches; otherwise the first limit.
+func (t *Trace) collect(minSeq uint64, node string, limit int, lastN bool) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cap64 := uint64(len(t.ring))
+	start := uint64(1)
+	if t.total > cap64 {
+		start = t.total - cap64 + 1
+	}
+	if minSeq > start {
+		start = minSeq
+	}
+	var out []Event
+	for s := start; s <= t.total; s++ {
+		ev := t.ring[int((s-1)%cap64)]
+		if node != "" && ev.Node != node {
+			continue
+		}
+		out = append(out, ev)
+		if !lastN && limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	if lastN && limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceAppendAndTail(t *testing.T) {
+	tr := NewTrace(4)
+	tr.SetWallClock(nil)
+	for i := 0; i < 6; i++ {
+		tr.SetTick(int64(i))
+		tr.Append(Event{Node: "n", Kind: EvCapPush, Watts: float64(i)})
+	}
+	if tr.Total() != 6 {
+		t.Fatalf("total = %d, want 6", tr.Total())
+	}
+	// Capacity 4: events 3..6 retained.
+	tail := tr.Tail(10, "")
+	if len(tail) != 4 {
+		t.Fatalf("tail length = %d, want 4", len(tail))
+	}
+	for i, ev := range tail {
+		wantSeq := uint64(i + 3)
+		if ev.Seq != wantSeq || ev.Tick != int64(wantSeq-1) || ev.Watts != float64(wantSeq-1) {
+			t.Fatalf("tail[%d] = %+v, want seq %d", i, ev, wantSeq)
+		}
+	}
+	if got := tr.Tail(2, ""); len(got) != 2 || got[1].Seq != 6 {
+		t.Fatalf("tail(2) = %+v", got)
+	}
+}
+
+func TestTraceNodeFilterAndSince(t *testing.T) {
+	tr := NewTrace(16)
+	tr.SetWallClock(nil)
+	for i := 0; i < 8; i++ {
+		node := "a"
+		if i%2 == 1 {
+			node = "b"
+		}
+		tr.Append(Event{Node: node, Kind: EvDrift})
+	}
+	a := tr.Tail(10, "a")
+	if len(a) != 4 {
+		t.Fatalf("filtered tail length = %d, want 4", len(a))
+	}
+	for _, ev := range a {
+		if ev.Node != "a" {
+			t.Fatalf("filter leaked %+v", ev)
+		}
+	}
+	since := tr.Since(6, "", 0)
+	if len(since) != 3 || since[0].Seq != 6 {
+		t.Fatalf("since(6) = %+v", since)
+	}
+	if capped := tr.Since(1, "", 2); len(capped) != 2 || capped[0].Seq != 1 {
+		t.Fatalf("since(1, max 2) = %+v", capped)
+	}
+	if none := tr.Since(100, "", 0); len(none) != 0 {
+		t.Fatalf("since past the end = %+v", none)
+	}
+}
+
+// TestTraceDeterministicJSON: with the wall clock disabled, the same
+// append sequence marshals to identical bytes — the property chaos
+// verdicts rely on.
+func TestTraceDeterministicJSON(t *testing.T) {
+	render := func() string {
+		tr := NewTrace(8)
+		tr.SetWallClock(nil)
+		tr.SetTick(42)
+		tr.Append(Event{Node: "node-1", Kind: EvBackoff, N: 3, Err: "link partitioned"})
+		tr.Append(Event{Node: "node-2", Kind: EvCapPush, Watts: 137.5})
+		b, err := json.Marshal(tr.Tail(8, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("trace JSON diverges:\n%s\n%s", a, b)
+	}
+	// No wall_ns field may appear with the clock disabled.
+	if strings.Contains(a, `"wall_ns"`) {
+		t.Fatalf("disabled wall clock leaked into JSON: %s", a)
+	}
+}
+
+func TestTraceInjectedWallClock(t *testing.T) {
+	tr := NewTrace(8)
+	var now int64 = 1000
+	tr.SetWallClock(func() int64 { return now })
+	tr.Append(Event{Kind: EvCompact})
+	now = 2000
+	tr.Append(Event{Kind: EvCompact})
+	tail := tr.Tail(8, "")
+	if tail[0].WallNS != 1000 || tail[1].WallNS != 2000 {
+		t.Fatalf("injected wall clock not stamped: %+v", tail)
+	}
+}
