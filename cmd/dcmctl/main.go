@@ -68,6 +68,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   dcmctl -server ADDR add NAME BMCADDR | remove NAME | nodes | poll
   dcmctl -server ADDR setcap NAME WATTS | uncap NAME
+  dcmctl -server ADDR settier NAME high|low
   dcmctl -server ADDR budget WATTS NAME1,NAME2,...
   dcmctl -server ADDR history NAME [N]
   dcmctl -server ADDR trace [-follow] [-node NAME] [-n N]
@@ -126,6 +127,15 @@ func viaServer(addr string, args []string) error {
 		}
 		_, err := call(dcm.Request{Op: "setcap", Name: args[1], Cap: 0})
 		return err
+	case "settier":
+		if len(args) != 3 {
+			usage()
+		}
+		if _, err := dcm.ParseTier(args[2]); err != nil {
+			return err
+		}
+		_, err := call(dcm.Request{Op: "settier", Name: args[1], Tier: args[2]})
+		return err
 	case "budget":
 		if len(args) != 3 {
 			usage()
@@ -178,8 +188,8 @@ func viaServer(addr string, args []string) error {
 func printNodes(w io.Writer, nodes []dcm.NodeStatus) {
 	nodes = append([]dcm.NodeStatus(nil), nodes...)
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
-	fmt.Fprintf(w, "%-12s %-22s %-9s %-8s %-8s %9s %9s %6s %5s %-9s %6s %6s %5s %6s %s\n",
-		"NAME", "ADDR", "REACHABLE", "CAP", "REPORTED", "POWER(W)", "FREQ(MHz)", "PSTATE", "GATE",
+	fmt.Fprintf(w, "%-12s %-22s %-4s %-9s %-8s %-8s %9s %9s %6s %5s %-9s %6s %6s %5s %6s %s\n",
+		"NAME", "ADDR", "TIER", "REACHABLE", "CAP", "REPORTED", "POWER(W)", "FREQ(MHz)", "PSTATE", "GATE",
 		"HEALTH", "DRIFTS", "RECONS", "FAILS", "RECONN", "LAST-ERR")
 	for _, n := range nodes {
 		capFor := func(enabled bool, watts float64) string {
@@ -194,8 +204,12 @@ func printNodes(w io.Writer, nodes []dcm.NodeStatus) {
 		} else if len(lastErr) > 40 {
 			lastErr = lastErr[:37] + "..."
 		}
-		fmt.Fprintf(w, "%-12s %-22s %-9v %-8s %-8s %9.1f %9d P%-5d %5d %-9s %6d %6d %5d %6d %s\n",
-			n.Name, n.Addr, n.Reachable,
+		tier := string(n.Tier)
+		if tier == "" {
+			tier = string(dcm.TierLow)
+		}
+		fmt.Fprintf(w, "%-12s %-22s %-4s %-9v %-8s %-8s %9.1f %9d P%-5d %5d %-9s %6d %6d %5d %6d %s\n",
+			n.Name, n.Addr, tier, n.Reachable,
 			capFor(n.CapEnabled, n.CapWatts),
 			capFor(n.ReportedCapEnabled, n.ReportedCapWatts),
 			n.Last.PowerWatts, n.Last.FreqMHz, n.Last.PState, n.Last.GatingLevel,

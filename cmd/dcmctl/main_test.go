@@ -46,6 +46,7 @@ func TestViaServerLifecycle(t *testing.T) {
 		{"poll"},
 		{"nodes"},
 		{"setcap", "n0", "140"},
+		{"settier", "n0", "high"},
 		{"history", "n0", "5"},
 		{"budget", "170", "n0"},
 		{"trace"},
@@ -69,7 +70,7 @@ func TestPrintNodesGolden(t *testing.T) {
 			LastError: "dial tcp: connection refused plus enough text to get truncated here",
 		},
 		{
-			Name: "sim0", Addr: "127.0.0.1:9623", Reachable: true,
+			Name: "sim0", Addr: "127.0.0.1:9623", Reachable: true, Tier: dcm.TierHigh,
 			CapEnabled: true, CapWatts: 140,
 			ReportedCapEnabled: true, ReportedCapWatts: 140,
 			Last:   dcm.Sample{PowerWatts: 138.4, FreqMHz: 2100, PState: 5, GatingLevel: 0},
@@ -83,9 +84,9 @@ func TestPrintNodesGolden(t *testing.T) {
 		t.Fatal("printNodes is not deterministic")
 	}
 	want := "" +
-		"NAME         ADDR                   REACHABLE CAP      REPORTED  POWER(W) FREQ(MHz) PSTATE  GATE HEALTH    DRIFTS RECONS FAILS RECONN LAST-ERR\n" +
-		"sim0         127.0.0.1:9623         true      140 W    140 W        138.4      2100 P5         0 ok             2      1     0      3 -\n" +
-		"sim1         127.0.0.1:9624         false     off      off            0.0         0 P0         0 ok             0      0     0      0 dial tcp: connection refused plus eno...\n"
+		"NAME         ADDR                   TIER REACHABLE CAP      REPORTED  POWER(W) FREQ(MHz) PSTATE  GATE HEALTH    DRIFTS RECONS FAILS RECONN LAST-ERR\n" +
+		"sim0         127.0.0.1:9623         high true      140 W    140 W        138.4      2100 P5         0 ok             2      1     0      3 -\n" +
+		"sim1         127.0.0.1:9624         low  false     off      off            0.0         0 P0         0 ok             0      0     0      0 dial tcp: connection refused plus eno...\n"
 	if got1.String() != want {
 		t.Errorf("printNodes output changed:\ngot:\n%s\nwant:\n%s", got1.String(), want)
 	}
@@ -161,6 +162,8 @@ func TestViaServerErrors(t *testing.T) {
 		{"remove", "ghost"},
 		{"setcap", "ghost", "140"},
 		{"setcap", "n0", "watts"},
+		{"settier", "ghost", "high"},
+		{"settier", "n0", "medium"},
 		{"budget", "x", "n0"},
 		{"budget", "300", ""}, // empty group must be rejected, not OK
 		{"budget", "300", ", ,"},

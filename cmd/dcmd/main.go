@@ -49,6 +49,7 @@ type options struct {
 	PollWorkers int
 	StateDir    string
 	StaleAfter  time.Duration
+	Tiers       string
 }
 
 // parseFlags parses args into options (no global flag state, so tests
@@ -70,6 +71,7 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.IntVar(&o.PollWorkers, "poll-workers", dcm.DefaultPollConcurrency, "max nodes sampled in parallel per sweep")
 	fs.StringVar(&o.StateDir, "state-dir", "", "durable state directory: registry, caps and budget survive restarts")
 	fs.DurationVar(&o.StaleAfter, "stale-after", dcm.DefaultStaleAfter, "age after which an unreachable node's demand stops counting in budgets")
+	fs.StringVar(&o.Tiers, "tiers", "", "comma-separated NAME=high|low priority presets applied as nodes register")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -129,6 +131,14 @@ func start(opts options, dial dcm.Dialer, logf func(format string, args ...any))
 			logf("dcmd: restored %d node(s) from %s; reconciling caps on the next poll", n, opts.StateDir)
 		}
 	}
+	// After the state dir, so presets reach restored nodes immediately
+	// (nodes registering later pick their preset up at AddNode).
+	if opts.Tiers != "" {
+		if err := applyTiers(mgr, opts.Tiers); err != nil {
+			mgr.Close()
+			return nil, err
+		}
+	}
 	mgr.StartPolling(opts.Poll)
 	switch {
 	case opts.Budget > 0 && opts.Group != "":
@@ -169,6 +179,29 @@ func start(opts options, dial dcm.Dialer, logf func(format string, args ...any))
 		logf("dcmd: metrics on http://%s/metrics, trace on /trace", d.MetricsAddr)
 	}
 	return d, nil
+}
+
+// applyTiers parses the -tiers flag ("NAME=high,NAME2=low") into tier
+// presets honoured as each named node registers.
+func applyTiers(mgr *dcm.Manager, spec string) error {
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, tierStr, ok := strings.Cut(pair, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("dcmd: bad -tiers entry %q (want NAME=high|low)", pair)
+		}
+		tier, err := dcm.ParseTier(tierStr)
+		if err != nil {
+			return fmt.Errorf("dcmd: bad -tiers entry %q: %w", pair, err)
+		}
+		if err := mgr.PresetNodeTier(name, tier); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close tears the daemon down (HTTP first, then control plane, then

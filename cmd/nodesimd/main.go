@@ -34,6 +34,7 @@ func main() {
 	workload := flag.String("workload", "idle", "node load: idle, stereo, sar, or mixed")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	throttle := flag.Duration("throttle", time.Millisecond, "wall-clock pacing per idle slice (0 free-runs)")
+	tier := flag.String("tier", "low", "priority tier advertised to DCM: high (serving) or low (batch)")
 
 	// Defensive-firmware knobs (see internal/bmc): -failsafe arms the
 	// sensor watchdog with the study platform's plausibility envelope.
@@ -56,6 +57,15 @@ func main() {
 	factory, err := workloadFactory(*workload, *seed)
 	if err != nil {
 		log.Fatalf("nodesimd: %v", err)
+	}
+	var wireTier uint8
+	switch *tier {
+	case "low":
+		wireTier = ipmi.TierLow
+	case "high":
+		wireTier = ipmi.TierHigh
+	default:
+		log.Fatalf("nodesimd: unknown -tier %q (want high or low)", *tier)
 	}
 
 	cfg := machine.Romley()
@@ -88,6 +98,7 @@ func main() {
 	agent := nodeagent.New(cfg, nodeagent.Options{
 		Workload: factory,
 		Throttle: *throttle,
+		Tier:     wireTier,
 	})
 	defer agent.Stop()
 
@@ -97,7 +108,7 @@ func main() {
 		log.Fatalf("nodesimd: listen: %v", err)
 	}
 	defer srv.Close()
-	log.Printf("nodesimd: BMC endpoint on %s (workload=%s seed=%d)", addr, *workload, *seed)
+	log.Printf("nodesimd: BMC endpoint on %s (workload=%s seed=%d tier=%s)", addr, *workload, *seed, *tier)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

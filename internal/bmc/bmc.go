@@ -201,6 +201,11 @@ type Stats struct {
 	OverCapTicks uint64 // ticks where smoothed power exceeded the cap
 	AtFloorTicks uint64 // ticks fully escalated yet still over cap
 
+	// Priority-plant activity (zero on uniform plants).
+	BatchSteals uint64 // actuations that took power from the batch tier only
+	FloorHolds  uint64 // escalations absorbed elsewhere with serving held at its floor
+	FloorBreaks uint64 // serving-tier steps below the configured floor
+
 	SensorFaults    uint64 // untrusted readings (dropout/range/NaN/stuck)
 	FailSafeEntries uint64 // transitions into fail-safe mode
 	FailSafeTicks   uint64 // ticks spent in fail-safe mode
@@ -252,6 +257,9 @@ type BMC struct {
 	mSensorFaults   *telemetry.Counter
 	mFailSafeEnters *telemetry.Counter
 	mFailSafeExits  *telemetry.Counter
+	mBatchSteals    *telemetry.Counter
+	mFloorHolds     *telemetry.Counter
+	mFloorBreaks    *telemetry.Counter
 }
 
 // New builds a BMC for plant; panics on invalid static config.
@@ -276,6 +284,9 @@ func (b *BMC) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Trace, node st
 	b.mSensorFaults = reg.Counter("bmc_sensor_faults_total")
 	b.mFailSafeEnters = reg.Counter("bmc_failsafe_entries_total")
 	b.mFailSafeExits = reg.Counter("bmc_failsafe_exits_total")
+	b.mBatchSteals = reg.Counter("bmc_batch_steals_total")
+	b.mFloorHolds = reg.Counter("bmc_floor_holds_total")
+	b.mFloorBreaks = reg.Counter("bmc_floor_breaks_total")
 }
 
 // Policy returns the active policy.
@@ -314,6 +325,9 @@ func (b *BMC) SetPolicy(p Policy) error {
 	b.infeasible = false
 	if !p.Enabled {
 		b.plant.SetGatingLevel(0)
+		if pp := b.priorityPlant(); pp != nil {
+			pp.SetBatchGatingLevel(0)
+		}
 		b.plant.SetPState(0)
 		b.haveEWMA = false
 		return nil
@@ -402,8 +416,12 @@ func (b *BMC) failSafeFloor() int {
 
 // clampFailSafe enforces the fail-safe floor: the plant may be slower
 // than the floor (left where the last trusted control decision put
-// it), never faster.
+// it), never faster. Priority plants clamp tier by tier.
 func (b *BMC) clampFailSafe() {
+	if pp := b.priorityPlant(); pp != nil {
+		b.clampTierFailSafe(pp)
+		return
+	}
 	if floor := b.failSafeFloor(); b.plant.PStateIndex() < floor {
 		b.plant.SetPState(floor)
 		b.stats.StepsDown++
@@ -472,6 +490,11 @@ func (b *BMC) Tick() {
 	target := cap - b.cfg.GuardBandWatts
 	if b.smoothed > cap {
 		b.stats.OverCapTicks++
+	}
+
+	if pp := b.priorityPlant(); pp != nil {
+		b.tickPriority(pp)
+		return
 	}
 
 	switch {

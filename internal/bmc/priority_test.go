@@ -1,0 +1,275 @@
+package bmc
+
+import (
+	"testing"
+
+	"nodecap/internal/telemetry"
+)
+
+// tierPlant is a scripted two-tier plant: power decreases linearly in
+// each tier's P-state and each gating ladder. Serving and batch tiers
+// have one core's worth of swing each; batch gating buys less than
+// shared gating, as on the real ladder.
+type tierPlant struct {
+	servP, batchP   int
+	sharedG, batchG int
+	npstates        int
+	maxSharedG      int
+	maxBatchG       int
+	floor           int
+	base, perP      float64
+	perSharedG      float64
+	perBatchG       float64
+}
+
+func newTierPlant() *tierPlant {
+	// 180 W with both tiers at P0 ungated; each tier's full P-state
+	// swing is 15*1.0 = 15 W, shared gating up to 8*0.5 = 4 W, batch
+	// gating up to 4*0.3 = 1.2 W.
+	return &tierPlant{
+		npstates: 16, maxSharedG: 8, maxBatchG: 4, floor: 5,
+		base: 180, perP: 1.0, perSharedG: 0.5, perBatchG: 0.3,
+	}
+}
+
+func clampi(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (p *tierPlant) PowerWatts() float64 {
+	return p.base - float64(p.servP+p.batchP)*p.perP -
+		float64(p.sharedG)*p.perSharedG - float64(p.batchG)*p.perBatchG
+}
+func (p *tierPlant) PStateIndex() int { return p.servP }
+func (p *tierPlant) NumPStates() int  { return p.npstates }
+func (p *tierPlant) SetPState(i int) {
+	i = clampi(i, 0, p.npstates-1)
+	p.servP, p.batchP = i, i
+}
+func (p *tierPlant) GatingLevel() int        { return p.sharedG }
+func (p *tierPlant) MaxGatingLevel() int     { return p.maxSharedG }
+func (p *tierPlant) SetGatingLevel(l int)    { p.sharedG = clampi(l, 0, p.maxSharedG) }
+func (p *tierPlant) BatchPState() int        { return p.batchP }
+func (p *tierPlant) SetBatchPState(i int)    { p.batchP = clampi(i, 0, p.npstates-1) }
+func (p *tierPlant) ServingPState() int      { return p.servP }
+func (p *tierPlant) SetServingPState(i int)  { p.servP = clampi(i, 0, p.npstates-1) }
+func (p *tierPlant) ServingFloorPState() int { return p.floor }
+func (p *tierPlant) BatchGatingLevel() int   { return p.batchG }
+func (p *tierPlant) MaxBatchGatingLevel() int {
+	return p.maxBatchG
+}
+func (p *tierPlant) SetBatchGatingLevel(l int) { p.batchG = clampi(l, 0, p.maxBatchG) }
+
+var _ PriorityPlant = (*tierPlant)(nil)
+
+// TestPriorityEscalationOrder drives an unreachable cap and checks the
+// controller exhausts the mechanisms in the documented order: batch
+// P-state, batch gating, serving down to its floor, shared gating,
+// and only then the floor break down to the slowest P-state.
+func TestPriorityEscalationOrder(t *testing.T) {
+	p := newTierPlant()
+	cfg := DefaultConfig()
+	cfg.StepWattsPerPState = 0 // one step per tick: observable ordering
+	b := New(cfg, p)
+	if err := b.SetPolicy(Policy{Enabled: true, CapWatts: 100}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+
+	type stage func() bool
+	stages := []struct {
+		name string
+		done stage
+	}{
+		{"batch P-state exhausted first", func() bool { return p.batchP == p.npstates-1 }},
+		{"batch gating exhausted second", func() bool { return p.batchG == p.maxBatchG }},
+		{"serving brought to its floor third", func() bool { return p.servP == p.floor }},
+		{"shared gating exhausted fourth", func() bool { return p.sharedG == p.maxSharedG }},
+		{"floor broken last", func() bool { return p.servP == p.npstates-1 }},
+	}
+	for si, st := range stages {
+		for i := 0; i < 64 && !st.done(); i++ {
+			b.Tick()
+		}
+		if !st.done() {
+			t.Fatalf("stage %d (%s) never completed: plant %+v", si, st.name, *p)
+		}
+		// No later stage may have started while an earlier one had
+		// headroom left.
+		switch si {
+		case 0:
+			if p.batchG != 0 || p.servP != 0 || p.sharedG != 0 {
+				t.Fatalf("stage %s: later mechanisms engaged early: %+v", st.name, *p)
+			}
+		case 1:
+			if p.servP != 0 || p.sharedG != 0 {
+				t.Fatalf("stage %s: serving/shared engaged before batch exhausted: %+v", st.name, *p)
+			}
+		case 2:
+			if p.sharedG != 0 {
+				t.Fatalf("stage %s: shared gating engaged before serving reached its floor: %+v", st.name, *p)
+			}
+		case 3:
+			if p.servP != p.floor {
+				t.Fatalf("stage %s: floor broken before shared gating exhausted: %+v", st.name, *p)
+			}
+		}
+	}
+
+	st := b.Stats()
+	if st.BatchSteals == 0 || st.FloorHolds == 0 || st.FloorBreaks == 0 {
+		t.Fatalf("stats did not record the escalation: %+v", st)
+	}
+	run(b, 10)
+	if b.Stats().AtFloorTicks == 0 {
+		t.Fatalf("fully escalated yet AtFloorTicks == 0: %+v", b.Stats())
+	}
+}
+
+// TestPriorityFeasibleCapSparesServing checks a cap the batch tier can
+// absorb alone never touches the serving tier.
+func TestPriorityFeasibleCapSparesServing(t *testing.T) {
+	p := newTierPlant()
+	b := New(DefaultConfig(), p)
+	// 170 W needs ~10 W: well inside the batch tier's 15 W swing.
+	if err := b.SetPolicy(Policy{Enabled: true, CapWatts: 170}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	run(b, 200)
+	if p.servP != 0 || p.sharedG != 0 {
+		t.Fatalf("feasible cap touched the serving tier: %+v", *p)
+	}
+	if p.batchP == 0 {
+		t.Fatalf("batch tier never slowed under a 170 W cap: %+v", *p)
+	}
+	st := b.Stats()
+	if st.BatchSteals == 0 {
+		t.Fatalf("no batch steals recorded: %+v", st)
+	}
+	if st.FloorBreaks != 0 {
+		t.Fatalf("floor broken under a feasible cap: %+v", st)
+	}
+}
+
+// TestPriorityDeescalationRestoresServingFirst breaks the floor under
+// an unreachable cap, then relaxes the cap and checks the serving tier
+// is restored to its floor before anything else is given back.
+func TestPriorityDeescalationRestoresServingFirst(t *testing.T) {
+	p := newTierPlant()
+	cfg := DefaultConfig()
+	cfg.StepWattsPerPState = 0
+	b := New(cfg, p)
+	if err := b.SetPolicy(Policy{Enabled: true, CapWatts: 100}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	run(b, 256)
+	if p.servP != p.npstates-1 {
+		t.Fatalf("setup: floor not broken: %+v", *p)
+	}
+
+	// Plenty of headroom now: 180-base plant fully escalated draws
+	// ~143 W; a 200 W cap un-escalates everything.
+	if err := b.SetPolicy(Policy{Enabled: true, CapWatts: 200}); err != nil {
+		t.Fatalf("relax: %v", err)
+	}
+	for p.servP > p.floor {
+		before := *p
+		b.Tick()
+		if p.batchG != before.batchG || p.batchP != before.batchP || p.sharedG != before.sharedG {
+			t.Fatalf("batch/shared relaxed while serving still below its floor: %+v -> %+v", before, *p)
+		}
+	}
+	run(b, 512)
+	if p.servP != 0 || p.batchP != 0 || p.sharedG != 0 || p.batchG != 0 {
+		t.Fatalf("full headroom did not fully de-escalate: %+v", *p)
+	}
+}
+
+// TestPriorityFailSafeClampPerTier enters fail-safe with the batch
+// tier already slower than the fail-safe floor and checks the clamp
+// slows the serving tier without speeding the batch tier up.
+func TestPriorityFailSafeClampPerTier(t *testing.T) {
+	p := newTierPlant()
+	cfg := FailSafeConfig()
+	cfg.FailSafePState = 10
+	b := New(cfg, p)
+	if err := b.SetPolicy(Policy{Enabled: true, CapWatts: 170}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	p.batchP = 14  // slower than the fail-safe floor
+	p.base = -1000 // sensor now reads an implausible negative power
+	run(b, cfg.FaultToleranceTicks+2)
+	if !b.FailSafe() {
+		t.Fatal("controller did not enter fail-safe")
+	}
+	if p.servP != 10 {
+		t.Fatalf("serving tier not clamped to the fail-safe floor: %+v", *p)
+	}
+	if p.batchP != 14 {
+		t.Fatalf("fail-safe clamp moved the batch tier (14 -> %d); it must never speed up on distrusted data", p.batchP)
+	}
+}
+
+// TestPriorityTelemetry checks counters and trace events flow for the
+// priority-specific decisions.
+func TestPriorityTelemetry(t *testing.T) {
+	p := newTierPlant()
+	cfg := DefaultConfig()
+	cfg.StepWattsPerPState = 0
+	b := New(cfg, p)
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTrace(1024)
+	b.SetTelemetry(reg, tr, "n1")
+	if err := b.SetPolicy(Policy{Enabled: true, CapWatts: 100}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	run(b, 256)
+
+	st := b.Stats()
+	for _, c := range []struct {
+		name string
+		want uint64
+	}{
+		{"bmc_batch_steals_total", st.BatchSteals},
+		{"bmc_floor_holds_total", st.FloorHolds},
+		{"bmc_floor_breaks_total", st.FloorBreaks},
+	} {
+		if got := reg.Counter(c.name).Value(); got != c.want {
+			t.Errorf("counter %s = %d, stats say %d", c.name, got, c.want)
+		}
+	}
+	kinds := map[string]int{}
+	for _, ev := range tr.Tail(1024, "n1") {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []string{telemetry.EvBatchSteal, telemetry.EvFloorHold, telemetry.EvFloorBreak} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q trace events recorded; kinds seen: %v", k, kinds)
+		}
+	}
+}
+
+// TestPriorityDisableResetsBatchGating checks policy removal restores
+// the batch-only ladder along with everything else.
+func TestPriorityDisableResetsBatchGating(t *testing.T) {
+	p := newTierPlant()
+	b := New(DefaultConfig(), p)
+	if err := b.SetPolicy(Policy{Enabled: true, CapWatts: 100}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	run(b, 256)
+	if p.batchG == 0 {
+		t.Fatalf("setup: batch gating never engaged: %+v", *p)
+	}
+	if err := b.SetPolicy(Policy{}); err != nil {
+		t.Fatalf("disable: %v", err)
+	}
+	if p.batchG != 0 || p.sharedG != 0 || p.servP != 0 || p.batchP != 0 {
+		t.Fatalf("disable left residual escalation: %+v", *p)
+	}
+}

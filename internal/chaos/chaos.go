@@ -27,7 +27,10 @@
 // nodes). All randomness comes from seeded math/rand streams — the
 // schedule generator and the per-node sensor-noise/fault streams —
 // and the manager is configured so its own jittered timers never draw
-// randomness (1 ns delays skip the jitter draw). Running the same
+// randomness (1 ns delays skip the jitter draw). The manager's wall
+// clock is the fleet's injected deterministic counter, so staleness
+// verdicts, backoff gates and sample stamps are a function of the
+// clock-read sequence rather than real time. Running the same
 // in-process scenario twice yields bit-identical verdict JSON. Wire
 // mode (real TCP sockets through faults.Transport) exercises the same
 // schedule but is NOT bit-deterministic: socket timing feeds the

@@ -76,6 +76,59 @@ func TestVerdictDeterministic(t *testing.T) {
 	}
 }
 
+// TestStaleNodeReplayDeterministic: regression for the allocator
+// consulting the real clock. A node partitioned early and never healed
+// goes stale, so every subsequent rebalance takes the stale-pinning
+// path in AllocateBudget — the code path that used to call time.Now()
+// directly. With the manager's clock injected (the fleet's simClock),
+// two runs of the same scenario must produce bit-identical verdict
+// JSON even though staleness verdicts are being made on every
+// rebalance.
+func TestStaleNodeReplayDeterministic(t *testing.T) {
+	scenario := func() Scenario {
+		return Scenario{
+			Name:  "stale-node-replay",
+			Seed:  11,
+			Ticks: 600,
+			Nodes: 4,
+			Events: []Event{
+				// Partition node 2 before the first rebalance and never
+				// heal it: it fails every poll and stays stale for the
+				// rest of the run.
+				{Tick: 10, Kind: EvPartition, Node: 2},
+			},
+		}
+	}
+	run := func() Verdict {
+		s := scenario()
+		s.StateDir = t.TempDir()
+		v, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	v1, v2 := run(), run()
+	if v1.EventsApplied != 1 {
+		t.Fatalf("partition event not applied: %+v", v1)
+	}
+	assertPass(t, v1)
+	if v1.Checks[InvBudgetConserved] == 0 {
+		t.Error("budget_conserved never asserted — rebalances (and their staleness verdicts) did not run")
+	}
+	j1, err := json.Marshal(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("stale-node verdicts diverge across replays:\n%s\n%s", j1, j2)
+	}
+}
+
 // TestPartitionScenarioHolds: symmetric and asymmetric partitions
 // must not breach any invariant — a cut-off node keeps enforcing its
 // last cap out-of-band.

@@ -9,6 +9,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nodecap/internal/bmc"
@@ -418,6 +419,12 @@ type Fleet struct {
 	// bit-identical, and the run loop stamps the simulated tick instead.
 	reg   *telemetry.Registry
 	trace *telemetry.Trace
+
+	// clockNS backs simClock, the deterministic wall clock injected
+	// into every manager this fleet builds. It survives crash/restart
+	// cycles (it lives on the fleet, not the manager), so timestamps
+	// keep advancing monotonically across manager generations.
+	clockNS int64
 }
 
 func newFleet(s Scenario, dir string) (*Fleet, error) {
@@ -455,15 +462,29 @@ func newFleet(s Scenario, dir string) (*Fleet, error) {
 	return f, nil
 }
 
+// simClock is the deterministic wall clock injected into the manager.
+// Each read advances simulated time by 1 µs, so every timestamp-
+// dependent decision (staleness verdicts, backoff gates, sample
+// stamps) is a pure function of the read sequence — which, with one
+// poll worker and a sequential run loop, is itself deterministic.
+// 1 µs per read keeps the 1 ns backoff/staleness windows behaving as
+// before: any gate armed at read k has expired by read k+1.
+func (f *Fleet) simClock() time.Time {
+	return time.Unix(0, atomic.AddInt64(&f.clockNS, 1000))
+}
+
 // newManager builds a manager wired to the fleet and attached to the
 // state dir. Backoff and staleness windows are 1 ns: wall-clock gates
 // always open by the next poll, and delays this small skip the jitter
-// draw, so the manager's rng never influences the run.
+// draw, so the manager's rng never influences the run. The manager's
+// clock is the fleet's simClock, so no decision ever consults real
+// time — the property the replay regression test pins.
 func (f *Fleet) newManager() (*dcm.Manager, error) {
 	mgr := dcm.NewManager(f.dialer())
 	mgr.RetryBaseDelay = time.Nanosecond
 	mgr.RetryMaxDelay = time.Nanosecond
 	mgr.StaleAfter = time.Nanosecond
+	mgr.Clock = f.simClock
 	// One poll worker keeps trace append order a function of the sorted
 	// node list alone, so verdict trace windows replay bit-identically.
 	mgr.PollConcurrency = 1

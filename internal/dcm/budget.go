@@ -21,6 +21,10 @@ type demand struct {
 	name     string
 	want     float64 // recent average power + headroom
 	min, max float64 // platform cap range
+	// weight scales the node's claim on contested budget (0 means 1):
+	// shares go demand×weight-proportionally, so a high-tier serving
+	// node outbids batch nodes without inflating its actual demand.
+	weight float64
 }
 
 // AllocateBudget divides budgetWatts across the named nodes in
@@ -40,12 +44,31 @@ type demand struct {
 // budget from live nodes.
 //
 // It fails when the budget cannot cover the platform minimums.
+//
+// Node weights default to each node's tier (TierHigh counts
+// DefaultHighTierWeight, TierLow counts 1); AllocateBudgetWeighted
+// accepts explicit overrides.
 func (m *Manager) AllocateBudget(budgetWatts float64, names []string) ([]Allocation, error) {
+	return m.AllocateBudgetWeighted(budgetWatts, names, nil)
+}
+
+// AllocateBudgetWeighted is AllocateBudget with explicit per-node
+// priority weights. A node missing from weights (or any node, when
+// weights is nil) falls back to its tier's default weight. Weights
+// must be positive.
+func (m *Manager) AllocateBudgetWeighted(budgetWatts float64, names []string, weights map[string]float64) ([]Allocation, error) {
 	staleAfter := m.StaleAfter
 	if staleAfter <= 0 {
 		staleAfter = DefaultStaleAfter
 	}
-	now := time.Now()
+	for name, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("dcm: non-positive weight %v for node %q", w, name)
+		}
+	}
+	// The manager's clock, not time.Now(): staleness verdicts must be a
+	// function of injected time so replayed runs are bit-identical.
+	now := m.wallNow()
 	demands := make([]demand, 0, len(names))
 	m.mu.Lock()
 	for _, name := range names {
@@ -64,6 +87,10 @@ func (m *Manager) AllocateBudget(budgetWatts float64, names []string) ([]Allocat
 		d := demand{
 			name: name, want: want,
 			min: n.status.MinCapWatts, max: n.status.MaxCapWatts,
+			weight: tierWeight(n.status.Tier),
+		}
+		if w, ok := weights[name]; ok {
+			d.weight = w
 		}
 		if stale {
 			// Pin the grant to the platform minimum: ceiling as well as
@@ -92,7 +119,13 @@ func (m *Manager) AllocateBudget(budgetWatts float64, names []string) ([]Allocat
 // share before growing another's is the only order for which that
 // holds. The returned slice is in push order.
 func (m *Manager) ApplyBudget(budgetWatts float64, names []string) ([]Allocation, error) {
-	allocs, err := m.AllocateBudget(budgetWatts, names)
+	return m.ApplyBudgetWeighted(budgetWatts, names, nil)
+}
+
+// ApplyBudgetWeighted is ApplyBudget with explicit per-node priority
+// weights (see AllocateBudgetWeighted).
+func (m *Manager) ApplyBudgetWeighted(budgetWatts float64, names []string, weights map[string]float64) ([]Allocation, error) {
+	allocs, err := m.AllocateBudgetWeighted(budgetWatts, names, weights)
 	if err != nil {
 		return nil, err
 	}
@@ -136,15 +169,18 @@ func (m *Manager) ApplyBudget(budgetWatts float64, names []string) ([]Allocation
 
 // StartAutoBalance re-divides budgetWatts across the named nodes every
 // interval, tracking demand as it shifts — the continuous mode the DCM
-// product runs in. It shares the monitoring poller's lifecycle: stop
-// with StopAutoBalance (or Close).
+// product runs in. Re-arming while a loop is running replaces it: the
+// old loop is stopped and the new budget takes over (an operator
+// resizing the fleet's budget must not be silently ignored). Stop with
+// StopAutoBalance (or Close).
 func (m *Manager) StartAutoBalance(budgetWatts float64, names []string, interval time.Duration) {
+	stop := make(chan struct{})
 	m.mu.Lock()
 	if m.stopBalance != nil {
-		m.mu.Unlock()
-		return
+		// Swap under one critical section so two concurrent re-arms
+		// cannot both believe they own the loop.
+		close(m.stopBalance)
 	}
-	stop := make(chan struct{})
 	m.stopBalance = stop
 	m.mu.Unlock()
 
@@ -201,10 +237,19 @@ func (m *Manager) stopBalanceLoop() bool {
 
 // waterfill implements the allocation; exposed separately for direct
 // testing.
+//
+// The input is canonicalized to name order before any distribution, so
+// the result is a pure function of the demand *set*: both the
+// iterative rounding drift and the spare-budget pass would otherwise
+// leak the caller's argument order into the grants, and two managers
+// balancing the same group from differently-ordered configs would
+// push different caps.
 func waterfill(budget float64, demands []demand) ([]Allocation, error) {
 	if len(demands) == 0 {
 		return nil, fmt.Errorf("dcm: empty node group")
 	}
+	demands = append([]demand(nil), demands...)
+	sort.Slice(demands, func(i, j int) bool { return demands[i].name < demands[j].name })
 	var minSum float64
 	for _, d := range demands {
 		if d.min < 0 || d.max < d.min {
@@ -222,13 +267,14 @@ func waterfill(budget float64, demands []demand) ([]Allocation, error) {
 	}
 	remaining := budget - minSum
 
-	// Iteratively hand out the pool demand-proportionally; a node's
-	// grant saturates at min(want, max).
+	// Iteratively hand out the pool demand×weight-proportionally; a
+	// node's grant saturates at min(want, max). Weights shape who wins
+	// contested watts, never how many watts a node can absorb.
 	active := append([]demand(nil), demands...)
 	for remaining > 1e-9 && len(active) > 0 {
 		var wantSum float64
 		for _, d := range active {
-			wantSum += d.want
+			wantSum += d.want * weightOf(d)
 		}
 		if wantSum <= 0 {
 			break
@@ -236,7 +282,7 @@ func waterfill(budget float64, demands []demand) ([]Allocation, error) {
 		next := active[:0]
 		distributed := false
 		for _, d := range active {
-			share := remaining * d.want / wantSum
+			share := remaining * d.want * weightOf(d) / wantSum
 			ceiling := d.want
 			if d.max < ceiling {
 				ceiling = d.max
@@ -268,7 +314,8 @@ func waterfill(budget float64, demands []demand) ([]Allocation, error) {
 		}
 	}
 	// Spare budget (everyone satisfied): raise caps toward platform
-	// maximums so nobody is throttled needlessly.
+	// maximums so nobody is throttled needlessly. Canonical (name)
+	// order, established above.
 	if remaining > 1e-9 {
 		for i := range demands {
 			d := demands[i]
@@ -289,9 +336,17 @@ func waterfill(budget float64, demands []demand) ([]Allocation, error) {
 	}
 
 	out := make([]Allocation, 0, len(demands))
-	for _, d := range demands {
+	for _, d := range demands { // already in name order
 		out = append(out, Allocation{Name: d.name, CapWatts: grant[d.name]})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
+}
+
+// weightOf reads a demand's weight, defaulting zero to 1 so direct
+// waterfill callers (tests) need not set it.
+func weightOf(d demand) float64 {
+	if d.weight <= 0 {
+		return 1
+	}
+	return d.weight
 }

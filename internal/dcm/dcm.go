@@ -66,6 +66,31 @@ const (
 	DefaultStaleAfter = 30 * time.Second
 )
 
+// Tier is a node's allocation priority class. High-tier nodes carry
+// latency-critical serving work and outweigh low-tier (batch) nodes
+// when a group budget is divided; see AllocateBudgetWeighted.
+type Tier string
+
+const (
+	TierLow  Tier = "low"
+	TierHigh Tier = "high"
+)
+
+// DefaultHighTierWeight is the demand multiplier a TierHigh node gets
+// in budget allocation when no explicit weight is supplied: under a
+// constrained budget a serving node's demand counts four times a batch
+// node's, mirroring the in-node batch-first escalation order.
+const DefaultHighTierWeight = 4.0
+
+// ParseTier validates an operator-supplied tier name.
+func ParseTier(s string) (Tier, error) {
+	switch Tier(s) {
+	case TierLow, TierHigh:
+		return Tier(s), nil
+	}
+	return "", fmt.Errorf("dcm: unknown tier %q (want %q or %q)", s, TierLow, TierHigh)
+}
+
 // Sample is one monitoring observation.
 type Sample struct {
 	At           time.Time
@@ -89,6 +114,10 @@ type NodeStatus struct {
 	Last        Sample
 	MinCapWatts float64
 	MaxCapWatts float64
+
+	// Tier is the node's allocation priority class (SetNodeTier, or
+	// advertised by the platform's capabilities at registration).
+	Tier Tier
 
 	// Reconciliation telemetry: the BMC-reported policy as of the last
 	// poll, and how often it disagreed with desired state (Drifts) and
@@ -155,6 +184,13 @@ func (n *managedNode) release() { <-n.busy }
 type Manager struct {
 	dial Dialer
 
+	// Clock supplies wall time for staleness accounting, backoff gates
+	// and sample stamps; nil means time.Now. Injectable so deterministic
+	// harnesses (internal/chaos) replay bit-identically — AllocateBudget
+	// in particular must never consult the real clock, or a replayed
+	// run's stale-node decisions depend on host scheduling.
+	Clock func() time.Time
+
 	mu    sync.Mutex
 	nodes map[string]*managedNode
 	rng   *rand.Rand
@@ -175,6 +211,11 @@ type Manager struct {
 	// still counts as demand in AllocateBudget; beyond it the node is
 	// granted only its platform minimum (default DefaultStaleAfter).
 	StaleAfter time.Duration
+
+	// tierDefaults holds operator-preset tiers (PresetNodeTier) applied
+	// when the named node registers, overriding the tier the platform
+	// advertises. Guarded by mu.
+	tierDefaults map[string]Tier
 
 	// store, when non-nil, persists desired state (see OpenStateDir).
 	store *store.Store
@@ -207,6 +248,14 @@ func NewManager(dial Dialer) *Manager {
 	}
 }
 
+// wallNow reads the manager's wall clock (Clock, or time.Now).
+func (m *Manager) wallNow() time.Time {
+	if m.Clock != nil {
+		return m.Clock()
+	}
+	return time.Now()
+}
+
 // AddNode connects to a node's BMC and registers it under name.
 func (m *Manager) AddNode(name, addr string) error {
 	m.mu.Lock()
@@ -232,13 +281,21 @@ func (m *Manager) AddNode(name, addr string) error {
 		bmc.Close()
 		return fmt.Errorf("dcm: node %q already registered", name)
 	}
+	tier := TierLow
+	if caps.Tier == ipmi.TierHigh {
+		tier = TierHigh
+	}
+	if preset, ok := m.tierDefaults[name]; ok {
+		tier = preset
+	}
 	n := &managedNode{
 		name: name, addr: addr, bmc: bmc,
 		busy: make(chan struct{}, 1),
 		status: NodeStatus{
 			Name: name, Addr: addr, Reachable: true,
 			MinCapWatts: caps.MinCapWatts, MaxCapWatts: caps.MaxCapWatts,
-			LastOKAt: time.Now(),
+			Tier:     tier,
+			LastOKAt: m.wallNow(),
 		},
 	}
 	m.nodes[name] = n
@@ -332,7 +389,7 @@ func (m *Manager) recordFailure(n *managedNode, err error) {
 	n.status.Reachable = false
 	n.status.ConsecFailures++
 	n.status.LastError = err.Error()
-	n.nextRetry = time.Now().Add(m.backoff(n.status.ConsecFailures))
+	n.nextRetry = m.wallNow().Add(m.backoff(n.status.ConsecFailures))
 	n.status.NextRetryAt = n.nextRetry
 	m.tel.backoffs.Inc()
 	m.tel.trace.Append(telemetry.Event{
@@ -347,7 +404,7 @@ func (m *Manager) recordSuccess(n *managedNode) {
 	n.status.Reachable = true
 	n.status.ConsecFailures = 0
 	n.status.LastError = ""
-	n.status.LastOKAt = time.Now()
+	n.status.LastOKAt = m.wallNow()
 	n.status.NextRetryAt = time.Time{}
 	n.nextRetry = time.Time{}
 }
@@ -450,6 +507,59 @@ func (m *Manager) SetNodeCap(name string, capWatts float64) error {
 	return nil
 }
 
+// SetNodeTier reclassifies a node's allocation priority. The tier only
+// shapes future budget divisions (it is not pushed to the node); the
+// change is traced so a fleet timeline shows why shares shifted.
+func (m *Manager) SetNodeTier(name string, tier Tier) error {
+	if tier != TierLow && tier != TierHigh {
+		return fmt.Errorf("dcm: unknown tier %q", tier)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[name]
+	if !ok {
+		return fmt.Errorf("dcm: unknown node %q", name)
+	}
+	if n.status.Tier == tier {
+		return nil
+	}
+	n.status.Tier = tier
+	m.tel.trace.Append(telemetry.Event{
+		Node: name, Kind: telemetry.EvTierSet,
+		Err: string(tier), Watts: tierWeight(tier),
+	})
+	return nil
+}
+
+// PresetNodeTier records a tier for name, applied when the node
+// registers (overriding the platform-advertised tier) and immediately
+// if it is already registered — how dcmd's -tiers flag classifies a
+// fleet before the nodes come up.
+func (m *Manager) PresetNodeTier(name string, tier Tier) error {
+	if tier != TierLow && tier != TierHigh {
+		return fmt.Errorf("dcm: unknown tier %q", tier)
+	}
+	m.mu.Lock()
+	if m.tierDefaults == nil {
+		m.tierDefaults = make(map[string]Tier)
+	}
+	m.tierDefaults[name] = tier
+	_, registered := m.nodes[name]
+	m.mu.Unlock()
+	if registered {
+		return m.SetNodeTier(name, tier)
+	}
+	return nil
+}
+
+// tierWeight maps a tier to its default allocation weight.
+func tierWeight(t Tier) float64 {
+	if t == TierHigh {
+		return DefaultHighTierWeight
+	}
+	return 1
+}
+
 // capPushFailed records cap-push failure telemetry. Callers must NOT
 // hold m.mu.
 func (m *Manager) capPushFailed(name string, capWatts float64, err error) {
@@ -467,7 +577,7 @@ func (m *Manager) capPushFailed(name string, capWatts float64, err error) {
 // operation already in flight is skipped this round rather than
 // queued behind it.
 func (m *Manager) Poll() {
-	start := time.Now()
+	start := m.wallNow()
 	m.mu.Lock()
 	nodes := make([]*managedNode, 0, len(m.nodes))
 	for _, n := range m.nodes {
@@ -498,7 +608,7 @@ func (m *Manager) Poll() {
 	}
 	wg.Wait()
 	tel.polls.Inc()
-	tel.pollSeconds.Observe(time.Since(start).Seconds())
+	tel.pollSeconds.Observe(m.wallNow().Sub(start).Seconds())
 	m.updateFleetGauges()
 }
 
@@ -515,7 +625,7 @@ func (m *Manager) pollNode(n *managedNode) {
 		m.mu.Unlock()
 		return
 	}
-	gated := n.bmc == nil && time.Now().Before(n.nextRetry)
+	gated := n.bmc == nil && m.wallNow().Before(n.nextRetry)
 	m.mu.Unlock()
 	if gated {
 		return
@@ -531,6 +641,7 @@ func (m *Manager) pollNode(n *managedNode) {
 		m.recordFailure(n, err)
 		return
 	}
+	s.At = m.wallNow()
 
 	// Reconcile: the BMC's reported policy must match desired state.
 	// A reboot (policy lost) or a write the node missed while the
@@ -594,7 +705,8 @@ func policyDrifted(desired, reported ipmi.PowerLimit) bool {
 }
 
 // sampleBMC reads one monitoring observation plus the reported policy
-// and controller health.
+// and controller health. The sample is returned unstamped; the caller
+// sets At from the manager's clock.
 func sampleBMC(bmc BMC) (Sample, ipmi.PowerLimit, ipmi.Health, error) {
 	pr, err := bmc.GetPowerReading()
 	if err != nil {
@@ -617,7 +729,6 @@ func sampleBMC(bmc BMC) (Sample, ipmi.PowerLimit, ipmi.Health, error) {
 		return Sample{}, ipmi.PowerLimit{}, ipmi.Health{}, err
 	}
 	return Sample{
-		At:           time.Now(),
 		PowerWatts:   pr.CurrentWatts,
 		AverageWatts: pr.AverageWatts,
 		FreqMHz:      int(ps.FreqMHz),

@@ -15,9 +15,10 @@ type fakeBMC struct {
 	mu     sync.Mutex
 	power  float64
 	limit  ipmi.PowerLimit
-	minCap float64
-	maxCap float64
-	fail   bool
+	minCap  float64
+	maxCap  float64
+	capTier uint8
+	fail    bool
 	closed bool
 	pstate ipmi.PStateInfo
 	gating int
@@ -57,7 +58,7 @@ func (f *fakeBMC) GetPowerLimit() (ipmi.PowerLimit, error) {
 func (f *fakeBMC) GetPStateInfo() (ipmi.PStateInfo, error) { return f.pstate, nil }
 func (f *fakeBMC) GetGatingLevel() (int, error)            { return f.gating, nil }
 func (f *fakeBMC) GetCapabilities() (ipmi.Capabilities, error) {
-	return ipmi.Capabilities{MinCapWatts: f.minCap, MaxCapWatts: f.maxCap}, nil
+	return ipmi.Capabilities{MinCapWatts: f.minCap, MaxCapWatts: f.maxCap, Tier: f.capTier}, nil
 }
 func (f *fakeBMC) GetHealth() (ipmi.Health, error) {
 	f.mu.Lock()

@@ -26,14 +26,18 @@ const (
 
 // Request is one control-plane operation.
 type Request struct {
-	Op string `json:"op"` // "add", "remove", "nodes", "setcap", "budget", "poll", "history", "trace"
+	Op string `json:"op"` // "add", "remove", "nodes", "setcap", "settier", "budget", "poll", "history", "trace"
 
 	Name string  `json:"name,omitempty"`
 	Addr string  `json:"addr,omitempty"`
 	Cap  float64 `json:"cap,omitempty"`
+	Tier string  `json:"tier,omitempty"` // settier: "high" or "low"
 
 	Budget float64  `json:"budget,omitempty"`
 	Group  []string `json:"group,omitempty"`
+	// Weights optionally overrides per-node priority weights for a
+	// budget op; nodes not listed fall back to their tier's default.
+	Weights map[string]float64 `json:"weights,omitempty"`
 
 	Limit int `json:"limit,omitempty"` // history/trace tail length
 
@@ -166,11 +170,23 @@ func (s *Server) Handle(req Request) Response {
 			return fail(err)
 		}
 		return Response{OK: true}
+	case "settier":
+		if req.Name == "" {
+			return fail(fmt.Errorf("dcm: settier requires a node name"))
+		}
+		tier, err := ParseTier(req.Tier)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.mgr.SetNodeTier(req.Name, tier); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
 	case "budget":
 		if len(req.Group) == 0 {
 			return fail(fmt.Errorf("dcm: budget requires a non-empty node group"))
 		}
-		allocs, err := s.mgr.ApplyBudget(req.Budget, req.Group)
+		allocs, err := s.mgr.ApplyBudgetWeighted(req.Budget, req.Group, req.Weights)
 		if err != nil {
 			return fail(err)
 		}

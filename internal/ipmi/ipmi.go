@@ -252,26 +252,40 @@ func DecodePStateInfo(b []byte) (PStateInfo, error) {
 }
 
 // Capabilities is a GetCapabilities response: the cap range the
-// platform can honour.
+// platform can honour, plus the priority tier the platform advertises
+// for budget allocation.
 type Capabilities struct {
 	MinCapWatts float64 // at/below this the platform cannot track the cap
 	MaxCapWatts float64
+	Tier        uint8 // TierLow or TierHigh
 }
 
-// EncodeCapabilities packs a capability range.
+// Wire values for Capabilities.Tier.
+const (
+	TierLow  uint8 = 0
+	TierHigh uint8 = 1
+)
+
+// EncodeCapabilities packs a capability range: min(4) max(4) tier(1).
 func EncodeCapabilities(c Capabilities) []byte {
-	b := make([]byte, 8)
+	b := make([]byte, 9)
 	putWatts(b[0:], c.MinCapWatts)
 	putWatts(b[4:], c.MaxCapWatts)
+	b[8] = c.Tier
 	return b
 }
 
-// DecodeCapabilities unpacks a capability range.
+// DecodeCapabilities unpacks a capability range. The tier byte is
+// optional: an 8-byte payload (pre-tier firmware) decodes as TierLow.
 func DecodeCapabilities(b []byte) (Capabilities, error) {
-	if len(b) != 8 {
+	if len(b) != 8 && len(b) != 9 {
 		return Capabilities{}, fmt.Errorf("ipmi: capabilities payload length %d", len(b))
 	}
-	return Capabilities{MinCapWatts: getWatts(b[0:]), MaxCapWatts: getWatts(b[4:])}, nil
+	c := Capabilities{MinCapWatts: getWatts(b[0:]), MaxCapWatts: getWatts(b[4:])}
+	if len(b) == 9 {
+		c.Tier = b[8]
+	}
+	return c, nil
 }
 
 // Health is a GetHealth response: the BMC's defensive-controller

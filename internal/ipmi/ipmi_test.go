@@ -94,6 +94,29 @@ func TestPayloadCodecs(t *testing.T) {
 	}
 }
 
+// TestCapabilitiesTierWire: the priority tier rides as the optional
+// ninth capability byte; a legacy 8-byte payload from pre-tier
+// firmware still decodes, with the tier defaulting to low.
+func TestCapabilitiesTierWire(t *testing.T) {
+	cap := Capabilities{MinCapWatts: 123.5, MaxCapWatts: 200, Tier: TierHigh}
+	enc := EncodeCapabilities(cap)
+	if len(enc) != 9 {
+		t.Fatalf("encoded capabilities = %d bytes, want 9", len(enc))
+	}
+	gc, err := DecodeCapabilities(enc)
+	if err != nil || gc != cap {
+		t.Errorf("tiered capabilities = %+v, %v", gc, err)
+	}
+	legacy := enc[:8] // pre-tier firmware omits the tier byte
+	gl, err := DecodeCapabilities(legacy)
+	if err != nil {
+		t.Fatalf("legacy 8-byte capabilities rejected: %v", err)
+	}
+	if gl.Tier != TierLow || gl.MinCapWatts != cap.MinCapWatts || gl.MaxCapWatts != cap.MaxCapWatts {
+		t.Errorf("legacy decode = %+v, want tier low with cap range intact", gl)
+	}
+}
+
 func TestCodecLengthChecks(t *testing.T) {
 	if _, err := DecodeDeviceInfo([]byte{1}); err == nil {
 		t.Error("short device info accepted")

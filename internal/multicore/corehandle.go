@@ -29,7 +29,7 @@ type CoreHandle struct {
 	fetchSeq   uint64
 	specAcc    float64
 
-	accBusy, accStall simtime.Duration
+	accBusy, accStall, accIdle simtime.Duration
 }
 
 func (m *Machine) newCoreHandle(id int) *CoreHandle {
@@ -69,6 +69,19 @@ func (c *CoreHandle) advanceStall(d simtime.Duration) {
 	c.clock += d
 	c.core.AccountStall(d)
 	c.accStall += d
+}
+
+// AdvanceIdle moves this core's clock forward without busy or stall
+// accounting — the core is parked in a C-state waiting for outside
+// work (an open-loop serving shard between request arrivals). Idle
+// time dilutes neither the frequency average nor the activity
+// fraction, and the power model charges it no dynamic power or active
+// leakage.
+func (c *CoreHandle) AdvanceIdle(d simtime.Duration) {
+	if d > 0 {
+		c.clock += d
+		c.accIdle += d
+	}
 }
 
 // Compute executes instrs committed instructions over cycles core

@@ -32,7 +32,21 @@ import (
 // borrowed from the single-core machine configuration.
 type Config struct {
 	Cores int
-	Base  machine.Config
+
+	// HighPriorityCores, when in (0, Cores), splits the socket into a
+	// latency-critical serving tier (cores [0, HighPriorityCores)) and
+	// a batch tier (the rest) with independent DVFS — the SST-BF
+	// deployment model. The BMC then escalates priority-aware: batch
+	// P-state and batch private gating first, serving tier held at
+	// ServingFloorPState until the cap is otherwise infeasible. Zero
+	// (or Cores) keeps the uniform package-wide plant.
+	HighPriorityCores int
+	// ServingFloorPState is the slowest P-state index the serving tier
+	// may be held at before the controller breaks the floor. Only
+	// meaningful in priority mode.
+	ServingFloorPState int
+
+	Base machine.Config
 }
 
 // DefaultConfig returns the paper platform's socket with the given
@@ -80,8 +94,12 @@ type Machine struct {
 	ctrl  *bmc.BMC
 
 	gatingLevel int
-	running     bool
-	codePages   int
+	// batchGatingLevel is the extra ladder position applied to batch
+	// cores' private structures only (priority mode); a batch core's
+	// effective private level is max(gatingLevel, batchGatingLevel).
+	batchGatingLevel int
+	running          bool
+	codePages        int
 
 	events    *simtime.EventQueue
 	nextEvent simtime.Duration
@@ -98,6 +116,10 @@ func New(cfg Config) *Machine {
 	if cfg.Cores <= 0 {
 		panic("multicore: non-positive core count")
 	}
+	if cfg.HighPriorityCores < 0 || cfg.HighPriorityCores > cfg.Cores {
+		panic(fmt.Sprintf("multicore: %d high-priority cores outside [0, %d]",
+			cfg.HighPriorityCores, cfg.Cores))
+	}
 	if err := cfg.Base.Power.Validate(); err != nil {
 		panic(err)
 	}
@@ -113,7 +135,11 @@ func New(cfg Config) *Machine {
 	for i := 0; i < cfg.Cores; i++ {
 		m.cores = append(m.cores, m.newCoreHandle(i))
 	}
-	m.ctrl = bmc.New(cfg.Base.BMC, (*mcPlant)(m))
+	if m.priorityMode() {
+		m.ctrl = bmc.New(cfg.Base.BMC, &mcPriorityPlant{(*mcPlant)(m)})
+	} else {
+		m.ctrl = bmc.New(cfg.Base.BMC, (*mcPlant)(m))
+	}
 	m.curPower = cfg.Base.Power.NodeWatts(power.NodeState{DRAMDuty: 1})
 	m.scheduleMeter(cfg.Base.MeterInterval)
 	m.scheduleBMC(cfg.Base.BMC.ControlPeriod)
@@ -127,8 +153,24 @@ func (m *Machine) Meter() *sensors.Meter { return m.meter }
 // BMC returns the capping controller.
 func (m *Machine) BMC() *bmc.BMC { return m.ctrl }
 
-// GatingLevel reports the sub-DVFS ladder position.
+// GatingLevel reports the sub-DVFS ladder position (shared
+// structures; every core's private structures in uniform mode).
 func (m *Machine) GatingLevel() int { return m.gatingLevel }
+
+// BatchGatingLevel reports the batch-only private-structure ladder
+// position; always 0 outside priority mode.
+func (m *Machine) BatchGatingLevel() int { return m.batchGatingLevel }
+
+// priorityMode reports whether the socket is split into serving and
+// batch DVFS tiers.
+func (m *Machine) priorityMode() bool {
+	return m.cfg.HighPriorityCores > 0 && m.cfg.HighPriorityCores < m.cfg.Cores
+}
+
+// isBatchCore reports whether core id belongs to the batch tier.
+func (m *Machine) isBatchCore(id int) bool {
+	return m.priorityMode() && id >= m.cfg.HighPriorityCores
+}
 
 // Cores reports the core count.
 func (m *Machine) Cores() int { return m.cfg.Cores }
@@ -163,6 +205,11 @@ type Result struct {
 	AvgFreqMHz    float64
 	Counters      counters.Snapshot // summed over cores; L3 shared
 	PerCoreBusy   []simtime.Duration
+
+	// Per-tier busy-time-weighted average frequencies; zero unless the
+	// machine was built with HighPriorityCores in (0, Cores).
+	ServingAvgFreqMHz float64
+	BatchAvgFreqMHz   float64
 }
 
 // SpeedupOver computes wall-clock speedup relative to another run of
@@ -211,6 +258,10 @@ func (m *Machine) Run(w Workload) Result {
 		AvgPowerWatts: m.meter.AverageWatts(),
 		EnergyJoules:  m.meter.EnergyJoules(),
 		AvgFreqMHz:    m.cores[0].core.AverageFreqMHz(),
+	}
+	if m.priorityMode() {
+		res.ServingAvgFreqMHz = m.cores[0].core.AverageFreqMHz()
+		res.BatchAvgFreqMHz = m.cores[m.cfg.HighPriorityCores].core.AverageFreqMHz()
 	}
 	for _, c := range m.cores {
 		res.PerCoreBusy = append(res.PerCoreBusy, c.core.BusyTime())

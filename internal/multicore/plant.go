@@ -31,7 +31,8 @@ func (p *mcPlant) GatingLevel() int    { return p.m().gatingLevel }
 func (p *mcPlant) MaxGatingLevel() int { return len(p.m().cfg.Base.Ladder) - 1 }
 
 // SetGatingLevel applies the ladder level to the shared L3/DRAM and to
-// every core's private structures.
+// every core's private structures (batch cores keep the deeper of this
+// level and the batch-only level).
 func (p *mcPlant) SetGatingLevel(l int) {
 	m := p.m()
 	if l < 0 {
@@ -67,18 +68,107 @@ func (p *mcPlant) SetGatingLevel(l int) {
 	m.ram.SetGate(gate)
 
 	for _, c := range m.cores {
-		for _, addr := range c.l1d.SetActiveWays(or(g.L1Ways, h.L1D.Ways)) {
-			m.dramWrite(now, addr)
+		m.applyPrivateGating(c, m.effectiveCoreGating(c.id), now)
+	}
+}
+
+// effectiveCoreGating resolves the ladder level governing core id's
+// private structures.
+func (m *Machine) effectiveCoreGating(id int) int {
+	if m.isBatchCore(id) && m.batchGatingLevel > m.gatingLevel {
+		return m.batchGatingLevel
+	}
+	return m.gatingLevel
+}
+
+// applyPrivateGating reconfigures one core's private caches and TLBs to
+// ladder level l, posting dirty write-backs at time now and charging
+// the core the reconfiguration stall.
+func (m *Machine) applyPrivateGating(c *CoreHandle, l int, now simtime.Duration) {
+	g := m.cfg.Base.Ladder[l]
+	h := m.cfg.Base.Hierarchy
+	or := func(v, full int) int {
+		if v <= 0 {
+			return full
 		}
-		c.l1i.SetActiveWays(or(g.L1Ways, h.L1I.Ways))
-		for _, addr := range c.l2.SetActiveWays(or(g.L2Ways, h.L2.Ways)) {
-			m.dramWrite(now, addr)
+		return v
+	}
+	for _, addr := range c.l1d.SetActiveWays(or(g.L1Ways, h.L1D.Ways)) {
+		m.dramWrite(now, addr)
+	}
+	c.l1i.SetActiveWays(or(g.L1Ways, h.L1I.Ways))
+	for _, addr := range c.l2.SetActiveWays(or(g.L2Ways, h.L2.Ways)) {
+		m.dramWrite(now, addr)
+	}
+	c.itlb.SetActiveWays(or(g.ITLBWays, h.ITLB.Ways))
+	c.dtlb.SetActiveWays(or(g.DTLBWays, h.DTLB.Ways))
+	if !c.done {
+		c.advanceStall(5 * simtime.Microsecond)
+	}
+}
+
+// --- priority plant ---------------------------------------------------
+
+// mcPriorityPlant extends mcPlant with the two-tier DVFS surface. It is
+// only installed when the machine is configured with a serving tier, so
+// the BMC's PriorityPlant type assertion selects the escalation path.
+type mcPriorityPlant struct{ *mcPlant }
+
+// setTierPState transitions cores [lo, hi) to P-state i.
+func (p *mcPriorityPlant) setTierPState(lo, hi, i int) {
+	for _, c := range p.m().cores[lo:hi] {
+		stall := c.core.SetPState(i)
+		if stall > 0 && !c.done {
+			c.advanceStall(stall)
 		}
-		c.itlb.SetActiveWays(or(g.ITLBWays, h.ITLB.Ways))
-		c.dtlb.SetActiveWays(or(g.DTLBWays, h.DTLB.Ways))
-		if !c.done {
-			c.advanceStall(5 * simtime.Microsecond)
-		}
+	}
+}
+
+func (p *mcPriorityPlant) ServingPState() int {
+	return p.m().cores[0].core.PStateIndex()
+}
+
+func (p *mcPriorityPlant) SetServingPState(i int) {
+	p.setTierPState(0, p.m().cfg.HighPriorityCores, i)
+}
+
+func (p *mcPriorityPlant) BatchPState() int {
+	m := p.m()
+	return m.cores[m.cfg.HighPriorityCores].core.PStateIndex()
+}
+
+func (p *mcPriorityPlant) SetBatchPState(i int) {
+	m := p.m()
+	p.setTierPState(m.cfg.HighPriorityCores, m.cfg.Cores, i)
+}
+
+func (p *mcPriorityPlant) ServingFloorPState() int {
+	return p.m().cfg.ServingFloorPState
+}
+
+func (p *mcPriorityPlant) BatchGatingLevel() int { return p.m().batchGatingLevel }
+
+func (p *mcPriorityPlant) MaxBatchGatingLevel() int {
+	return len(p.m().cfg.Base.Ladder) - 1
+}
+
+// SetBatchGatingLevel gates only the batch cores' private structures;
+// the shared L3/DRAM stay on the package-wide ladder.
+func (p *mcPriorityPlant) SetBatchGatingLevel(l int) {
+	m := p.m()
+	if l < 0 {
+		l = 0
+	}
+	if max := len(m.cfg.Base.Ladder) - 1; l > max {
+		l = max
+	}
+	if l == m.batchGatingLevel {
+		return
+	}
+	m.batchGatingLevel = l
+	now := m.maxClock()
+	for _, c := range m.cores[m.cfg.HighPriorityCores:] {
+		m.applyPrivateGating(c, m.effectiveCoreGating(c.id), now)
 	}
 }
 
@@ -113,25 +203,45 @@ func (m *Machine) refreshNextEvent() {
 }
 
 // updatePower recomputes node power from all cores' activity since the
-// last update.
+// last update. In priority mode the two DVFS tiers are priced
+// separately through NodeWattsTiered.
 func (m *Machine) updatePower(now simtime.Duration) {
 	dt := now - m.lastPower
 	if dt <= 0 {
 		return
 	}
-	var busy, stall simtime.Duration
-	active := 0
+	hp := m.cfg.HighPriorityCores
+	var busy, stall, idle [2]simtime.Duration // [serving, batch]; all in [0] uniform
+	var active [2]int
 	for _, c := range m.cores {
-		busy += c.accBusy
-		stall += c.accStall
-		c.accBusy, c.accStall = 0, 0
+		tier := 0
+		if m.isBatchCore(c.id) {
+			tier = 1
+		}
+		busy[tier] += c.accBusy
+		stall[tier] += c.accStall
+		idle[tier] += c.accIdle
+		c.accBusy, c.accStall, c.accIdle = 0, 0, 0
 		if m.running && !c.done {
-			active++
+			active[tier]++
 		}
 	}
-	activity := 0.0
-	if busy+stall > 0 {
-		activity = float64(busy) / float64(busy+stall)
+	tierActivity := func(t int) float64 {
+		if busy[t]+stall[t] > 0 {
+			return float64(busy[t]) / float64(busy[t]+stall[t])
+		}
+		return 0
+	}
+	// tierDuty is the C0 fraction of the tier's wall time: cores parked
+	// between open-loop arrivals burn neither dynamic power nor active
+	// leakage. A tier with no accounted time at all is taken as fully
+	// in C0 (the pre-run steady state).
+	tierDuty := func(t int) float64 {
+		c0 := busy[t] + stall[t]
+		if c0+idle[t] <= 0 {
+			return 1
+		}
+		return float64(c0) / float64(c0+idle[t])
 	}
 	memUtil := float64(m.dramBytes) / (dt.Seconds() * m.cfg.Base.Hierarchy.PeakBytesPerSec * float64(m.cfg.Cores))
 	if memUtil > 1 {
@@ -148,6 +258,14 @@ func (m *Machine) updatePower(now simtime.Duration) {
 		}
 		return v
 	}
+	// Sum private-structure gating per core: batch cores may sit deeper
+	// on the ladder than the package level.
+	var l2Gated, l1Gated int
+	for _, c := range m.cores {
+		cg := m.cfg.Base.Ladder[m.effectiveCoreGating(c.id)]
+		l2Gated += h.L2.Ways - or(cg.L2Ways, h.L2.Ways)
+		l1Gated += 2 * (h.L1D.Ways - or(cg.L1Ways, h.L1D.Ways))
+	}
 	duty := m.ram.Gate().OnFraction
 	if scale := m.ram.Gate().LatencyScale; scale > 1 {
 		duty *= 0.6 + 0.4/scale
@@ -156,13 +274,33 @@ func (m *Machine) updatePower(now simtime.Duration) {
 	st := power.NodeState{
 		FreqMHz:     c0.core.PState().FreqMHz,
 		VoltageMV:   c0.core.PState().VoltageMV,
-		ActiveCores: active,
-		Activity:    activity,
+		ActiveCores: active[0] + active[1],
+		Activity:    tierActivity(0),
 		MemUtil:     memUtil,
 		L3WaysGated: h.L3.Ways - or(g.L3Ways, h.L3.Ways),
-		L2WaysGated: (h.L2.Ways - or(g.L2Ways, h.L2.Ways)) * m.cfg.Cores,
-		L1WaysGated: 2 * (h.L1D.Ways - or(g.L1Ways, h.L1D.Ways)) * m.cfg.Cores,
+		L2WaysGated: l2Gated,
+		L1WaysGated: l1Gated,
 		DRAMDuty:    duty,
 	}
-	m.curPower = m.cfg.Base.Power.NodeWatts(st)
+	// Both modes price cores through the tiered model so the fair-share
+	// and priority studies share one power accounting: a uniform
+	// machine is a single tier (identical to NodeWatts when duty = 1).
+	tiers := []power.TierState{{
+		FreqMHz:     c0.core.PState().FreqMHz,
+		VoltageMV:   c0.core.PState().VoltageMV,
+		ActiveCores: active[0],
+		Activity:    tierActivity(0),
+		DutyCycle:   tierDuty(0),
+	}}
+	if m.priorityMode() {
+		cb := m.cores[hp]
+		tiers = append(tiers, power.TierState{
+			FreqMHz:     cb.core.PState().FreqMHz,
+			VoltageMV:   cb.core.PState().VoltageMV,
+			ActiveCores: active[1],
+			Activity:    tierActivity(1),
+			DutyCycle:   tierDuty(1),
+		})
+	}
+	m.curPower = m.cfg.Base.Power.NodeWattsTiered(st, tiers)
 }

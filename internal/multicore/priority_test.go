@@ -1,0 +1,131 @@
+package multicore
+
+import (
+	"testing"
+
+	"nodecap/internal/machine"
+	"nodecap/internal/simtime"
+)
+
+// prioShard burns compute; the simplest shard that keeps a core busy.
+type prioShard struct{ left int }
+
+func (s *prioShard) Step(c *CoreHandle) bool {
+	if s.left <= 0 {
+		return false
+	}
+	s.left--
+	c.Compute(200, 160)
+	c.Load(uint64(1<<30) + uint64(s.left%1024)*64)
+	return true
+}
+
+type prioWorkload struct{ steps int }
+
+func (w *prioWorkload) Name() string   { return "prio-burn" }
+func (w *prioWorkload) CodePages() int { return 8 }
+func (w *prioWorkload) Shards(cores int, alloc func(int) uint64) []Shard {
+	out := make([]Shard, cores)
+	for i := range out {
+		out[i] = &prioShard{left: w.steps}
+	}
+	return out
+}
+
+// TestPriorityMachineStealsBatchFirst caps a 1+1 machine at a level
+// the batch tier can absorb and checks the serving tier keeps its
+// frequency while the batch tier pays.
+func TestPriorityMachineStealsBatchFirst(t *testing.T) {
+	cfg := Config{
+		Cores:              2,
+		HighPriorityCores:  1,
+		ServingFloorPState: 2,
+		Base:               machine.Romley(),
+	}
+	m := New(cfg)
+	if err := m.SetPolicy(165); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	res := m.Run(&prioWorkload{steps: 30000})
+
+	if res.ServingAvgFreqMHz == 0 || res.BatchAvgFreqMHz == 0 {
+		t.Fatalf("priority run did not report per-tier frequencies: %+v", res)
+	}
+	if res.ServingAvgFreqMHz <= res.BatchAvgFreqMHz {
+		t.Fatalf("serving tier (%.0f MHz) not faster than batch tier (%.0f MHz) under a 165 W cap",
+			res.ServingAvgFreqMHz, res.BatchAvgFreqMHz)
+	}
+	st := m.BMC().Stats()
+	if st.BatchSteals == 0 {
+		t.Fatalf("no batch steals under a 165 W cap: %+v", st)
+	}
+	if st.FloorBreaks != 0 {
+		t.Fatalf("feasible cap broke the serving floor: %+v", st)
+	}
+	// The serving tier must never have been held below its floor:
+	// its busy-time-average frequency must beat the floor P-state's.
+	floorMHz := float64(cfg.Base.PStates[cfg.ServingFloorPState].FreqMHz)
+	if res.ServingAvgFreqMHz < floorMHz {
+		t.Fatalf("serving average %.0f MHz below the %0.f MHz floor with zero floor breaks",
+			res.ServingAvgFreqMHz, floorMHz)
+	}
+}
+
+// TestUniformMachineHasNoTierSurface checks the fair-share machine is
+// untouched by the priority extension: no per-tier result fields, no
+// batch gating.
+func TestUniformMachineHasNoTierSurface(t *testing.T) {
+	m := New(Config{Cores: 2, Base: machine.Romley()})
+	if err := m.SetPolicy(150); err == nil {
+		// 150 W may or may not be infeasible for two busy cores; either
+		// way the call must work. Nothing to assert on the error.
+		_ = err
+	}
+	res := m.Run(&prioWorkload{steps: 10000})
+	if res.ServingAvgFreqMHz != 0 || res.BatchAvgFreqMHz != 0 {
+		t.Fatalf("uniform machine reported tier frequencies: %+v", res)
+	}
+	if m.BatchGatingLevel() != 0 {
+		t.Fatalf("uniform machine engaged batch gating: %d", m.BatchGatingLevel())
+	}
+	st := m.BMC().Stats()
+	if st.BatchSteals != 0 || st.FloorHolds != 0 || st.FloorBreaks != 0 {
+		t.Fatalf("uniform machine recorded priority stats: %+v", st)
+	}
+}
+
+// TestPriorityConfigValidation rejects impossible tier splits.
+func TestPriorityConfigValidation(t *testing.T) {
+	for _, bad := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("HighPriorityCores=%d on 2 cores did not panic", bad)
+				}
+			}()
+			New(Config{Cores: 2, HighPriorityCores: bad, Base: machine.Romley()})
+		}()
+	}
+}
+
+// TestAdvanceIdleAccountsNothing checks idle time moves the clock but
+// neither busy nor stall books.
+func TestAdvanceIdleAccountsNothing(t *testing.T) {
+	m := New(Config{Cores: 1, Base: machine.Romley()})
+	c := m.cores[0]
+	before := c.clock
+	c.AdvanceIdle(3 * simtime.Millisecond)
+	if c.clock-before != 3*simtime.Millisecond {
+		t.Fatalf("clock advanced %v, want 3ms", c.clock-before)
+	}
+	if c.accBusy != 0 || c.accStall != 0 {
+		t.Fatalf("idle advance booked busy=%v stall=%v", c.accBusy, c.accStall)
+	}
+	if c.accIdle != 3*simtime.Millisecond {
+		t.Fatalf("idle advance booked accIdle=%v, want 3ms", c.accIdle)
+	}
+	c.AdvanceIdle(-simtime.Millisecond)
+	if c.clock-before != 3*simtime.Millisecond {
+		t.Fatal("negative idle advance moved the clock")
+	}
+}

@@ -27,6 +27,10 @@ type Options struct {
 	// Throttle is wall-clock sleep per idle slice so an idle daemon
 	// does not spin a host CPU; zero free-runs (tests).
 	Throttle time.Duration
+	// Tier is the priority tier the node advertises through its BMC
+	// capabilities (ipmi.TierLow or ipmi.TierHigh): a DCM registering
+	// this node auto-classifies it for weighted budget allocation.
+	Tier uint8
 }
 
 // Agent hosts one machine.
@@ -217,13 +221,14 @@ func (a *Agent) GatingLevel() int {
 	return out
 }
 
-// Capabilities reports the trackable cap range.
+// Capabilities reports the trackable cap range and advertised tier.
 func (a *Agent) Capabilities() ipmi.Capabilities {
 	var out ipmi.Capabilities
 	a.Do(func(m *machine.Machine) {
 		out = ipmi.Capabilities{
 			MinCapWatts: m.CapFloorWatts(),
 			MaxCapWatts: 250,
+			Tier:        a.opts.Tier,
 		}
 	})
 	return out

@@ -48,6 +48,20 @@ func TestIdleAgentServesManagement(t *testing.T) {
 	}
 }
 
+// TestTierAdvertisedInCapabilities: the configured priority tier rides
+// out through the BMC capabilities, where DCM picks it up at
+// registration. The default is the low (batch) tier.
+func TestTierAdvertisedInCapabilities(t *testing.T) {
+	if tier := idleAgent(t).Capabilities().Tier; tier != ipmi.TierLow {
+		t.Errorf("default tier = %d, want low (%d)", tier, ipmi.TierLow)
+	}
+	a := New(machine.Romley(), Options{Tier: ipmi.TierHigh})
+	t.Cleanup(a.Stop)
+	if tier := a.Capabilities().Tier; tier != ipmi.TierHigh {
+		t.Errorf("advertised tier = %d, want high (%d)", tier, ipmi.TierHigh)
+	}
+}
+
 func TestSetAndGetPowerLimit(t *testing.T) {
 	a := idleAgent(t)
 	if err := a.SetPowerLimit(ipmi.PowerLimit{Enabled: true, CapWatts: 140}); err != nil {

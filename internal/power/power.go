@@ -185,6 +185,80 @@ func (p Params) NodeWatts(s NodeState) float64 {
 	return p.Breakdown(s).Total()
 }
 
+// TierState describes one DVFS tier of a mixed-frequency node: a group
+// of cores sharing an operating point (the SST-BF deployment model,
+// where latency-critical cores run a different P-state than batch
+// cores on the same socket).
+type TierState struct {
+	FreqMHz     int
+	VoltageMV   int
+	ActiveCores int
+	// Activity is the busy fraction of this tier's active cores' C0
+	// time (busy vs memory-stalled).
+	Activity float64
+	// DutyCycle is the fraction of wall time this tier's cores spent in
+	// C0 at all; the rest was true idle (parked between open-loop
+	// request arrivals), which burns neither dynamic power nor active
+	// leakage. Zero means 1 (always in C0).
+	DutyCycle float64
+}
+
+// NodeWattsTiered evaluates node power when cores are split across
+// DVFS tiers. Core dynamic power and active leakage are summed per
+// tier; the uncore clock tracks the fastest tier (the ring runs at the
+// highest core clock); everything else — idle floor, DRAM, gating
+// savings — comes from s, whose FreqMHz/ActiveCores/Activity fields
+// are ignored. With no tiers it degenerates to NodeWatts(s).
+func (p Params) NodeWattsTiered(s NodeState, tiers []TierState) float64 {
+	if len(tiers) == 0 {
+		return p.NodeWatts(s)
+	}
+	base := s
+	base.ActiveCores = 0 // idle + DRAM + gating only
+	b := Breakdown{Idle: p.IdleWatts}
+	b.DRAM = p.DRAMActiveWatts * clamp01(s.MemUtil)
+	duty := s.DRAMDuty
+	if duty <= 0 || duty > 1 {
+		duty = 1
+	}
+	b.GateSavings = p.L3WayLeakWatts*float64(s.L3WaysGated) +
+		p.L2WayLeakWatts*float64(s.L2WaysGated) +
+		p.L1WayLeakWatts*float64(s.L1WaysGated) +
+		p.TLBGateWatts*clamp01(s.TLBGatedFraction) +
+		p.DRAMDutySaveWatts*(1-duty)
+
+	fastest := 0
+	anyActive := false
+	for _, t := range tiers {
+		if t.ActiveCores <= 0 {
+			continue
+		}
+		anyActive = true
+		if t.FreqMHz > fastest {
+			fastest = t.FreqMHz
+		}
+		act := clamp01(t.Activity)
+		duty := t.DutyCycle
+		if duty <= 0 || duty > 1 {
+			duty = 1
+		}
+		dvfs := p.DVFSFactor(t.FreqMHz, t.VoltageMV)
+		dyn := p.CoreDynamicWatts * dvfs *
+			(p.StallDynFraction + (1-p.StallDynFraction)*act) * float64(t.ActiveCores) * duty
+		if s.ClockDuty > 0 && s.ClockDuty < 1 {
+			dyn *= s.ClockDuty + (1-s.ClockDuty)*p.ClockModFloorFraction
+		}
+		b.CoreDynamic += dyn
+		b.CoreLeak += p.CoreActiveLeakWatts * float64(t.ActiveCores) * duty
+	}
+	if !anyActive {
+		return b.Idle // all cores idle: match NodeWatts' early return
+	}
+	fr := float64(fastest) / float64(p.RefFreqMHz)
+	b.Uncore = p.UncoreWatts * (p.UncoreFloorFraction + (1-p.UncoreFloorFraction)*fr)
+	return b.Total()
+}
+
 // FloorWatts reports the minimum busy power reachable with every
 // mechanism engaged: slowest P-state, collapsed activity, all
 // structures gated. The BMC uses it to recognize unreachable caps

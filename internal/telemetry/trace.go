@@ -34,6 +34,21 @@ const (
 	// EvBudgetRealloc: a group budget was re-divided (Watts = budget,
 	// N = allocations pushed).
 	EvBudgetRealloc = "budget-realloc"
+	// EvTierSet: a node's priority tier changed (Err field carries the
+	// tier name, Watts the allocation weight it maps to).
+	EvTierSet = "tier-set"
+	// EvBatchSteal: a priority-aware BMC took power from the batch tier
+	// (P-state drop or batch-side gating) while leaving the serving
+	// tier untouched (N = the batch P-state or gating level reached).
+	EvBatchSteal = "batch-steal"
+	// EvFloorHold: the serving tier reached its configured frequency
+	// floor and the controller held it there, escalating elsewhere
+	// (N = the floor P-state).
+	EvFloorHold = "floor-hold"
+	// EvFloorBreak: every other mechanism was exhausted and the serving
+	// tier was pushed below its floor — the cap is otherwise infeasible
+	// (N = the serving P-state reached).
+	EvFloorBreak = "floor-break"
 	// EvCompact: the state journal was folded into a snapshot
 	// (N = records compacted away).
 	EvCompact = "compact"
