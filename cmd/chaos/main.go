@@ -37,6 +37,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wire     = fs.Bool("wire", false, "run over real TCP sockets through the fault-injecting transport (slower, not bit-deterministic)")
 		list     = fs.Bool("list", false, "list scenario names and exit")
 		breakFS  = fs.Bool("break-failsafe-floor", false, "deliberately break the fail-safe P-state floor so the checker must flag it (harness self-test)")
+		breakFen = fs.Bool("break-fencing", false, "deliberately disable the nodes' stale-epoch fence so single_writer must flag split-brain (harness self-test)")
+		breakRep = fs.Bool("break-replication", false, "deliberately corrupt replicated records so replica_convergence must flag divergence (harness self-test)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -53,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	s.Wire = *wire
 	s.BreakFailSafeFloor = *breakFS
+	s.BreakFencing = *breakFen
+	s.BreakReplication = *breakRep
 	v, err := chaos.Run(s)
 	if err != nil {
 		fmt.Fprintln(stderr, err)

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"os"
 	"sort"
 	"strconv"
@@ -72,6 +73,7 @@ func usage() {
   dcmctl -server ADDR budget WATTS NAME1,NAME2,...
   dcmctl -server ADDR history NAME [N]
   dcmctl -server ADDR trace [-follow] [-node NAME] [-n N]
+  dcmctl -server ADDR leader
   dcmctl -bmc ADDR status | setcap WATTS | uncap
 `)
 	os.Exit(2)
@@ -107,7 +109,15 @@ func viaServer(addr string, args []string) error {
 		if err != nil {
 			return err
 		}
+		printRole(os.Stdout, resp)
 		printNodes(os.Stdout, resp.Nodes)
+		return nil
+	case "leader":
+		resp, err := call(dcm.Request{Op: "leader"})
+		if err != nil {
+			return err
+		}
+		printLeader(os.Stdout, resp)
 		return nil
 	case "trace":
 		return traceCmd(call, os.Stdout, args[1:])
@@ -181,6 +191,31 @@ func viaServer(addr string, args []string) error {
 	}
 }
 
+// printRole prefixes a fleet listing with the serving manager's HA
+// identity (a separate line, so printNodes's byte-stable table is
+// unchanged). Solo managers — no HA pair — print nothing.
+func printRole(w io.Writer, resp dcm.Response) {
+	if resp.Role == "" || resp.Role == string(dcm.RoleSolo) {
+		return
+	}
+	fmt.Fprintf(w, "ROLE %s  EPOCH %d", resp.Role, resp.Epoch)
+	if resp.Fenced {
+		fmt.Fprint(w, "  FENCED")
+	}
+	fmt.Fprintln(w)
+}
+
+// printLeader renders the "leader" op: who this endpoint believes it
+// is. A fenced manager is flagged loudly — a node rejected its push
+// for a stale epoch, so a newer leader is actuating the fleet.
+func printLeader(w io.Writer, resp dcm.Response) {
+	fmt.Fprintf(w, "role  : %s\n", resp.Role)
+	fmt.Fprintf(w, "epoch : %d\n", resp.Epoch)
+	if resp.Fenced {
+		fmt.Fprintln(w, "fenced: true (a newer leader has actuated the fleet; this member must stand down)")
+	}
+}
+
 // printNodes renders the fleet table. Output is deterministic: rows
 // sort by name (defensively — the server already sorts) and every
 // column has a fixed width, so scripts and golden tests can rely on
@@ -218,13 +253,26 @@ func printNodes(w io.Writer, nodes []dcm.NodeStatus) {
 	}
 }
 
-// followInterval paces trace -follow polling; a var so tests can spin
+// Trace -follow pacing and reconnect policy; vars so tests can spin
 // faster.
-var followInterval = 500 * time.Millisecond
+var (
+	// followInterval paces polling while the link is healthy.
+	followInterval = 500 * time.Millisecond
+	// followRetryBase/Max bound the backoff between reconnect attempts
+	// after a failed poll.
+	followRetryBase = 500 * time.Millisecond
+	followRetryMax  = 15 * time.Second
+	// followGiveUp bounds consecutive failed polls before -follow
+	// surfaces the error (0 = retry forever); tests lower it.
+	followGiveUp = 0
+)
 
 // traceCmd implements the trace subcommand: a one-shot tail of the
 // manager's control-decision trace, or -follow to stream new events by
-// cursor (Seq) until interrupted.
+// cursor (Seq) until interrupted. A dropped control plane — dcmd
+// restarting, a failover to the standby — does not end the stream:
+// -follow redials with capped jittered backoff and resumes from the
+// same cursor, so no event is lost or repeated across the outage.
 func traceCmd(call func(dcm.Request) (dcm.Response, error), w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
@@ -245,12 +293,26 @@ func traceCmd(call func(dcm.Request) (dcm.Response, error), w io.Writer, args []
 		fmt.Fprintln(w, formatEvent(ev))
 		last = ev.Seq
 	}
+	fails, delay := 0, followRetryBase
 	for *follow {
 		time.Sleep(followInterval)
 		resp, err := call(dcm.Request{Op: "trace", Name: *node, Since: last + 1})
 		if err != nil {
-			return err
+			fails++
+			if followGiveUp > 0 && fails >= followGiveUp {
+				return fmt.Errorf("trace follow: giving up after %d consecutive failures: %w", fails, err)
+			}
+			// Jitter in [delay/2, delay] so a herd of followers does not
+			// redial a restarted dcmd in lockstep.
+			d := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+			fmt.Fprintf(os.Stderr, "dcmctl: trace follow: %v; retrying in %v\n", err, d.Round(time.Millisecond))
+			time.Sleep(d)
+			if delay *= 2; delay > followRetryMax {
+				delay = followRetryMax
+			}
+			continue
 		}
+		fails, delay = 0, followRetryBase
 		for _, ev := range resp.Trace {
 			fmt.Fprintln(w, formatEvent(ev))
 			last = ev.Seq

@@ -51,6 +51,7 @@ func TestViaServerLifecycle(t *testing.T) {
 		{"budget", "170", "n0"},
 		{"trace"},
 		{"trace", "-node", "n0", "-n", "10"},
+		{"leader"},
 		{"uncap", "n0"},
 		{"remove", "n0"},
 	}
@@ -92,6 +93,35 @@ func TestPrintNodesGolden(t *testing.T) {
 	}
 }
 
+// TestPrintLeaderAndRole: the leader subcommand and the ROLE/EPOCH
+// header on fleet listings. Solo managers stay headerless so existing
+// scripts (and the byte-stable table) see no new first line.
+func TestPrintLeaderAndRole(t *testing.T) {
+	var b bytes.Buffer
+	printLeader(&b, dcm.Response{OK: true, Role: string(dcm.RolePrimary), Epoch: 3})
+	if got := b.String(); !strings.Contains(got, "primary") || !strings.Contains(got, "3") {
+		t.Errorf("printLeader: %q", got)
+	}
+	if strings.Contains(b.String(), "fenced") {
+		t.Errorf("unfenced leader flagged fenced: %q", b.String())
+	}
+	b.Reset()
+	printLeader(&b, dcm.Response{OK: true, Role: string(dcm.RolePrimary), Epoch: 2, Fenced: true})
+	if !strings.Contains(b.String(), "fenced: true") {
+		t.Errorf("fenced leader not flagged: %q", b.String())
+	}
+
+	b.Reset()
+	printRole(&b, dcm.Response{OK: true, Role: string(dcm.RoleSolo)})
+	if b.Len() != 0 {
+		t.Errorf("solo manager grew a role header: %q", b.String())
+	}
+	printRole(&b, dcm.Response{OK: true, Role: string(dcm.RoleStandby), Epoch: 4, Fenced: true})
+	if got := b.String(); got != "ROLE standby  EPOCH 4  FENCED\n" {
+		t.Errorf("role header: %q", got)
+	}
+}
+
 // TestTraceSubcommandTail: a cap push surfaces in `dcmctl trace`, with
 // the node filter honoured.
 func TestTraceSubcommandTail(t *testing.T) {
@@ -120,12 +150,25 @@ func TestTraceSubcommandTail(t *testing.T) {
 	}
 }
 
-// TestTraceFollowAdvancesCursor: -follow re-polls with Since one past
-// the last seen Seq and keeps printing until the link drops.
-func TestTraceFollowAdvancesCursor(t *testing.T) {
-	old := followInterval
+// setFollowPacing speeds the -follow loop up for tests and restores
+// the production pacing afterwards.
+func setFollowPacing(t *testing.T, giveUp int) {
+	t.Helper()
+	oi, ob, om, og := followInterval, followRetryBase, followRetryMax, followGiveUp
 	followInterval = time.Millisecond
-	defer func() { followInterval = old }()
+	followRetryBase = time.Millisecond
+	followRetryMax = 4 * time.Millisecond
+	followGiveUp = giveUp
+	t.Cleanup(func() {
+		followInterval, followRetryBase, followRetryMax, followGiveUp = oi, ob, om, og
+	})
+}
+
+// TestTraceFollowAdvancesCursor: -follow re-polls with Since one past
+// the last seen Seq, and surfaces the error once the retry budget is
+// spent.
+func TestTraceFollowAdvancesCursor(t *testing.T) {
+	setFollowPacing(t, 1)
 
 	var calls []dcm.Request
 	call := func(req dcm.Request) (dcm.Response, error) {
@@ -153,6 +196,61 @@ func TestTraceFollowAdvancesCursor(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), telemetry.EvCapPush) || !strings.Contains(out.String(), telemetry.EvDrift) {
 		t.Errorf("follow output missing events:\n%s", out.String())
+	}
+}
+
+// TestTraceFollowReconnectsThroughFlakyServer: outages between polls —
+// dcmd restarting, a failover — must not end the stream, repeat an
+// event, or skip one: -follow backs off, redials, and resumes from the
+// cursor it had. The give-up budget only counts *consecutive*
+// failures, so a flaky-but-alive server streams forever.
+func TestTraceFollowReconnectsThroughFlakyServer(t *testing.T) {
+	setFollowPacing(t, 5)
+
+	// Script: initial ok, then two outages (2 then 3 consecutive
+	// failures, the second crossing a backoff reset) between successful
+	// polls, then a final hard outage exhausting the budget.
+	var calls []dcm.Request
+	script := []any{
+		dcm.Response{OK: true, Trace: []telemetry.Event{{Seq: 1, Kind: telemetry.EvCapPush, Node: "n0", Watts: 140}}},
+		fmt.Errorf("conn reset"), fmt.Errorf("conn reset"),
+		dcm.Response{OK: true, Trace: []telemetry.Event{{Seq: 2, Kind: telemetry.EvDrift, Node: "n0", Watts: 140}}},
+		fmt.Errorf("conn refused"), fmt.Errorf("conn refused"), fmt.Errorf("conn refused"),
+		dcm.Response{OK: true, Trace: []telemetry.Event{{Seq: 3, Kind: telemetry.EvReconcile, Node: "n0"}}},
+	}
+	call := func(req dcm.Request) (dcm.Response, error) {
+		calls = append(calls, req)
+		if len(calls) <= len(script) {
+			switch v := script[len(calls)-1].(type) {
+			case dcm.Response:
+				return v, nil
+			case error:
+				return dcm.Response{}, v
+			}
+		}
+		return dcm.Response{}, fmt.Errorf("final outage")
+	}
+	var out bytes.Buffer
+	err := traceCmd(call, &out, []string{"-follow"})
+	if err == nil || !strings.Contains(err.Error(), "final outage") {
+		t.Fatalf("want the final outage surfaced after the budget, got: %v", err)
+	}
+	// Every poll after seeing Seq N must ask Since N+1 — including each
+	// retry inside an outage (resume, not restart).
+	wantSince := []uint64{0, 2, 2, 2, 3, 3, 3, 3, 4}
+	for i, req := range calls {
+		if i == 0 {
+			continue // initial tail uses Limit, not Since
+		}
+		if i < len(wantSince) && req.Since != wantSince[i] {
+			t.Errorf("call %d: Since = %d, want %d", i, req.Since, wantSince[i])
+		}
+	}
+	// All three events, once each, in order.
+	for _, kind := range []string{telemetry.EvCapPush, telemetry.EvDrift, telemetry.EvReconcile} {
+		if got := strings.Count(out.String(), kind); got != 1 {
+			t.Errorf("event %s printed %d times, want exactly once:\n%s", kind, got, out.String())
+		}
 	}
 }
 

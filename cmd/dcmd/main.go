@@ -13,6 +13,25 @@
 //
 // With -metrics-addr the daemon serves /metrics (Prometheus text
 // exposition) and /trace (NDJSON control-decision trace) over HTTP.
+//
+// # High availability
+//
+// Two daemons sharing a lease file (a shared filesystem path, -lease)
+// form a primary/standby pair:
+//
+//	dcmd -state-dir /srv/a -replica-addr :9660 -lease /shared/dcm.lease
+//	dcmd -state-dir /srv/b -standby-of primary:9660 -lease /shared/dcm.lease
+//
+// The primary streams every journal record to the standby over the
+// replication link and stamps every cap push with its lease epoch; the
+// nodes reject pushes carrying an older epoch, so a deposed primary
+// cannot actuate the fleet no matter what it believes about its lease.
+// When the primary stops renewing (crash, partition from the lease),
+// the standby replays its replicated journal, takes the lease at a
+// higher epoch, re-announces it to every node, re-arms the journaled
+// budget, and takes over polling. SIGTERM/SIGINT shut down gracefully:
+// polling drains, the journal compacts, and the lease is released so
+// the peer can take over without waiting out the TTL.
 package main
 
 import (
@@ -25,10 +44,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"nodecap/internal/dcm"
+	"nodecap/internal/dcm/store"
 	"nodecap/internal/ipmi"
 	"nodecap/internal/telemetry"
 )
@@ -50,6 +71,18 @@ type options struct {
 	StateDir    string
 	StaleAfter  time.Duration
 	Tiers       string
+
+	// HA pair wiring. ReplicaAddr serves the replication feed (primary
+	// side); StandbyOf pulls a primary's feed and waits to take over;
+	// Lease is the shared lease file both members can reach (default:
+	// inside the state dir — correct only when the state dir itself is
+	// shared); HAID names this member in the lease; LeaseTTL is the
+	// leadership term.
+	ReplicaAddr string
+	StandbyOf   string
+	Lease       string
+	HAID        string
+	LeaseTTL    time.Duration
 }
 
 // parseFlags parses args into options (no global flag state, so tests
@@ -72,14 +105,52 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.StateDir, "state-dir", "", "durable state directory: registry, caps and budget survive restarts")
 	fs.DurationVar(&o.StaleAfter, "stale-after", dcm.DefaultStaleAfter, "age after which an unreachable node's demand stops counting in budgets")
 	fs.StringVar(&o.Tiers, "tiers", "", "comma-separated NAME=high|low priority presets applied as nodes register")
+	fs.StringVar(&o.ReplicaAddr, "replica-addr", "", "address to serve the journal replication feed on (HA primary side)")
+	fs.StringVar(&o.StandbyOf, "standby-of", "", "primary's replication address; run as hot standby and take over when its lease lapses")
+	fs.StringVar(&o.Lease, "lease", "", "shared leadership lease file (default: <state-dir>/"+store.LeaseFileName+")")
+	fs.StringVar(&o.HAID, "ha-id", "", "this member's name in the lease (default: the -listen address)")
+	fs.DurationVar(&o.LeaseTTL, "lease-ttl", DefaultLeaseTTL, "leadership lease term; a primary that misses renewals this long is deposed")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
 	return o, nil
 }
 
+// DefaultLeaseTTL is the leadership term: long enough that a busy
+// primary never misses three renewal heartbeats, short enough that
+// failover is prompt.
+const DefaultLeaseTTL = 3 * time.Second
+
+// haEnabled reports whether the options put the daemon in an HA pair.
+func (o options) haEnabled() bool { return o.ReplicaAddr != "" || o.StandbyOf != "" }
+
+// leasePath resolves the shared lease location.
+func (o options) leasePath() string {
+	if o.Lease != "" {
+		return o.Lease
+	}
+	return store.LeasePath(o.StateDir)
+}
+
+// haID resolves this member's lease identity.
+func (o options) haID() string {
+	if o.HAID != "" {
+		return o.HAID
+	}
+	return o.Listen
+}
+
+// leaseTTL resolves the lease term.
+func (o options) leaseTTL() time.Duration {
+	if o.LeaseTTL <= 0 {
+		return DefaultLeaseTTL
+	}
+	return o.LeaseTTL
+}
+
 // daemon is a running dcmd instance; tests drive it in-process.
 type daemon struct {
+	mu    sync.Mutex // guards mgr/replicaSt swaps at promotion and close
 	mgr   *dcm.Manager
 	srv   *dcm.Server
 	reg   *telemetry.Registry
@@ -87,9 +158,25 @@ type daemon struct {
 
 	ControlAddr string
 	MetricsAddr string // empty when disabled
+	ReplAddr    string // bound replication-feed address (empty when not serving)
 
 	httpSrv *http.Server
 	httpLn  net.Listener
+
+	// HA machinery (nil/zero outside an HA pair). opts/dial/logf are
+	// retained so a promoted standby can build its real manager with the
+	// same configuration it was started with.
+	opts       options
+	dial       dcm.Dialer
+	logf       func(format string, args ...any)
+	haNode     *dcm.HANode
+	replSrv    *store.ReplServer
+	replClient *store.ReplClient
+	rep        *store.Replica
+	replicaSt  *store.Store // standby's replicated store; nil once promoted
+	hbStop     chan struct{}
+	hbWG       sync.WaitGroup
+	closed     bool
 }
 
 // start builds and launches a daemon from opts. A nil dial uses the
@@ -98,6 +185,9 @@ type daemon struct {
 func start(opts options, dial dcm.Dialer, logf func(format string, args ...any)) (*daemon, error) {
 	if logf == nil {
 		logf = log.Printf
+	}
+	if opts.haEnabled() && opts.StateDir == "" {
+		return nil, fmt.Errorf("dcmd: -replica-addr/-standby-of require -state-dir (the journal is what replicates)")
 	}
 	reg := telemetry.NewRegistry()
 	trace := telemetry.NewTrace(telemetry.DefaultTraceCapacity)
@@ -114,6 +204,9 @@ func start(opts options, dial dcm.Dialer, logf func(format string, args ...any))
 			c.SetCounters(ipmiReqs, ipmiFails)
 			return c, nil
 		}
+	}
+	if opts.StandbyOf != "" {
+		return startStandby(opts, dial, logf, reg, trace)
 	}
 
 	mgr := dcm.NewManager(dial)
@@ -138,6 +231,40 @@ func start(opts options, dial dcm.Dialer, logf func(format string, args ...any))
 			mgr.Close()
 			return nil, err
 		}
+	}
+
+	var node *dcm.HANode
+	if opts.haEnabled() {
+		// Primary side of an HA pair: take the lease before actuating
+		// anything. Losing the race means a live primary already leads —
+		// this process was misconfigured (it should be the standby), so
+		// refuse to start rather than sit in a role the operator did not
+		// ask for.
+		node = &dcm.HANode{
+			ID:    opts.haID(),
+			Lease: store.NewLeaseFile(opts.leasePath()),
+			TTL:   opts.leaseTTL(),
+			Mgr:   mgr,
+		}
+		// Keep the store's replication generation in lockstep with the
+		// fencing epoch — on first promotion and on any later self-lapse
+		// re-promotion — so a standby resuming across a leadership change
+		// renegotiates from a snapshot instead of splicing generations.
+		node.OnPromote = func(epoch uint64) {
+			if st := mgr.Store(); st != nil {
+				st.SetGen(epoch)
+			}
+		}
+		role, err := node.Start()
+		if err != nil {
+			mgr.Close()
+			return nil, fmt.Errorf("dcmd: lease: %w", err)
+		}
+		if role != dcm.RolePrimary {
+			mgr.Close()
+			return nil, fmt.Errorf("dcmd: lease %s is held by another live primary; start this member with -standby-of", opts.leasePath())
+		}
+		logf("dcmd: primary at epoch %d (lease %s)", mgr.Epoch(), opts.leasePath())
 	}
 	mgr.StartPolling(opts.Poll)
 	switch {
@@ -164,21 +291,211 @@ func start(opts options, dial dcm.Dialer, logf func(format string, args ...any))
 	d := &daemon{
 		mgr: mgr, srv: srv, reg: reg, trace: trace,
 		ControlAddr: addr,
+		opts:        opts, dial: dial, logf: logf,
+		haNode: node,
 	}
 
-	if opts.MetricsAddr != "" {
-		ln, err := net.Listen("tcp", opts.MetricsAddr)
+	if opts.ReplicaAddr != "" {
+		rs := store.NewReplServer(mgr.Store())
+		raddr, err := rs.Listen(opts.ReplicaAddr)
 		if err != nil {
 			d.Close()
-			return nil, fmt.Errorf("dcmd: metrics listen: %w", err)
+			return nil, fmt.Errorf("dcmd: replica listen: %w", err)
 		}
-		d.httpLn = ln
-		d.MetricsAddr = ln.Addr().String()
-		d.httpSrv = &http.Server{Handler: telemetry.Handler(reg, trace)}
-		go d.httpSrv.Serve(ln)
-		logf("dcmd: metrics on http://%s/metrics, trace on /trace", d.MetricsAddr)
+		d.replSrv = rs
+		d.ReplAddr = raddr
+		logf("dcmd: serving replication feed on %s", raddr)
+	}
+	if node != nil {
+		d.startHeartbeat(opts.leaseTTL())
+	}
+
+	if err := d.serveMetrics(opts, logf); err != nil {
+		d.Close()
+		return nil, err
 	}
 	return d, nil
+}
+
+// startStandby brings the daemon up as the hot-standby member of an HA
+// pair: it opens its own state dir as a replica of the primary's
+// journal, pulls the feed over TCP, and serves only read-side ops
+// ("leader", "nodes", "trace") until the primary's lease lapses — at
+// which point promote builds the real manager from the replicated
+// state and takes over the fleet.
+func startStandby(opts options, dial dcm.Dialer, logf func(format string, args ...any), reg *telemetry.Registry, trace *telemetry.Trace) (*daemon, error) {
+	st, err := store.Open(opts.StateDir)
+	if err != nil {
+		return nil, fmt.Errorf("dcmd: opening replica state dir: %w", err)
+	}
+	rep := store.NewReplica(st)
+	rc := store.NewReplClient(opts.StandbyOf, rep)
+
+	// A placeholder manager serves the control plane while standing by:
+	// it knows no nodes and refuses every mutation (RoleStandby), but
+	// answers "leader" so operators can see who to talk to.
+	mgr := dcm.NewManager(dial)
+	mgr.RetryBaseDelay = opts.RetryBase
+	mgr.RetryMaxDelay = opts.RetryMax
+	mgr.PollConcurrency = opts.PollWorkers
+	mgr.StaleAfter = opts.StaleAfter
+	mgr.SetTelemetry(reg, trace)
+	mgr.SetFencing(dcm.RoleStandby, 0)
+
+	srv := dcm.NewServer(mgr)
+	addr, err := srv.Listen(opts.Listen)
+	if err != nil {
+		mgr.Close()
+		st.Close()
+		return nil, fmt.Errorf("dcmd: listen: %w", err)
+	}
+	d := &daemon{
+		mgr: mgr, srv: srv, reg: reg, trace: trace,
+		ControlAddr: addr,
+		opts:        opts, dial: dial, logf: logf,
+		replClient: rc, rep: rep, replicaSt: st,
+	}
+	d.haNode = &dcm.HANode{
+		ID:        opts.haID(),
+		Lease:     store.NewLeaseFile(opts.leasePath()),
+		TTL:       opts.leaseTTL(),
+		Mgr:       mgr,
+		OnPromote: d.promote,
+	}
+	rc.Start()
+	d.startHeartbeat(opts.leaseTTL())
+	logf("dcmd: standby of %s (lease %s); replicating into %s", opts.StandbyOf, opts.leasePath(), opts.StateDir)
+
+	if err := d.serveMetrics(opts, logf); err != nil {
+		d.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// promote is the standby's OnPromote hook (called from the heartbeat
+// goroutine once HANode has taken the lease and fenced the placeholder
+// manager). It seals the replicated journal, rebuilds a real manager
+// over it, re-announces the new epoch to every node, re-arms the
+// journaled budget, and swaps it into the control plane.
+func (d *daemon) promote(epoch uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.replicaSt == nil || d.closed {
+		// Already promoted (a later self-lapse re-promotion needs no
+		// rebuild — HANode re-fenced and re-announced the real manager),
+		// or shutting down.
+		if d.mgr != nil {
+			if st := d.mgr.Store(); st != nil {
+				st.SetGen(epoch)
+			}
+		}
+		return
+	}
+	d.replClient.Stop()
+	st := d.replicaSt
+	d.replicaSt = nil
+	st.Close() // compacts: the state dir reopens from one clean snapshot
+
+	real := dcm.NewManager(d.dial)
+	real.RetryBaseDelay = d.opts.RetryBase
+	real.RetryMaxDelay = d.opts.RetryMax
+	real.PollConcurrency = d.opts.PollWorkers
+	real.StaleAfter = d.opts.StaleAfter
+	real.SetTelemetry(d.reg, d.trace)
+	if err := real.OpenStateDir(d.opts.StateDir); err != nil {
+		// The replicated journal would not reopen: stay a fenced
+		// placeholder rather than lead with no state. The lease is held,
+		// so the fleet is headless until an operator intervenes — but
+		// caps keep being enforced by the nodes themselves.
+		d.logf("dcmd: promotion at epoch %d failed reopening %s: %v", epoch, d.opts.StateDir, err)
+		real.Close()
+		return
+	}
+	real.SetFencing(dcm.RolePrimary, epoch)
+	real.Store().SetGen(epoch)
+	if err := real.AnnounceEpoch(); err != nil {
+		// Unreachable nodes miss the announce now; reconciliation
+		// re-pushes (and thereby fences) them as they return.
+		d.logf("dcmd: promotion: announcing epoch %d: %v", epoch, err)
+	}
+	if watts, names, interval, ok := real.RestoredBudget(); ok {
+		real.StartAutoBalance(watts, names, interval)
+		d.logf("dcmd: re-armed auto-balance of %.0f W across %v every %v", watts, names, interval)
+	}
+	real.StartPolling(d.opts.Poll)
+
+	placeholder := d.mgr
+	d.mgr = real
+	d.haNode.Mgr = real
+	d.srv.SetManager(real)
+	placeholder.Close()
+
+	if d.opts.ReplicaAddr != "" {
+		rs := store.NewReplServer(real.Store())
+		if raddr, err := rs.Listen(d.opts.ReplicaAddr); err != nil {
+			d.logf("dcmd: promotion: replica listen: %v", err)
+		} else {
+			d.replSrv = rs
+			d.ReplAddr = raddr
+		}
+	}
+	d.logf("dcmd: promoted to primary at epoch %d", epoch)
+}
+
+// startHeartbeat drives the lease state machine at a cadence that
+// leaves a healthy primary two spare renewals per term.
+func (d *daemon) startHeartbeat(ttl time.Duration) {
+	tick := ttl / 3
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	stop := make(chan struct{})
+	d.hbStop = stop
+	d.hbWG.Add(1)
+	go func() {
+		defer d.hbWG.Done()
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			// An unsynced standby must not seize the lease: promoting
+			// before the first snapshot frame lands would lead an empty
+			// fleet while the real one runs headless.
+			if d.rep != nil && d.haNode.Mgr.Role() == dcm.RoleStandby && d.rep.Gen() == 0 {
+				continue
+			}
+			changed, err := d.haNode.Tick()
+			if err != nil {
+				d.logf("dcmd: lease: %v", err)
+			}
+			if changed {
+				m := d.haNode.Mgr
+				d.logf("dcmd: now %s at epoch %d", m.Role(), m.Epoch())
+			}
+		}
+	}()
+}
+
+// serveMetrics starts the optional /metrics + /trace HTTP listener.
+func (d *daemon) serveMetrics(opts options, logf func(format string, args ...any)) error {
+	if opts.MetricsAddr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", opts.MetricsAddr)
+	if err != nil {
+		return fmt.Errorf("dcmd: metrics listen: %w", err)
+	}
+	d.httpLn = ln
+	d.MetricsAddr = ln.Addr().String()
+	d.httpSrv = &http.Server{Handler: telemetry.Handler(d.reg, d.trace)}
+	go d.httpSrv.Serve(ln)
+	logf("dcmd: metrics on http://%s/metrics, trace on /trace", d.MetricsAddr)
+	return nil
 }
 
 // applyTiers parses the -tiers flag ("NAME=high,NAME2=low") into tier
@@ -204,16 +521,61 @@ func applyTiers(mgr *dcm.Manager, spec string) error {
 	return nil
 }
 
-// Close tears the daemon down (HTTP first, then control plane, then
-// the manager and its pollers).
+// Shutdown drains the daemon gracefully: the lease heartbeat stops,
+// the lease is released so the peer can take over without waiting out
+// the TTL, replication winds down, and Close compacts the journal into
+// one clean snapshot (Manager.Close → Store.Close).
+func (d *daemon) Shutdown() {
+	if d.hbStop != nil {
+		close(d.hbStop)
+		d.hbWG.Wait()
+		d.hbStop = nil
+	}
+	if d.haNode != nil {
+		if err := d.haNode.StepDown(); err != nil {
+			d.logf("dcmd: releasing lease: %v", err)
+		}
+	}
+	d.Close()
+}
+
+// Close tears the daemon down (HTTP and replication first, then the
+// control plane, then the manager and its pollers). Idempotent, and
+// safe on a daemon that never finished starting. Unlike Shutdown it
+// does not touch the lease: a SIGKILL'd or crashed primary leaves its
+// lease to expire, and Close models every non-graceful path.
 func (d *daemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	mgr, replSrv, replicaSt := d.mgr, d.replSrv, d.replicaSt
+	d.replicaSt = nil
+	d.mu.Unlock()
+
+	if d.hbStop != nil {
+		close(d.hbStop)
+		d.hbWG.Wait()
+		d.hbStop = nil
+	}
+	if d.replClient != nil {
+		d.replClient.Stop()
+	}
 	if d.httpSrv != nil {
 		d.httpSrv.Close()
+	}
+	if replSrv != nil {
+		replSrv.Close()
 	}
 	if d.srv != nil {
 		d.srv.Close()
 	}
-	d.mgr.Close()
+	mgr.Close()
+	if replicaSt != nil {
+		replicaSt.Close()
+	}
 }
 
 func main() {
@@ -225,11 +587,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("%v", err)
 	}
-	defer d.Close()
 	log.Printf("dcmd: control plane on %s, polling every %v", d.ControlAddr, opts.Poll)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Printf("dcmd: shutting down")
+	s := <-sig
+	signal.Stop(sig)
+	log.Printf("dcmd: %v: draining, compacting journal and releasing lease", s)
+	d.Shutdown()
 }

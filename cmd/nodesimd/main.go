@@ -100,20 +100,30 @@ func main() {
 		Throttle: *throttle,
 		Tier:     wireTier,
 	})
-	defer agent.Stop()
 
 	srv := ipmi.NewServer(agent)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
+		agent.Stop()
 		log.Fatalf("nodesimd: listen: %v", err)
 	}
-	defer srv.Close()
 	log.Printf("nodesimd: BMC endpoint on %s (workload=%s seed=%d tier=%s)", addr, *workload, *seed, *tier)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Printf("nodesimd: shutting down")
+	s := <-sig
+	signal.Stop(sig)
+	log.Printf("nodesimd: %v: draining BMC sessions and stopping workload", s)
+	shutdown(srv, agent)
+}
+
+// shutdown is the SIGTERM/SIGINT path: the management endpoint stops
+// accepting and waits out its handler goroutines before the node's
+// workload and control loop halt, so no IPMI exchange is abandoned
+// mid-dispatch against a dead agent.
+func shutdown(srv *ipmi.Server, agent *nodeagent.Agent) {
+	srv.Close()
+	agent.Stop()
 }
 
 // workloadFactory maps the flag to a workload constructor. The mixed

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"nodecap/internal/ipmi"
+	"nodecap/internal/machine"
+	"nodecap/internal/nodeagent"
+)
 
 func TestWorkloadFactory(t *testing.T) {
 	if f, err := workloadFactory("idle", 1); err != nil || f != nil {
@@ -25,5 +32,41 @@ func TestWorkloadFactory(t *testing.T) {
 	}
 	if _, err := workloadFactory("nope", 1); err == nil {
 		t.Error("unknown workload accepted")
+	}
+}
+
+// TestGracefulShutdown: the SIGTERM path serves every exchange it
+// accepted, then refuses new sessions — a client mid-conversation sees
+// a clean close, not a dropped frame, and a redial after shutdown
+// fails.
+func TestGracefulShutdown(t *testing.T) {
+	agent := nodeagent.New(machine.Romley(), nodeagent.Options{})
+	srv := ipmi.NewServer(agent)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := ipmi.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.GetPowerReading(); err != nil {
+		t.Fatalf("exchange before shutdown: %v", err)
+	}
+
+	shutdown(srv, agent)
+
+	if _, err := c.GetPowerReading(); err == nil {
+		t.Error("exchange on a drained session succeeded after shutdown")
+	}
+	if c2, err := ipmi.DialTimeout(addr, 500*time.Millisecond, time.Second); err == nil {
+		// A TCP dial may still connect before the OS reaps the socket;
+		// the exchange must fail either way.
+		if _, err := c2.GetPowerReading(); err == nil {
+			t.Error("new session served after shutdown")
+		}
+		c2.Close()
 	}
 }

@@ -22,6 +22,14 @@
 //     reopened store recovers equals the fold of every journaled
 //     operation that survived the torn cut (tracked by an independent
 //     shadow model).
+//  5. single_writer — at most one fencing epoch ever actuates a node's
+//     plant at a time, and never backwards: once a push carrying epoch
+//     E lands, no push with a lower epoch lands after it. A deposed
+//     leader duelling the fence must lose (HA scenarios).
+//  6. replica_convergence — at every failover, the state the promoted
+//     standby recovers from its (possibly torn) replicated journal
+//     equals the fold of the primary's journaled history up to the
+//     replication cursor minus the torn tail (HA scenarios).
 //
 // Determinism: a Scenario is a pure function of (name, seed, ticks,
 // nodes). All randomness comes from seeded math/rand streams — the
@@ -41,7 +49,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
+	"nodecap/internal/dcm/store"
 	"nodecap/internal/telemetry"
 )
 
@@ -71,6 +81,32 @@ const (
 	EvRemoveNode = "remove-node"
 	// EvAddNode (re-)registers the node.
 	EvAddNode = "add-node"
+
+	// HA event kinds (require Scenario.HA; they act on the manager
+	// pair, not a node).
+
+	// EvKillPrimary crashes the acting leader mid-budget-push — half
+	// the decreases-first sweep journaled and pushed — and tears its
+	// journal at Event.TornBytes. The standby takes over when the
+	// lease runs out.
+	EvKillPrimary = "kill-primary"
+	// EvRevive restarts a killed member as a standby replica; it
+	// resyncs from a full snapshot (generation zero HELLO).
+	EvRevive = "revive"
+	// EvLeaseStall pauses the leader's lease renewals without stopping
+	// its manager: the stalled process keeps actuating while the
+	// standby takes over — the split-brain duel the node-side fence
+	// must win.
+	EvLeaseStall = "lease-stall"
+	// EvReplDown partitions the replication link (manager↔node links
+	// stay up); the standby's cursor freezes where it was.
+	EvReplDown = "repl-down"
+	// EvReplHeal restores the replication link; the session resumes
+	// from the standby's cursor (or degrades to a snapshot).
+	EvReplHeal = "repl-heal"
+	// EvReplTear arms a torn-tail cut of the standby's replicated
+	// journal, applied at its next promotion (the replica's crash).
+	EvReplTear = "repl-tear"
 )
 
 // Event is one scheduled fault (or recovery) in a scenario timeline.
@@ -89,10 +125,10 @@ type Event struct {
 // (including Seed) replay identical schedules; in-process runs also
 // produce bit-identical verdicts.
 type Scenario struct {
-	Name  string  `json:"name"`
-	Seed  int64   `json:"seed"`
-	Ticks int     `json:"ticks"`
-	Nodes int     `json:"nodes"`
+	Name  string `json:"name"`
+	Seed  int64  `json:"seed"`
+	Ticks int    `json:"ticks"`
+	Nodes int    `json:"nodes"`
 	// BudgetWatts is the group budget rebalanced across registered
 	// nodes; 0 means 140 W per node.
 	BudgetWatts float64 `json:"budget_watts,omitempty"`
@@ -102,11 +138,30 @@ type Scenario struct {
 	RebalanceEvery int     `json:"rebalance_every,omitempty"`
 	Events         []Event `json:"events"`
 
+	// HA runs the control plane as a lease-coordinated primary/standby
+	// pair with journal replication; enables the HA event kinds and
+	// the single_writer / replica_convergence invariants. Incompatible
+	// with Wire and with EvCrash/EvRestart (use EvKillPrimary and
+	// EvRevive, which respect pair membership).
+	HA bool `json:"ha,omitempty"`
+
 	// BreakFailSafeFloor disables the fail-safe P-state floor in the
 	// simulated plant (the plant creeps back up while the controller
 	// distrusts its sensor). It exists to prove the invariant checker
 	// detects real violations; see TestBrokenGuardCaught.
 	BreakFailSafeFloor bool `json:"break_fail_safe_floor,omitempty"`
+
+	// BreakFencing disables the stale-epoch fence in every simulated
+	// node's IPMI server, so a deposed leader's pushes actuate the
+	// plant. Exists to prove single_writer catches real split-brain;
+	// see TestBrokenFencingCaught.
+	BreakFencing bool `json:"break_fencing,omitempty"`
+
+	// BreakReplication corrupts every node record crossing the
+	// replication link (the replica applies and acknowledges skewed
+	// caps). Exists to prove replica_convergence catches real
+	// divergence; see TestBrokenReplicationCaught.
+	BreakReplication bool `json:"break_replication,omitempty"`
 
 	// Wire runs the fleet over real TCP sockets through
 	// faults.Transport instead of in-process frame dispatch. Slower
@@ -139,6 +194,14 @@ type Verdict struct {
 	// have forgotten.
 	LostRecords int `json:"lost_records"`
 
+	// HA outcomes. Failovers counts standby promotions; FencedPushes
+	// counts cap pushes nodes refused for carrying a stale epoch;
+	// ReplicaLostRecords counts replicated-journal records destroyed
+	// by torn cuts at promotion.
+	Failovers          int    `json:"failovers,omitempty"`
+	FencedPushes       uint64 `json:"fenced_pushes,omitempty"`
+	ReplicaLostRecords int    `json:"replica_lost_records,omitempty"`
+
 	// FailSafeEntries / SensorFaults aggregate the fleet's defensive
 	// controller stats.
 	FailSafeEntries uint64 `json:"fail_safe_entries"`
@@ -165,9 +228,9 @@ type Violation struct {
 
 // Defaults for Scenario zero fields.
 const (
-	DefaultPollEvery       = 5
-	DefaultRebalanceEvery  = 25
-	DefaultBudgetPerNodeW  = 140
+	DefaultPollEvery      = 5
+	DefaultRebalanceEvery = 25
+	DefaultBudgetPerNodeW = 140
 )
 
 // Run executes one scenario and returns its verdict. The error is for
@@ -177,9 +240,22 @@ func Run(s Scenario) (Verdict, error) {
 	if s.Ticks <= 0 || s.Nodes <= 0 {
 		return Verdict{}, fmt.Errorf("chaos: scenario needs positive ticks and nodes (got %d, %d)", s.Ticks, s.Nodes)
 	}
+	if s.HA && s.Wire {
+		return Verdict{}, fmt.Errorf("chaos: HA scenarios are in-process only (wire mode unsupported)")
+	}
+	haKinds := map[string]bool{
+		EvKillPrimary: true, EvRevive: true, EvLeaseStall: true,
+		EvReplDown: true, EvReplHeal: true, EvReplTear: true,
+	}
 	for _, e := range s.Events {
 		if e.Node < 0 || e.Node >= s.Nodes {
 			return Verdict{}, fmt.Errorf("chaos: event %q at tick %d targets node %d outside [0,%d)", e.Kind, e.Tick, e.Node, s.Nodes)
+		}
+		if haKinds[e.Kind] && !s.HA {
+			return Verdict{}, fmt.Errorf("chaos: event %q at tick %d requires an HA scenario", e.Kind, e.Tick)
+		}
+		if s.HA && (e.Kind == EvCrash || e.Kind == EvRestart) {
+			return Verdict{}, fmt.Errorf("chaos: event %q at tick %d is for solo scenarios; HA uses %q/%q", e.Kind, e.Tick, EvKillPrimary, EvRevive)
 		}
 	}
 	pollEvery := s.PollEvery
@@ -189,10 +265,6 @@ func Run(s Scenario) (Verdict, error) {
 	rebalanceEvery := s.RebalanceEvery
 	if rebalanceEvery <= 0 {
 		rebalanceEvery = DefaultRebalanceEvery
-	}
-	budget := s.BudgetWatts
-	if budget <= 0 {
-		budget = DefaultBudgetPerNodeW * float64(s.Nodes)
 	}
 
 	dir := s.StateDir
@@ -210,10 +282,23 @@ func Run(s Scenario) (Verdict, error) {
 		return Verdict{}, err
 	}
 	defer f.stop()
+	budget := f.budget
 	for i := 0; i < s.Nodes; i++ {
 		if err := f.addNode(i); err != nil {
 			return Verdict{}, fmt.Errorf("chaos: registering node %d: %w", i, err)
 		}
+	}
+	if s.HA {
+		// Arm the continuous balancing mode so the budget is journaled
+		// (and replicated): a promoted standby must re-arm it from its
+		// restored state. The interval is far beyond the run, so the
+		// loop's own ticker never fires — the run loop rebalances on
+		// the deterministic tick cadence instead.
+		group := f.group()
+		f.mgr.StartAutoBalance(budget, group, time.Hour)
+		f.shadow = append(f.shadow, store.Record{
+			Op: store.OpBudget, Budget: &store.BudgetRecord{Watts: budget, Group: group, Interval: time.Hour},
+		})
 	}
 
 	events := append([]Event(nil), s.Events...)
@@ -239,6 +324,11 @@ func Run(s Scenario) (Verdict, error) {
 			next++
 		}
 		f.tickNodes()
+		if f.ha != nil {
+			if err := f.haTick(tick, iv, &v); err != nil {
+				return Verdict{}, err
+			}
+		}
 		if f.mgr != nil && tick%pollEvery == pollEvery-1 {
 			f.mgr.Poll()
 		}
@@ -251,12 +341,18 @@ func Run(s Scenario) (Verdict, error) {
 				f.mirrorAllocs(allocs)
 			}
 		}
+		if f.ha != nil {
+			f.haDuel(tick, pollEvery, rebalanceEvery)
+		}
 		iv.checkTick(tick)
 	}
 
 	v.Checks = iv.checks
 	v.Violations = iv.violations
 	v.ViolationCount = iv.violationCount
+	if s.HA {
+		v.FencedPushes = f.reg.Snapshot().Counters["dcm_fenced_pushes_total"]
+	}
 	for _, n := range f.sims {
 		st := n.stats()
 		v.FailSafeEntries += st.FailSafeEntries

@@ -116,6 +116,16 @@ type simNode struct {
 	prePState, postPState     int
 	preFailSafe, postFailSafe bool
 	overTicks                 int // consecutive settled ticks above cap
+
+	// Fencing observations for the single-writer invariant: the highest
+	// epoch that ever actuated this node's plant, and how many pushes
+	// carrying a LOWER epoch actuated anyway. With the server-side
+	// fence intact the count stays zero — stale pushes are rejected
+	// before they reach the plant — so a nonzero count is positive
+	// proof of split-brain actuation.
+	actEpoch         uint64
+	epochRegressions int
+	regSeen          int // checker's consumed watermark
 }
 
 func newSimNode(i int, seed int64, breakFloor bool) *simNode {
@@ -212,6 +222,14 @@ func (c *nodeCtl) PowerReading() ipmi.PowerReading {
 func (c *nodeCtl) SetPowerLimit(lim ipmi.PowerLimit) error {
 	c.n.mu.Lock()
 	defer c.n.mu.Unlock()
+	// Record the actuation epoch for the single-writer invariant. This
+	// runs only for pushes the ipmi.Server fence admitted, so a
+	// regression here means a stale epoch actuated the plant.
+	if lim.Epoch < c.n.actEpoch {
+		c.n.epochRegressions++
+	} else {
+		c.n.actEpoch = lim.Epoch
+	}
 	old := c.n.ctl.Policy()
 	err := c.n.ctl.SetPolicy(bmc.Policy{Enabled: lim.Enabled, CapWatts: lim.CapWatts})
 	if old.Enabled != lim.Enabled || math.Abs(old.CapWatts-lim.CapWatts) > 1 {
@@ -315,7 +333,14 @@ func (l *memLink) call(cmd uint8, payload []byte) ([]byte, error) {
 	if len(back.Payload) == 0 {
 		return nil, errors.New("chaos: empty response payload")
 	}
-	if cc := back.Payload[0]; cc != ipmi.CCOK {
+	switch cc := back.Payload[0]; cc {
+	case ipmi.CCOK:
+	case ipmi.CCStaleEpoch:
+		// Surface the fencing verdict as the sentinel error, exactly as
+		// the TCP client does, so the manager's fenced detection fires
+		// through the in-process path too.
+		return nil, ipmi.ErrStaleEpoch
+	default:
 		return nil, fmt.Errorf("chaos: completion code %#02x", cc)
 	}
 	return back.Payload[1:], nil
@@ -400,15 +425,25 @@ type nodeMeta struct {
 type Fleet struct {
 	scenario Scenario
 	dir      string
+	budget   float64
 	sims     []*simNode
 
 	mgr        *dcm.Manager // nil while crashed
 	registered []bool
 	meta       []nodeMeta
 
-	// shadow mirrors, in order, every record the manager journaled.
-	// A torn cut trims its tail by exactly the lost line count.
+	// base and shadow are the independent model of the acting manager's
+	// durable state: base is the state its store held when it opened,
+	// shadow mirrors, in order, every record it journaled since. A torn
+	// cut trims the shadow's tail by exactly the lost line count. In HA
+	// mode the pair is re-anchored at every promotion, and shadow
+	// indices double as replication sequence numbers (the store's seq
+	// counts exactly the records applied since open).
+	base   store.State
 	shadow []store.Record
+
+	// ha is the primary/standby pair state; nil outside HA mode.
+	ha *haCluster
 
 	// Wire-mode plumbing.
 	transports []*faults.Transport
@@ -437,10 +472,17 @@ func newFleet(s Scenario, dir string) (*Fleet, error) {
 		reg:        telemetry.NewRegistry(),
 		trace:      telemetry.NewTrace(telemetry.DefaultTraceCapacity),
 	}
+	f.budget = s.BudgetWatts
+	if f.budget <= 0 {
+		f.budget = DefaultBudgetPerNodeW * float64(s.Nodes)
+	}
 	f.trace.SetWallClock(nil)
 	for i := range f.sims {
 		f.sims[i] = newSimNode(i, s.Seed, s.BreakFailSafeFloor)
 		f.sims[i].ctl.SetTelemetry(f.reg, f.trace, f.sims[i].name)
+		if s.BreakFencing {
+			f.sims[i].srv.SetFencingEnabled(false)
+		}
 	}
 	if s.Wire {
 		f.transports = make([]*faults.Transport, s.Nodes)
@@ -454,7 +496,13 @@ func newFleet(s Scenario, dir string) (*Fleet, error) {
 			f.transports[i] = faults.New(faults.Profile{Seed: s.Seed + int64(i) + 1})
 		}
 	}
-	mgr, err := f.newManager()
+	if s.HA {
+		if err := f.setupHA(); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	mgr, err := f.newManagerAt(f.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -473,13 +521,14 @@ func (f *Fleet) simClock() time.Time {
 	return time.Unix(0, atomic.AddInt64(&f.clockNS, 1000))
 }
 
-// newManager builds a manager wired to the fleet and attached to the
-// state dir. Backoff and staleness windows are 1 ns: wall-clock gates
-// always open by the next poll, and delays this small skip the jitter
-// draw, so the manager's rng never influences the run. The manager's
-// clock is the fleet's simClock, so no decision ever consults real
-// time — the property the replay regression test pins.
-func (f *Fleet) newManager() (*dcm.Manager, error) {
+// newManagerAt builds a manager wired to the fleet and attached to
+// the given state dir. Backoff and staleness windows are 1 ns:
+// wall-clock gates always open by the next poll, and delays this
+// small skip the jitter draw, so the manager's rng never influences
+// the run. The manager's clock is the fleet's simClock, so no
+// decision ever consults real time — the property the replay
+// regression test pins.
+func (f *Fleet) newManagerAt(dir string) (*dcm.Manager, error) {
 	mgr := dcm.NewManager(f.dialer())
 	mgr.RetryBaseDelay = time.Nanosecond
 	mgr.RetryMaxDelay = time.Nanosecond
@@ -489,7 +538,7 @@ func (f *Fleet) newManager() (*dcm.Manager, error) {
 	// node list alone, so verdict trace windows replay bit-identically.
 	mgr.PollConcurrency = 1
 	mgr.SetTelemetry(f.reg, f.trace)
-	if err := mgr.OpenStateDir(f.dir); err != nil {
+	if err := mgr.OpenStateDir(dir); err != nil {
 		return nil, fmt.Errorf("chaos: opening state dir: %w", err)
 	}
 	return mgr, nil
@@ -609,17 +658,11 @@ func (f *Fleet) group() []string {
 	return out
 }
 
-// crash kills the manager the hard way — no compaction — then tears
-// the journal tail at a cut derived from tornBytes, trimming the
-// shadow by the lost record count. Returns the number of journal
-// records destroyed.
-func (f *Fleet) crash(tornBytes int) (lost int, err error) {
-	if f.mgr == nil {
-		return 0, nil
-	}
-	f.mgr.Crash()
-	f.mgr = nil
-	path := store.JournalPath(f.dir)
+// tearJournal truncates dir's journal at a cut derived from tornBytes
+// (modulo length+1, so the cut can land mid-record, between records,
+// or lose nothing) and returns the number of record lines destroyed.
+func tearJournal(dir string, tornBytes int) (lost int, err error) {
+	path := store.JournalPath(dir)
 	b, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -638,6 +681,22 @@ func (f *Fleet) crash(tornBytes int) (lost int, err error) {
 	if err := os.Truncate(path, int64(cut)); err != nil {
 		return 0, fmt.Errorf("chaos: tearing journal: %w", err)
 	}
+	return lost, nil
+}
+
+// crash kills the manager the hard way — no compaction — then tears
+// the journal tail, trimming the shadow by the lost record count.
+// Returns the number of journal records destroyed.
+func (f *Fleet) crash(tornBytes int) (lost int, err error) {
+	if f.mgr == nil {
+		return 0, nil
+	}
+	f.mgr.Crash()
+	f.mgr = nil
+	lost, err = tearJournal(f.dir, tornBytes)
+	if err != nil {
+		return 0, err
+	}
 	if lost > len(f.shadow) {
 		return 0, fmt.Errorf("chaos: torn cut lost %d records but shadow holds %d", lost, len(f.shadow))
 	}
@@ -653,13 +712,13 @@ func (f *Fleet) restart() (got, want store.State, err error) {
 	if f.mgr != nil {
 		return store.State{}, store.State{}, nil
 	}
-	mgr, err := f.newManager()
+	mgr, err := f.newManagerAt(f.dir)
 	if err != nil {
 		return store.State{}, store.State{}, err
 	}
 	f.mgr = mgr
 	got, _ = mgr.StoreState()
-	want = store.Replay(f.shadow)
+	want = store.ReplayFrom(f.base, f.shadow)
 	for i := range f.registered {
 		f.registered[i] = false
 	}
@@ -741,6 +800,25 @@ func (f *Fleet) applyEvent(e Event, iv *invariants, v *Verdict) error {
 		if err := f.addNode(e.Node); err != nil {
 			return nil // link down; the dial failing IS the chaos
 		}
+	case EvKillPrimary:
+		if err := f.haKill(e, v); err != nil {
+			return err
+		}
+	case EvRevive:
+		if err := f.haRevive(v); err != nil {
+			return err
+		}
+	case EvLeaseStall:
+		if f.ha.leaderIdx >= 0 {
+			f.ha.members[f.ha.leaderIdx].stalled = true
+		}
+	case EvReplDown:
+		f.ha.replDown = true
+		f.ha.feed = nil
+	case EvReplHeal:
+		f.ha.replDown = false
+	case EvReplTear:
+		f.ha.pendingTear = e.TornBytes
 	default:
 		return fmt.Errorf("chaos: unknown event kind %q", e.Kind)
 	}
@@ -748,9 +826,12 @@ func (f *Fleet) applyEvent(e Event, iv *invariants, v *Verdict) error {
 	return nil
 }
 
-// stop releases fleet resources (manager, wire listeners).
+// stop releases fleet resources (managers, wire listeners).
 func (f *Fleet) stop() {
-	if f.mgr != nil {
+	if f.ha != nil {
+		f.ha.stop()
+		f.mgr = nil
+	} else if f.mgr != nil {
 		f.mgr.Close()
 		f.mgr = nil
 	}

@@ -9,10 +9,12 @@ import (
 
 // Invariant names (the keys of Verdict.Checks).
 const (
-	InvCapRespected      = "cap_respected"
-	InvBudgetConserved   = "budget_conserved"
-	InvNoFailSafeSpeedup = "no_failsafe_speedup"
-	InvRecoveryIntegrity = "recovery_integrity"
+	InvCapRespected       = "cap_respected"
+	InvBudgetConserved    = "budget_conserved"
+	InvNoFailSafeSpeedup  = "no_failsafe_speedup"
+	InvRecoveryIntegrity  = "recovery_integrity"
+	InvSingleWriter       = "single_writer"
+	InvReplicaConvergence = "replica_convergence"
 )
 
 // Checker tuning.
@@ -49,10 +51,12 @@ func newInvariants(f *Fleet, budget float64) *invariants {
 		f:      f,
 		budget: budget,
 		checks: map[string]int{
-			InvCapRespected:      0,
-			InvBudgetConserved:   0,
-			InvNoFailSafeSpeedup: 0,
-			InvRecoveryIntegrity: 0,
+			InvCapRespected:       0,
+			InvBudgetConserved:    0,
+			InvNoFailSafeSpeedup:  0,
+			InvRecoveryIntegrity:  0,
+			InvSingleWriter:       0,
+			InvReplicaConvergence: 0,
 		},
 		violations: []Violation{},
 	}
@@ -73,6 +77,7 @@ func (iv *invariants) checkTick(tick int) {
 	iv.checkCapsRespected(tick)
 	iv.checkBudgetConserved(tick)
 	iv.checkNoFailSafeSpeedup(tick)
+	iv.checkSingleWriter(tick)
 }
 
 // checkCapsRespected: no node's sustained TRUE power exceeds the cap
@@ -163,6 +168,45 @@ func (iv *invariants) checkNoFailSafeSpeedup(tick int) {
 			iv.violate("tick %d: %s: %s: P%d faster than fail-safe floor P%d",
 				tick, name, InvNoFailSafeSpeedup, post, failSafePState)
 		}
+	}
+}
+
+// checkSingleWriter: the fencing epoch actuating a node's plant never
+// moves backwards. Each node records, inside its IPMI control surface
+// (past the server-side fence), the highest epoch that ever reached it
+// and counts pushes that arrived carrying a lower one; any such
+// regression means a deposed leader's command actuated hardware after
+// a newer leader's — split-brain, the exact thing the fence exists to
+// make impossible. The count is consumed against a watermark so each
+// regression is reported once, at the tick it happened.
+func (iv *invariants) checkSingleWriter(tick int) {
+	for _, n := range iv.f.sims {
+		n.mu.Lock()
+		reg, prev := n.epochRegressions, n.regSeen
+		n.regSeen = reg
+		name := n.name
+		n.mu.Unlock()
+
+		iv.checks[InvSingleWriter]++
+		if reg > prev {
+			iv.violate("tick %d: %s: %s: %d stale-epoch actuation(s) reached the plant",
+				tick, name, InvSingleWriter, reg-prev)
+		}
+	}
+}
+
+// checkReplicaConvergence: at a failover, the state the promoted
+// standby recovered from its replicated journal (after the torn-tail
+// cut) must equal the fold of the primary's journaled history up to
+// the acknowledged replication cursor minus the torn records —
+// verified against the harness's independent leader book, so a
+// corrupted or skipped frame anywhere in the replication path shows up
+// as divergence.
+func (iv *invariants) checkReplicaConvergence(tick int, got, want store.State) {
+	iv.checks[InvReplicaConvergence]++
+	if !reflect.DeepEqual(normalizeState(got), normalizeState(want)) {
+		iv.violate("tick %d: %s: promoted standby diverges from primary's journaled history: got %+v, want %+v",
+			tick, InvReplicaConvergence, got, want)
 	}
 }
 

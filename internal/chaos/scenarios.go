@@ -9,7 +9,10 @@ import (
 
 // ScenarioNames lists the built-in scenario generators, in the order
 // `cmd/chaos -list` prints them.
-var ScenarioNames = []string{"partition", "crash-restart", "sensor-storm", "churn", "mixed"}
+var ScenarioNames = []string{
+	"partition", "crash-restart", "sensor-storm", "churn", "mixed",
+	"failover-kill", "fence-duel", "replica-torn-tail",
+}
 
 // Build generates the named scenario's event schedule. The schedule
 // is a pure function of (name, seed, ticks, nodes): the same inputs
@@ -47,6 +50,15 @@ func Build(name string, seed int64, ticks, nodes int) (Scenario, error) {
 		ev = append(ev, churnEvents(rng, ticks, nodes, 2*third, nodes)...)
 		ev = append(ev, crashEvents(rng, ticks)...)
 		s.Events = ev
+	case "failover-kill":
+		s.HA = true
+		s.Events = failoverEvents(rng, ticks)
+	case "fence-duel":
+		s.HA = true
+		s.Events = duelEvents(rng, ticks)
+	case "replica-torn-tail":
+		s.HA = true
+		s.Events = replicaTearEvents(rng, ticks)
 	default:
 		return Scenario{}, fmt.Errorf("chaos: unknown scenario %q (have %s)",
 			name, strings.Join(ScenarioNames, ", "))
@@ -122,6 +134,59 @@ func churnEvents(rng *rand.Rand, ticks, nodes, lo, hi int) []Event {
 		ev = append(ev,
 			Event{Tick: t, Kind: EvRemoveNode, Node: n},
 			Event{Tick: back, Kind: EvAddNode, Node: n},
+		)
+	}
+	return ev
+}
+
+// failoverEvents kills the acting leader mid-budget-push and revives
+// the corpse as a standby once the survivor has taken over — repeated,
+// so leadership ping-pongs between the members. Cycles are spaced so
+// at most one member is ever dead (the promotion gate requires a
+// synced replica) and each new leader has time to resync its peer.
+func failoverEvents(rng *rand.Rand, ticks int) []Event {
+	var ev []Event
+	for t := 2*DefaultRebalanceEvery + 5 + rng.Intn(25); t < ticks-80; t += 140 + rng.Intn(100) {
+		revive := t + 25 + rng.Intn(30)
+		ev = append(ev,
+			Event{Tick: t, Kind: EvKillPrimary, TornBytes: rng.Intn(1 << 17)},
+			Event{Tick: revive, Kind: EvRevive},
+		)
+	}
+	return ev
+}
+
+// duelEvents stages split-brain: the replication link drops, then the
+// leader's lease renewals stall without stopping its manager — the
+// standby times out the lease and promotes while the old leader keeps
+// pushing caps on its stale epoch. The node-side fence must refuse
+// every one. The healed link and revive let the loser rejoin before
+// the next round.
+func duelEvents(rng *rand.Rand, ticks int) []Event {
+	var ev []Event
+	for t := 2*DefaultRebalanceEvery + 5 + rng.Intn(25); t < ticks-120; t += 160 + rng.Intn(120) {
+		ev = append(ev,
+			Event{Tick: t, Kind: EvReplDown},
+			Event{Tick: t, Kind: EvLeaseStall},
+			Event{Tick: t + 35 + rng.Intn(10), Kind: EvReplHeal},
+			Event{Tick: t + 65 + rng.Intn(10), Kind: EvRevive},
+		)
+	}
+	return ev
+}
+
+// replicaTearEvents is failover with torn replicated journals: each
+// kill is preceded by arming a torn-tail cut that lands on the
+// standby's journal when it promotes, so recovery must hold on a
+// replica that lost acknowledged records to the tear.
+func replicaTearEvents(rng *rand.Rand, ticks int) []Event {
+	var ev []Event
+	for t := 2*DefaultRebalanceEvery + 5 + rng.Intn(25); t < ticks-80; t += 140 + rng.Intn(100) {
+		revive := t + 25 + rng.Intn(30)
+		ev = append(ev,
+			Event{Tick: t - 1, Kind: EvReplTear, TornBytes: rng.Intn(1 << 16)},
+			Event{Tick: t, Kind: EvKillPrimary, TornBytes: rng.Intn(1 << 17)},
+			Event{Tick: revive, Kind: EvRevive},
 		)
 	}
 	return ev

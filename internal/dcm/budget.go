@@ -125,6 +125,12 @@ func (m *Manager) ApplyBudget(budgetWatts float64, names []string) ([]Allocation
 // ApplyBudgetWeighted is ApplyBudget with explicit per-node priority
 // weights (see AllocateBudgetWeighted).
 func (m *Manager) ApplyBudgetWeighted(budgetWatts float64, names []string, weights map[string]float64) ([]Allocation, error) {
+	m.mu.Lock()
+	standby := m.role == RoleStandby
+	m.mu.Unlock()
+	if standby {
+		return nil, ErrNotLeader
+	}
 	allocs, err := m.AllocateBudgetWeighted(budgetWatts, names, weights)
 	if err != nil {
 		return nil, err

@@ -21,6 +21,7 @@
 package dcm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -226,6 +227,13 @@ type Manager struct {
 	tel    managerTelemetry
 	telReg *telemetry.Registry
 
+	// HA state (see ha.go): the manager's role, the fencing epoch
+	// stamped onto every cap push, and whether a push has been fenced
+	// by a node (proof a newer leader exists). Guarded by mu.
+	role   Role
+	epoch  uint64
+	fenced bool
+
 	stopPoll    chan struct{}
 	stopBalance chan struct{}
 	pollWG      sync.WaitGroup
@@ -239,6 +247,7 @@ func NewManager(dial Dialer) *Manager {
 	return &Manager{
 		dial:            dial,
 		nodes:           make(map[string]*managedNode),
+		role:            RoleSolo,
 		rng:             rand.New(rand.NewSource(1)),
 		HistoryLimit:    4096,
 		PollConcurrency: DefaultPollConcurrency,
@@ -465,6 +474,12 @@ func (m *Manager) dropConn(n *managedNode, bmc BMC) {
 // Desired state is recorded (and journaled, when a state dir is open)
 // *before* the push: if the push fails, the intent survives and the
 // reconciliation loop re-pushes it once the node is reachable again.
+//
+// The push is stamped with the manager's fencing epoch (ha.go); a
+// node that has seen a newer leader rejects it with
+// ipmi.ErrStaleEpoch, which marks the manager Fenced without dropping
+// the connection — the exchange completed, only the authority was
+// refused.
 func (m *Manager) SetNodeCap(name string, capWatts float64) error {
 	n, err := m.node(name)
 	if err != nil {
@@ -472,6 +487,11 @@ func (m *Manager) SetNodeCap(name string, capWatts float64) error {
 	}
 	lim := ipmi.PowerLimit{Enabled: capWatts > 0, CapWatts: capWatts}
 	m.mu.Lock()
+	if m.role == RoleStandby {
+		m.mu.Unlock()
+		return ErrNotLeader
+	}
+	lim.Epoch = m.epoch
 	n.desired = lim
 	n.haveDesired = true
 	n.status.CapWatts = capWatts
@@ -488,6 +508,10 @@ func (m *Manager) SetNodeCap(name string, capWatts float64) error {
 		return err
 	}
 	if err := bmc.SetPowerLimit(lim); err != nil {
+		if errors.Is(err, ipmi.ErrStaleEpoch) {
+			m.noteFenced(n, lim.Epoch, err)
+			return fmt.Errorf("dcm: setting cap on %q: %w", name, err)
+		}
 		m.dropConn(n, bmc)
 		m.recordFailure(n, err)
 		m.capPushFailed(name, capWatts, err)
@@ -649,8 +673,10 @@ func (m *Manager) pollNode(n *managedNode) {
 	// re-pushed under the ownership token this goroutine already holds.
 	m.mu.Lock()
 	desired, reconcile := n.desired, n.haveDesired
+	desired.Epoch = m.epoch // fencing token is stamped at push time
+	standby := m.role == RoleStandby
 	m.mu.Unlock()
-	reconcile = reconcile && policyDrifted(desired, lim)
+	reconcile = reconcile && !standby && policyDrifted(desired, lim)
 	if reconcile {
 		m.mu.Lock()
 		n.status.Drifts++
@@ -660,6 +686,10 @@ func (m *Manager) pollNode(n *managedNode) {
 		})
 		m.mu.Unlock()
 		if err := bmc.SetPowerLimit(desired); err != nil {
+			if errors.Is(err, ipmi.ErrStaleEpoch) {
+				m.noteFenced(n, desired.Epoch, err)
+				return
+			}
 			m.dropConn(n, bmc)
 			m.recordFailure(n, err)
 			return

@@ -12,17 +12,18 @@ import (
 
 // fakeBMC is a scripted node.
 type fakeBMC struct {
-	mu     sync.Mutex
-	power  float64
-	limit  ipmi.PowerLimit
+	mu      sync.Mutex
+	power   float64
+	limit   ipmi.PowerLimit
 	minCap  float64
 	maxCap  float64
 	capTier uint8
 	fail    bool
-	closed bool
-	pstate ipmi.PStateInfo
-	gating int
-	health ipmi.Health
+	setErr  error // scripted SetPowerLimit failure (e.g. ipmi.ErrStaleEpoch)
+	closed  bool
+	pstate  ipmi.PStateInfo
+	gating  int
+	health  ipmi.Health
 }
 
 func newFakeBMC(power float64) *fakeBMC {
@@ -46,6 +47,9 @@ func (f *fakeBMC) SetPowerLimit(l ipmi.PowerLimit) error {
 	defer f.mu.Unlock()
 	if f.fail {
 		return errors.New("unreachable")
+	}
+	if f.setErr != nil {
+		return f.setErr
 	}
 	f.limit = l
 	return nil

@@ -26,7 +26,7 @@ const (
 
 // Request is one control-plane operation.
 type Request struct {
-	Op string `json:"op"` // "add", "remove", "nodes", "setcap", "settier", "budget", "poll", "history", "trace"
+	Op string `json:"op"` // "add", "remove", "nodes", "setcap", "settier", "budget", "poll", "history", "trace", "leader"
 
 	Name string  `json:"name,omitempty"`
 	Addr string  `json:"addr,omitempty"`
@@ -44,6 +44,11 @@ type Request struct {
 	// Since is the trace follow cursor: return events with Seq >= Since
 	// (0 means the tail). Name filters trace ops to one node.
 	Since uint64 `json:"since,omitempty"`
+
+	// Epoch, when non-zero, is the fencing epoch the client believes
+	// is current; a mutating op whose epoch disagrees with the serving
+	// manager's is rejected rather than applied by the wrong leader.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Response carries the result.
@@ -55,12 +60,17 @@ type Response struct {
 	Allocs  []Allocation      `json:"allocs,omitempty"`
 	History []Sample          `json:"history,omitempty"`
 	Trace   []telemetry.Event `json:"trace,omitempty"`
+
+	// Role/Epoch report the serving manager's HA state ("nodes" and
+	// "leader" ops); Fenced is set when the manager has had a push
+	// rejected for a stale epoch — it is not who it thinks it is.
+	Role   string `json:"role,omitempty"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+	Fenced bool   `json:"fenced,omitempty"`
 }
 
 // Server exposes a Manager over the control-plane protocol.
 type Server struct {
-	mgr *Manager
-
 	// IdleTimeout bounds the wait for a client's next request (and
 	// the write of each response), so an idle or stalled dcmctl
 	// connection cannot pin a handler goroutine forever. Zero means
@@ -68,6 +78,7 @@ type Server struct {
 	IdleTimeout time.Duration
 
 	mu       sync.Mutex
+	mgr      *Manager // swappable: a promoted standby installs its restored manager
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
@@ -77,6 +88,23 @@ type Server struct {
 // NewServer wraps mgr.
 func NewServer(mgr *Manager) *Server {
 	return &Server{mgr: mgr, conns: make(map[net.Conn]struct{})}
+}
+
+// SetManager swaps the served manager — how a standby daemon replaces
+// its placeholder manager with the one restored from the replicated
+// journal on promotion, without dropping client connections. An
+// in-flight request keeps the manager it already resolved.
+func (s *Server) SetManager(mgr *Manager) {
+	s.mu.Lock()
+	s.mgr = mgr
+	s.mu.Unlock()
+}
+
+// Manager returns the currently served manager.
+func (s *Server) Manager() *Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr
 }
 
 // Listen binds addr and serves until Close.
@@ -146,27 +174,47 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
+// mutatingOps are the requests a deposed or stale client must not
+// land on the wrong manager; they honour Request.Epoch.
+var mutatingOps = map[string]bool{
+	"add": true, "remove": true, "setcap": true, "settier": true, "budget": true,
+}
+
 // Handle dispatches one request; exposed for in-process use and tests.
 func (s *Server) Handle(req Request) Response {
 	fail := func(err error) Response { return Response{Error: err.Error()} }
+	mgr := s.Manager()
+	if mutatingOps[req.Op] && req.Epoch != 0 {
+		if cur := mgr.Epoch(); req.Epoch != cur {
+			return fail(fmt.Errorf("dcm: stale client epoch %d (serving epoch %d)", req.Epoch, cur))
+		}
+	}
 	switch req.Op {
 	case "add":
-		if err := s.mgr.AddNode(req.Name, req.Addr); err != nil {
+		if err := mgr.AddNode(req.Name, req.Addr); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
 	case "remove":
-		if err := s.mgr.RemoveNode(req.Name); err != nil {
+		if err := mgr.RemoveNode(req.Name); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
 	case "nodes":
-		return Response{OK: true, Nodes: s.mgr.Nodes()}
+		return Response{
+			OK: true, Nodes: mgr.Nodes(),
+			Role: string(mgr.Role()), Epoch: mgr.Epoch(), Fenced: mgr.Fenced(),
+		}
+	case "leader":
+		return Response{
+			OK:   true,
+			Role: string(mgr.Role()), Epoch: mgr.Epoch(), Fenced: mgr.Fenced(),
+		}
 	case "setcap":
 		if req.Name == "" {
 			return fail(fmt.Errorf("dcm: setcap requires a node name"))
 		}
-		if err := s.mgr.SetNodeCap(req.Name, req.Cap); err != nil {
+		if err := mgr.SetNodeCap(req.Name, req.Cap); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
@@ -178,7 +226,7 @@ func (s *Server) Handle(req Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		if err := s.mgr.SetNodeTier(req.Name, tier); err != nil {
+		if err := mgr.SetNodeTier(req.Name, tier); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
@@ -186,18 +234,18 @@ func (s *Server) Handle(req Request) Response {
 		if len(req.Group) == 0 {
 			return fail(fmt.Errorf("dcm: budget requires a non-empty node group"))
 		}
-		allocs, err := s.mgr.ApplyBudgetWeighted(req.Budget, req.Group, req.Weights)
+		allocs, err := mgr.ApplyBudgetWeighted(req.Budget, req.Group, req.Weights)
 		if err != nil {
 			return fail(err)
 		}
 		return Response{OK: true, Allocs: allocs}
 	case "poll":
-		s.mgr.Poll()
-		return Response{OK: true, Nodes: s.mgr.Nodes()}
+		mgr.Poll()
+		return Response{OK: true, Nodes: mgr.Nodes()}
 	case "trace":
-		return Response{OK: true, Trace: s.mgr.TraceEvents(req.Since, req.Name, req.Limit)}
+		return Response{OK: true, Trace: mgr.TraceEvents(req.Since, req.Name, req.Limit)}
 	case "history":
-		h, err := s.mgr.History(req.Name)
+		h, err := mgr.History(req.Name)
 		if err != nil {
 			return fail(err)
 		}

@@ -1,0 +1,148 @@
+// Lease-based leadership for an HA manager pair. The lease is a small
+// JSON file in the shared state dir, written atomically (temp + fsync
+// + rename + dir fsync, like the snapshot): whoever holds the
+// unexpired lease is the primary, and the epoch — bumped on every
+// change of holder or re-acquisition after expiry — is the fencing
+// token every cap push carries. File-rename atomicity makes a *torn*
+// lease impossible; two processes racing Acquire within the same
+// expiry window is last-writer-wins, which is why actuation safety
+// never rests on the lease alone but on epoch fencing at the nodes.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// LeaseFileName is the lease's name inside a state dir.
+const LeaseFileName = "lease.json"
+
+// Lease is the on-disk leadership record.
+type Lease struct {
+	Holder string `json:"holder"`
+	// Epoch is the fencing token: strictly increasing across every
+	// leadership change, never reused.
+	Epoch uint64 `json:"epoch"`
+	// ExpiresNS is the wall-clock (or injected-clock) nanosecond
+	// timestamp past which the lease is up for grabs.
+	ExpiresNS int64 `json:"expires_ns"`
+}
+
+// Expired reports whether the lease is claimable at time now.
+func (l Lease) Expired(now time.Time) bool { return now.UnixNano() >= l.ExpiresNS }
+
+// LeaseFile manages one lease. The Clock is injectable so chaos
+// replays of lease expiry are deterministic; nil means time.Now.
+type LeaseFile struct {
+	Path  string
+	Clock func() time.Time
+}
+
+// NewLeaseFile manages the lease at path.
+func NewLeaseFile(path string) *LeaseFile { return &LeaseFile{Path: path} }
+
+// LeasePath returns the default lease location under a state dir.
+func LeasePath(dir string) string { return filepath.Join(dir, LeaseFileName) }
+
+func (lf *LeaseFile) now() time.Time {
+	if lf.Clock != nil {
+		return lf.Clock()
+	}
+	return time.Now()
+}
+
+// Read loads the current lease. ok is false when no lease has ever
+// been written. A corrupt file is an error — renames are atomic, so
+// corruption means external damage, and guessing about leadership is
+// how split-brain starts.
+func (lf *LeaseFile) Read() (Lease, bool, error) {
+	b, err := os.ReadFile(lf.Path)
+	if os.IsNotExist(err) {
+		return Lease{}, false, nil
+	}
+	if err != nil {
+		return Lease{}, false, fmt.Errorf("store: reading lease: %w", err)
+	}
+	var l Lease
+	if err := json.Unmarshal(b, &l); err != nil {
+		return Lease{}, false, fmt.Errorf("store: corrupt lease %s: %w", lf.Path, err)
+	}
+	return l, true, nil
+}
+
+// Acquire takes or renews the lease for holder with the given TTL.
+// Granted when the lease is free, expired, or already held by holder.
+// The epoch is preserved on a live renewal and bumped on every other
+// grant — including holder re-acquiring its own *expired* lease,
+// because someone else may have held (and fenced at) a higher epoch in
+// between. When the lease is held elsewhere, the blocking lease is
+// returned with ok false.
+func (lf *LeaseFile) Acquire(holder string, ttl time.Duration) (Lease, bool, error) {
+	if holder == "" {
+		return Lease{}, false, fmt.Errorf("store: lease holder must be non-empty")
+	}
+	cur, exists, err := lf.Read()
+	if err != nil {
+		return Lease{}, false, err
+	}
+	now := lf.now()
+	if exists && cur.Holder != holder && !cur.Expired(now) {
+		return cur, false, nil
+	}
+	next := Lease{Holder: holder, Epoch: 1, ExpiresNS: now.Add(ttl).UnixNano()}
+	if exists {
+		if cur.Holder == holder && !cur.Expired(now) {
+			next.Epoch = cur.Epoch // live renewal
+		} else {
+			next.Epoch = cur.Epoch + 1 // takeover or expiry re-acquire
+		}
+	}
+	if err := lf.write(next); err != nil {
+		return Lease{}, false, err
+	}
+	return next, true, nil
+}
+
+// Release expires holder's lease immediately so a standby can take
+// over without waiting out the TTL (graceful shutdown). Releasing a
+// lease held by someone else is a no-op.
+func (lf *LeaseFile) Release(holder string) error {
+	cur, exists, err := lf.Read()
+	if err != nil || !exists || cur.Holder != holder {
+		return err
+	}
+	cur.ExpiresNS = lf.now().UnixNano()
+	return lf.write(cur)
+}
+
+// write persists l atomically: temp file, fsync, rename, dir fsync.
+func (lf *LeaseFile) write(l Lease) error {
+	b, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	dir := filepath.Dir(lf.Path)
+	tmp, err := os.CreateTemp(dir, "lease-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(b); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: writing lease: %w", err)
+	}
+	if err := os.Rename(tmpName, lf.Path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(dir)
+}

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable lease clock.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) read() time.Time         { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func newTestLease(t *testing.T) (*LeaseFile, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	lf := NewLeaseFile(LeasePath(t.TempDir()))
+	lf.Clock = clk.read
+	return lf, clk
+}
+
+func TestLeaseAcquireRenewTakeover(t *testing.T) {
+	lf, clk := newTestLease(t)
+	ttl := 10 * time.Second
+
+	// First acquisition: epoch 1.
+	l, ok, err := lf.Acquire("a", ttl)
+	if err != nil || !ok {
+		t.Fatalf("first acquire = %+v, %v, %v", l, ok, err)
+	}
+	if l.Holder != "a" || l.Epoch != 1 {
+		t.Fatalf("first lease = %+v", l)
+	}
+
+	// A live lease blocks another holder and reports the blocker.
+	clk.advance(3 * time.Second)
+	if blk, ok, err := lf.Acquire("b", ttl); err != nil || ok || blk.Holder != "a" {
+		t.Fatalf("contended acquire = %+v, %v, %v", blk, ok, err)
+	}
+
+	// Live renewal by the holder keeps the epoch.
+	l2, ok, err := lf.Acquire("a", ttl)
+	if err != nil || !ok || l2.Epoch != 1 {
+		t.Fatalf("renewal = %+v, %v, %v", l2, ok, err)
+	}
+	if l2.ExpiresNS <= l.ExpiresNS {
+		t.Error("renewal did not extend the expiry")
+	}
+
+	// Expiry: a takeover bumps the epoch.
+	clk.advance(ttl + time.Second)
+	l3, ok, err := lf.Acquire("b", ttl)
+	if err != nil || !ok || l3.Holder != "b" || l3.Epoch != 2 {
+		t.Fatalf("takeover = %+v, %v, %v", l3, ok, err)
+	}
+
+	// Re-acquiring one's own expired lease also bumps: someone may
+	// have fenced at a higher epoch in between.
+	clk.advance(ttl + time.Second)
+	l4, ok, err := lf.Acquire("b", ttl)
+	if err != nil || !ok || l4.Epoch != 3 {
+		t.Fatalf("expired self re-acquire = %+v, %v, %v", l4, ok, err)
+	}
+}
+
+func TestLeaseReleaseExpiresImmediately(t *testing.T) {
+	lf, _ := newTestLease(t)
+	ttl := time.Hour
+	if _, ok, err := lf.Acquire("a", ttl); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	// Releasing someone else's lease is a no-op.
+	if err := lf.Release("b"); err != nil {
+		t.Fatal(err)
+	}
+	if blk, ok, _ := lf.Acquire("b", ttl); ok {
+		t.Fatalf("foreign release freed the lease: %+v", blk)
+	}
+	// The holder's release frees it without waiting out the TTL, and
+	// the next holder gets a bumped epoch.
+	if err := lf.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	l, ok, err := lf.Acquire("b", ttl)
+	if err != nil || !ok || l.Epoch != 2 {
+		t.Fatalf("acquire after release = %+v, %v, %v", l, ok, err)
+	}
+}
+
+func TestLeaseReadStates(t *testing.T) {
+	lf, _ := newTestLease(t)
+	if _, ok, err := lf.Read(); err != nil || ok {
+		t.Fatalf("missing lease read = %v, %v", ok, err)
+	}
+	if _, ok, err := lf.Acquire("a", time.Second); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	l, ok, err := lf.Read()
+	if err != nil || !ok || l.Holder != "a" {
+		t.Fatalf("read = %+v, %v, %v", l, ok, err)
+	}
+	// Corruption is an error, not silent reacquisition.
+	if err := os.WriteFile(lf.Path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lf.Read(); err == nil {
+		t.Error("corrupt lease read succeeded")
+	}
+	if _, _, err := lf.Acquire("b", time.Second); err == nil {
+		t.Error("acquire over corrupt lease succeeded")
+	}
+	// Empty holder is rejected.
+	lf2 := NewLeaseFile(filepath.Join(t.TempDir(), LeaseFileName))
+	if _, _, err := lf2.Acquire("", time.Second); err == nil {
+		t.Error("empty holder accepted")
+	}
+}

@@ -1,0 +1,330 @@
+// Journal replication: the primary manager's store streams every
+// applied record to a hot-standby, so a failover promotes a state dir
+// that is (up to the acknowledged cursor) a byte-faithful copy of the
+// primary's intent.
+//
+// The session protocol is deliberately tiny and reuses the journal's
+// crc32-framed JSON lines as its wire format:
+//
+//	standby → primary  HELLO{gen, seq}   resume claim: "I hold your
+//	                                     incarnation gen up to seq"
+//	primary → standby  SNAP{gen, seq, state}  full resync baseline
+//	primary → standby  REC{gen, seq, rec}     one journal record
+//	standby → primary  ACK{seq}               cursor acknowledgement
+//
+// A resume claim is honoured when the generation matches and the
+// cursor is still inside the primary's retained record ring; anything
+// else — first contact, a restarted primary (new gen), or a cursor
+// that fell behind the ring — degrades to a full snapshot. The standby
+// applies records through Store.Apply, so the replicated journal is
+// fsync'd line-framed records with the exact torn-tail recovery rules
+// of the primary's own crash path.
+//
+// The core (Feed, Replica) is pump-driven and transport-free: the
+// chaos harness drives it tick-by-tick for bit-identical replays, and
+// repl_net.go wraps it in TCP for production dcmd.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// ReplRetain is how many applied records the primary keeps for resume;
+// a standby whose cursor lags further takes a full snapshot instead.
+const ReplRetain = 1024
+
+// Replication frame kinds.
+const (
+	ReplHello = "hello"
+	ReplSnap  = "snap"
+	ReplRec   = "rec"
+	ReplAck   = "ack"
+)
+
+// ReplFrame is one replication protocol message.
+type ReplFrame struct {
+	Kind string `json:"kind"`
+	// Gen identifies the primary store incarnation the frame belongs
+	// to; records from different generations never interleave.
+	Gen uint64 `json:"gen,omitempty"`
+	// Seq is the record cursor: for REC the record's sequence number,
+	// for SNAP the sequence the snapshot includes up to, for HELLO the
+	// standby's resume claim, for ACK the highest contiguous sequence
+	// the standby has durably applied.
+	Seq   uint64  `json:"seq,omitempty"`
+	Rec   *Record `json:"rec,omitempty"`
+	State *State  `json:"state,omitempty"`
+}
+
+// EncodeReplFrame formats f with the journal's crc32 line framing.
+func EncodeReplFrame(f ReplFrame) ([]byte, error) {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding repl frame: %w", err)
+	}
+	return frameLine(payload), nil
+}
+
+// DecodeReplFrame parses one framed replication line (without or with
+// its trailing newline), verifying the checksum.
+func DecodeReplFrame(line string) (ReplFrame, bool) {
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	payload, ok := unframeLine(line)
+	if !ok {
+		return ReplFrame{}, false
+	}
+	var f ReplFrame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return ReplFrame{}, false
+	}
+	if f.Kind != ReplHello && f.Kind != ReplSnap && f.Kind != ReplRec && f.Kind != ReplAck {
+		return ReplFrame{}, false
+	}
+	return f, true
+}
+
+// SetGen stamps this store incarnation's replication generation. A
+// primary must pick a value it has never used before (dcmd uses the
+// boot time; chaos uses a counter) so standbys that replicated from an
+// earlier incarnation resync rather than resume into a diverged log.
+func (s *Store) SetGen(g uint64) {
+	s.mu.Lock()
+	s.gen = g
+	s.mu.Unlock()
+}
+
+// Gen returns the replication generation (zero until SetGen).
+func (s *Store) Gen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Seq returns how many records this incarnation has applied.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// replSinceLocked returns the applied records after cursor, or ok
+// false when the cursor is outside the retained window (ahead of seq,
+// or evicted from the ring) and the session must fall back to a
+// snapshot.
+func (s *Store) replSinceLocked(cursor uint64) ([]Record, bool) {
+	if cursor > s.seq || cursor < s.recentFirst {
+		return nil, false
+	}
+	return s.recent[cursor-s.recentFirst:], true
+}
+
+// ResetTo atomically replaces the store's state with a replicated
+// snapshot: the new state is written as the on-disk snapshot and the
+// journal truncated, exactly as a compaction would. Used by a standby
+// taking a full resync.
+func (s *Store) ResetTo(state State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	s.state = state.clone()
+	return s.compactLocked()
+}
+
+// Feed is the primary-side half of one replication session: it turns
+// a standby's HELLO into the frame stream that brings it up to date,
+// then tracks its acknowledgement cursor. One Feed per standby
+// connection; a reconnect makes a new Feed from a fresh HELLO.
+type Feed struct {
+	st *Store
+
+	mu       sync.Mutex
+	claimGen uint64
+	claimSeq uint64
+	synced   bool
+	cursor   uint64 // next frames start after this sequence
+	acked    uint64
+}
+
+// NewFeed starts a session from the standby's HELLO resume claim.
+func (s *Store) NewFeed(hello ReplFrame) *Feed {
+	return &Feed{st: s, claimGen: hello.Gen, claimSeq: hello.Seq}
+}
+
+// Pending returns the next at-most-max frames for the standby. The
+// first call decides between resuming from the claimed cursor and a
+// full snapshot; a cursor that falls out of the retained ring
+// mid-session (the standby stalled through a write burst) degrades to
+// a fresh snapshot rather than an error.
+func (f *Feed) Pending(max int) ([]ReplFrame, error) {
+	if max <= 0 {
+		max = ReplRetain
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.st
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !f.synced {
+		if s.gen != 0 && f.claimGen == s.gen && f.claimSeq <= s.seq && f.claimSeq >= s.recentFirst {
+			f.cursor = f.claimSeq
+		} else {
+			f.synced = true
+			return []ReplFrame{f.snapLocked()}, nil
+		}
+		f.synced = true
+	}
+	recs, ok := s.replSinceLocked(f.cursor)
+	if !ok {
+		return []ReplFrame{f.snapLocked()}, nil
+	}
+	if len(recs) > max {
+		recs = recs[:max]
+	}
+	frames := make([]ReplFrame, 0, len(recs))
+	for i := range recs {
+		r := recs[i]
+		frames = append(frames, ReplFrame{Kind: ReplRec, Gen: s.gen, Seq: f.cursor + uint64(i) + 1, Rec: &r})
+	}
+	f.cursor += uint64(len(recs))
+	return frames, nil
+}
+
+// snapLocked builds a full-resync frame and advances the session
+// cursor past it. Both f.mu and f.st.mu must be held.
+func (f *Feed) snapLocked() ReplFrame {
+	snap := f.st.state.clone()
+	f.cursor = f.st.seq
+	return ReplFrame{Kind: ReplSnap, Gen: f.st.gen, Seq: f.st.seq, State: &snap}
+}
+
+// Ack records the standby's acknowledgement cursor.
+func (f *Feed) Ack(fr ReplFrame) {
+	if fr.Kind != ReplAck {
+		return
+	}
+	f.mu.Lock()
+	if fr.Seq > f.acked {
+		f.acked = fr.Seq
+	}
+	f.mu.Unlock()
+}
+
+// Lag reports how many applied records the standby has yet to
+// acknowledge.
+func (f *Feed) Lag() uint64 {
+	f.mu.Lock()
+	acked := f.acked
+	f.mu.Unlock()
+	seq := f.st.Seq()
+	if acked > seq {
+		return 0
+	}
+	return seq - acked
+}
+
+// Replica is the standby-side half: it applies the primary's stream
+// into a local store (journaled and fsync'd per record, so the
+// replicated log inherits the crash-recovery torn-tail rules) and
+// produces cursor acknowledgements.
+type Replica struct {
+	st *Store
+
+	mu     sync.Mutex
+	gen    uint64
+	cursor uint64
+}
+
+// NewReplica starts a replica with no resume claim: the first HELLO
+// carries gen 0, which the primary answers with a full snapshot.
+func NewReplica(st *Store) *Replica { return &Replica{st: st} }
+
+// NewReplicaAt resumes a replica whose local store already holds the
+// primary's generation gen up to cursor — a standby process restart
+// that recovered its replicated journal. An overstated cursor is the
+// caller's bug; an understated one only costs re-sent (idempotently
+// duplicate-dropped) records.
+func NewReplicaAt(st *Store, gen, cursor uint64) *Replica {
+	return &Replica{st: st, gen: gen, cursor: cursor}
+}
+
+// Hello builds the resume claim that opens a session.
+func (r *Replica) Hello() ReplFrame {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplFrame{Kind: ReplHello, Gen: r.gen, Seq: r.cursor}
+}
+
+// Handle applies one primary frame and returns the acknowledgement to
+// send back (nil for frames that carry no progress). A generation
+// mismatch or sequence gap is an error: the session is broken and the
+// standby must reconnect with a fresh Hello.
+func (r *Replica) Handle(fr ReplFrame) (*ReplFrame, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch fr.Kind {
+	case ReplSnap:
+		if fr.State == nil {
+			return nil, fmt.Errorf("store: snap frame without state")
+		}
+		if err := r.st.ResetTo(*fr.State); err != nil {
+			return nil, err
+		}
+		r.gen, r.cursor = fr.Gen, fr.Seq
+		return &ReplFrame{Kind: ReplAck, Seq: r.cursor}, nil
+	case ReplRec:
+		if fr.Gen != r.gen {
+			return nil, fmt.Errorf("store: repl generation changed %d -> %d without snapshot", r.gen, fr.Gen)
+		}
+		if fr.Seq <= r.cursor {
+			// Duplicate from an understated resume; already applied.
+			return &ReplFrame{Kind: ReplAck, Seq: r.cursor}, nil
+		}
+		if fr.Seq != r.cursor+1 {
+			return nil, fmt.Errorf("store: repl sequence gap: have %d, got %d", r.cursor, fr.Seq)
+		}
+		if fr.Rec == nil {
+			return nil, fmt.Errorf("store: rec frame without record")
+		}
+		if err := r.st.Apply(*fr.Rec); err != nil {
+			return nil, err
+		}
+		r.cursor = fr.Seq
+		return &ReplFrame{Kind: ReplAck, Seq: r.cursor}, nil
+	default:
+		return nil, fmt.Errorf("store: unexpected repl frame kind %q", fr.Kind)
+	}
+}
+
+// Gen returns the primary generation the replica is tracking.
+func (r *Replica) Gen() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// Cursor returns the highest contiguous sequence applied.
+func (r *Replica) Cursor() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cursor
+}
+
+// ReplayFrom folds records onto a copy of base — the state a replica
+// must hold after applying them. Exported for the chaos harness's
+// replica_convergence check.
+func ReplayFrom(base State, records []Record) State {
+	st := base.clone()
+	if st.Nodes == nil {
+		st.Nodes = make(map[string]NodeRecord)
+	}
+	for _, r := range records {
+		st.apply(r)
+	}
+	return st
+}

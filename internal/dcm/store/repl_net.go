@@ -1,0 +1,314 @@
+// TCP transport for the replication session core: newline-delimited
+// crc32-framed frames, one session per connection. The primary runs a
+// ReplServer next to its store; each standby runs a ReplClient that
+// redials with capped jittered backoff and resumes from its cursor.
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ReplServer serves a store's replication feed over TCP.
+type ReplServer struct {
+	st *Store
+	// PollEvery is how often an idle session re-checks the store for
+	// new records; ≤ 0 means 50ms.
+	PollEvery time.Duration
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewReplServer builds a replication server over st.
+func NewReplServer(st *Store) *ReplServer {
+	return &ReplServer{st: st, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting standbys on addr and returns the bound
+// address.
+func (rs *ReplServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	rs.mu.Lock()
+	if rs.closed {
+		rs.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("store: repl server closed")
+	}
+	rs.ln = ln
+	rs.mu.Unlock()
+	rs.wg.Add(1)
+	go rs.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (rs *ReplServer) acceptLoop(ln net.Listener) {
+	defer rs.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		rs.mu.Lock()
+		if rs.closed {
+			rs.mu.Unlock()
+			conn.Close()
+			return
+		}
+		rs.conns[conn] = struct{}{}
+		rs.mu.Unlock()
+		rs.wg.Add(1)
+		go rs.serveConn(conn)
+	}
+}
+
+func (rs *ReplServer) serveConn(conn net.Conn) {
+	defer rs.wg.Done()
+	defer func() {
+		conn.Close()
+		rs.mu.Lock()
+		delete(rs.conns, conn)
+		rs.mu.Unlock()
+	}()
+
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	hello, ok := DecodeReplFrame(line)
+	if !ok || hello.Kind != ReplHello {
+		return
+	}
+	feed := rs.st.NewFeed(hello)
+
+	// Reader side: drain acks for lag accounting until the peer drops.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return
+			}
+			if fr, ok := DecodeReplFrame(line); ok {
+				feed.Ack(fr)
+			}
+		}
+	}()
+
+	poll := rs.PollEvery
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	bw := bufio.NewWriter(conn)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		frames, err := feed.Pending(64)
+		if err != nil {
+			return
+		}
+		if len(frames) == 0 {
+			time.Sleep(poll)
+			continue
+		}
+		for _, fr := range frames {
+			b, err := EncodeReplFrame(fr)
+			if err != nil {
+				return
+			}
+			if _, err := bw.Write(b); err != nil {
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and all sessions.
+func (rs *ReplServer) Close() error {
+	rs.mu.Lock()
+	rs.closed = true
+	ln := rs.ln
+	for c := range rs.conns {
+		c.Close()
+	}
+	rs.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	rs.wg.Wait()
+	return nil
+}
+
+// Redial policy defaults for ReplClient.
+const (
+	DefaultReplRedialBase = 500 * time.Millisecond
+	DefaultReplRedialMax  = 30 * time.Second
+)
+
+// ReplClient pulls a primary's replication stream into a local
+// Replica, redialing with capped jittered exponential backoff and
+// resuming from the replica's cursor after every drop.
+type ReplClient struct {
+	Addr string
+	// RedialBase/RedialMax bound the backoff between dial attempts;
+	// zero means the defaults above.
+	RedialBase, RedialMax time.Duration
+
+	rep *Replica
+
+	mu     sync.Mutex
+	conn   net.Conn
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	synced bool // at least one frame applied since the last (re)start
+}
+
+// NewReplClient builds a client that feeds rep from the primary at
+// addr. Call Start to begin pulling.
+func NewReplClient(addr string, rep *Replica) *ReplClient {
+	return &ReplClient{Addr: addr, rep: rep}
+}
+
+// Start launches the pull loop.
+func (rc *ReplClient) Start() {
+	rc.mu.Lock()
+	if rc.stop != nil {
+		rc.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	rc.stop = stop
+	rc.mu.Unlock()
+	rc.wg.Add(1)
+	go rc.loop(stop)
+}
+
+func (rc *ReplClient) loop(stop chan struct{}) {
+	defer rc.wg.Done()
+	base := rc.RedialBase
+	if base <= 0 {
+		base = DefaultReplRedialBase
+	}
+	max := rc.RedialMax
+	if max <= 0 {
+		max = DefaultReplRedialMax
+	}
+	delay := base
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if rc.pullOnce(stop) {
+			delay = base // made progress: reset the backoff
+		}
+		// Jitter in [delay/2, delay] so a herd of standbys does not
+		// redial in lockstep.
+		d := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		select {
+		case <-stop:
+			return
+		case <-time.After(d):
+		}
+		if delay *= 2; delay > max {
+			delay = max
+		}
+	}
+}
+
+// pullOnce runs one session: dial, hello, apply frames until the
+// connection drops. Reports whether any frame was applied.
+func (rc *ReplClient) pullOnce(stop chan struct{}) bool {
+	conn, err := net.DialTimeout("tcp", rc.Addr, 5*time.Second)
+	if err != nil {
+		return false
+	}
+	rc.mu.Lock()
+	select {
+	case <-stop:
+		rc.mu.Unlock()
+		conn.Close()
+		return false
+	default:
+	}
+	rc.conn = conn
+	rc.mu.Unlock()
+	defer func() {
+		conn.Close()
+		rc.mu.Lock()
+		rc.conn = nil
+		rc.mu.Unlock()
+	}()
+
+	hello, err := EncodeReplFrame(rc.rep.Hello())
+	if err != nil {
+		return false
+	}
+	if _, err := conn.Write(hello); err != nil {
+		return false
+	}
+	progressed := false
+	br := bufio.NewReader(conn)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return progressed
+		}
+		fr, ok := DecodeReplFrame(line)
+		if !ok {
+			return progressed
+		}
+		ack, err := rc.rep.Handle(fr)
+		if err != nil {
+			return progressed // broken session; reconnect re-handshakes
+		}
+		progressed = true
+		if ack != nil {
+			b, err := EncodeReplFrame(*ack)
+			if err != nil {
+				return progressed
+			}
+			if _, err := conn.Write(b); err != nil {
+				return progressed
+			}
+		}
+	}
+}
+
+// Cursor reports replication progress.
+func (rc *ReplClient) Cursor() uint64 { return rc.rep.Cursor() }
+
+// Stop halts the pull loop and closes any live session.
+func (rc *ReplClient) Stop() {
+	rc.mu.Lock()
+	stop := rc.stop
+	rc.stop = nil
+	if rc.conn != nil {
+		rc.conn.Close()
+	}
+	rc.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	rc.wg.Wait()
+}

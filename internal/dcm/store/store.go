@@ -128,6 +128,15 @@ type Store struct {
 	closed   bool
 	replayed int // journal records recovered by Open (tests)
 
+	// Replication source state (see repl.go): gen identifies this
+	// store incarnation, seq counts records applied in it, and recent
+	// retains the tail of applied records so a reconnecting standby can
+	// resume from its cursor instead of taking a full snapshot.
+	gen         uint64
+	seq         uint64
+	recent      []Record // records (recentFirst, seq], oldest first
+	recentFirst uint64
+
 	// Telemetry sinks (SetTelemetry); nil-safe when unwired.
 	appends     *telemetry.Counter
 	compactions *telemetry.Counter
@@ -218,30 +227,46 @@ func (s *Store) replayJournal() error {
 	return nil
 }
 
+// frameLine wraps a JSON payload as "crc32hex payloadJSON\n" — the
+// framing shared by journal records and replication frames.
+func frameLine(payload []byte) []byte {
+	return []byte(fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload))
+}
+
+// unframeLine verifies a framed line's checksum and returns its JSON
+// payload (without the trailing newline).
+func unframeLine(line string) ([]byte, bool) {
+	sum, payload, ok := strings.Cut(line, " ")
+	if !ok || len(sum) != 8 {
+		return nil, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(sum, "%08x", &want); err != nil {
+		return nil, false
+	}
+	if crc32.ChecksumIEEE([]byte(payload)) != want {
+		return nil, false
+	}
+	return []byte(payload), true
+}
+
 // encodeLine formats r as "crc32hex payloadJSON".
 func encodeLine(r Record) ([]byte, error) {
 	payload, err := json.Marshal(r)
 	if err != nil {
 		return nil, err
 	}
-	return []byte(fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)), nil
+	return frameLine(payload), nil
 }
 
 // decodeLine parses one journal line, verifying its checksum.
 func decodeLine(line string) (Record, bool) {
-	sum, payload, ok := strings.Cut(line, " ")
-	if !ok || len(sum) != 8 {
-		return Record{}, false
-	}
-	var want uint32
-	if _, err := fmt.Sscanf(sum, "%08x", &want); err != nil {
-		return Record{}, false
-	}
-	if crc32.ChecksumIEEE([]byte(payload)) != want {
+	payload, ok := unframeLine(line)
+	if !ok {
 		return Record{}, false
 	}
 	var r Record
-	if err := json.Unmarshal([]byte(payload), &r); err != nil {
+	if err := json.Unmarshal(payload, &r); err != nil {
 		return Record{}, false
 	}
 	return r, true
@@ -282,6 +307,13 @@ func (s *Store) Apply(r Record) error {
 	s.state.apply(r)
 	s.pending++
 	s.appends.Inc()
+	s.seq++
+	s.recent = append(s.recent, r)
+	if len(s.recent) > ReplRetain {
+		drop := len(s.recent) - ReplRetain
+		s.recent = append(s.recent[:0], s.recent[drop:]...)
+		s.recentFirst += uint64(drop)
+	}
 	every := s.SnapshotEvery
 	if every <= 0 {
 		every = DefaultSnapshotEvery

@@ -18,6 +18,8 @@ type managerTelemetry struct {
 	redials         *telemetry.Counter
 	polls           *telemetry.Counter
 	budgetReallocs  *telemetry.Counter
+	leaderChanges   *telemetry.Counter
+	fencedPushes    *telemetry.Counter
 
 	nodes     *telemetry.Gauge
 	reachable *telemetry.Gauge
@@ -42,6 +44,8 @@ func (m *Manager) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Trace) {
 		redials:         reg.Counter("dcm_redials_total"),
 		polls:           reg.Counter("dcm_polls_total"),
 		budgetReallocs:  reg.Counter("dcm_budget_reallocs_total"),
+		leaderChanges:   reg.Counter("dcm_leader_changes_total"),
+		fencedPushes:    reg.Counter("dcm_fenced_pushes_total"),
 		nodes:           reg.Gauge("dcm_nodes"),
 		reachable:       reg.Gauge("dcm_nodes_reachable"),
 		pollSeconds:     reg.Histogram("dcm_poll_seconds", telemetry.DefSecondsBuckets),

@@ -1,0 +1,186 @@
+package ipmi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPowerLimitEpochWire: the fencing epoch rides as an optional
+// 8-byte trailer; an epoch-zero limit keeps the 5-byte legacy layout
+// and a legacy payload decodes as epoch zero.
+func TestPowerLimitEpochWire(t *testing.T) {
+	fenced := PowerLimit{Enabled: true, CapWatts: 137.25, Epoch: 42}
+	enc := EncodePowerLimit(fenced)
+	if len(enc) != 13 {
+		t.Fatalf("fenced power limit = %d bytes, want 13", len(enc))
+	}
+	got, err := DecodePowerLimit(enc)
+	if err != nil || got != fenced {
+		t.Errorf("fenced round trip = %+v, %v", got, err)
+	}
+
+	legacy := PowerLimit{Enabled: true, CapWatts: 140}
+	enc = EncodePowerLimit(legacy)
+	if len(enc) != 5 {
+		t.Fatalf("unfenced power limit = %d bytes, want legacy 5", len(enc))
+	}
+	got, err = DecodePowerLimit(enc)
+	if err != nil || got != legacy {
+		t.Errorf("legacy round trip = %+v, %v", got, err)
+	}
+
+	if _, err := DecodePowerLimit(make([]byte, 9)); err == nil {
+		t.Error("9-byte power limit accepted")
+	}
+}
+
+// setCap builds a SetPowerLimit request frame.
+func setCap(watts float64, epoch uint64) Frame {
+	return Frame{NetFn: NetFnOEM, Cmd: CmdSetPowerLimit,
+		Payload: EncodePowerLimit(PowerLimit{Enabled: true, CapWatts: watts, Epoch: epoch})}
+}
+
+// TestServerFencesStaleEpoch: once a fenced writer has actuated, any
+// lower non-zero epoch is refused with CCStaleEpoch and never reaches
+// the control plant; equal and higher epochs pass.
+func TestServerFencesStaleEpoch(t *testing.T) {
+	ctl := &fakeControl{}
+	srv := NewServer(ctl)
+
+	if cc := srv.Handle(setCap(140, 3)).Payload[0]; cc != CCOK {
+		t.Fatalf("epoch 3 push cc = %#x", cc)
+	}
+	if got := srv.FenceEpoch(); got != 3 {
+		t.Fatalf("FenceEpoch = %d, want 3", got)
+	}
+	// Deposed leader: lower epoch is fenced, plant untouched.
+	if cc := srv.Handle(setCap(100, 2)).Payload[0]; cc != CCStaleEpoch {
+		t.Errorf("stale epoch cc = %#x, want CCStaleEpoch", cc)
+	}
+	if lim := ctl.PowerLimit(); lim.CapWatts != 140 {
+		t.Errorf("stale push reached the plant: cap = %v", lim.CapWatts)
+	}
+	// Same epoch (the live leader re-pushing) and newer epochs pass.
+	if cc := srv.Handle(setCap(150, 3)).Payload[0]; cc != CCOK {
+		t.Errorf("same-epoch push cc = %#x", cc)
+	}
+	if cc := srv.Handle(setCap(130, 4)).Payload[0]; cc != CCOK {
+		t.Errorf("newer-epoch push cc = %#x", cc)
+	}
+	if got := srv.FenceEpoch(); got != 4 {
+		t.Errorf("FenceEpoch = %d, want 4", got)
+	}
+	// Epoch zero (unfenced legacy writer) is always admitted.
+	if cc := srv.Handle(setCap(125, 0)).Payload[0]; cc != CCOK {
+		t.Errorf("legacy unfenced push cc = %#x", cc)
+	}
+	// The broken-guard knob lets stale epochs through (chaos self-test
+	// support) without forgetting the watermark.
+	srv.SetFencingEnabled(false)
+	if cc := srv.Handle(setCap(90, 1)).Payload[0]; cc != CCOK {
+		t.Errorf("fencing-off stale push cc = %#x", cc)
+	}
+	srv.SetFencingEnabled(true)
+	if cc := srv.Handle(setCap(90, 1)).Payload[0]; cc != CCStaleEpoch {
+		t.Errorf("fencing-on stale push cc = %#x, want CCStaleEpoch", cc)
+	}
+}
+
+// TestClientSurfacesErrStaleEpoch: a CCStaleEpoch completion code maps
+// to ErrStaleEpoch so the manager can distinguish "deposed — step
+// down" from transport faults, and the stream stays usable (it was a
+// well-formed exchange).
+func TestClientSurfacesErrStaleEpoch(t *testing.T) {
+	srv := NewServer(&fakeControl{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetPowerLimit(PowerLimit{Enabled: true, CapWatts: 140, Epoch: 5}); err != nil {
+		t.Fatal(err)
+	}
+	err = c.SetPowerLimit(PowerLimit{Enabled: true, CapWatts: 130, Epoch: 4})
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale push error = %v, want ErrStaleEpoch", err)
+	}
+	if _, err := c.GetPowerLimit(); err != nil {
+		t.Errorf("stream poisoned by fencing rejection: %v", err)
+	}
+}
+
+// TestCloseRacesInFlightRequest: Close landing while a request is
+// blocked mid-exchange must surface ErrBroken on the in-flight call —
+// not a hang, a panic, or a bare "use of closed network connection"
+// the redial logic cannot classify. Run under -race in CI.
+func TestCloseRacesInFlightRequest(t *testing.T) {
+	addr := silentServer(t)
+	c, err := DialTimeout(addr, time.Second, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.GetPowerReading() // blocks: the server never answers
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the exchange get in flight
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrBroken) {
+			t.Errorf("in-flight call after Close = %v, want ErrBroken", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight call hung after Close")
+	}
+	// Subsequent calls fail fast with the same classification.
+	if _, err := c.GetDeviceID(); !errors.Is(err, ErrBroken) {
+		t.Errorf("call after Close = %v, want ErrBroken", err)
+	}
+}
+
+// TestCloseStormUnderLoad: many concurrent callers racing one Close —
+// every outcome must be a clean error, never a panic or deadlock.
+func TestCloseStormUnderLoad(t *testing.T) {
+	srv := NewServer(&fakeControl{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := c.GetPowerReading(); err != nil {
+					if !errors.Is(err, ErrBroken) {
+						t.Errorf("racing call error = %v, want ErrBroken", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Errorf("Close under load: %v", err)
+	}
+	wg.Wait()
+}

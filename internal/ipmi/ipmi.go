@@ -45,12 +45,16 @@ const (
 	CmdGetHealth       = 0x08
 )
 
-// Completion codes (subset of IPMI's).
+// Completion codes (subset of IPMI's, plus one OEM extension).
 const (
 	CCOK             = 0x00
 	CCInvalidCommand = 0xC1
 	CCInvalidData    = 0xCC
 	CCUnspecified    = 0xFF
+	// CCStaleEpoch (OEM) rejects a SetPowerLimit whose fencing epoch is
+	// older than one this BMC has already honoured: the writer lost the
+	// leadership lease and must stop actuating.
+	CCStaleEpoch = 0xD5
 )
 
 // Frame is one protocol data unit.
@@ -207,24 +211,44 @@ func DecodePowerReading(b []byte) (PowerReading, error) {
 type PowerLimit struct {
 	Enabled  bool
 	CapWatts float64
+	// Epoch is the writer's leadership epoch, used as a fencing token:
+	// a BMC that has honoured epoch E rejects pushes stamped with any
+	// lower non-zero epoch (CCStaleEpoch). Zero means unfenced — a solo
+	// manager with no HA pair.
+	Epoch uint64
 }
 
-// EncodePowerLimit packs a power limit.
+// EncodePowerLimit packs a power limit: flag(1) centiwatts(4), plus an
+// optional trailing epoch(8) when the writer is fenced. Epoch-zero
+// limits use the 5-byte legacy layout so pre-HA peers interoperate.
 func EncodePowerLimit(p PowerLimit) []byte {
-	b := make([]byte, 5)
+	n := 5
+	if p.Epoch > 0 {
+		n = 13
+	}
+	b := make([]byte, n)
 	if p.Enabled {
 		b[0] = 1
 	}
 	putWatts(b[1:], p.CapWatts)
+	if p.Epoch > 0 {
+		binary.BigEndian.PutUint64(b[5:], p.Epoch)
+	}
 	return b
 }
 
-// DecodePowerLimit unpacks a power limit.
+// DecodePowerLimit unpacks a power limit. The epoch is optional: a
+// 5-byte payload (pre-HA firmware or an unfenced writer) decodes as
+// epoch zero.
 func DecodePowerLimit(b []byte) (PowerLimit, error) {
-	if len(b) != 5 {
+	if len(b) != 5 && len(b) != 13 {
 		return PowerLimit{}, fmt.Errorf("ipmi: power limit payload length %d", len(b))
 	}
-	return PowerLimit{Enabled: b[0] != 0, CapWatts: getWatts(b[1:])}, nil
+	p := PowerLimit{Enabled: b[0] != 0, CapWatts: getWatts(b[1:])}
+	if len(b) == 13 {
+		p.Epoch = binary.BigEndian.Uint64(b[5:])
+	}
+	return p, nil
 }
 
 // PStateInfo is a GetPStateInfo response.

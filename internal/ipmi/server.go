@@ -31,6 +31,15 @@ type NodeControl interface {
 type Server struct {
 	ctl NodeControl
 
+	// fence is the highest non-zero fencing epoch this endpoint has
+	// honoured; SetPowerLimit pushes stamped with a lower non-zero
+	// epoch are rejected with CCStaleEpoch before they reach ctl.
+	fence atomic.Uint64
+	// fencingOff disables the stale-epoch rejection. It exists only so
+	// the chaos harness can prove its single_writer invariant catches a
+	// BMC that forgets to fence (see chaos.Scenario.BreakFencing).
+	fencingOff atomic.Bool
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
@@ -125,6 +134,9 @@ func (s *Server) Handle(req Frame) Frame {
 		if err != nil {
 			return fail(CCInvalidData)
 		}
+		if !s.admitEpoch(lim.Epoch) {
+			return fail(CCStaleEpoch)
+		}
 		if err := s.ctl.SetPowerLimit(lim); err != nil {
 			return fail(CCUnspecified)
 		}
@@ -144,6 +156,33 @@ func (s *Server) Handle(req Frame) Frame {
 	}
 	return resp
 }
+
+// admitEpoch applies the fencing rule for one SetPowerLimit push and
+// advances the watermark. Epoch-zero (unfenced) pushes are always
+// admitted: a solo manager predates leases, and rejecting it would
+// strand every pre-HA deployment. Once any fenced writer has actuated,
+// a *lower* non-zero epoch is a deposed leader and is refused.
+func (s *Server) admitEpoch(epoch uint64) bool {
+	if epoch == 0 {
+		return true
+	}
+	for {
+		cur := s.fence.Load()
+		if epoch < cur {
+			return s.fencingOff.Load()
+		}
+		if s.fence.CompareAndSwap(cur, epoch) {
+			return true
+		}
+	}
+}
+
+// FenceEpoch reports the highest fencing epoch honoured so far.
+func (s *Server) FenceEpoch() uint64 { return s.fence.Load() }
+
+// SetFencingEnabled toggles stale-epoch rejection (default on). Only
+// the chaos harness's broken-guard self-test should ever turn it off.
+func (s *Server) SetFencingEnabled(on bool) { s.fencingOff.Store(!on) }
 
 // Close stops the listener and all connections, waiting for handlers
 // to finish.
@@ -172,6 +211,11 @@ const (
 // mid-frame (timeout, reset, short read), so the stream can no longer
 // be trusted to be frame-aligned. The owner must redial.
 var ErrBroken = errors.New("ipmi: connection broken by earlier I/O failure")
+
+// ErrStaleEpoch reports that the BMC fenced a SetPowerLimit push: the
+// caller's leadership epoch is older than one the node has already
+// honoured. The caller must stop actuating and step down.
+var ErrStaleEpoch = errors.New("ipmi: power limit rejected: stale fencing epoch")
 
 // Client is a DCM-side connection to one BMC.
 type Client struct {
@@ -253,7 +297,10 @@ func (c *Client) call(cmd uint8, payload []byte) ([]byte, error) {
 
 // exchangeLocked is call's body; c.mu must be held.
 func (c *Client) exchangeLocked(cmd uint8, payload []byte) ([]byte, error) {
-	if c.broken {
+	if c.broken || c.closed.Load() {
+		// A Close that lands between call and lock acquisition must read
+		// as the deliberate teardown it is, not a fresh socket error.
+		c.broken = true
 		return nil, ErrBroken
 	}
 	if c.reqTimeout > 0 {
@@ -263,13 +310,11 @@ func (c *Client) exchangeLocked(cmd uint8, payload []byte) ([]byte, error) {
 	c.seq++
 	req := Frame{Seq: c.seq, NetFn: NetFnOEM, Cmd: cmd, Payload: payload}
 	if err := WriteFrame(c.conn, req); err != nil {
-		c.broken = true
-		return nil, err
+		return nil, c.brokenErr(err)
 	}
 	resp, err := ReadFrame(c.conn)
 	if err != nil {
-		c.broken = true
-		return nil, err
+		return nil, c.brokenErr(err)
 	}
 	if resp.Seq != req.Seq {
 		c.broken = true
@@ -286,9 +331,25 @@ func (c *Client) exchangeLocked(cmd uint8, payload []byte) ([]byte, error) {
 	if cc := resp.Payload[0]; cc != CCOK {
 		// A completion-code failure is a well-formed exchange; the
 		// stream stays aligned and usable.
+		if cc == CCStaleEpoch {
+			return nil, ErrStaleEpoch
+		}
 		return nil, fmt.Errorf("ipmi: completion code %#x", cc)
 	}
 	return resp.Payload[1:], nil
+}
+
+// brokenErr marks the stream broken after an I/O failure and picks the
+// error the caller should see. If the failure was induced by Close
+// yanking the socket out from under an in-flight exchange, the
+// deterministic answer is ErrBroken — not whichever "use of closed
+// connection" or reset error the race happened to surface.
+func (c *Client) brokenErr(err error) error {
+	c.broken = true
+	if c.closed.Load() {
+		return ErrBroken
+	}
+	return err
 }
 
 // GetDeviceID fetches the node's identity.

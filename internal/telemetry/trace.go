@@ -52,6 +52,14 @@ const (
 	// EvCompact: the state journal was folded into a snapshot
 	// (N = records compacted away).
 	EvCompact = "compact"
+	// EvLeaderChange: a manager took or lost HA leadership
+	// (N = the new fencing epoch, Err = the transition, e.g.
+	// "promoted" or "stepped-down").
+	EvLeaderChange = "leader-change"
+	// EvFenced: a cap push was rejected by a node because its fencing
+	// epoch was stale — a newer leader has actuated there (N = the
+	// stale epoch that was rejected).
+	EvFenced = "fenced"
 )
 
 // Event is one decision-trace entry. Seq is assigned by Append and
@@ -75,8 +83,8 @@ type Event struct {
 type Trace struct {
 	mu    sync.Mutex
 	ring  []Event
-	total uint64      // events ever appended; the next event's Seq
-	tick  int64       // current simulated tick, stamped onto appends
+	total uint64       // events ever appended; the next event's Seq
+	tick  int64        // current simulated tick, stamped onto appends
 	wall  func() int64 // nil = wall stamping disabled
 }
 
