@@ -250,6 +250,52 @@ func TestHAGracefulHandover(t *testing.T) {
 	}
 }
 
+// TestHAStandbyRestartPromotesWithoutPrimary: the primary dies for
+// good and the standby process restarts. The restarted standby must
+// recover its replication resume point from its state dir and still
+// take over — a fresh gen-0 replica would wait forever for a frame
+// from the dead primary, leaving the fleet headless despite holding a
+// valid replicated copy of its state.
+func TestHAStandbyRestartPromotesWithoutPrimary(t *testing.T) {
+	nodeAddr := simNode(t)
+	lease := filepath.Join(t.TempDir(), "lease.json")
+
+	p := startPrimary(t, t.TempDir(), lease, "a")
+	if resp := p.srv.Handle(dcm.Request{Op: "add", Name: "sim0", Addr: nodeAddr}); resp.Error != "" {
+		t.Fatalf("add: %s", resp.Error)
+	}
+	if resp := p.srv.Handle(dcm.Request{Op: "setcap", Name: "sim0", Cap: 145}); resp.Error != "" {
+		t.Fatalf("setcap: %s", resp.Error)
+	}
+	sbyDir := t.TempDir()
+	s := startStandbyOf(t, sbyDir, lease, "b", p.ReplAddr)
+	waitFor(t, 5*time.Second, "replica sync", func() bool { return s.rep.Gen() != 0 && s.rep.Cursor() >= 2 })
+
+	// The standby process dies first, then the primary — which never
+	// releases its lease. Only the standby comes back.
+	s.Close()
+	p.Close()
+	s2 := startStandbyOf(t, sbyDir, lease, "b", p.ReplAddr)
+	if g := s2.rep.Gen(); g == 0 {
+		t.Fatal("restarted standby recovered no resume point; it can never promote")
+	}
+	waitFor(t, 10*time.Second, "restarted standby promotion", func() bool {
+		m := s2.srv.Manager()
+		return m.Role() == dcm.RolePrimary && len(m.Nodes()) == 1
+	})
+	got := s2.srv.Handle(dcm.Request{Op: "leader"})
+	if got.Role != string(dcm.RolePrimary) || got.Epoch != 2 {
+		t.Fatalf("promoted leader: role=%q epoch=%d, want primary/2", got.Role, got.Epoch)
+	}
+	nodes := s2.srv.Handle(dcm.Request{Op: "nodes"})
+	if len(nodes.Nodes) != 1 || nodes.Nodes[0].Name != "sim0" {
+		t.Fatalf("restored nodes: %+v", nodes.Nodes)
+	}
+	if n := nodes.Nodes[0]; !n.CapEnabled || n.CapWatts != 145 {
+		t.Fatalf("replicated cap lost across standby restart: %+v", n)
+	}
+}
+
 // TestHASecondPrimaryRefused: a second member configured as primary
 // (not -standby-of) against a live lease must refuse to start instead
 // of fighting for the fleet.

@@ -246,13 +246,16 @@ func start(opts options, dial dcm.Dialer, logf func(format string, args ...any))
 			TTL:   opts.leaseTTL(),
 			Mgr:   mgr,
 		}
-		// Keep the store's replication generation in lockstep with the
-		// fencing epoch — on first promotion and on any later self-lapse
-		// re-promotion — so a standby resuming across a leadership change
-		// renegotiates from a snapshot instead of splicing generations.
+		// Re-stamp the store's replication generation at every promotion
+		// — first and any later self-lapse re-promotion. The generation
+		// combines the fencing epoch with the state dir's open counter
+		// (SetGenForEpoch), so even a crash-restart that live-renews the
+		// same epoch yields a fresh generation and a standby resuming
+		// across any leadership or process boundary renegotiates from a
+		// snapshot instead of splicing incarnations.
 		node.OnPromote = func(epoch uint64) {
 			if st := mgr.Store(); st != nil {
-				st.SetGen(epoch)
+				st.SetGenForEpoch(epoch)
 			}
 		}
 		role, err := node.Start()
@@ -328,7 +331,14 @@ func startStandby(opts options, dial dcm.Dialer, logf func(format string, args .
 	if err != nil {
 		return nil, fmt.Errorf("dcmd: opening replica state dir: %w", err)
 	}
-	rep := store.NewReplica(st)
+	// Recover the persisted resume point, if any: a restarted standby
+	// picks replication back up at its cursor, and its non-zero
+	// generation marks it synced enough to contend for the lease even
+	// when the primary never comes back.
+	rep := store.RecoverReplica(st, opts.StateDir)
+	if g, c := rep.Gen(), rep.Cursor(); g != 0 {
+		logf("dcmd: standby resuming replication at gen %d cursor %d", g, c)
+	}
 	rc := store.NewReplClient(opts.StandbyOf, rep)
 
 	// A placeholder manager serves the control plane while standing by:
@@ -387,7 +397,7 @@ func (d *daemon) promote(epoch uint64) {
 		// or shutting down.
 		if d.mgr != nil {
 			if st := d.mgr.Store(); st != nil {
-				st.SetGen(epoch)
+				st.SetGenForEpoch(epoch)
 			}
 		}
 		return
@@ -396,6 +406,12 @@ func (d *daemon) promote(epoch uint64) {
 	st := d.replicaSt
 	d.replicaSt = nil
 	st.Close() // compacts: the state dir reopens from one clean snapshot
+	// Drop the replication resume claim: from here the dir journals this
+	// member's own records, and resuming the old claim into a later
+	// standby lifetime could splice that history into a session.
+	if err := store.ClearReplicaMeta(d.opts.StateDir); err != nil {
+		d.logf("dcmd: promotion: clearing replica resume point: %v", err)
+	}
 
 	real := dcm.NewManager(d.dial)
 	real.RetryBaseDelay = d.opts.RetryBase
@@ -413,7 +429,7 @@ func (d *daemon) promote(epoch uint64) {
 		return
 	}
 	real.SetFencing(dcm.RolePrimary, epoch)
-	real.Store().SetGen(epoch)
+	real.Store().SetGenForEpoch(epoch)
 	if err := real.AnnounceEpoch(); err != nil {
 		// Unreachable nodes miss the announce now; reconciliation
 		// re-pushes (and thereby fences) them as they return.
@@ -463,9 +479,12 @@ func (d *daemon) startHeartbeat(ttl time.Duration) {
 				return
 			case <-t.C:
 			}
-			// An unsynced standby must not seize the lease: promoting
+			// A never-synced standby must not seize the lease: promoting
 			// before the first snapshot frame lands would lead an empty
-			// fleet while the real one runs headless.
+			// fleet while the real one runs headless. A restarted standby
+			// that recovered its replicated journal carries a non-zero
+			// generation (store.RecoverReplica) and so still contends —
+			// its local state is the fleet's best surviving copy.
 			if d.rep != nil && d.haNode.Mgr.Role() == dcm.RoleStandby && d.rep.Gen() == 0 {
 				continue
 			}

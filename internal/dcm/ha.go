@@ -1,11 +1,13 @@
 // High availability for the DCM control plane: a primary/standby
 // manager pair shares a lease (store.LeaseFile) whose epoch is the
-// fencing token stamped onto every cap push. The lease alone cannot
-// prevent split-brain — two processes can race an expiry window — so
-// safety rests on the nodes: each BMC remembers the highest epoch that
-// ever actuated it and rejects older ones (ipmi.CCStaleEpoch). A
-// deposed primary's pushes are therefore refused by the plant itself,
-// no matter what the deposed process believes about its lease.
+// fencing token stamped onto every cap push. Lease grants serialize
+// under a file lock, so every epoch is unique — but the lease alone
+// still cannot prevent split-brain: an ex-primary partitioned from the
+// lease file keeps actuating on an epoch it no longer holds. So safety
+// rests on the nodes: each BMC remembers the highest epoch that ever
+// actuated it and rejects older ones (ipmi.CCStaleEpoch). A deposed
+// primary's pushes are therefore refused by the plant itself, no
+// matter what the deposed process believes about its lease.
 //
 // HANode is deliberately goroutine-free: the daemon (or the chaos
 // harness) calls Tick on its own cadence, so failover timing is a pure

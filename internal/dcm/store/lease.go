@@ -4,9 +4,12 @@
 // unexpired lease is the primary, and the epoch — bumped on every
 // change of holder or re-acquisition after expiry — is the fencing
 // token every cap push carries. File-rename atomicity makes a *torn*
-// lease impossible; two processes racing Acquire within the same
-// expiry window is last-writer-wins, which is why actuation safety
-// never rests on the lease alone but on epoch fencing at the nodes.
+// lease impossible, and the read-modify-write inside Acquire/Release
+// is serialized under an exclusive flock on a sidecar lock file, so
+// two members racing an expired lease can never both win the same
+// epoch: every grant is unique. Epoch fencing at the nodes remains the
+// backstop for the failure the lease cannot see — a partitioned
+// ex-primary that keeps actuating on a lease it can no longer renew.
 package store
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 	"time"
 )
 
@@ -73,49 +77,87 @@ func (lf *LeaseFile) Read() (Lease, bool, error) {
 	return l, true, nil
 }
 
+// withLock runs fn while holding an exclusive flock on a sidecar lock
+// file beside the lease. The lock makes the read-compute-rename
+// sequences below atomic across processes (flock conflicts between
+// distinct open descriptions, so it also serializes goroutines within
+// one), and the kernel drops it when the descriptor closes, so a
+// crashed holder never wedges its peer.
+func (lf *LeaseFile) withLock(fn func() error) error {
+	lock, err := os.OpenFile(lf.Path+".lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: lease lock: %w", err)
+	}
+	defer lock.Close()
+	for {
+		err = syscall.Flock(int(lock.Fd()), syscall.LOCK_EX)
+		if err != syscall.EINTR {
+			break
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("store: lease lock: %w", err)
+	}
+	return fn()
+}
+
 // Acquire takes or renews the lease for holder with the given TTL.
 // Granted when the lease is free, expired, or already held by holder.
 // The epoch is preserved on a live renewal and bumped on every other
 // grant — including holder re-acquiring its own *expired* lease,
 // because someone else may have held (and fenced at) a higher epoch in
 // between. When the lease is held elsewhere, the blocking lease is
-// returned with ok false.
+// returned with ok false. The whole read-modify-write runs under the
+// sidecar flock, so concurrent acquirers serialize: exactly one wins
+// an expired lease, and no two grants ever share an epoch.
 func (lf *LeaseFile) Acquire(holder string, ttl time.Duration) (Lease, bool, error) {
 	if holder == "" {
 		return Lease{}, false, fmt.Errorf("store: lease holder must be non-empty")
 	}
-	cur, exists, err := lf.Read()
+	var next Lease
+	granted := false
+	err := lf.withLock(func() error {
+		cur, exists, err := lf.Read()
+		if err != nil {
+			return err
+		}
+		now := lf.now()
+		if exists && cur.Holder != holder && !cur.Expired(now) {
+			next = cur // the blocker
+			return nil
+		}
+		next = Lease{Holder: holder, Epoch: 1, ExpiresNS: now.Add(ttl).UnixNano()}
+		if exists {
+			if cur.Holder == holder && !cur.Expired(now) {
+				next.Epoch = cur.Epoch // live renewal
+			} else {
+				next.Epoch = cur.Epoch + 1 // takeover or expiry re-acquire
+			}
+		}
+		if err := lf.write(next); err != nil {
+			return err
+		}
+		granted = true
+		return nil
+	})
 	if err != nil {
 		return Lease{}, false, err
 	}
-	now := lf.now()
-	if exists && cur.Holder != holder && !cur.Expired(now) {
-		return cur, false, nil
-	}
-	next := Lease{Holder: holder, Epoch: 1, ExpiresNS: now.Add(ttl).UnixNano()}
-	if exists {
-		if cur.Holder == holder && !cur.Expired(now) {
-			next.Epoch = cur.Epoch // live renewal
-		} else {
-			next.Epoch = cur.Epoch + 1 // takeover or expiry re-acquire
-		}
-	}
-	if err := lf.write(next); err != nil {
-		return Lease{}, false, err
-	}
-	return next, true, nil
+	return next, granted, nil
 }
 
 // Release expires holder's lease immediately so a standby can take
 // over without waiting out the TTL (graceful shutdown). Releasing a
 // lease held by someone else is a no-op.
 func (lf *LeaseFile) Release(holder string) error {
-	cur, exists, err := lf.Read()
-	if err != nil || !exists || cur.Holder != holder {
-		return err
-	}
-	cur.ExpiresNS = lf.now().UnixNano()
-	return lf.write(cur)
+	return lf.withLock(func() error {
+		cur, exists, err := lf.Read()
+		if err != nil || !exists || cur.Holder != holder {
+			return err
+		}
+		cur.ExpiresNS = lf.now().UnixNano()
+		return lf.write(cur)
+	})
 }
 
 // write persists l atomically: temp file, fsync, rename, dir fsync.

@@ -1,8 +1,10 @@
 package store
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -62,6 +64,63 @@ func TestLeaseAcquireRenewTakeover(t *testing.T) {
 	l4, ok, err := lf.Acquire("b", ttl)
 	if err != nil || !ok || l4.Epoch != 3 {
 		t.Fatalf("expired self re-acquire = %+v, %v, %v", l4, ok, err)
+	}
+}
+
+// TestLeaseAcquireRaceUniqueEpochs: many acquirers racing one expired
+// lease — each through its own LeaseFile (its own lock descriptor, as
+// separate processes would hold) — must serialize under the sidecar
+// flock: exactly one wins, at exactly one bumped epoch. Without the
+// lock the read-modify-write races and several members can return
+// ok=true at the SAME epoch — two primaries the node-side fence cannot
+// tell apart.
+func TestLeaseAcquireRaceUniqueEpochs(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	seed := NewLeaseFile(LeasePath(dir))
+	seed.Clock = clk.read
+	if _, ok, err := seed.Acquire("seed", time.Second); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	clk.advance(2 * time.Second) // the seed's lease is now expired
+
+	const racers = 16
+	type result struct {
+		l  Lease
+		ok bool
+	}
+	results := make([]result, racers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lf := NewLeaseFile(LeasePath(dir))
+			lf.Clock = clk.read
+			<-start
+			l, ok, err := lf.Acquire(fmt.Sprintf("m%d", i), time.Hour)
+			if err != nil {
+				t.Errorf("racer %d: %v", i, err)
+				return
+			}
+			results[i] = result{l, ok}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	winners := 0
+	for i, r := range results {
+		if r.ok {
+			winners++
+			if r.l.Epoch != 2 {
+				t.Errorf("racer %d granted epoch %d, want 2", i, r.l.Epoch)
+			}
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d racers won the expired lease, want exactly 1", winners)
 	}
 }
 

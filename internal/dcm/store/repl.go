@@ -28,6 +28,8 @@ package store
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -88,12 +90,35 @@ func DecodeReplFrame(line string) (ReplFrame, bool) {
 }
 
 // SetGen stamps this store incarnation's replication generation. A
-// primary must pick a value it has never used before (dcmd uses the
-// boot time; chaos uses a counter) so standbys that replicated from an
-// earlier incarnation resync rather than resume into a diverged log.
+// primary must pick a value no store lifetime has ever served before
+// (dcmd derives it from the lease epoch and the state dir's open
+// counter via SetGenForEpoch; chaos uses its strictly-increasing
+// epochs directly) so standbys that replicated from an earlier
+// incarnation resync rather than resume into a diverged log.
 func (s *Store) SetGen(g uint64) {
 	s.mu.Lock()
 	s.gen = g
+	s.mu.Unlock()
+}
+
+// genIncarnationBits is the width of the incarnation field inside a
+// generation built by SetGenForEpoch; the fencing epoch fills the
+// high bits.
+const genIncarnationBits = 32
+
+// SetGenForEpoch stamps a generation unique to this (epoch,
+// incarnation) pair: the lease epoch in the high bits, the state
+// dir's durable open counter in the low. Epochs are unique per grant
+// across an HA pair (the flocked lease bumps on every change of
+// holder), and the incarnation is unique per Open of this dir, so no
+// two primary lifetimes ever share a generation — not even the same
+// member crash-restarting inside its own lease TTL, whose live
+// renewal preserves the epoch while the store's record sequence
+// resets. A standby resuming across either boundary renegotiates from
+// a snapshot instead of splicing incarnations.
+func (s *Store) SetGenForEpoch(epoch uint64) {
+	s.mu.Lock()
+	s.gen = epoch<<genIncarnationBits | s.inc&(1<<genIncarnationBits-1)
 	s.mu.Unlock()
 }
 
@@ -238,6 +263,10 @@ type Replica struct {
 	mu     sync.Mutex
 	gen    uint64
 	cursor uint64
+	// metaPath, when non-empty, is where progress is persisted so a
+	// restarted standby process recovers its resume point
+	// (RecoverReplica). Empty for in-memory replicas (tests, chaos).
+	metaPath string
 }
 
 // NewReplica starts a replica with no resume claim: the first HELLO
@@ -251,6 +280,84 @@ func NewReplica(st *Store) *Replica { return &Replica{st: st} }
 // duplicate-dropped) records.
 func NewReplicaAt(st *Store, gen, cursor uint64) *Replica {
 	return &Replica{st: st, gen: gen, cursor: cursor}
+}
+
+// ReplicaMetaFileName is the sidecar recording a standby's replication
+// resume point inside its state dir.
+const ReplicaMetaFileName = "replica.json"
+
+// replicaMeta is the persisted resume point.
+type replicaMeta struct {
+	Gen    uint64 `json:"gen"`
+	Cursor uint64 `json:"cursor"`
+}
+
+// RecoverReplica resumes a replica over a reopened standby state dir:
+// the {gen, cursor} sidecar persisted alongside earlier progress
+// becomes the resume claim, so a restarted standby both skips a full
+// resync when the primary still runs and — because its generation is
+// non-zero — counts as synced enough to contend for the lease when
+// the primary is gone. A missing or corrupt sidecar starts from
+// scratch (gen 0 → full snapshot). The sidecar is only ever written
+// after the record it names was fsync'd into the local journal, so
+// the recovered cursor never overstates durable state; it may
+// understate it (per-record writes are best-effort), which merely
+// re-sends a suffix of full-overwrite records that replays
+// idempotently.
+func RecoverReplica(st *Store, dir string) *Replica {
+	r := &Replica{st: st, metaPath: filepath.Join(dir, ReplicaMetaFileName)}
+	if b, err := os.ReadFile(r.metaPath); err == nil {
+		var m replicaMeta
+		if json.Unmarshal(b, &m) == nil {
+			r.gen, r.cursor = m.Gen, m.Cursor
+		}
+	}
+	return r
+}
+
+// ClearReplicaMeta removes dir's replication resume sidecar. A standby
+// promoting to primary must drop its claim: its store is about to
+// journal records of its own under a new generation, and carrying the
+// old claim into a later standby lifetime could splice that local
+// history into a resumed session.
+func ClearReplicaMeta(dir string) error {
+	if err := os.Remove(filepath.Join(dir, ReplicaMetaFileName)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// saveMetaLocked persists the resume point (r.mu held). Best-effort by
+// design: a lost or stale sidecar can only understate progress or miss
+// a generation change, both of which degrade to re-sent records or a
+// full resync — never divergence — so failures are not propagated into
+// the replication session.
+func (r *Replica) saveMetaLocked() {
+	if r.metaPath == "" {
+		return
+	}
+	b, err := json.Marshal(replicaMeta{Gen: r.gen, Cursor: r.cursor})
+	if err != nil {
+		return
+	}
+	dir := filepath.Dir(r.metaPath)
+	tmp, err := os.CreateTemp(dir, "replica-*.tmp")
+	if err != nil {
+		return
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(b); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return
+	}
+	if os.Rename(tmpName, r.metaPath) != nil {
+		os.Remove(tmpName)
+	}
 }
 
 // Hello builds the resume claim that opens a session.
@@ -276,6 +383,7 @@ func (r *Replica) Handle(fr ReplFrame) (*ReplFrame, error) {
 			return nil, err
 		}
 		r.gen, r.cursor = fr.Gen, fr.Seq
+		r.saveMetaLocked()
 		return &ReplFrame{Kind: ReplAck, Seq: r.cursor}, nil
 	case ReplRec:
 		if fr.Gen != r.gen {
@@ -295,6 +403,7 @@ func (r *Replica) Handle(fr ReplFrame) (*ReplFrame, error) {
 			return nil, err
 		}
 		r.cursor = fr.Seq
+		r.saveMetaLocked()
 		return &ReplFrame{Kind: ReplAck, Seq: r.cursor}, nil
 	default:
 		return nil, fmt.Errorf("store: unexpected repl frame kind %q", fr.Kind)

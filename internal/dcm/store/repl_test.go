@@ -321,6 +321,195 @@ func TestReplicatedJournalSurvivesTornTail(t *testing.T) {
 	}
 }
 
+// TestSetGenForEpochUniqueAcrossIncarnations: reopening a state dir at
+// the same lease epoch — a primary crash-restarting inside its own
+// TTL, whose live renewal preserves the epoch — must still yield a
+// fresh replication generation, or a standby's resume claim from the
+// previous incarnation would splice two journals.
+func TestSetGenForEpochUniqueAcrossIncarnations(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.SetGenForEpoch(7)
+	g1 := s1.Gen()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.SetGenForEpoch(7)
+	g2 := s2.Gen()
+	if g1 == 0 || g2 == 0 {
+		t.Fatalf("zero generation stamped: %d, %d", g1, g2)
+	}
+	if g1 == g2 {
+		t.Fatalf("generation %d reused across store incarnations at the same epoch", g1)
+	}
+	if g1>>genIncarnationBits != 7 || g2>>genIncarnationBits != 7 {
+		t.Errorf("epoch not embedded: %d, %d", g1>>genIncarnationBits, g2>>genIncarnationBits)
+	}
+}
+
+// TestReplRestartedPrimarySameEpochForcesSnapshot reproduces the
+// reviewed divergence: the primary crashes and restarts within its
+// lease TTL (same epoch, record sequence back to 0) and applies new
+// records of its own; a standby that replicated the first incarnation
+// reconnects only after the new incarnation's sequence has passed its
+// cursor. The resume claim must degrade to a full snapshot — granting
+// it would splice new-incarnation records onto old-incarnation state.
+func TestReplRestartedPrimarySameEpochForcesSnapshot(t *testing.T) {
+	pdir := t.TempDir()
+	pri, err := Open(pdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pri.SetGenForEpoch(1)
+	if err := pri.Apply(addRec("n0", 140)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pri.Apply(addRec("n1", 150)); err != nil {
+		t.Fatal(err)
+	}
+	sby, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sby.Close()
+	rep := NewReplica(sby)
+	pump(t, pri.NewFeed(rep.Hello()), rep)
+	cursor := rep.Cursor()
+
+	// Crash-restart: same dir, same epoch (live lease renewal), fresh
+	// sequence numbering. The new incarnation journals until its seq
+	// reaches the standby's cursor.
+	if err := pri.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	pri2, err := Open(pdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pri2.Close()
+	pri2.SetGenForEpoch(1)
+	for i := uint64(0); i < cursor; i++ {
+		if err := pri2.Apply(addRec(fmt.Sprintf("x%d", i), 160)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	feed := pri2.NewFeed(rep.Hello())
+	frames, err := feed.Pending(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) == 0 || frames[0].Kind != ReplSnap {
+		t.Fatalf("restarted primary honoured a cross-incarnation resume claim: %+v", frames)
+	}
+	for _, fr := range frames {
+		ack, err := rep.Handle(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack != nil {
+			feed.Ack(*ack)
+		}
+	}
+	pump(t, feed, rep)
+	if !reflect.DeepEqual(sby.State(), pri2.State()) {
+		t.Fatalf("standby diverged after restart resync:\n%+v\n%+v", sby.State(), pri2.State())
+	}
+}
+
+// TestRecoverReplicaResumesAfterRestart: a standby process restart
+// recovers its persisted {gen, cursor} resume point, reconnects with a
+// claim the primary honours (records, no snapshot), and — crucially —
+// carries a non-zero generation, so it stays eligible to take the
+// lease even when the primary never comes back. A promotion clears the
+// sidecar.
+func TestRecoverReplicaResumesAfterRestart(t *testing.T) {
+	pri, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pri.Close()
+	pri.SetGenForEpoch(1)
+	if err := pri.Apply(addRec("n0", 140)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pri.Apply(addRec("n1", 150)); err != nil {
+		t.Fatal(err)
+	}
+	sdir := t.TempDir()
+	sby, err := Open(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RecoverReplica(sby, sdir)
+	if rep.Gen() != 0 || rep.Cursor() != 0 {
+		t.Fatalf("fresh dir recovered a claim: gen %d cursor %d", rep.Gen(), rep.Cursor())
+	}
+	pump(t, pri.NewFeed(rep.Hello()), rep)
+	gen, cursor := rep.Gen(), rep.Cursor()
+	if gen == 0 || cursor == 0 {
+		t.Fatalf("replica did not sync: gen %d cursor %d", gen, cursor)
+	}
+
+	// The standby process dies without compaction and restarts.
+	if err := sby.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	sby2, err := Open(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sby2.Close()
+	rep2 := RecoverReplica(sby2, sdir)
+	if rep2.Gen() != gen || rep2.Cursor() != cursor {
+		t.Fatalf("recovered claim gen %d cursor %d, want %d/%d", rep2.Gen(), rep2.Cursor(), gen, cursor)
+	}
+
+	// Records written while the standby was down stream as a resume —
+	// any snapshot frame means the persisted claim was not honoured.
+	if err := pri.Apply(addRec("n2", 160)); err != nil {
+		t.Fatal(err)
+	}
+	feed := pri.NewFeed(rep2.Hello())
+	for {
+		frames, err := feed.Pending(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frames) == 0 {
+			break
+		}
+		for _, fr := range frames {
+			if fr.Kind == ReplSnap {
+				t.Fatalf("full resync despite recovered resume point: %+v", fr)
+			}
+			if _, err := rep2.Handle(fr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !reflect.DeepEqual(sby2.State(), pri.State()) {
+		t.Fatalf("standby diverged after restart resume:\n%+v\n%+v", sby2.State(), pri.State())
+	}
+
+	// Promotion drops the claim: the next standby lifetime of this dir
+	// must start from scratch, not resume over its own primary-era log.
+	if err := ClearReplicaMeta(sdir); err != nil {
+		t.Fatal(err)
+	}
+	if r := RecoverReplica(sby2, sdir); r.Gen() != 0 || r.Cursor() != 0 {
+		t.Errorf("cleared resume point still recovered: gen %d cursor %d", r.Gen(), r.Cursor())
+	}
+}
+
 // TestReplOverTCP: the production transport end-to-end — snapshot,
 // incremental stream, primary restart with a new gen forcing resync,
 // client redial resuming from its cursor.

@@ -34,8 +34,9 @@ import (
 )
 
 const (
-	snapshotFile = "snapshot.json"
-	journalFile  = "journal.log"
+	snapshotFile    = "snapshot.json"
+	journalFile     = "journal.log"
+	incarnationFile = "incarnation"
 
 	// DefaultSnapshotEvery is the journal length (in records) that
 	// triggers automatic compaction.
@@ -127,6 +128,10 @@ type Store struct {
 	pending  int // records in the journal since the last snapshot
 	closed   bool
 	replayed int // journal records recovered by Open (tests)
+	// inc is this open's incarnation: a per-dir counter durably bumped
+	// by every Open, so no two lifetimes of the same state dir share a
+	// value. SetGenForEpoch folds it into the replication generation.
+	inc uint64
 
 	// Replication source state (see repl.go): gen identifies this
 	// store incarnation, seq counts records applied in it, and recent
@@ -173,7 +178,11 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 
-	s := &Store{dir: dir, state: st}
+	inc, err := bumpIncarnation(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, state: st, inc: inc}
 	if err := s.replayJournal(); err != nil {
 		return nil, err
 	}
@@ -184,6 +193,58 @@ func Open(dir string) (*Store, error) {
 	}
 	s.journal = j
 	return s, nil
+}
+
+// bumpIncarnation durably increments dir's open counter and returns
+// the new value. Written with the snapshot's atomic-rename discipline
+// before the store is usable, so a crash can lose a bump (the next
+// Open redoes it) but can never roll the counter back past a value a
+// previous lifetime already returned.
+func bumpIncarnation(dir string) (uint64, error) {
+	path := filepath.Join(dir, incarnationFile)
+	var n uint64
+	if b, err := os.ReadFile(path); err == nil {
+		if _, perr := fmt.Sscanf(strings.TrimSpace(string(b)), "%d", &n); perr != nil {
+			// Renames are atomic, so an unparseable counter is external
+			// damage; reusing an incarnation risks splicing replicated
+			// logs, so refuse rather than guess.
+			return 0, fmt.Errorf("store: corrupt incarnation file %s: %q", path, b)
+		}
+	} else if !os.IsNotExist(err) {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	n++
+	tmp, err := os.CreateTemp(dir, "incarnation-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := fmt.Fprintf(tmp, "%d\n", n); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: writing incarnation: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Incarnation reports this open's durable per-dir counter (see
+// bumpIncarnation); zero only for a Store built without Open.
+func (s *Store) Incarnation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inc
 }
 
 // replayJournal folds journal records into s.state, truncating the
