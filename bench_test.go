@@ -14,6 +14,7 @@ import (
 	"nodecap/internal/amenability"
 	"nodecap/internal/cache"
 	"nodecap/internal/core"
+	"nodecap/internal/fleet"
 	"nodecap/internal/machine"
 	"nodecap/internal/multicore"
 	"nodecap/internal/simtime"
@@ -377,6 +378,27 @@ func BenchmarkMachineOpThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Load(base + uint64(i%65536)*64)
 	}
+}
+
+// BenchmarkFleetTick measures the SoA fleet engine's batch stepping
+// rate at chaos scale: 10k capped nodes advanced one control tick per
+// iteration, sharded one range per CPU. The custom metric is the
+// headline quantity (node-ticks per wall second); steady state must
+// stay allocation-free, which bench-smoke CI enforces via benchdiff
+// against the committed BENCH_8.json medians.
+func BenchmarkFleetTick(b *testing.B) {
+	const nodes = 10000
+	e := fleet.New(fleet.Config{Nodes: nodes, Seed: 1})
+	defer e.Close()
+	for i := 0; i < nodes; i++ {
+		e.PushPolicy(i, true, 140, 0)
+	}
+	e.Tick(1) // warm the gang and settle lazy state
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Tick(b.N)
+	b.StopTimer()
+	b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "node-ticks/s")
 }
 
 // sweepAtParallelism runs the ISSUE's reference grid (4 caps x 3

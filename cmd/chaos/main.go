@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"nodecap/internal/chaos"
+	"nodecap/internal/profiling"
 )
 
 func main() {
@@ -30,15 +31,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		scenario = fs.String("scenario", "mixed", "scenario name (see -list)")
-		seed     = fs.Int64("seed", 1, "schedule seed; same seed, same run")
-		ticks    = fs.Int("ticks", 1500, "control ticks to simulate (100 µs simtime each)")
-		nodes    = fs.Int("nodes", 6, "fleet size")
-		wire     = fs.Bool("wire", false, "run over real TCP sockets through the fault-injecting transport (slower, not bit-deterministic)")
-		list     = fs.Bool("list", false, "list scenario names and exit")
-		breakFS  = fs.Bool("break-failsafe-floor", false, "deliberately break the fail-safe P-state floor so the checker must flag it (harness self-test)")
-		breakFen = fs.Bool("break-fencing", false, "deliberately disable the nodes' stale-epoch fence so single_writer must flag split-brain (harness self-test)")
-		breakRep = fs.Bool("break-replication", false, "deliberately corrupt replicated records so replica_convergence must flag divergence (harness self-test)")
+		scenario  = fs.String("scenario", "mixed", "scenario name (see -list)")
+		seed      = fs.Int64("seed", 1, "schedule seed; same seed, same run")
+		ticks     = fs.Int("ticks", 1500, "control ticks to simulate (100 µs simtime each)")
+		nodes     = fs.Int("nodes", 6, "fleet size")
+		parallel  = fs.Int("parallel", 0, "tick shard count (0 = one per CPU, 1 = sequential); verdicts are bit-identical at any setting")
+		pollEvery = fs.Int("poll-every", 0, "manager poll cadence in ticks (0 = scenario default); raise for fleet-scale runs")
+		rebalance = fs.Int("rebalance-every", 0, "budget rebalance cadence in ticks (0 = scenario default); raise for fleet-scale runs")
+		wire      = fs.Bool("wire", false, "run over real TCP sockets through the fault-injecting transport (slower, not bit-deterministic)")
+		list      = fs.Bool("list", false, "list scenario names and exit")
+		breakFS   = fs.Bool("break-failsafe-floor", false, "deliberately break the fail-safe P-state floor so the checker must flag it (harness self-test)")
+		breakFen  = fs.Bool("break-fencing", false, "deliberately disable the nodes' stale-epoch fence so single_writer must flag split-brain (harness self-test)")
+		breakRep  = fs.Bool("break-replication", false, "deliberately corrupt replicated records so replica_convergence must flag divergence (harness self-test)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -54,10 +60,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	s.Wire = *wire
+	s.Parallelism = *parallel
+	if *pollEvery > 0 {
+		s.PollEvery = *pollEvery
+	}
+	if *rebalance > 0 {
+		s.RebalanceEvery = *rebalance
+	}
 	s.BreakFailSafeFloor = *breakFS
 	s.BreakFencing = *breakFen
 	s.BreakReplication = *breakRep
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 	v, err := chaos.Run(s)
+	stopCPU()
+	if perr := profiling.WriteHeap(*memProf); perr != nil {
+		fmt.Fprintln(stderr, perr)
+		return 2
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2

@@ -172,6 +172,14 @@ type Scenario struct {
 	// StateDir overrides the manager's state directory (default: a
 	// fresh temp dir removed when Run returns).
 	StateDir string `json:"-"`
+
+	// Parallelism bounds the engine's tick shards: 0 selects
+	// GOMAXPROCS, 1 forces the sequential pass. Verdicts are
+	// bit-identical at every setting (the engine shards nodes into
+	// contiguous ranges and merges trace events in node order), so
+	// this is a throughput knob, not part of the scenario's identity —
+	// hence excluded from the JSON form.
+	Parallelism int `json:"-"`
 }
 
 // Verdict is the outcome of one scenario run. In-process verdicts are
@@ -353,11 +361,9 @@ func Run(s Scenario) (Verdict, error) {
 	if s.HA {
 		v.FencedPushes = f.reg.Snapshot().Counters["dcm_fenced_pushes_total"]
 	}
-	for _, n := range f.sims {
-		st := n.stats()
-		v.FailSafeEntries += st.FailSafeEntries
-		v.SensorFaults += st.SensorFaults
-	}
+	st := f.eng.Stats()
+	v.FailSafeEntries = st.FailSafeEntries
+	v.SensorFaults = st.SensorFaults
 	v.Pass = v.ViolationCount == 0
 	return v, nil
 }

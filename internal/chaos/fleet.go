@@ -4,429 +4,52 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"math"
-	"math/rand"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"nodecap/internal/bmc"
 	"nodecap/internal/dcm"
 	"nodecap/internal/dcm/store"
 	"nodecap/internal/faults"
+	"nodecap/internal/fleet"
 	"nodecap/internal/ipmi"
 	"nodecap/internal/telemetry"
 )
 
-// The simulated platform: an analytic plant with the paper's power
-// envelope — ~157 W busy at P0, DVFS worth 2 W per P-state down to
-// 127 W, then a 4-level gating ladder worth 1.2 W each, for a
-// ~122.2 W floor (the paper's nodes floor at ~123-125 W).
 const (
-	numPStates     = 16
-	maxGatingLevel = 4
-	p0Watts        = 157.0
-	wattsPerPState = 2.0
-	wattsPerGate   = 1.2
-	noiseWatts     = 0.4 // sensor noise amplitude (uniform ±)
-
 	maxCapWatts = 180.0
-
-	// failSafePState is the fail-safe floor the fleet's BMCs hold
-	// (P12 ≈ 133 W — safely under every feasible cap).
-	failSafePState = 12
 
 	// controlPeriodSeconds converts ticks to simulated seconds (the
 	// BMC default control period is 100 µs of simtime).
 	controlPeriodSeconds = 100e-6
 )
 
-// simPlant is the analytic plant. All access is serialized by the
-// owning simNode's mutex.
-type simPlant struct {
-	pstate int
-	gating int
-	rng    *rand.Rand // sensor noise only; TrueWatts never draws
-}
-
-// TrueWatts is the node's actual draw — what the invariant checker
-// audits. It never consumes randomness.
-func (p *simPlant) TrueWatts() float64 {
-	return p0Watts - wattsPerPState*float64(p.pstate) - wattsPerGate*float64(p.gating)
-}
-
-// PowerWatts is the sensor reading: truth plus bounded noise.
-func (p *simPlant) PowerWatts() float64 {
-	return p.TrueWatts() + (p.rng.Float64()*2-1)*noiseWatts
-}
-
-func (p *simPlant) PStateIndex() int { return p.pstate }
-func (p *simPlant) NumPStates() int  { return numPStates }
-func (p *simPlant) SetPState(i int) {
-	if i < 0 {
-		i = 0
-	}
-	if i > numPStates-1 {
-		i = numPStates - 1
-	}
-	p.pstate = i
-}
-func (p *simPlant) GatingLevel() int    { return p.gating }
-func (p *simPlant) MaxGatingLevel() int { return maxGatingLevel }
-func (p *simPlant) SetGatingLevel(l int) {
-	if l < 0 {
-		l = 0
-	}
-	if l > maxGatingLevel {
-		l = maxGatingLevel
-	}
-	p.gating = l
-}
-func (p *simPlant) CapFloorWatts() float64 {
-	return p0Watts - wattsPerPState*(numPStates-1) - wattsPerGate*maxGatingLevel
-}
-
-// simNode is one simulated machine: plant → fault injector → BMC,
-// plus the per-tick bookkeeping the invariant checker reads. mu
-// guards everything — the manager's poll workers (and, in wire mode,
-// the IPMI server's connection goroutines) call in concurrently with
-// the tick loop.
-type simNode struct {
-	name, addr string
-	index      int
-
-	mu     sync.Mutex
-	plant  *simPlant
-	faulty *faults.FaultyPlant
-	ctl    *bmc.BMC
-	srv    *ipmi.Server
-
-	breakFloor bool
-	down, asym bool
-
-	// sinceCapChange counts ticks since the last material policy
-	// change (> 1 W or an enabled flip); the cap-respected invariant
-	// waits out the controller's settle window after one. Allocation
-	// jitter from sensor noise re-pushes sub-watt deltas every
-	// rebalance, which must NOT reset the clock.
-	sinceCapChange int
-	// Pre/post tick observations for the fail-safe-speedup invariant.
-	prePState, postPState     int
-	preFailSafe, postFailSafe bool
-	overTicks                 int // consecutive settled ticks above cap
-
-	// Fencing observations for the single-writer invariant: the highest
-	// epoch that ever actuated this node's plant, and how many pushes
-	// carrying a LOWER epoch actuated anyway. With the server-side
-	// fence intact the count stays zero — stale pushes are rejected
-	// before they reach the plant — so a nonzero count is positive
-	// proof of split-brain actuation.
-	actEpoch         uint64
-	epochRegressions int
-	regSeen          int // checker's consumed watermark
-}
-
-func newSimNode(i int, seed int64, breakFloor bool) *simNode {
-	plant := &simPlant{rng: rand.New(rand.NewSource(seed ^ int64(i)<<16 | 1))}
-	faulty := faults.NewPlant(plant, faults.PlantProfile{Seed: seed + int64(i)*7919})
-	cfg := bmc.FailSafeConfig()
-	cfg.FailSafePState = failSafePState
-	n := &simNode{
-		name:       fmt.Sprintf("node-%d", i),
-		addr:       fmt.Sprintf("node-%d", i),
-		index:      i,
-		plant:      plant,
-		faulty:     faulty,
-		ctl:        bmc.New(cfg, faulty),
-		breakFloor: breakFloor,
-	}
-	n.srv = ipmi.NewServer(&nodeCtl{n: n})
-	return n
-}
-
-// tick runs one BMC control period and records the observations the
-// invariant checker needs.
-func (n *simNode) tick() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.prePState = n.plant.pstate
-	n.preFailSafe = n.ctl.FailSafe()
-	n.ctl.Tick()
-	if n.breakFloor && n.ctl.FailSafe() {
-		// The "broken guard": the plant ignores the fail-safe clamp
-		// and creeps back toward full speed on untrusted sensor data.
-		if p := n.plant.pstate; p > 0 {
-			n.plant.pstate = p - 1
-		}
-	}
-	n.postPState = n.plant.pstate
-	n.postFailSafe = n.ctl.FailSafe()
-	n.sinceCapChange++
-}
-
-func (n *simNode) stats() bmc.Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.ctl.Stats()
-}
-
-func (n *simNode) setLink(down, asym bool) {
-	n.mu.Lock()
-	n.down, n.asym = down, asym
-	n.mu.Unlock()
-}
-
-func (n *simNode) linkState() (down, asym bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.down, n.asym
-}
-
-func (n *simNode) setSensorProfile(p faults.PlantProfile) {
-	// FaultyPlant has its own lock; keep profile swaps ordered with
-	// ticks by taking the node lock too.
-	n.mu.Lock()
-	n.faulty.SetPlantProfile(p)
-	n.mu.Unlock()
-}
-
-// nodeCtl adapts a simNode to ipmi.NodeControl, the BMC's management
-// surface.
-type nodeCtl struct{ n *simNode }
-
-func (c *nodeCtl) DeviceInfo() ipmi.DeviceInfo {
-	return ipmi.DeviceInfo{
-		DeviceID:       0x20,
-		FirmwareMajor:  1,
-		ManufacturerID: 343, // Intel's IANA enterprise number
-		ProductID:      0x0C4A,
-	}
-}
-
-// PowerReading reports the controller's smoothed estimate rather than
-// a fresh sensor draw: management polls must not perturb the seeded
-// per-tick noise stream, and DCM's demand signal is a recent average
-// anyway.
-func (c *nodeCtl) PowerReading() ipmi.PowerReading {
-	c.n.mu.Lock()
-	defer c.n.mu.Unlock()
-	w := c.n.ctl.SmoothedWatts()
-	if w == 0 {
-		w = c.n.plant.TrueWatts()
-	}
-	return ipmi.PowerReading{CurrentWatts: w, AverageWatts: w}
-}
-
-func (c *nodeCtl) SetPowerLimit(lim ipmi.PowerLimit) error {
-	c.n.mu.Lock()
-	defer c.n.mu.Unlock()
-	// Record the actuation epoch for the single-writer invariant. This
-	// runs only for pushes the ipmi.Server fence admitted, so a
-	// regression here means a stale epoch actuated the plant.
-	if lim.Epoch < c.n.actEpoch {
-		c.n.epochRegressions++
-	} else {
-		c.n.actEpoch = lim.Epoch
-	}
-	old := c.n.ctl.Policy()
-	err := c.n.ctl.SetPolicy(bmc.Policy{Enabled: lim.Enabled, CapWatts: lim.CapWatts})
-	if old.Enabled != lim.Enabled || math.Abs(old.CapWatts-lim.CapWatts) > 1 {
-		c.n.sinceCapChange = 0
-		c.n.overTicks = 0
-	}
-	if err != nil && !errors.Is(err, bmc.ErrInfeasibleCap) {
-		return err
-	}
-	// Infeasible caps are applied-but-flagged (the paper's 120 W
-	// rows); surfaced via Health, not as a wire error.
-	return nil
-}
-
-func (c *nodeCtl) PowerLimit() ipmi.PowerLimit {
-	c.n.mu.Lock()
-	defer c.n.mu.Unlock()
-	p := c.n.ctl.Policy()
-	return ipmi.PowerLimit{Enabled: p.Enabled, CapWatts: p.CapWatts}
-}
-
-func (c *nodeCtl) PStateInfo() ipmi.PStateInfo {
-	c.n.mu.Lock()
-	defer c.n.mu.Unlock()
-	i := c.n.plant.pstate
-	return ipmi.PStateInfo{
-		Index:   uint8(i),
-		Count:   numPStates,
-		FreqMHz: uint16(3000 - 120*i),
-	}
-}
-
-func (c *nodeCtl) GatingLevel() int {
-	c.n.mu.Lock()
-	defer c.n.mu.Unlock()
-	return c.n.plant.gating
-}
-
-func (c *nodeCtl) Capabilities() ipmi.Capabilities {
-	c.n.mu.Lock()
-	defer c.n.mu.Unlock()
-	return ipmi.Capabilities{
-		MinCapWatts: c.n.plant.CapFloorWatts(),
-		MaxCapWatts: maxCapWatts,
-	}
-}
-
-func (c *nodeCtl) Health() ipmi.Health {
-	c.n.mu.Lock()
-	defer c.n.mu.Unlock()
-	h := c.n.ctl.Health()
-	return ipmi.Health{
-		FailSafe:      h.FailSafe,
-		SensorFaults:  uint32(h.SensorFaults),
-		InfeasibleCap: h.InfeasibleCap,
-	}
-}
-
-var (
-	errLinkDown = errors.New("chaos: link partitioned")
-	errLinkAsym = errors.New("chaos: response lost (asymmetric partition)")
-)
-
-// memLink implements dcm.BMC by round-tripping real wire frames
-// through the node's ipmi.Server dispatch table in-process — the full
-// codec path without socket timing. An asymmetric partition applies
-// the request but loses the response, exactly the failure mode where
-// a manager must not assume a failed push changed nothing.
-type memLink struct {
-	n   *simNode
-	seq uint32
-}
-
-func (l *memLink) call(cmd uint8, payload []byte) ([]byte, error) {
-	down, asym := l.n.linkState()
-	if down {
-		return nil, errLinkDown
-	}
-	l.seq++
-	req := ipmi.Frame{Seq: l.seq, NetFn: ipmi.NetFnOEM, Cmd: cmd, Payload: payload}
-	b, err := req.Marshal()
-	if err != nil {
-		return nil, err
-	}
-	onWire, err := ipmi.ReadFrame(bytes.NewReader(b))
-	if err != nil {
-		return nil, err
-	}
-	resp := l.n.srv.Handle(onWire)
-	if asym {
-		return nil, errLinkAsym
-	}
-	rb, err := resp.Marshal()
-	if err != nil {
-		return nil, err
-	}
-	back, err := ipmi.ReadFrame(bytes.NewReader(rb))
-	if err != nil {
-		return nil, err
-	}
-	if len(back.Payload) == 0 {
-		return nil, errors.New("chaos: empty response payload")
-	}
-	switch cc := back.Payload[0]; cc {
-	case ipmi.CCOK:
-	case ipmi.CCStaleEpoch:
-		// Surface the fencing verdict as the sentinel error, exactly as
-		// the TCP client does, so the manager's fenced detection fires
-		// through the in-process path too.
-		return nil, ipmi.ErrStaleEpoch
-	default:
-		return nil, fmt.Errorf("chaos: completion code %#02x", cc)
-	}
-	return back.Payload[1:], nil
-}
-
-func (l *memLink) GetDeviceID() (ipmi.DeviceInfo, error) {
-	p, err := l.call(ipmi.CmdGetDeviceID, nil)
-	if err != nil {
-		return ipmi.DeviceInfo{}, err
-	}
-	return ipmi.DecodeDeviceInfo(p)
-}
-
-func (l *memLink) GetPowerReading() (ipmi.PowerReading, error) {
-	p, err := l.call(ipmi.CmdGetPowerReading, nil)
-	if err != nil {
-		return ipmi.PowerReading{}, err
-	}
-	return ipmi.DecodePowerReading(p)
-}
-
-func (l *memLink) SetPowerLimit(lim ipmi.PowerLimit) error {
-	_, err := l.call(ipmi.CmdSetPowerLimit, ipmi.EncodePowerLimit(lim))
-	return err
-}
-
-func (l *memLink) GetPowerLimit() (ipmi.PowerLimit, error) {
-	p, err := l.call(ipmi.CmdGetPowerLimit, nil)
-	if err != nil {
-		return ipmi.PowerLimit{}, err
-	}
-	return ipmi.DecodePowerLimit(p)
-}
-
-func (l *memLink) GetPStateInfo() (ipmi.PStateInfo, error) {
-	p, err := l.call(ipmi.CmdGetPStateInfo, nil)
-	if err != nil {
-		return ipmi.PStateInfo{}, err
-	}
-	return ipmi.DecodePStateInfo(p)
-}
-
-func (l *memLink) GetGatingLevel() (int, error) {
-	p, err := l.call(ipmi.CmdGetGatingLevel, nil)
-	if err != nil {
-		return 0, err
-	}
-	if len(p) < 1 {
-		return 0, errors.New("chaos: short gating payload")
-	}
-	return int(p[0]), nil
-}
-
-func (l *memLink) GetCapabilities() (ipmi.Capabilities, error) {
-	p, err := l.call(ipmi.CmdGetCapabilities, nil)
-	if err != nil {
-		return ipmi.Capabilities{}, err
-	}
-	return ipmi.DecodeCapabilities(p)
-}
-
-func (l *memLink) GetHealth() (ipmi.Health, error) {
-	p, err := l.call(ipmi.CmdGetHealth, nil)
-	if err != nil {
-		return ipmi.Health{}, err
-	}
-	return ipmi.DecodeHealth(p)
-}
-
-func (l *memLink) Close() error { return nil }
-
-// nodeMeta is the manager-visible registration data the shadow model
-// mirrors into journal records.
-type nodeMeta struct {
-	addr     string
-	min, max float64
-}
-
-// Fleet is the simulated data center a scenario runs against: the sim
-// nodes, the (possibly crashed) manager, and the shadow model of
-// every journaled operation used by the recovery-integrity check.
+// Fleet is the simulated data center a scenario runs against: the
+// batch simulation engine holding every node's plant and BMC state as
+// structure-of-arrays slices (internal/fleet), the per-node IPMI
+// management surface layered on top of it, the (possibly crashed)
+// manager, and the shadow model of every journaled operation used by
+// the recovery-integrity check.
 type Fleet struct {
 	scenario Scenario
 	dir      string
 	budget   float64
-	sims     []*simNode
+
+	// eng steps all nodes in one batched pass per tick; srvs are the
+	// per-node IPMI dispatch tables (the fenced management path).
+	eng  *fleet.Engine
+	srvs []*ipmi.Server
+
+	// Per-node manager↔node link state, guarded by linkMu (the poll
+	// workers and, in wire mode, server connection goroutines read it
+	// concurrently with the run loop's fault injection).
+	linkMu sync.Mutex
+	down   []bool
+	asym   []bool
+
+	nameIdx map[string]int
 
 	mgr        *dcm.Manager // nil while crashed
 	registered []bool
@@ -462,11 +85,21 @@ type Fleet struct {
 	clockNS int64
 }
 
+// nodeMeta is the manager-visible registration data the shadow model
+// mirrors into journal records.
+type nodeMeta struct {
+	addr     string
+	min, max float64
+}
+
 func newFleet(s Scenario, dir string) (*Fleet, error) {
 	f := &Fleet{
 		scenario:   s,
 		dir:        dir,
-		sims:       make([]*simNode, s.Nodes),
+		srvs:       make([]*ipmi.Server, s.Nodes),
+		down:       make([]bool, s.Nodes),
+		asym:       make([]bool, s.Nodes),
+		nameIdx:    make(map[string]int, s.Nodes),
 		registered: make([]bool, s.Nodes),
 		meta:       make([]nodeMeta, s.Nodes),
 		reg:        telemetry.NewRegistry(),
@@ -477,18 +110,26 @@ func newFleet(s Scenario, dir string) (*Fleet, error) {
 		f.budget = DefaultBudgetPerNodeW * float64(s.Nodes)
 	}
 	f.trace.SetWallClock(nil)
-	for i := range f.sims {
-		f.sims[i] = newSimNode(i, s.Seed, s.BreakFailSafeFloor)
-		f.sims[i].ctl.SetTelemetry(f.reg, f.trace, f.sims[i].name)
+	f.eng = fleet.New(fleet.Config{
+		Nodes:              s.Nodes,
+		Seed:               s.Seed,
+		NamePrefix:         "node-",
+		BreakFailSafeFloor: s.BreakFailSafeFloor,
+		Parallelism:        s.Parallelism,
+	})
+	f.eng.SetTelemetry(f.reg, f.trace)
+	for i := 0; i < s.Nodes; i++ {
+		f.nameIdx[f.eng.Name(i)] = i
+		f.srvs[i] = ipmi.NewServer(&nodeCtl{f: f, i: i})
 		if s.BreakFencing {
-			f.sims[i].srv.SetFencingEnabled(false)
+			f.srvs[i].SetFencingEnabled(false)
 		}
 	}
 	if s.Wire {
 		f.transports = make([]*faults.Transport, s.Nodes)
 		f.wireAddrs = make([]string, s.Nodes)
-		for i, n := range f.sims {
-			addr, err := n.srv.Listen("127.0.0.1:0")
+		for i := range f.srvs {
+			addr, err := f.srvs[i].Listen("127.0.0.1:0")
 			if err != nil {
 				return nil, fmt.Errorf("chaos: listening for node %d: %w", i, err)
 			}
@@ -510,6 +151,20 @@ func newFleet(s Scenario, dir string) (*Fleet, error) {
 	return f, nil
 }
 
+func (f *Fleet) name(i int) string { return f.eng.Name(i) }
+
+func (f *Fleet) setLink(i int, down, asym bool) {
+	f.linkMu.Lock()
+	f.down[i], f.asym[i] = down, asym
+	f.linkMu.Unlock()
+}
+
+func (f *Fleet) linkState(i int) (down, asym bool) {
+	f.linkMu.Lock()
+	defer f.linkMu.Unlock()
+	return f.down[i], f.asym[i]
+}
+
 // simClock is the deterministic wall clock injected into the manager.
 // Each read advances simulated time by 1 µs, so every timestamp-
 // dependent decision (staleness verdicts, backoff gates, sample
@@ -527,7 +182,10 @@ func (f *Fleet) simClock() time.Time {
 // small skip the jitter draw, so the manager's rng never influences
 // the run. The manager's clock is the fleet's simClock, so no
 // decision ever consults real time — the property the replay
-// regression test pins.
+// regression test pins. Journal fsync is disabled: a simulated crash
+// rereads the file rather than cutting power (the bytes on disk are
+// identical either way), and fleet-scale scenarios journal far too
+// many records to fsync each one inside the CI budget.
 func (f *Fleet) newManagerAt(dir string) (*dcm.Manager, error) {
 	mgr := dcm.NewManager(f.dialer())
 	mgr.RetryBaseDelay = time.Nanosecond
@@ -541,36 +199,34 @@ func (f *Fleet) newManagerAt(dir string) (*dcm.Manager, error) {
 	if err := mgr.OpenStateDir(dir); err != nil {
 		return nil, fmt.Errorf("chaos: opening state dir: %w", err)
 	}
+	mgr.Store().SetSync(false)
 	return mgr, nil
 }
 
 func (f *Fleet) dialer() dcm.Dialer {
-	byAddr := make(map[string]*simNode, len(f.sims))
-	for i, n := range f.sims {
-		addr := n.addr
-		if f.scenario.Wire {
-			addr = f.wireAddrs[i]
-		}
-		byAddr[addr] = n
-	}
 	return func(addr string) (dcm.BMC, error) {
-		n, ok := byAddr[addr]
+		if f.scenario.Wire {
+			for i, wa := range f.wireAddrs {
+				if wa == addr {
+					conn, err := f.transports[i].Dial("tcp", addr, time.Second)
+					if err != nil {
+						return nil, err
+					}
+					c := ipmi.NewClientConn(conn)
+					c.SetRequestTimeout(250 * time.Millisecond)
+					return c, nil
+				}
+			}
+			return nil, fmt.Errorf("chaos: unknown address %q", addr)
+		}
+		i, ok := f.nameIdx[addr]
 		if !ok {
 			return nil, fmt.Errorf("chaos: unknown address %q", addr)
 		}
-		if f.scenario.Wire {
-			conn, err := f.transports[n.index].Dial("tcp", addr, time.Second)
-			if err != nil {
-				return nil, err
-			}
-			c := ipmi.NewClientConn(conn)
-			c.SetRequestTimeout(250 * time.Millisecond)
-			return c, nil
-		}
-		if down, _ := n.linkState(); down {
+		if down, _ := f.linkState(i); down {
 			return nil, errLinkDown
 		}
-		return &memLink{n: n}, nil
+		return &memLink{f: f, i: i}, nil
 	}
 }
 
@@ -578,7 +234,7 @@ func (f *Fleet) nodeAddr(i int) string {
 	if f.scenario.Wire {
 		return f.wireAddrs[i]
 	}
-	return f.sims[i].addr
+	return f.name(i)
 }
 
 // addNode registers sim node i with the manager and mirrors the
@@ -587,7 +243,7 @@ func (f *Fleet) addNode(i int) error {
 	if f.mgr == nil {
 		return errors.New("chaos: manager crashed")
 	}
-	name := f.sims[i].name
+	name := f.name(i)
 	if err := f.mgr.AddNode(name, f.nodeAddr(i)); err != nil {
 		return err
 	}
@@ -611,7 +267,7 @@ func (f *Fleet) removeNode(i int) error {
 	if f.mgr == nil || !f.registered[i] {
 		return nil
 	}
-	name := f.sims[i].name
+	name := f.name(i)
 	if err := f.mgr.RemoveNode(name); err != nil {
 		return err
 	}
@@ -625,14 +281,8 @@ func (f *Fleet) removeNode(i int) error {
 // ones that then fail).
 func (f *Fleet) mirrorAllocs(allocs []dcm.Allocation) {
 	for _, a := range allocs {
-		var idx = -1
-		for i, n := range f.sims {
-			if n.name == a.Name {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
+		idx, ok := f.nameIdx[a.Name]
+		if !ok {
 			continue
 		}
 		m := f.meta[idx]
@@ -651,7 +301,7 @@ func (f *Fleet) group() []string {
 	var out []string
 	for i, ok := range f.registered {
 		if ok {
-			out = append(out, f.sims[i].name)
+			out = append(out, f.name(i))
 		}
 	}
 	sort.Strings(out)
@@ -722,29 +372,27 @@ func (f *Fleet) restart() (got, want store.State, err error) {
 	for i := range f.registered {
 		f.registered[i] = false
 	}
-	for i, n := range f.sims {
-		if _, ok := got.Nodes[n.name]; ok {
+	for i := range f.srvs {
+		if _, ok := got.Nodes[f.name(i)]; ok {
 			f.registered[i] = true
 		}
 	}
 	return got, want, nil
 }
 
-// tickNodes advances every sim node one control period. Nodes tick
-// whether or not the manager is alive (capping is out-of-band).
+// tickNodes advances every sim node one control period in a single
+// batched engine pass. Nodes tick whether or not the manager is alive
+// (capping is out-of-band).
 func (f *Fleet) tickNodes() {
-	for _, n := range f.sims {
-		n.tick()
-	}
+	f.eng.Tick(1)
 }
 
 // applyEvent executes one scheduled event, updating verdict counters
 // and (for restarts) running the recovery-integrity check.
 func (f *Fleet) applyEvent(e Event, iv *invariants, v *Verdict) error {
-	n := f.sims[e.Node]
 	switch e.Kind {
 	case EvPartition:
-		n.setLink(true, false)
+		f.setLink(e.Node, true, false)
 		if f.scenario.Wire {
 			f.transports[e.Node].SetProfile(faults.Profile{
 				Seed: f.scenario.Seed + int64(e.Node) + 1, DialErrorProb: 1, DropWrites: true,
@@ -752,23 +400,21 @@ func (f *Fleet) applyEvent(e Event, iv *invariants, v *Verdict) error {
 		}
 	case EvPartitionAsym:
 		// Wire mode cannot lose only responses; degrade to symmetric.
-		n.setLink(f.scenario.Wire, !f.scenario.Wire)
+		f.setLink(e.Node, f.scenario.Wire, !f.scenario.Wire)
 		if f.scenario.Wire {
 			f.transports[e.Node].SetProfile(faults.Profile{
 				Seed: f.scenario.Seed + int64(e.Node) + 1, DialErrorProb: 1, DropWrites: true,
 			})
 		}
 	case EvHeal:
-		n.setLink(false, false)
+		f.setLink(e.Node, false, false)
 		if f.scenario.Wire {
 			f.transports[e.Node].SetProfile(faults.Profile{Seed: f.scenario.Seed + int64(e.Node) + 1})
 		}
 	case EvSensorStorm:
-		n.setSensorProfile(faults.PlantProfile{
-			Seed: f.scenario.Seed + int64(e.Node)*7919, DropoutProb: 1,
-		})
+		f.eng.SetDropout(e.Node, true)
 	case EvSensorHeal:
-		n.setSensorProfile(faults.PlantProfile{Seed: f.scenario.Seed + int64(e.Node)*7919})
+		f.eng.SetDropout(e.Node, false)
 	case EvCrash:
 		if f.mgr == nil {
 			return nil
@@ -826,7 +472,8 @@ func (f *Fleet) applyEvent(e Event, iv *invariants, v *Verdict) error {
 	return nil
 }
 
-// stop releases fleet resources (managers, wire listeners).
+// stop releases fleet resources (managers, wire listeners, the
+// engine's tick shards).
 func (f *Fleet) stop() {
 	if f.ha != nil {
 		f.ha.stop()
@@ -835,7 +482,8 @@ func (f *Fleet) stop() {
 		f.mgr.Close()
 		f.mgr = nil
 	}
-	for _, n := range f.sims {
-		n.srv.Close()
+	for _, srv := range f.srvs {
+		srv.Close()
 	}
+	f.eng.Close()
 }

@@ -150,6 +150,7 @@ func (f *Fleet) setupHA() error {
 		mgr.Close()
 		return fmt.Errorf("chaos: opening standby store: %w", err)
 	}
+	st.SetSync(false)
 	m1.st = st
 	m1.rep = store.NewReplica(st)
 
@@ -331,8 +332,8 @@ func (f *Fleet) promoteStandby(tick, idx int, iv *invariants, v *Verdict) error 
 	for i := range f.registered {
 		f.registered[i] = false
 	}
-	for i, n := range f.sims {
-		if _, ok := got.Nodes[n.name]; ok {
+	for i := range f.srvs {
+		if _, ok := got.Nodes[f.name(i)]; ok {
 			f.registered[i] = true
 		}
 	}
@@ -416,6 +417,7 @@ func (f *Fleet) haRevive(v *Verdict) error {
 		if err != nil {
 			return fmt.Errorf("chaos: reviving %s: %w", m.id, err)
 		}
+		st.SetSync(false)
 		m.st = st
 		m.rep = store.NewReplica(st)
 		m.dead = false

@@ -72,54 +72,98 @@ func (iv *invariants) violate(format string, args ...any) {
 	}
 }
 
-// checkTick asserts the fleet-wide invariants after one control tick.
+// checkTick asserts the fleet-wide per-node invariants in ONE fused
+// pass over the engine's structure-of-arrays audit view, under a
+// single engine lock — one mutex acquisition per tick instead of one
+// per node per invariant, which is what makes a 10k-node × 10k-tick
+// audit affordable. Then the budget invariant sums the manager's
+// desired caps (allocation-free).
+//
+// The per-node invariants:
+//
+//   - cap_respected: no node's sustained TRUE power exceeds the cap
+//     its own BMC has applied (not the manager's desired cap — a
+//     partitioned node correctly keeps enforcing the last cap it
+//     heard) beyond tolerance. Exempt while: the policy is disabled,
+//     the cap is below the platform floor (applied-but-infeasible,
+//     the paper's 120 W rows), the controller is in fail-safe (it
+//     refuses to actuate on a lying sensor), the sensor fault
+//     injector is active (a plant told to ignore actuations cannot
+//     honour anything), or the cap changed within the settle window.
+//   - no_failsafe_speedup: while the controller distrusts its sensor
+//     (fail-safe), the plant must never step a P-state up, and must
+//     never run faster than the configured fail-safe floor.
+//     Observations are the pre/post snapshots the engine recorded
+//     during the tick, so a policy push between the tick and this
+//     check cannot blur them.
+//   - single_writer: the fencing epoch actuating a node's plant never
+//     moves backwards. The engine records, past the server-side
+//     fence, the highest epoch that ever reached each node and counts
+//     pushes carrying a lower one; any such regression means a
+//     deposed leader's command actuated hardware after a newer
+//     leader's — split-brain, the exact thing the fence exists to
+//     make impossible. The count is consumed against a watermark so
+//     each regression is reported once, at the tick it happened.
 func (iv *invariants) checkTick(tick int) {
-	iv.checkCapsRespected(tick)
-	iv.checkBudgetConserved(tick)
-	iv.checkNoFailSafeSpeedup(tick)
-	iv.checkSingleWriter(tick)
-}
+	e := iv.f.eng
+	p := e.Params()
+	floor := e.FloorWatts()
+	fsFloor := int32(p.FailSafePState)
+	var capChecks, fsChecks, writerChecks int
 
-// checkCapsRespected: no node's sustained TRUE power exceeds the cap
-// its own BMC has applied (not the manager's desired cap — a
-// partitioned node correctly keeps enforcing the last cap it heard)
-// beyond tolerance. Exempt while: the policy is disabled, the cap is
-// below the platform floor (applied-but-infeasible, the paper's 120 W
-// rows), the controller is in fail-safe (it refuses to actuate on a
-// lying sensor), the sensor fault injector is active (a plant told to
-// ignore actuations cannot honour anything), or the cap changed
-// within the settle window.
-func (iv *invariants) checkCapsRespected(tick int) {
-	for _, n := range iv.f.sims {
-		n.mu.Lock()
-		pol := n.ctl.Policy()
-		floor := n.plant.CapFloorWatts()
-		eligible := pol.Enabled &&
-			!n.postFailSafe &&
-			n.faulty.PlantProfile().Transparent() &&
-			pol.CapWatts >= floor-1e-9 &&
-			n.sinceCapChange > SettleTicks
+	e.Lock()
+	a := e.Audit()
+	n := e.Nodes()
+	for i := 0; i < n; i++ {
+		// cap_respected
+		capW := a.CapWatts[i]
+		eligible := a.CapEnabled[i] &&
+			!a.PostFailSafe[i] &&
+			!a.Dropout[i] &&
+			capW >= floor-1e-9 &&
+			a.SinceCapChange[i] > SettleTicks
 		if !eligible {
-			n.overTicks = 0
-			n.mu.Unlock()
-			continue
-		}
-		truth := n.plant.TrueWatts()
-		if truth > pol.CapWatts+TolWatts {
-			n.overTicks++
+			a.OverTicks[i] = 0
 		} else {
-			n.overTicks = 0
+			capChecks++
+			truth := p.P0Watts - p.WattsPerPState*float64(a.PState[i]) - p.WattsPerGate*float64(a.Gating[i])
+			if truth > capW+TolWatts {
+				a.OverTicks[i]++
+			} else {
+				a.OverTicks[i] = 0
+			}
+			if a.OverTicks[i] == SustainTicks {
+				iv.violate("tick %d: %s: %s: true power %.2f W above applied cap %.2f W for %d settled ticks",
+					tick, e.Name(i), InvCapRespected, truth, capW, a.OverTicks[i])
+			}
 		}
-		over, name := n.overTicks, n.name
-		capW := pol.CapWatts
-		n.mu.Unlock()
 
-		iv.checks[InvCapRespected]++
-		if over == SustainTicks {
-			iv.violate("tick %d: %s: %s: true power %.2f W above applied cap %.2f W for %d settled ticks",
-				tick, name, InvCapRespected, truth, capW, over)
+		// no_failsafe_speedup
+		fsChecks++
+		pre, post := a.PrePState[i], a.PostPState[i]
+		if a.PreFailSafe[i] && a.PostFailSafe[i] && post < pre {
+			iv.violate("tick %d: %s: %s: P-state stepped up %d→%d during fail-safe",
+				tick, e.Name(i), InvNoFailSafeSpeedup, pre, post)
+		} else if a.PostFailSafe[i] && post < fsFloor {
+			iv.violate("tick %d: %s: %s: P%d faster than fail-safe floor P%d",
+				tick, e.Name(i), InvNoFailSafeSpeedup, post, fsFloor)
+		}
+
+		// single_writer
+		writerChecks++
+		reg, prev := a.EpochRegressions[i], a.RegSeen[i]
+		a.RegSeen[i] = reg
+		if reg > prev {
+			iv.violate("tick %d: %s: %s: %d stale-epoch actuation(s) reached the plant",
+				tick, e.Name(i), InvSingleWriter, reg-prev)
 		}
 	}
+	e.Unlock()
+
+	iv.checks[InvCapRespected] += capChecks
+	iv.checks[InvNoFailSafeSpeedup] += fsChecks
+	iv.checks[InvSingleWriter] += writerChecks
+	iv.checkBudgetConserved(tick)
 }
 
 // checkBudgetConserved: the sum of the manager's enabled desired caps
@@ -132,66 +176,11 @@ func (iv *invariants) checkBudgetConserved(tick int) {
 	if iv.f.mgr == nil {
 		return
 	}
-	var sum float64
-	for _, st := range iv.f.mgr.Nodes() {
-		if st.CapEnabled {
-			sum += st.CapWatts
-		}
-	}
+	sum := iv.f.mgr.DesiredCapSum()
 	iv.checks[InvBudgetConserved]++
 	if sum > iv.budget+1e-6 {
 		iv.violate("tick %d: %s: allocated caps sum %.3f W over budget %.3f W",
 			tick, InvBudgetConserved, sum, iv.budget)
-	}
-}
-
-// checkNoFailSafeSpeedup: while the controller distrusts its sensor
-// (fail-safe), the plant must never step a P-state up, and must never
-// run faster than the configured fail-safe floor. Observations are
-// the pre/post snapshots the node recorded during its tick, so a
-// policy push between the tick and this check cannot blur them.
-func (iv *invariants) checkNoFailSafeSpeedup(tick int) {
-	for _, n := range iv.f.sims {
-		n.mu.Lock()
-		pre, post := n.prePState, n.postPState
-		preFS, postFS := n.preFailSafe, n.postFailSafe
-		name := n.name
-		n.mu.Unlock()
-
-		iv.checks[InvNoFailSafeSpeedup]++
-		if preFS && postFS && post < pre {
-			iv.violate("tick %d: %s: %s: P-state stepped up %d→%d during fail-safe",
-				tick, name, InvNoFailSafeSpeedup, pre, post)
-			continue
-		}
-		if postFS && post < failSafePState {
-			iv.violate("tick %d: %s: %s: P%d faster than fail-safe floor P%d",
-				tick, name, InvNoFailSafeSpeedup, post, failSafePState)
-		}
-	}
-}
-
-// checkSingleWriter: the fencing epoch actuating a node's plant never
-// moves backwards. Each node records, inside its IPMI control surface
-// (past the server-side fence), the highest epoch that ever reached it
-// and counts pushes that arrived carrying a lower one; any such
-// regression means a deposed leader's command actuated hardware after
-// a newer leader's — split-brain, the exact thing the fence exists to
-// make impossible. The count is consumed against a watermark so each
-// regression is reported once, at the tick it happened.
-func (iv *invariants) checkSingleWriter(tick int) {
-	for _, n := range iv.f.sims {
-		n.mu.Lock()
-		reg, prev := n.epochRegressions, n.regSeen
-		n.regSeen = reg
-		name := n.name
-		n.mu.Unlock()
-
-		iv.checks[InvSingleWriter]++
-		if reg > prev {
-			iv.violate("tick %d: %s: %s: %d stale-epoch actuation(s) reached the plant",
-				tick, name, InvSingleWriter, reg-prev)
-		}
 	}
 }
 

@@ -1,0 +1,44 @@
+package chaos
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestVerdictParallelismDeterminism pins the tentpole determinism
+// claim at the verdict level: the same scenario stepped sequentially,
+// at 4 shards, and at NumCPU shards yields bit-identical verdict JSON
+// — including the violation trace windows, whose event order depends
+// on the engine's node-major merge of shard-local fail-safe events.
+func TestVerdictParallelismDeterminism(t *testing.T) {
+	for _, name := range []string{"sensor-storm", "partition", "churn"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := Build(name, 11, 400, 16)
+			if err != nil {
+				t.Fatalf("building scenario: %v", err)
+			}
+			s.Parallelism = 1
+			base, err := Run(s)
+			if err != nil {
+				t.Fatalf("sequential run: %v", err)
+			}
+			baseJSON, _ := json.Marshal(base)
+			for _, par := range []int{4, runtime.NumCPU()} {
+				s, err := Build(name, 11, 400, 16)
+				if err != nil {
+					t.Fatalf("building scenario: %v", err)
+				}
+				s.Parallelism = par
+				v, err := Run(s)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				got, _ := json.Marshal(v)
+				if string(got) != string(baseJSON) {
+					t.Fatalf("parallelism %d verdict diverged:\n%s\nwant:\n%s", par, got, baseJSON)
+				}
+			}
+		})
+	}
+}

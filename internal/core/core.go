@@ -44,6 +44,12 @@ type Experiment struct {
 	// Parallelism permits more than one worker (pure constructors over
 	// shared read-only configuration are).
 	Parallelism int
+	// Memo, when non-nil, caches each (workload, cap, seed, config)
+	// run result so repeated grid points across Run calls skip the
+	// simulation. Share one Memo across experiments to reuse overlap;
+	// leave nil for the stock uncached behaviour. See Memo for the
+	// purity requirements on injected config hooks.
+	Memo *Memo
 }
 
 // Defaults fills unset fields.
@@ -136,9 +142,26 @@ func (e Experiment) Run() (SweepResult, error) {
 			capWatts = e.Caps[row-1]
 		}
 		seed := uint64(row+1)*1000 + uint64(trial)
-		m := machine.New(e.MachineConfig(seed))
+		cfg := e.MachineConfig(seed)
+		var key memoKey
+		if e.Memo != nil {
+			key = memoKey{
+				workload: out.Workload,
+				capWatts: capWatts,
+				seed:     seed,
+				cfgHash:  hashConfig(cfg),
+			}
+			if r, ok := e.Memo.get(key); ok {
+				runs[job] = r
+				return
+			}
+		}
+		m := machine.New(cfg)
 		m.SetPolicy(capWatts)
 		runs[job] = m.RunWorkload(e.NewWorkload())
+		if e.Memo != nil {
+			e.Memo.put(key, runs[job])
+		}
 	})
 
 	out.Baseline = e.reduceCap(0, "baseline", runs[:e.Trials])

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"nodecap/internal/machine"
+	"nodecap/internal/telemetry"
+)
+
+// memoKey identifies one simulated (cap, trial) run completely: the
+// workload name, the cap, the trial seed, and a hash of the machine
+// configuration the seed was folded into. Two runs with equal keys are
+// the same deterministic simulation, so the second is free.
+type memoKey struct {
+	workload string
+	capWatts float64
+	seed     uint64
+	cfgHash  uint64
+}
+
+// Memo is an LRU cache of simulated run results keyed on
+// (workload, cap, seed, config-hash), shared across Experiment.Run
+// calls. Repeated grid points — golden tests re-running the paper
+// sweep, calibration loops revisiting the same caps, a Table I/II
+// regeneration after a report-layer change — skip the simulation
+// entirely. Safe for concurrent use by the sweep worker pool.
+//
+// Correctness leans on the simulator's own determinism contract: a run
+// is a pure function of (workload input, machine config, cap). The
+// config hash covers the printable form of machine.Config — function
+// fields (ControlHook, WrapPlant, OpTrace) hash by code pointer, so
+// two configs differing only in the *behaviour* of an injected closure
+// over identical code pointers would collide. Experiments that inject
+// stateful hooks should not enable memoization; the stock sweeps
+// (which inject none) are exactly the workloads the cache exists for.
+type Memo struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *memoEntry
+	byKey map[memoKey]*list.Element
+
+	hits, misses *telemetry.Counter
+}
+
+type memoEntry struct {
+	key memoKey
+	res machine.RunResult
+}
+
+// DefaultMemoEntries bounds a Memo built with NewMemo(0). At roughly
+// one RunResult (a few hundred bytes) per entry this keeps the cache
+// well under a megabyte while still covering several full paper sweeps
+// (a sweep is (1 baseline + 9 caps) × trials runs).
+const DefaultMemoEntries = 1024
+
+// NewMemo builds a memo bounded to max entries (<= 0 selects
+// DefaultMemoEntries). Least-recently-used entries are evicted first.
+func NewMemo(max int) *Memo {
+	if max <= 0 {
+		max = DefaultMemoEntries
+	}
+	return &Memo{
+		max:   max,
+		order: list.New(),
+		byKey: make(map[memoKey]*list.Element),
+	}
+}
+
+// SetTelemetry wires hit/miss counters (core_memo_hits_total,
+// core_memo_misses_total) into reg. Nil-safe like the rest of the
+// telemetry surface.
+func (m *Memo) SetTelemetry(reg *telemetry.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hits = reg.Counter("core_memo_hits_total")
+	m.misses = reg.Counter("core_memo_misses_total")
+}
+
+// Len reports the current entry count.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}
+
+// get looks k up, refreshing its recency on a hit.
+func (m *Memo) get(k memoKey) (machine.RunResult, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.byKey[k]
+	if !ok {
+		m.misses.Inc()
+		return machine.RunResult{}, false
+	}
+	m.order.MoveToFront(el)
+	m.hits.Inc()
+	return el.Value.(*memoEntry).res, true
+}
+
+// put stores k→r, evicting from the LRU tail past the bound.
+func (m *Memo) put(k memoKey, r machine.RunResult) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byKey[k]; ok {
+		el.Value.(*memoEntry).res = r
+		m.order.MoveToFront(el)
+		return
+	}
+	m.byKey[k] = m.order.PushFront(&memoEntry{key: k, res: r})
+	for m.order.Len() > m.max {
+		tail := m.order.Back()
+		m.order.Remove(tail)
+		delete(m.byKey, tail.Value.(*memoEntry).key)
+	}
+}
+
+// hashConfig fingerprints a machine configuration via FNV-1a over its
+// printable form, with the seed zeroed (the seed is keyed separately,
+// so one sweep's configs collapse to one hash).
+func hashConfig(cfg machine.Config) uint64 {
+	cfg.Seed = 0
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", cfg)
+	return h.Sum64()
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"nodecap/internal/machine"
+	"nodecap/internal/telemetry"
+)
+
+// TestMemoizedSweepIdentical pins the cache's only correctness
+// obligation: a memoized sweep is bit-identical to the uncached one,
+// and a repeated sweep (all hits) is bit-identical again.
+func TestMemoizedSweepIdentical(t *testing.T) {
+	plain, err := miniExperiment([]float64{150, 130}, 2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memo := NewMemo(0)
+	reg := telemetry.NewRegistry()
+	memo.SetTelemetry(reg)
+	e := miniExperiment([]float64{150, 130}, 2)
+	e.Memo = memo
+
+	first, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, first) {
+		t.Fatalf("memoized sweep diverged from uncached:\n%+v\nwant:\n%+v", first, plain)
+	}
+	runs := uint64((1 + 2) * 2)
+	if h, m := reg.Counter("core_memo_hits_total").Value(), reg.Counter("core_memo_misses_total").Value(); h != 0 || m != runs {
+		t.Fatalf("cold sweep counters: hits=%d misses=%d, want 0/%d", h, m, runs)
+	}
+
+	second, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, second) {
+		t.Fatalf("cache-served sweep diverged from uncached:\n%+v\nwant:\n%+v", second, plain)
+	}
+	if h := reg.Counter("core_memo_hits_total").Value(); h != runs {
+		t.Fatalf("warm sweep hits = %d, want %d", h, runs)
+	}
+	if m := reg.Counter("core_memo_misses_total").Value(); m != runs {
+		t.Fatalf("warm sweep added misses: %d, want %d", m, runs)
+	}
+}
+
+// TestMemoKeySeparatesRuns checks the key covers every axis that
+// changes a run: grid position (cap, seed) and config.
+func TestMemoKeySeparatesRuns(t *testing.T) {
+	memo := NewMemo(0)
+	e := miniExperiment([]float64{150, 130}, 2)
+	e.Memo = memo
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Every (row, trial) grid point is distinct.
+	if got, want := memo.Len(), (1+2)*2; got != want {
+		t.Fatalf("entries after sweep = %d, want %d", got, want)
+	}
+
+	// A different machine config must not hit the first sweep's entries.
+	e2 := miniExperiment([]float64{150, 130}, 2)
+	e2.Memo = memo
+	e2.MachineConfig = func(seed uint64) machine.Config {
+		cfg := machine.Romley()
+		cfg.Seed = seed
+		cfg.SpecEvery = 16
+		return cfg
+	}
+	if _, err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := memo.Len(), 2*(1+2)*2; got != want {
+		t.Fatalf("entries after second config = %d, want %d (config not keyed)", got, want)
+	}
+}
+
+// TestMemoLRUBound fills past the bound and checks eviction order:
+// the oldest untouched key leaves first, a re-read key survives.
+func TestMemoLRUBound(t *testing.T) {
+	m := NewMemo(3)
+	k := func(i int) memoKey { return memoKey{workload: "w", seed: uint64(i)} }
+	for i := 0; i < 3; i++ {
+		m.put(k(i), machine.RunResult{AvgPowerWatts: float64(i)})
+	}
+	if _, ok := m.get(k(0)); !ok { // refresh 0; 1 becomes LRU
+		t.Fatal("entry 0 missing before eviction")
+	}
+	m.put(k(3), machine.RunResult{})
+	if m.Len() != 3 {
+		t.Fatalf("len = %d, want bound 3", m.Len())
+	}
+	if _, ok := m.get(k(1)); ok {
+		t.Error("LRU entry 1 survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := m.get(k(i)); !ok {
+			t.Errorf("entry %d evicted out of LRU order", i)
+		}
+	}
+	// Overwriting an existing key must not grow the cache.
+	m.put(k(3), machine.RunResult{AvgPowerWatts: 9})
+	if m.Len() != 3 {
+		t.Fatalf("len after overwrite = %d, want 3", m.Len())
+	}
+	if r, _ := m.get(k(3)); r.AvgPowerWatts != 9 {
+		t.Errorf("overwrite not visible: %v", r.AvgPowerWatts)
+	}
+}
+
+// TestMemoNilTelemetry exercises the counter-free path.
+func TestMemoNilTelemetry(t *testing.T) {
+	m := NewMemo(1)
+	m.put(memoKey{seed: 1}, machine.RunResult{})
+	if _, ok := m.get(memoKey{seed: 1}); !ok {
+		t.Fatal("miss on stored key")
+	}
+	if _, ok := m.get(memoKey{seed: 2}); ok {
+		t.Fatal("hit on absent key")
+	}
+}

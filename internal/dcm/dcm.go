@@ -355,6 +355,22 @@ func (m *Manager) Nodes() []NodeStatus {
 	return out
 }
 
+// DesiredCapSum sums the enabled desired caps across the fleet — the
+// quantity the budget-conservation invariant audits. Unlike Nodes()
+// it allocates nothing, so a per-tick auditor can call it at 10k-node
+// scale without turning the audit loop into a garbage factory.
+func (m *Manager) DesiredCapSum() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum float64
+	for _, n := range m.nodes {
+		if n.status.CapEnabled {
+			sum += n.status.CapWatts
+		}
+	}
+	return sum
+}
+
 // node fetches a registered node.
 func (m *Manager) node(name string) (*managedNode, error) {
 	m.mu.Lock()

@@ -127,7 +127,8 @@ type Store struct {
 	journal  *os.File
 	pending  int // records in the journal since the last snapshot
 	closed   bool
-	replayed int // journal records recovered by Open (tests)
+	nosync   bool // SetSync(false): skip the per-record fsync
+	replayed int  // journal records recovered by Open (tests)
 	// inc is this open's incarnation: a per-dir counter durably bumped
 	// by every Open, so no two lifetimes of the same state dir share a
 	// value. SetGenForEpoch folds it into the replication generation.
@@ -347,6 +348,20 @@ func (s *Store) Replayed() int {
 	return s.replayed
 }
 
+// SetSync toggles the per-record journal fsync (on by default).
+// Turning it off trades the power-loss durability guarantee for append
+// throughput: the bytes still reach the file (readable by any
+// subsequent Open, including after a process kill), but are not forced
+// to stable storage per record. The chaos harness disables it —
+// simulated crashes reread the file rather than cutting power, and
+// fleet-scale runs would otherwise spend their wall-clock budget in
+// fsync — while production managers leave it on.
+func (s *Store) SetSync(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nosync = !on
+}
+
 // Apply folds r into the state and journals it durably (fsync before
 // returning). Past SnapshotEvery journal records it compacts.
 func (s *Store) Apply(r Record) error {
@@ -362,8 +377,10 @@ func (s *Store) Apply(r Record) error {
 	if _, err := s.journal.Write(line); err != nil {
 		return fmt.Errorf("store: journal append: %w", err)
 	}
-	if err := s.journal.Sync(); err != nil {
-		return fmt.Errorf("store: journal sync: %w", err)
+	if !s.nosync {
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("store: journal sync: %w", err)
+		}
 	}
 	s.state.apply(r)
 	s.pending++

@@ -1,0 +1,27 @@
+package fleet
+
+// Counter-based randomness: each node carries one uint64 of stream
+// state, advanced by the SplitMix64 increment and finalized into an
+// output word on demand. Unlike math/rand generators there is no
+// object to pointer-chase and no hidden shared state — the stream is a
+// pure function of (seed, node index, draw count), which is exactly
+// the property the parallel tick needs: any shard can draw node i's
+// next value without observing any other node.
+const splitmixGamma = 0x9e3779b97f4a7c15
+
+// splitmix finalizes a SplitMix64 state word into an output word.
+func splitmix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// noiseStreamKey derives node i's initial stream state from the fleet
+// seed. The multipliers are odd constants chosen to decorrelate
+// adjacent nodes; the finalizer then whitens the combination.
+func noiseStreamKey(seed int64, i int) uint64 {
+	return splitmix(uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0xd1342543de82ef95 + 1)
+}

@@ -1,0 +1,199 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachWorkersExceedItems pins the clamp: more workers than
+// items still covers every index exactly once and spawns no goroutine
+// that could race past n.
+func TestForEachWorkersExceedItems(t *testing.T) {
+	const n = 3
+	var hits [n]atomic.Int32
+	ForEach(n, 64, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d invoked %d times", i, got)
+		}
+	}
+}
+
+// TestForEachPanicPropagates checks the documented panic surface: a
+// panic in fn reaches the caller (not the runtime's goroutine crash),
+// in-flight work completes, and remaining indices are abandoned.
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var ran atomic.Int32
+		func() {
+			defer func() {
+				r := recover()
+				if r != "boom" {
+					t.Fatalf("parallelism %d: recovered %v, want \"boom\"", par, r)
+				}
+			}()
+			ForEach(1000, par, func(i int) {
+				if i == 5 {
+					panic("boom")
+				}
+				ran.Add(1)
+			})
+			t.Fatalf("parallelism %d: ForEach returned instead of panicking", par)
+		}()
+		if got := ran.Load(); got >= 1000 {
+			t.Errorf("parallelism %d: all %d non-panicking indices ran; abandonment never kicked in", par, got)
+		}
+	}
+}
+
+// TestGangPanicPropagates mirrors the ForEach contract on the
+// persistent gang, and checks the gang survives to run again.
+func TestGangPanicPropagates(t *testing.T) {
+	g := NewGang(4)
+	defer g.Close()
+	func() {
+		defer func() {
+			if r := recover(); r != "shard-boom" {
+				t.Fatalf("recovered %v, want \"shard-boom\"", r)
+			}
+		}()
+		g.Run(100, func(worker, lo, hi int) {
+			if lo == 0 {
+				panic("shard-boom")
+			}
+		})
+		t.Fatal("Run returned instead of panicking")
+	}()
+	// The gang must be reusable after a panicking dispatch.
+	var covered atomic.Int64
+	g.Run(100, func(worker, lo, hi int) { covered.Add(int64(hi - lo)) })
+	if covered.Load() != 100 {
+		t.Fatalf("post-panic dispatch covered %d of 100", covered.Load())
+	}
+}
+
+// TestGangRunAfterClosePanics pins the misuse surface.
+func TestGangRunAfterClosePanics(t *testing.T) {
+	g := NewGang(2)
+	g.Close()
+	g.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run on closed gang did not panic")
+		}
+	}()
+	g.Run(10, func(worker, lo, hi int) {})
+}
+
+// TestGangCoversAndIsDeterministic checks every dispatch covers
+// [0, total) in contiguous disjoint ranges and that the partition for
+// a given (total, workers) never varies across dispatches.
+func TestGangCoversAndIsDeterministic(t *testing.T) {
+	g := NewGang(4)
+	defer g.Close()
+	for _, total := range []int{1, 3, 4, 5, 100, 101} {
+		type rng struct{ lo, hi int }
+		var mu atomic.Int64
+		seen := make([]rng, g.Workers())
+		for i := range seen {
+			seen[i] = rng{-1, -1}
+		}
+		g.Run(total, func(worker, lo, hi int) {
+			seen[worker] = rng{lo, hi}
+			mu.Add(int64(hi - lo))
+		})
+		if mu.Load() != int64(total) {
+			t.Fatalf("total %d: covered %d", total, mu.Load())
+		}
+		for w := 0; w < g.Workers(); w++ {
+			lo, hi := ShardRange(total, g.Workers(), w)
+			if lo < hi && (seen[w].lo != lo || seen[w].hi != hi) {
+				t.Fatalf("total %d worker %d: ran [%d,%d), ShardRange says [%d,%d)",
+					total, w, seen[w].lo, seen[w].hi, lo, hi)
+			}
+			if lo >= hi && seen[w].lo != -1 {
+				t.Fatalf("total %d worker %d: invoked for empty range [%d,%d)", total, w, lo, hi)
+			}
+		}
+	}
+}
+
+// TestShardRangeProperties sweeps (total, shards) combinations and
+// checks the partition invariants: disjoint, contiguous, covering,
+// sizes differing by at most one with larger shards first, and
+// out-of-range queries empty.
+func TestShardRangeProperties(t *testing.T) {
+	for total := 0; total <= 33; total++ {
+		for shards := 1; shards <= 9; shards++ {
+			prev, minSz, maxSz := 0, total+1, -1
+			for i := 0; i < shards; i++ {
+				lo, hi := ShardRange(total, shards, i)
+				if lo != prev {
+					t.Fatalf("total=%d shards=%d i=%d: lo=%d, want contiguous %d", total, shards, i, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("total=%d shards=%d i=%d: inverted range [%d,%d)", total, shards, i, lo, hi)
+				}
+				sz := hi - lo
+				if sz < minSz {
+					minSz = sz
+				}
+				if sz > maxSz {
+					maxSz = sz
+				}
+				if i > 0 {
+					pl, ph := ShardRange(total, shards, i-1)
+					if ph-pl < hi-lo {
+						t.Fatalf("total=%d shards=%d: shard %d larger than shard %d", total, shards, i, i-1)
+					}
+				}
+				prev = hi
+			}
+			if prev != total {
+				t.Fatalf("total=%d shards=%d: shards cover [0,%d)", total, shards, prev)
+			}
+			if total > 0 && maxSz-minSz > 1 {
+				t.Fatalf("total=%d shards=%d: shard sizes span [%d,%d]", total, shards, minSz, maxSz)
+			}
+		}
+	}
+	if lo, hi := ShardRange(10, 0, 0); lo != 0 || hi != 0 {
+		t.Errorf("zero shards returned [%d,%d)", lo, hi)
+	}
+	if lo, hi := ShardRange(10, 4, 7); lo != 0 || hi != 0 {
+		t.Errorf("out-of-range shard returned [%d,%d)", lo, hi)
+	}
+	if lo, hi := ShardRange(10, 4, -1); lo != 0 || hi != 0 {
+		t.Errorf("negative shard returned [%d,%d)", lo, hi)
+	}
+}
+
+// TestGangZeroWorkerRequest checks <= 0 normalizes to GOMAXPROCS like
+// the rest of the package.
+func TestGangZeroWorkerRequest(t *testing.T) {
+	g := NewGang(0)
+	defer g.Close()
+	if got := g.Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewGang(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	var covered atomic.Int64
+	g.Run(17, func(worker, lo, hi int) { covered.Add(int64(hi - lo)) })
+	if covered.Load() != 17 {
+		t.Fatalf("covered %d of 17", covered.Load())
+	}
+}
+
+// TestGangRunZeroAlloc pins the gang's reason to exist: steady-state
+// dispatch allocates nothing. The closure is hoisted so the measured
+// loop captures only dispatch overhead.
+func TestGangRunZeroAlloc(t *testing.T) {
+	g := NewGang(4)
+	defer g.Close()
+	var sink atomic.Int64
+	fn := func(worker, lo, hi int) { sink.Add(int64(hi - lo)) }
+	g.Run(1024, fn) // warm
+	if avg := testing.AllocsPerRun(100, func() { g.Run(1024, fn) }); avg != 0 {
+		t.Fatalf("Gang.Run allocates %.1f per dispatch, want 0", avg)
+	}
+}

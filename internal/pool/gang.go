@@ -1,0 +1,138 @@
+package pool
+
+import "sync"
+
+// Gang is a persistent crew of worker goroutines that repeatedly
+// execute contiguous-range fan-outs with zero steady-state allocation.
+// Where ForEach spawns goroutines per call (fine for coarse work like
+// whole-machine simulations), a Gang is built once and re-dispatched
+// per call, so a hot loop — the fleet engine's per-tick batch step —
+// can shard across cores thousands of times per second without
+// touching the allocator or the scheduler's spawn path.
+//
+// Dispatch semantics: Run(total, fn) partitions [0, total) into one
+// contiguous range per worker (sizes differing by at most one, lower
+// ranges first) and invokes fn(worker, lo, hi) on each worker whose
+// range is non-empty. Range boundaries depend only on (total, workers)
+// — never on timing — so callers that shard deterministic state by
+// index keep bit-identical output at any worker count.
+//
+// A Gang is NOT safe for concurrent Run calls; Run itself serializes
+// callers with a mutex, so concurrent use degrades to queueing rather
+// than corruption. Close releases the workers; Run after Close panics.
+type Gang struct {
+	workers int
+	start   []chan struct{}
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex // serializes Run/Close
+	fn     func(worker, lo, hi int)
+	total  int
+	closed bool
+
+	pmu      sync.Mutex
+	panicVal any
+	panicked bool
+}
+
+// NewGang builds a gang of Workers(workers) goroutines (so <= 0 means
+// GOMAXPROCS), parked until the first Run.
+func NewGang(workers int) *Gang {
+	w := Workers(workers)
+	g := &Gang{workers: w, start: make([]chan struct{}, w)}
+	for i := range g.start {
+		g.start[i] = make(chan struct{}, 1)
+		go g.work(i)
+	}
+	return g
+}
+
+// Workers reports the gang's fixed worker count.
+func (g *Gang) Workers() int { return g.workers }
+
+func (g *Gang) work(id int) {
+	for range g.start[id] {
+		g.runOne(id)
+	}
+}
+
+// runOne executes one dispatch on worker id, converting a panic in fn
+// into a recorded value re-raised by Run. Done is deferred first so it
+// still fires when fn panics.
+func (g *Gang) runOne(id int) {
+	defer g.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			g.pmu.Lock()
+			if !g.panicked {
+				g.panicked = true
+				g.panicVal = r
+			}
+			g.pmu.Unlock()
+		}
+	}()
+	lo, hi := ShardRange(g.total, g.workers, id)
+	if lo < hi {
+		g.fn(id, lo, hi)
+	}
+}
+
+// Run invokes fn over [0, total) partitioned across the gang, and
+// returns after every worker has finished. If any fn invocation
+// panicked, Run re-panics with the first recovered value once all
+// workers are quiescent. Zero allocations in steady state.
+func (g *Gang) Run(total int, fn func(worker, lo, hi int)) {
+	if total <= 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		panic("pool: Run on closed Gang")
+	}
+	g.fn, g.total = fn, total
+	g.panicked, g.panicVal = false, nil
+	g.wg.Add(g.workers)
+	for _, c := range g.start {
+		c <- struct{}{}
+	}
+	g.wg.Wait()
+	g.fn = nil
+	if g.panicked {
+		panic(g.panicVal)
+	}
+}
+
+// Close releases the worker goroutines. Idempotent.
+func (g *Gang) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, c := range g.start {
+		close(c)
+	}
+}
+
+// ShardRange returns the i-th of `shards` contiguous ranges covering
+// [0, total): sizes differ by at most one, larger shards first. Empty
+// ranges (lo == hi) occur when total < shards.
+func ShardRange(total, shards, i int) (lo, hi int) {
+	if shards <= 0 || total <= 0 || i < 0 || i >= shards {
+		return 0, 0
+	}
+	base, rem := total/shards, total%shards
+	lo = i * base
+	if i < rem {
+		lo += i
+	} else {
+		lo += rem
+	}
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}

@@ -30,6 +30,12 @@ func Workers(parallelism int) int {
 // need one code path for both modes. fn must be safe for concurrent
 // invocation when parallelism permits it; ForEach returns only after
 // every invocation has completed.
+//
+// A panic inside fn does not crash the process from a worker
+// goroutine: the remaining indices are abandoned (workers drain without
+// invoking fn again), in-flight invocations finish, and ForEach
+// re-panics on the calling goroutine with the first recovered value —
+// the same surface a panic in a plain sequential loop presents.
 func ForEach(n, parallelism int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -44,15 +50,35 @@ func ForEach(n, parallelism int, fn func(i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		pmu      sync.Mutex
+		panicked bool
+		panicVal any
+	)
+	abort := func() bool {
+		pmu.Lock()
+		defer pmu.Unlock()
+		return panicked
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pmu.Lock()
+					if !panicked {
+						panicked = true
+						panicVal = r
+					}
+					pmu.Unlock()
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || abort() {
 					return
 				}
 				fn(i)
@@ -60,4 +86,7 @@ func ForEach(n, parallelism int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
 }
