@@ -43,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		breakFS   = fs.Bool("break-failsafe-floor", false, "deliberately break the fail-safe P-state floor so the checker must flag it (harness self-test)")
 		breakFen  = fs.Bool("break-fencing", false, "deliberately disable the nodes' stale-epoch fence so single_writer must flag split-brain (harness self-test)")
 		breakRep  = fs.Bool("break-replication", false, "deliberately corrupt replicated records so replica_convergence must flag divergence (harness self-test)")
+		breakBrk  = fs.Bool("break-breaker", false, "deliberately misconfigure the circuit breakers (open breakers withhold cap pushes and never probe) so cap_push_bounded and no_starvation must both flag it (harness self-test)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -70,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	s.BreakFailSafeFloor = *breakFS
 	s.BreakFencing = *breakFen
 	s.BreakReplication = *breakRep
+	s.BreakBreaker = *breakBrk
 	stopCPU, err := profiling.StartCPU(*cpuProf)
 	if err != nil {
 		fmt.Fprintln(stderr, err)

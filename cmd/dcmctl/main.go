@@ -223,9 +223,9 @@ func printLeader(w io.Writer, resp dcm.Response) {
 func printNodes(w io.Writer, nodes []dcm.NodeStatus) {
 	nodes = append([]dcm.NodeStatus(nil), nodes...)
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
-	fmt.Fprintf(w, "%-12s %-22s %-4s %-9s %-8s %-8s %9s %9s %6s %5s %-9s %6s %6s %5s %6s %s\n",
+	fmt.Fprintf(w, "%-12s %-22s %-4s %-9s %-8s %-8s %9s %9s %6s %5s %-9s %-11s %8s %5s %6s %6s %5s %6s %s\n",
 		"NAME", "ADDR", "TIER", "REACHABLE", "CAP", "REPORTED", "POWER(W)", "FREQ(MHz)", "PSTATE", "GATE",
-		"HEALTH", "DRIFTS", "RECONS", "FAILS", "RECONN", "LAST-ERR")
+		"HEALTH", "BREAKER", "LAT", "SKIPS", "DRIFTS", "RECONS", "FAILS", "RECONN", "LAST-ERR")
 	for _, n := range nodes {
 		capFor := func(enabled bool, watts float64) string {
 			if !enabled {
@@ -243,12 +243,20 @@ func printNodes(w io.Writer, nodes []dcm.NodeStatus) {
 		if tier == "" {
 			tier = string(dcm.TierLow)
 		}
-		fmt.Fprintf(w, "%-12s %-22s %-4s %-9v %-8s %-8s %9.1f %9d P%-5d %5d %-9s %6d %6d %5d %6d %s\n",
+		brk := string(n.Breaker)
+		if brk == "" {
+			brk = string(dcm.BreakerClosed)
+		}
+		lat := "-"
+		if n.LatencyEWMA > 0 {
+			lat = n.LatencyEWMA.Round(10 * time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "%-12s %-22s %-4s %-9v %-8s %-8s %9.1f %9d P%-5d %5d %-9s %-11s %8s %5d %6d %6d %5d %6d %s\n",
 			n.Name, n.Addr, tier, n.Reachable,
 			capFor(n.CapEnabled, n.CapWatts),
 			capFor(n.ReportedCapEnabled, n.ReportedCapWatts),
 			n.Last.PowerWatts, n.Last.FreqMHz, n.Last.PState, n.Last.GatingLevel,
-			healthFlags(n), n.Drifts, n.Reconciles,
+			healthFlags(n), brk, lat, n.BusySkips, n.Drifts, n.Reconciles,
 			n.ConsecFailures, n.Reconnects, lastErr)
 	}
 }

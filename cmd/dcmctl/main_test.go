@@ -68,13 +68,15 @@ func TestPrintNodesGolden(t *testing.T) {
 	nodes := []dcm.NodeStatus{ // deliberately out of order
 		{
 			Name: "sim1", Addr: "127.0.0.1:9624", Reachable: false,
+			Breaker:   dcm.BreakerOpen,
 			LastError: "dial tcp: connection refused plus enough text to get truncated here",
 		},
 		{
 			Name: "sim0", Addr: "127.0.0.1:9623", Reachable: true, Tier: dcm.TierHigh,
 			CapEnabled: true, CapWatts: 140,
 			ReportedCapEnabled: true, ReportedCapWatts: 140,
-			Last:   dcm.Sample{PowerWatts: 138.4, FreqMHz: 2100, PState: 5, GatingLevel: 0},
+			Last:    dcm.Sample{PowerWatts: 138.4, FreqMHz: 2100, PState: 5, GatingLevel: 0},
+			Breaker: dcm.BreakerClosed, LatencyEWMA: 1530 * time.Microsecond, BusySkips: 4,
 			Drifts: 2, Reconciles: 1, Reconnects: 3,
 		},
 	}
@@ -85,9 +87,9 @@ func TestPrintNodesGolden(t *testing.T) {
 		t.Fatal("printNodes is not deterministic")
 	}
 	want := "" +
-		"NAME         ADDR                   TIER REACHABLE CAP      REPORTED  POWER(W) FREQ(MHz) PSTATE  GATE HEALTH    DRIFTS RECONS FAILS RECONN LAST-ERR\n" +
-		"sim0         127.0.0.1:9623         high true      140 W    140 W        138.4      2100 P5         0 ok             2      1     0      3 -\n" +
-		"sim1         127.0.0.1:9624         low  false     off      off            0.0         0 P0         0 ok             0      0     0      0 dial tcp: connection refused plus eno...\n"
+		"NAME         ADDR                   TIER REACHABLE CAP      REPORTED  POWER(W) FREQ(MHz) PSTATE  GATE HEALTH    BREAKER          LAT SKIPS DRIFTS RECONS FAILS RECONN LAST-ERR\n" +
+		"sim0         127.0.0.1:9623         high true      140 W    140 W        138.4      2100 P5         0 ok        closed        1.53ms     4      2      1     0      3 -\n" +
+		"sim1         127.0.0.1:9624         low  false     off      off            0.0         0 P0         0 ok        open               -     0      0      0     0      0 dial tcp: connection refused plus eno...\n"
 	if got1.String() != want {
 		t.Errorf("printNodes output changed:\ngot:\n%s\nwant:\n%s", got1.String(), want)
 	}

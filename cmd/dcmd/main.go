@@ -72,6 +72,22 @@ type options struct {
 	StaleAfter  time.Duration
 	Tiers       string
 
+	// Gray-failure defense (DESIGN §12). BreakerFailures trips a node's
+	// circuit breaker after that many consecutive failed exchanges
+	// (0 = the dcm default, negative disables breakers entirely);
+	// SlowThreshold arms the latency trip — consecutive successful
+	// exchanges slower than this also open the breaker (0 = off);
+	// BreakerOpen is the open hold before a half-open probe (0 = the
+	// retry-max backoff ceiling); HedgeDelay races a fresh-connection
+	// cap push against a shared-path push stalled this long (0 = off);
+	// PollBudget arms brownout shedding when a poll sweep overruns it
+	// (0 = off).
+	BreakerFailures int
+	SlowThreshold   time.Duration
+	BreakerOpen     time.Duration
+	HedgeDelay      time.Duration
+	PollBudget      time.Duration
+
 	// HA pair wiring. ReplicaAddr serves the replication feed (primary
 	// side); StandbyOf pulls a primary's feed and waits to take over;
 	// Lease is the shared lease file both members can reach (default:
@@ -105,6 +121,11 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.StateDir, "state-dir", "", "durable state directory: registry, caps and budget survive restarts")
 	fs.DurationVar(&o.StaleAfter, "stale-after", dcm.DefaultStaleAfter, "age after which an unreachable node's demand stops counting in budgets")
 	fs.StringVar(&o.Tiers, "tiers", "", "comma-separated NAME=high|low priority presets applied as nodes register")
+	fs.IntVar(&o.BreakerFailures, "breaker-failures", 0, "consecutive failed exchanges that open a node's circuit breaker (0 = default, negative = breakers off)")
+	fs.DurationVar(&o.SlowThreshold, "slow-threshold", 0, "exchange latency over which consecutive successful-but-slow polls open the breaker (0 = latency trip off)")
+	fs.DurationVar(&o.BreakerOpen, "breaker-open", 0, "open-breaker hold before a single half-open probe (0 = the -retry-max ceiling)")
+	fs.DurationVar(&o.HedgeDelay, "hedge-delay", 0, "hedge a cap push over a fresh connection when the shared path stalls this long (0 = no hedging)")
+	fs.DurationVar(&o.PollBudget, "poll-budget", 0, "poll sweep duration that arms brownout shedding of low-value work when overrun (0 = no shedding)")
 	fs.StringVar(&o.ReplicaAddr, "replica-addr", "", "address to serve the journal replication feed on (HA primary side)")
 	fs.StringVar(&o.StandbyOf, "standby-of", "", "primary's replication address; run as hot standby and take over when its lease lapses")
 	fs.StringVar(&o.Lease, "lease", "", "shared leadership lease file (default: <state-dir>/"+store.LeaseFileName+")")
@@ -146,6 +167,24 @@ func (o options) leaseTTL() time.Duration {
 		return DefaultLeaseTTL
 	}
 	return o.LeaseTTL
+}
+
+// tune applies the manager knobs every dcmd-built manager shares —
+// retry backoff, poll parallelism, staleness, and the gray-failure
+// defense — so the primary, the standby placeholder, and a promoted
+// standby's rebuilt manager all run the same configuration.
+func (o options) tune(mgr *dcm.Manager) {
+	mgr.RetryBaseDelay = o.RetryBase
+	mgr.RetryMaxDelay = o.RetryMax
+	mgr.PollConcurrency = o.PollWorkers
+	mgr.StaleAfter = o.StaleAfter
+	mgr.Breaker = dcm.BreakerConfig{
+		FailureThreshold: o.BreakerFailures,
+		SlowThreshold:    o.SlowThreshold,
+		OpenTimeout:      o.BreakerOpen,
+	}
+	mgr.HedgeDelay = o.HedgeDelay
+	mgr.PollBudget = o.PollBudget
 }
 
 // daemon is a running dcmd instance; tests drive it in-process.
@@ -210,10 +249,7 @@ func start(opts options, dial dcm.Dialer, logf func(format string, args ...any))
 	}
 
 	mgr := dcm.NewManager(dial)
-	mgr.RetryBaseDelay = opts.RetryBase
-	mgr.RetryMaxDelay = opts.RetryMax
-	mgr.PollConcurrency = opts.PollWorkers
-	mgr.StaleAfter = opts.StaleAfter
+	opts.tune(mgr)
 	mgr.SetTelemetry(reg, trace)
 	if opts.StateDir != "" {
 		if err := mgr.OpenStateDir(opts.StateDir); err != nil {
@@ -345,10 +381,7 @@ func startStandby(opts options, dial dcm.Dialer, logf func(format string, args .
 	// it knows no nodes and refuses every mutation (RoleStandby), but
 	// answers "leader" so operators can see who to talk to.
 	mgr := dcm.NewManager(dial)
-	mgr.RetryBaseDelay = opts.RetryBase
-	mgr.RetryMaxDelay = opts.RetryMax
-	mgr.PollConcurrency = opts.PollWorkers
-	mgr.StaleAfter = opts.StaleAfter
+	opts.tune(mgr)
 	mgr.SetTelemetry(reg, trace)
 	mgr.SetFencing(dcm.RoleStandby, 0)
 
@@ -414,10 +447,7 @@ func (d *daemon) promote(epoch uint64) {
 	}
 
 	real := dcm.NewManager(d.dial)
-	real.RetryBaseDelay = d.opts.RetryBase
-	real.RetryMaxDelay = d.opts.RetryMax
-	real.PollConcurrency = d.opts.PollWorkers
-	real.StaleAfter = d.opts.StaleAfter
+	d.opts.tune(real)
 	real.SetTelemetry(d.reg, d.trace)
 	if err := real.OpenStateDir(d.opts.StateDir); err != nil {
 		// The replicated journal would not reopen: stay a fenced

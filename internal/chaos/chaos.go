@@ -30,6 +30,14 @@
 //     standby recovers from its (possibly torn) replicated journal
 //     equals the fold of the primary's journaled history up to the
 //     replication cursor minus the torn tail (HA scenarios).
+//  7. cap_push_bounded — a cap allocated to a clean-link node is
+//     applied by that node's BMC within CapPushBoundTicks, however
+//     much of the rest of the fleet is slow or flapping (solo
+//     scenarios; the priority-lane guarantee).
+//  8. no_starvation — every clean-link node's power reading is
+//     fetched at least once every StarvationRounds poll rounds:
+//     breaker holds, brownout shedding and busy-skips may delay a
+//     sample but never orphan a healthy node (solo scenarios).
 //
 // Determinism: a Scenario is a pure function of (name, seed, ticks,
 // nodes). All randomness comes from seeded math/rand streams — the
@@ -82,6 +90,23 @@ const (
 	// EvAddNode (re-)registers the node.
 	EvAddNode = "add-node"
 
+	// Gray-failure event kinds: the node stays alive but its link
+	// degrades — the failure mode the breaker/priority-lane layer
+	// (DESIGN §12) defends against.
+
+	// EvSlow makes every IPMI exchange with the node take
+	// Event.LatencyUS µs of simulated time (±25 % seeded jitter per
+	// call) — slow-but-alive, answering correctly just very late.
+	EvSlow = "slow"
+	// EvSlowHeal restores the node's exchange latency.
+	EvSlowHeal = "slow-heal"
+	// EvFlap makes the node's link cycle up/down with a period of
+	// Event.Period ticks (down half of each period) — the breaker must
+	// quarantine it rather than pay an endless probe tax.
+	EvFlap = "flap"
+	// EvFlapHeal stops the flapping and leaves the link up.
+	EvFlapHeal = "flap-heal"
+
 	// HA event kinds (require Scenario.HA; they act on the manager
 	// pair, not a node).
 
@@ -119,6 +144,10 @@ type Event struct {
 	// truncated at TornBytes modulo (journal length + 1), so a crash
 	// can land mid-record, between records, or lose nothing.
 	TornBytes int `json:"torn_bytes,omitempty"`
+	// LatencyUS is EvSlow's per-exchange latency in simulated µs.
+	LatencyUS int `json:"latency_us,omitempty"`
+	// Period is EvFlap's up/down cycle length in ticks.
+	Period int `json:"period,omitempty"`
 }
 
 // Scenario is a reproducible chaos timeline. Identical scenarios
@@ -162,6 +191,14 @@ type Scenario struct {
 	// caps). Exists to prove replica_convergence catches real
 	// divergence; see TestBrokenReplicationCaught.
 	BreakReplication bool `json:"break_replication,omitempty"`
+
+	// BreakBreaker misconfigures the gray-failure defense two ways at
+	// once: open breakers gate cap pushes (so a withheld cap ages past
+	// its bound) and never grant half-open probes (so a healed node is
+	// never sampled again). Exists to prove cap_push_bounded and
+	// no_starvation both catch real regressions; see
+	// TestBrokenBreakerCaught.
+	BreakBreaker bool `json:"break_breaker,omitempty"`
 
 	// Wire runs the fleet over real TCP sockets through
 	// faults.Transport instead of in-process frame dispatch. Slower
@@ -215,6 +252,14 @@ type Verdict struct {
 	FailSafeEntries uint64 `json:"fail_safe_entries"`
 	SensorFaults    uint64 `json:"sensor_faults"`
 
+	// Gray-failure defense outcomes (breaker trips, quarantines,
+	// brownout sheds, busy-skips, priority-lane pushes).
+	BreakerOpens uint64 `json:"breaker_opens,omitempty"`
+	Quarantines  uint64 `json:"quarantines,omitempty"`
+	Sheds        uint64 `json:"sheds,omitempty"`
+	BusySkips    uint64 `json:"busy_skips,omitempty"`
+	LanePushes   uint64 `json:"lane_pushes,omitempty"`
+
 	// Checks counts how many times each invariant was asserted.
 	Checks map[string]int `json:"checks"`
 	// Violations lists the first violations found (bounded);
@@ -264,6 +309,12 @@ func Run(s Scenario) (Verdict, error) {
 		}
 		if s.HA && (e.Kind == EvCrash || e.Kind == EvRestart) {
 			return Verdict{}, fmt.Errorf("chaos: event %q at tick %d is for solo scenarios; HA uses %q/%q", e.Kind, e.Tick, EvKillPrimary, EvRevive)
+		}
+		if e.Kind == EvSlow && e.LatencyUS <= 0 {
+			return Verdict{}, fmt.Errorf("chaos: event %q at tick %d needs a positive latency_us", e.Kind, e.Tick)
+		}
+		if e.Kind == EvFlap && e.Period <= 0 {
+			return Verdict{}, fmt.Errorf("chaos: event %q at tick %d needs a positive period", e.Kind, e.Tick)
 		}
 	}
 	pollEvery := s.PollEvery
@@ -331,6 +382,7 @@ func Run(s Scenario) (Verdict, error) {
 			}
 			next++
 		}
+		f.applyFlaps(tick)
 		f.tickNodes()
 		if f.ha != nil {
 			if err := f.haTick(tick, iv, &v); err != nil {
@@ -339,6 +391,7 @@ func Run(s Scenario) (Verdict, error) {
 		}
 		if f.mgr != nil && tick%pollEvery == pollEvery-1 {
 			f.mgr.Poll()
+			iv.notePoll()
 		}
 		if f.mgr != nil && tick%rebalanceEvery == rebalanceEvery-1 {
 			if group := f.group(); len(group) > 0 {
@@ -347,6 +400,7 @@ func Run(s Scenario) (Verdict, error) {
 				// must mirror every returned allocation.
 				allocs, _ := f.mgr.ApplyBudget(budget, group)
 				f.mirrorAllocs(allocs)
+				iv.noteAllocs(allocs, tick)
 			}
 		}
 		if f.ha != nil {
@@ -358,9 +412,15 @@ func Run(s Scenario) (Verdict, error) {
 	v.Checks = iv.checks
 	v.Violations = iv.violations
 	v.ViolationCount = iv.violationCount
+	snap := f.reg.Snapshot()
 	if s.HA {
-		v.FencedPushes = f.reg.Snapshot().Counters["dcm_fenced_pushes_total"]
+		v.FencedPushes = snap.Counters["dcm_fenced_pushes_total"]
 	}
+	v.BreakerOpens = snap.Counters["dcm_breaker_opens_total"]
+	v.Quarantines = snap.Counters["dcm_quarantines_total"]
+	v.Sheds = snap.Counters["dcm_sheds_total"]
+	v.BusySkips = snap.Counters["dcm_busy_skips_total"]
+	v.LanePushes = snap.Counters["dcm_lane_pushes_total"]
 	st := f.eng.Stats()
 	v.FailSafeEntries = st.FailSafeEntries
 	v.SensorFaults = st.SensorFaults

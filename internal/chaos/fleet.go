@@ -44,10 +44,20 @@ type Fleet struct {
 
 	// Per-node manager↔node link state, guarded by linkMu (the poll
 	// workers and, in wire mode, server connection goroutines read it
-	// concurrently with the run loop's fault injection).
-	linkMu sync.Mutex
-	down   []bool
-	asym   []bool
+	// concurrently with the run loop's fault injection). latNS is the
+	// injected per-exchange latency (EvSlow); latDraws counts each
+	// node's jitter draws so the jittered latency stream is a pure
+	// function of (seed, node, draw); flapPeriod/flapFrom describe an
+	// active EvFlap; sampled marks nodes whose power reading the
+	// manager fetched since the last notePoll (the no_starvation feed).
+	linkMu     sync.Mutex
+	down       []bool
+	asym       []bool
+	latNS      []int64
+	latDraws   []uint64
+	flapPeriod []int
+	flapFrom   []int
+	sampled    []bool
 
 	nameIdx map[string]int
 
@@ -99,6 +109,11 @@ func newFleet(s Scenario, dir string) (*Fleet, error) {
 		srvs:       make([]*ipmi.Server, s.Nodes),
 		down:       make([]bool, s.Nodes),
 		asym:       make([]bool, s.Nodes),
+		latNS:      make([]int64, s.Nodes),
+		latDraws:   make([]uint64, s.Nodes),
+		flapPeriod: make([]int, s.Nodes),
+		flapFrom:   make([]int, s.Nodes),
+		sampled:    make([]bool, s.Nodes),
 		nameIdx:    make(map[string]int, s.Nodes),
 		registered: make([]bool, s.Nodes),
 		meta:       make([]nodeMeta, s.Nodes),
@@ -165,6 +180,103 @@ func (f *Fleet) linkState(i int) (down, asym bool) {
 	return f.down[i], f.asym[i]
 }
 
+func (f *Fleet) setLat(i int, ns int64) {
+	f.linkMu.Lock()
+	f.latNS[i] = ns
+	f.linkMu.Unlock()
+}
+
+func (f *Fleet) setFlap(i, period, from int) {
+	f.linkMu.Lock()
+	f.flapPeriod[i], f.flapFrom[i] = period, from
+	f.linkMu.Unlock()
+	if period == 0 {
+		f.setLink(i, false, false)
+	}
+}
+
+// applyFlaps drives every flapping node's link for this tick: up for
+// the first half of each period, down for the second. Pure function of
+// (event schedule, tick), so flap schedules replay bit-identically.
+func (f *Fleet) applyFlaps(tick int) {
+	f.linkMu.Lock()
+	for i, period := range f.flapPeriod {
+		if period <= 0 {
+			continue
+		}
+		half := period / 2
+		if half < 1 {
+			half = 1
+		}
+		f.down[i] = ((tick-f.flapFrom[i])/half)%2 == 1
+	}
+	f.linkMu.Unlock()
+}
+
+// injectLatency advances the sim clock by node i's jittered
+// per-exchange latency (no-op for non-slow nodes), so the manager
+// *measures* the storm through its ordinary clock reads. The jitter is
+// ±25 % around the injected base, drawn from a splitmix64 stream keyed
+// by (scenario seed, node, draw count) — one node's schedule never
+// depends on another's call interleaving.
+func (f *Fleet) injectLatency(i int) {
+	f.linkMu.Lock()
+	base := f.latNS[i]
+	var d int64
+	if base > 0 {
+		f.latDraws[i]++
+		frac := grayFrac(f.scenario.Seed, i, f.latDraws[i])
+		d = int64(float64(base) * (0.75 + 0.5*frac))
+	}
+	f.linkMu.Unlock()
+	if d > 0 {
+		atomic.AddInt64(&f.clockNS, d)
+	}
+}
+
+// grayFrac is draw n of node i's latency-jitter stream in [0, 1) —
+// the splitmix64 counter idiom from internal/fleet.
+func grayFrac(seed int64, i int, n uint64) float64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0xd1342543de82ef95 + n*0x9e3779b97f4a7c15 + 1
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// markSampled records that the manager fetched node i's power reading;
+// takeSampled consumes the marks (called once per poll round by the
+// no_starvation checker).
+func (f *Fleet) markSampled(i int) {
+	f.linkMu.Lock()
+	f.sampled[i] = true
+	f.linkMu.Unlock()
+}
+
+func (f *Fleet) takeSampled(dst []bool) {
+	f.linkMu.Lock()
+	copy(dst, f.sampled)
+	for i := range f.sampled {
+		f.sampled[i] = false
+	}
+	f.linkMu.Unlock()
+}
+
+// refreshElig writes each node's link cleanliness — not partitioned,
+// not slow, not flapping — into dst in one lock acquisition. The
+// gray-failure invariants audit only clean-link nodes ("healthy" in
+// the scenario's sense); a sick node is the defense layer's input, not
+// its obligation.
+func (f *Fleet) refreshElig(dst []bool) {
+	f.linkMu.Lock()
+	for i := range dst {
+		dst[i] = !f.down[i] && !f.asym[i] && f.latNS[i] == 0 && f.flapPeriod[i] == 0
+	}
+	f.linkMu.Unlock()
+}
+
 // simClock is the deterministic wall clock injected into the manager.
 // Each read advances simulated time by 1 µs, so every timestamp-
 // dependent decision (staleness verdicts, backoff gates, sample
@@ -195,6 +307,30 @@ func (f *Fleet) newManagerAt(dir string) (*dcm.Manager, error) {
 	// One poll worker keeps trace append order a function of the sorted
 	// node list alone, so verdict trace windows replay bit-identically.
 	mgr.PollConcurrency = 1
+	// Gray-failure defense, scaled to simClock's 1 µs-per-read pace: a
+	// healthy in-process exchange measures ~1 µs, a stormed node
+	// hundreds of µs, so 50 µs cleanly separates the populations. The
+	// open hold (60 µs) spans a few poll rounds; quarantine doubles it.
+	// Both must stay well under StarvationRounds' worth of poll rounds
+	// (a round advances the clock ≥ ~3 µs per registered node), or a
+	// healed node still serving its hold trips no_starvation.
+	mgr.Breaker = dcm.BreakerConfig{
+		FailureThreshold: 3,
+		SlowThreshold:    50 * time.Microsecond,
+		SlowConsecutive:  2,
+		OpenTimeout:      60 * time.Microsecond,
+		FlapWindow:       5 * time.Millisecond,
+		FlapMax:          4,
+		QuarantineHold:   120 * time.Microsecond,
+	}
+	mgr.PollBudget = 400 * time.Microsecond
+	if f.scenario.BreakBreaker {
+		// Self-test sabotage: verdicts still trip, but open breakers gate
+		// cap pushes and never probe, so healed nodes stay dark — the
+		// -break-breaker run must make both gray invariants fire.
+		mgr.BreakerHoldsPushes = true
+		mgr.BreakerNeverProbes = true
+	}
 	mgr.SetTelemetry(f.reg, f.trace)
 	if err := mgr.OpenStateDir(dir); err != nil {
 		return nil, fmt.Errorf("chaos: opening state dir: %w", err)
@@ -408,6 +544,34 @@ func (f *Fleet) applyEvent(e Event, iv *invariants, v *Verdict) error {
 		}
 	case EvHeal:
 		f.setLink(e.Node, false, false)
+		if f.scenario.Wire {
+			f.transports[e.Node].SetProfile(faults.Profile{Seed: f.scenario.Seed + int64(e.Node) + 1})
+		}
+	case EvSlow:
+		f.setLat(e.Node, int64(e.LatencyUS)*1000)
+		if f.scenario.Wire {
+			lat := time.Duration(e.LatencyUS) * time.Microsecond
+			f.transports[e.Node].SetProfile(faults.Profile{
+				Seed:        f.scenario.Seed + int64(e.Node) + 1,
+				ReadLatency: lat, ReadJitter: lat / 2,
+			})
+		}
+	case EvSlowHeal:
+		f.setLat(e.Node, 0)
+		if f.scenario.Wire {
+			f.transports[e.Node].SetProfile(faults.Profile{Seed: f.scenario.Seed + int64(e.Node) + 1})
+		}
+	case EvFlap:
+		f.setFlap(e.Node, e.Period, e.Tick)
+		if f.scenario.Wire {
+			f.transports[e.Node].SetProfile(faults.Profile{
+				Seed:       f.scenario.Seed + int64(e.Node) + 1,
+				FlapPeriod: time.Duration(e.Period) * 10 * time.Millisecond,
+				FlapDuty:   0.5,
+			})
+		}
+	case EvFlapHeal:
+		f.setFlap(e.Node, 0, e.Tick)
 		if f.scenario.Wire {
 			f.transports[e.Node].SetProfile(faults.Profile{Seed: f.scenario.Seed + int64(e.Node) + 1})
 		}

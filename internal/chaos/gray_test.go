@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestLatencyStormScenarioHolds: slow-but-alive nodes must be isolated
+// by the latency trip without breaching any invariant — in particular,
+// caps allocated to the healthy remainder must keep landing on time
+// (cap_push_bounded) and nobody healthy may go unsampled
+// (no_starvation).
+func TestLatencyStormScenarioHolds(t *testing.T) {
+	v := mustRun(t, "latency-storm", 6, 1200, 5)
+	assertPass(t, v)
+	if v.BreakerOpens == 0 {
+		t.Error("latency storm never tripped a breaker — the slow-exchange trip is not firing")
+	}
+	if v.Checks[InvCapPushBounded] == 0 {
+		t.Error("cap_push_bounded never asserted")
+	}
+	if v.Checks[InvNoStarvation] == 0 {
+		t.Error("no_starvation never asserted")
+	}
+}
+
+// TestFlapperScenarioHolds: a link cycling up/down must end up
+// quarantined (the flap detector working) rather than violating the
+// sampling or push bounds for the rest of the fleet.
+func TestFlapperScenarioHolds(t *testing.T) {
+	v := mustRun(t, "flapper", 7, 1200, 5)
+	assertPass(t, v)
+	if v.BreakerOpens == 0 {
+		t.Error("flapper never opened a breaker")
+	}
+	if v.Quarantines == 0 {
+		t.Error("flapper never drove a quarantine — flap detection is not firing")
+	}
+	if v.Checks[InvCapPushBounded] == 0 || v.Checks[InvNoStarvation] == 0 {
+		t.Error("gray invariants never asserted")
+	}
+}
+
+// TestSlowHerdScenarioHolds: the ISSUE's acceptance shape — half the
+// fleet slow at once, dragging the poll round over its brownout
+// budget, while caps pushed to the healthy half must still land within
+// the bound.
+func TestSlowHerdScenarioHolds(t *testing.T) {
+	v := mustRun(t, "slow-herd", 8, 1500, 6)
+	assertPass(t, v)
+	if v.BreakerOpens == 0 {
+		t.Error("slow herd never tripped a breaker")
+	}
+	if v.Sheds == 0 {
+		t.Error("slow herd never drove a brownout shed — the poll budget is not binding")
+	}
+	if v.Checks[InvCapPushBounded] == 0 {
+		t.Error("cap_push_bounded never asserted for the healthy half")
+	}
+	if v.Checks[InvNoStarvation] == 0 {
+		t.Error("no_starvation never asserted")
+	}
+}
+
+// TestGrayVerdictDeterministic: gray-failure runs — jittered latency
+// schedules, flap phases, shed levels and all — replay to bit-identical
+// verdict JSON, so a failing (scenario, seed) pair is a complete bug
+// report.
+func TestGrayVerdictDeterministic(t *testing.T) {
+	for _, name := range []string{"latency-storm", "flapper", "slow-herd"} {
+		j1, _ := json.Marshal(mustRun(t, name, 9, 900, 5))
+		j2, _ := json.Marshal(mustRun(t, name, 9, 900, 5))
+		if string(j1) != string(j2) {
+			t.Fatalf("%s verdicts diverge:\n%s\n%s", name, j1, j2)
+		}
+	}
+}
+
+// TestBrokenBreakerCaught: with the defense layer deliberately
+// misconfigured — open breakers gate cap pushes and never grant
+// half-open probes — BOTH gray checkers must fire: a healed node's
+// withheld cap ages past cap_push_bounded, and the never-probed node
+// starves past no_starvation. Proves the checkers detect real
+// regressions rather than vacuously passing.
+func TestBrokenBreakerCaught(t *testing.T) {
+	s, err := Build("latency-storm", 6, 1200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.BreakBreaker = true
+	s.StateDir = t.TempDir()
+	v, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatal("broken breaker not caught by the gray invariants")
+	}
+	var pushCaught, starveCaught bool
+	for _, viol := range v.Violations {
+		if contains(viol.Msg, InvCapPushBounded) {
+			pushCaught = true
+		}
+		if contains(viol.Msg, InvNoStarvation) {
+			starveCaught = true
+		}
+	}
+	if !pushCaught {
+		t.Errorf("%s never fired against a breaker that withholds pushes; violations: %v", InvCapPushBounded, v.Violations)
+	}
+	if !starveCaught {
+		t.Errorf("%s never fired against a breaker that never probes; violations: %v", InvNoStarvation, v.Violations)
+	}
+}

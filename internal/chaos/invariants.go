@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"nodecap/internal/dcm"
 	"nodecap/internal/dcm/store"
 )
 
@@ -15,6 +16,8 @@ const (
 	InvRecoveryIntegrity  = "recovery_integrity"
 	InvSingleWriter       = "single_writer"
 	InvReplicaConvergence = "replica_convergence"
+	InvCapPushBounded     = "cap_push_bounded"
+	InvNoStarvation       = "no_starvation"
 )
 
 // Checker tuning.
@@ -34,6 +37,24 @@ const (
 	// violationTraceWindow is how many trailing control-decision trace
 	// events each recorded violation carries for post-mortem context.
 	violationTraceWindow = 12
+
+	// CapPushBoundTicks is cap_push_bounded's deadline: a cap allocated
+	// to a clean-link node must be applied by that node's BMC within
+	// this many ticks, no matter how much of the rest of the fleet is
+	// slow or flapping — the end-to-end guarantee the priority lane and
+	// breaker isolation exist to provide.
+	CapPushBoundTicks = 60
+
+	// StarvationRounds is no_starvation's deadline, in poll rounds: a
+	// clean-link node must have its power reading fetched at least once
+	// every StarvationRounds rounds. Sized to let a just-healed node sit
+	// out a full quarantine hold plus a few probe gates before the
+	// checker calls it starved.
+	StarvationRounds = 16
+
+	// capPushTolW absorbs the wire codec's 0.01 W cap resolution when
+	// matching an applied cap against the allocated one.
+	capPushTolW = 0.011
 )
 
 // invariants is the per-run checker state.
@@ -41,15 +62,39 @@ type invariants struct {
 	f      *Fleet
 	budget float64
 
+	// Gray-failure checker state (solo scenarios only; the HA pair
+	// resets manager-side counters at every promotion). pollRounds
+	// counts completed manager poll rounds; lastSampled[i] is the round
+	// node i's power reading was last fetched (frozen while the node is
+	// ineligible). pending* track the newest budget allocation to each
+	// clean-link node that its BMC has not yet applied. elig/sampledBuf
+	// are reused snapshot buffers.
+	gray        bool
+	pollRounds  int
+	lastSampled []int
+	pendingOn   []bool
+	pendingCap  []float64
+	pendingTick []int
+	elig        []bool
+	sampledBuf  []bool
+
 	checks         map[string]int
 	violations     []Violation
 	violationCount int
 }
 
 func newInvariants(f *Fleet, budget float64) *invariants {
+	n := f.scenario.Nodes
 	return &invariants{
-		f:      f,
-		budget: budget,
+		f:           f,
+		budget:      budget,
+		gray:        !f.scenario.HA,
+		lastSampled: make([]int, n),
+		pendingOn:   make([]bool, n),
+		pendingCap:  make([]float64, n),
+		pendingTick: make([]int, n),
+		elig:        make([]bool, n),
+		sampledBuf:  make([]bool, n),
 		checks: map[string]int{
 			InvCapRespected:       0,
 			InvBudgetConserved:    0,
@@ -57,8 +102,63 @@ func newInvariants(f *Fleet, budget float64) *invariants {
 			InvRecoveryIntegrity:  0,
 			InvSingleWriter:       0,
 			InvReplicaConvergence: 0,
+			InvCapPushBounded:     0,
+			InvNoStarvation:       0,
 		},
 		violations: []Violation{},
+	}
+}
+
+// notePoll records one completed manager poll round, consuming the
+// fleet's sampled marks into the starvation clock.
+func (iv *invariants) notePoll() {
+	if !iv.gray {
+		return
+	}
+	iv.pollRounds++
+	iv.f.takeSampled(iv.sampledBuf)
+	for i, s := range iv.sampledBuf {
+		if s {
+			iv.lastSampled[i] = iv.pollRounds
+		}
+	}
+}
+
+// noteAllocs arms cap_push_bounded for every allocation handed to a
+// clean-link node: its BMC must apply that cap within
+// CapPushBoundTicks. Allocations to sick nodes are not tracked — the
+// bound is a promise about healthy nodes under a degraded fleet, not
+// about the degraded nodes themselves.
+func (iv *invariants) noteAllocs(allocs []dcm.Allocation, tick int) {
+	if !iv.gray || iv.f.mgr == nil {
+		return
+	}
+	iv.f.refreshElig(iv.elig)
+	for _, a := range allocs {
+		i, ok := iv.f.nameIdx[a.Name]
+		if !ok || !iv.f.registered[i] || !iv.elig[i] || a.CapWatts <= 0 {
+			continue
+		}
+		// A re-allocation to a still-unresolved node updates the cap to
+		// match but keeps the original deadline: the node has owed *some*
+		// applied cap since the first unmet allocation, and restarting
+		// the clock every rebalance would let a wedged push path skate
+		// forever.
+		if !iv.pendingOn[i] {
+			iv.pendingTick[i] = tick
+		}
+		iv.pendingOn[i] = true
+		iv.pendingCap[i] = a.CapWatts
+	}
+}
+
+// clearGray drops all armed cap-push deadlines and rebases the
+// starvation clock — called while the manager is down (there is no
+// pusher or poller to hold to a deadline).
+func (iv *invariants) clearGray() {
+	for i := range iv.pendingOn {
+		iv.pendingOn[i] = false
+		iv.lastSampled[i] = iv.pollRounds
 	}
 }
 
@@ -104,12 +204,33 @@ func (iv *invariants) violate(format string, args ...any) {
 //     leader's — split-brain, the exact thing the fence exists to
 //     make impossible. The count is consumed against a watermark so
 //     each regression is reported once, at the tick it happened.
+//
+// Two more ride the same fused pass in gray-failure (solo) scenarios:
+//
+//   - cap_push_bounded: every budget allocation handed to a clean-link
+//     node is applied by that node's BMC within CapPushBoundTicks,
+//     however degraded the rest of the fleet is. A node that turns
+//     sick mid-deadline is released from it.
+//   - no_starvation: every clean-link node's power reading is fetched
+//     at least once every StarvationRounds poll rounds — breaker
+//     holds, brownout shedding and busy-skips may delay a sample but
+//     never orphan a healthy node.
 func (iv *invariants) checkTick(tick int) {
 	e := iv.f.eng
 	p := e.Params()
 	floor := e.FloorWatts()
 	fsFloor := int32(p.FailSafePState)
-	var capChecks, fsChecks, writerChecks int
+	var capChecks, fsChecks, writerChecks, pushChecks int
+
+	grayOn := iv.gray
+	if grayOn {
+		if iv.f.mgr == nil {
+			iv.clearGray()
+			grayOn = false
+		} else {
+			iv.f.refreshElig(iv.elig)
+		}
+	}
 
 	e.Lock()
 	a := e.Audit()
@@ -157,13 +278,57 @@ func (iv *invariants) checkTick(tick int) {
 			iv.violate("tick %d: %s: %s: %d stale-epoch actuation(s) reached the plant",
 				tick, e.Name(i), InvSingleWriter, reg-prev)
 		}
+
+		// cap_push_bounded
+		if grayOn && iv.pendingOn[i] {
+			switch {
+			case !iv.f.registered[i] || !iv.elig[i]:
+				// The node turned sick (or left the group) mid-deadline;
+				// the bound is only promised to healthy members.
+				iv.pendingOn[i] = false
+			case a.CapEnabled[i] &&
+				a.CapWatts[i] >= iv.pendingCap[i]-capPushTolW &&
+				a.CapWatts[i] <= iv.pendingCap[i]+capPushTolW:
+				iv.pendingOn[i] = false
+				pushChecks++
+			case tick-iv.pendingTick[i] > CapPushBoundTicks:
+				iv.violate("tick %d: %s: %s: cap %.2f W allocated at tick %d still not applied after %d ticks",
+					tick, e.Name(i), InvCapPushBounded, iv.pendingCap[i], iv.pendingTick[i], tick-iv.pendingTick[i])
+				iv.pendingOn[i] = false
+				pushChecks++
+			}
+		}
 	}
 	e.Unlock()
 
 	iv.checks[InvCapRespected] += capChecks
 	iv.checks[InvNoFailSafeSpeedup] += fsChecks
 	iv.checks[InvSingleWriter] += writerChecks
+	iv.checks[InvCapPushBounded] += pushChecks
+	if grayOn {
+		iv.checkStarvation(tick)
+	}
 	iv.checkBudgetConserved(tick)
+}
+
+// checkStarvation asserts no_starvation against the poll-round clock:
+// a clean-link registered node whose last sample is more than
+// StarvationRounds rounds old has been orphaned by the defense layer.
+// Ineligible nodes ride the clock at age zero, so a healing node owes
+// nothing for time it was legitimately dark.
+func (iv *invariants) checkStarvation(tick int) {
+	for i := range iv.lastSampled {
+		if !iv.f.registered[i] || !iv.elig[i] {
+			iv.lastSampled[i] = iv.pollRounds
+			continue
+		}
+		iv.checks[InvNoStarvation]++
+		if iv.pollRounds-iv.lastSampled[i] > StarvationRounds {
+			iv.violate("tick %d: %s: %s: healthy node unsampled for %d poll rounds (bound %d)",
+				tick, iv.f.name(i), InvNoStarvation, iv.pollRounds-iv.lastSampled[i], StarvationRounds)
+			iv.lastSampled[i] = iv.pollRounds
+		}
+	}
 }
 
 // checkBudgetConserved: the sum of the manager's enabled desired caps

@@ -36,6 +36,9 @@ func (c *nodeCtl) DeviceInfo() ipmi.DeviceInfo {
 // per-tick noise stream, and DCM's demand signal is a recent average
 // anyway.
 func (c *nodeCtl) PowerReading() ipmi.PowerReading {
+	// Feed for the no_starvation checker: the manager demonstrably read
+	// this node's power since the last poll-round audit.
+	c.f.markSampled(c.i)
 	w := c.f.eng.ManagementWatts(c.i)
 	return ipmi.PowerReading{CurrentWatts: w, AverageWatts: w}
 }
@@ -101,6 +104,10 @@ func (l *memLink) call(cmd uint8, payload []byte) ([]byte, error) {
 	if down {
 		return nil, errLinkDown
 	}
+	// A stormed node answers correctly but late: advance simulated time
+	// by this exchange's jittered latency so the manager's clock reads
+	// around the call measure the slowness for real.
+	l.f.injectLatency(l.i)
 	l.seq++
 	req := ipmi.Frame{Seq: l.seq, NetFn: ipmi.NetFnOEM, Cmd: cmd, Payload: payload}
 	b, err := req.Marshal()

@@ -11,6 +11,7 @@ import (
 // `cmd/chaos -list` prints them.
 var ScenarioNames = []string{
 	"partition", "crash-restart", "sensor-storm", "churn", "mixed",
+	"latency-storm", "flapper", "slow-herd",
 	"failover-kill", "fence-duel", "replica-torn-tail",
 }
 
@@ -50,6 +51,12 @@ func Build(name string, seed int64, ticks, nodes int) (Scenario, error) {
 		ev = append(ev, churnEvents(rng, ticks, nodes, 2*third, nodes)...)
 		ev = append(ev, crashEvents(rng, ticks)...)
 		s.Events = ev
+	case "latency-storm":
+		s.Events = latencyEvents(rng, ticks, nodes, 0, nodes)
+	case "flapper":
+		s.Events = flapEvents(rng, ticks, nodes, 0, nodes)
+	case "slow-herd":
+		s.Events = herdEvents(rng, ticks, nodes)
 	case "failover-kill":
 		s.HA = true
 		s.Events = failoverEvents(rng, ticks)
@@ -135,6 +142,72 @@ func churnEvents(rng *rand.Rand, ticks, nodes, lo, hi int) []Event {
 			Event{Tick: t, Kind: EvRemoveNode, Node: n},
 			Event{Tick: back, Kind: EvAddNode, Node: n},
 		)
+	}
+	return ev
+}
+
+// latencyEvents storms nodes in [lo,hi) with slow-but-alive windows:
+// every exchange answers correctly but hundreds of µs late (an order
+// of magnitude over the breaker's slow threshold), so the latency trip
+// — not failure counting — must isolate the node.
+func latencyEvents(rng *rand.Rand, ticks, nodes, lo, hi int) []Event {
+	var ev []Event
+	for t := DefaultRebalanceEvery + 10 + rng.Intn(20); t < ticks-60; t += 90 + rng.Intn(70) {
+		n := pick(rng, lo, hi, nodes)
+		heal := t + 30 + rng.Intn(50)
+		if heal >= ticks-10 {
+			heal = ticks - 10
+		}
+		ev = append(ev,
+			Event{Tick: t, Kind: EvSlow, Node: n, LatencyUS: 250 + rng.Intn(200)},
+			Event{Tick: heal, Kind: EvSlowHeal, Node: n},
+		)
+	}
+	return ev
+}
+
+// flapEvents cycles links in [lo,hi) up and down on short periods for
+// sustained windows — each down half-period fails the node's polls and
+// each up half-period tempts the breaker to close again. The flap
+// detector must quarantine rather than pay the probe tax forever.
+func flapEvents(rng *rand.Rand, ticks, nodes, lo, hi int) []Event {
+	var ev []Event
+	for t := DefaultRebalanceEvery + 10 + rng.Intn(20); t < ticks-80; t += 110 + rng.Intn(70) {
+		n := pick(rng, lo, hi, nodes)
+		heal := t + 40 + rng.Intn(50)
+		if heal >= ticks-15 {
+			heal = ticks - 15
+		}
+		ev = append(ev,
+			Event{Tick: t, Kind: EvFlap, Node: n, Period: 8 + rng.Intn(9)},
+			Event{Tick: heal, Kind: EvFlapHeal, Node: n},
+		)
+	}
+	return ev
+}
+
+// herdEvents storms half the fleet at once with long slow windows
+// spanning several rebalances — the ISSUE's cap_push_bounded
+// acceptance shape: caps allocated to the healthy half must still land
+// on time while every slow node drags the poll loop toward brownout.
+func herdEvents(rng *rand.Rand, ticks, nodes int) []Event {
+	half := nodes / 2
+	if half == 0 {
+		half = 1
+	}
+	var ev []Event
+	for t := DefaultRebalanceEvery + 10 + rng.Intn(15); t < ticks-100; t += 180 + rng.Intn(80) {
+		heal := t + 70 + rng.Intn(60)
+		if heal >= ticks-10 {
+			heal = ticks - 10
+		}
+		lat := 250 + rng.Intn(150)
+		for n := 0; n < half; n++ {
+			ev = append(ev,
+				Event{Tick: t, Kind: EvSlow, Node: n, LatencyUS: lat + 10*n},
+				Event{Tick: heal, Kind: EvSlowHeal, Node: n},
+			)
+		}
 	}
 	return ev
 }

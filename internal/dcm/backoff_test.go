@@ -1,0 +1,77 @@
+package dcm
+
+import (
+	"testing"
+	"time"
+)
+
+// envelope reproduces backoff's deterministic pre-jitter delay: capped
+// doubling of the base. The jittered result must land in
+// [envelope/2, envelope].
+func envelope(base, max time.Duration, failures int) time.Duration {
+	d := base
+	for i := 1; i < failures && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// TestBackoffProperties pins the redial backoff's contract: delays are
+// positive, bounded by RetryMaxDelay, within the jitter envelope whose
+// ceiling is monotone in failure count, and stable for absurdly large
+// counts (the doubling loop must saturate, not overflow).
+func TestBackoffProperties(t *testing.T) {
+	m := NewManager(func(addr string) (BMC, error) { return &flakyBMC{}, nil })
+	defer m.Close()
+	m.RetryBaseDelay = 10 * time.Millisecond
+	m.RetryMaxDelay = 50 * time.Millisecond
+
+	counts := make([]int, 0, 70)
+	for f := 1; f <= 64; f++ {
+		counts = append(counts, f)
+	}
+	// Large counts: doubling naively for these would overflow int64
+	// many times over; the loop must saturate at the cap instead.
+	counts = append(counts, 1<<16, 1<<20, 1<<30, 1<<40, 1<<62)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prevEnv := time.Duration(0)
+	for _, f := range counts {
+		env := envelope(m.RetryBaseDelay, m.RetryMaxDelay, f)
+		if env < prevEnv {
+			t.Fatalf("backoff envelope not monotone: f=%d env=%v < prev %v", f, env, prevEnv)
+		}
+		prevEnv = env
+		for trial := 0; trial < 32; trial++ {
+			d := m.backoff(f)
+			if d <= 0 {
+				t.Fatalf("backoff(%d) = %v, want > 0", f, d)
+			}
+			if d > m.RetryMaxDelay {
+				t.Fatalf("backoff(%d) = %v exceeds RetryMaxDelay %v", f, d, m.RetryMaxDelay)
+			}
+			if d < env/2 || d > env {
+				t.Fatalf("backoff(%d) = %v outside jitter envelope [%v, %v]", f, d, env/2, env)
+			}
+		}
+	}
+}
+
+// TestBackoffZeroConfig: an unconfigured manager falls back to package
+// defaults rather than producing zero (busy-loop) delays.
+func TestBackoffZeroConfig(t *testing.T) {
+	m := NewManager(func(addr string) (BMC, error) { return &flakyBMC{}, nil })
+	defer m.Close()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range []int{1, 7, 1 << 40} {
+		d := m.backoff(f)
+		if d <= 0 || d > DefaultRetryMaxDelay {
+			t.Errorf("zero-config backoff(%d) = %v, want in (0, %v]", f, d, DefaultRetryMaxDelay)
+		}
+	}
+}

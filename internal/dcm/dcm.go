@@ -139,6 +139,17 @@ type NodeStatus struct {
 	LastError      string    // most recent failure, empty when healthy
 	LastOKAt       time.Time // last successful exchange
 	NextRetryAt    time.Time // backoff gate for the next redial attempt
+
+	// Gray-failure defense telemetry (breaker.go). Breaker is the
+	// node's circuit-breaker state (closed/open/half-open/quarantined);
+	// LatencyEWMA and LatencyP99 track sample-exchange latency;
+	// BusySkips counts poll rounds skipped because another operation
+	// owned the node's I/O token.
+	Breaker      string
+	BreakerOpens int
+	LatencyEWMA  time.Duration
+	LatencyP99   time.Duration
+	BusySkips    int
 }
 
 // managedNode is one fleet entry. Locking discipline: status, history,
@@ -156,6 +167,15 @@ type managedNode struct {
 	status     NodeStatus
 	history    []Sample
 	nextRetry  time.Time
+
+	// capMu serializes priority-lane cap pushes (fresh connections that
+	// bypass the busy token when a slow poll owns it; see SetNodeCap).
+	capMu sync.Mutex
+
+	// consecSkips counts consecutive busy-skipped poll rounds (guarded
+	// by Manager.mu); brk is the node's circuit breaker (breaker.go).
+	consecSkips int
+	brk         breaker
 
 	// desired is the operator-intended policy; haveDesired
 	// distinguishes "never set" (nothing to reconcile) from "cap
@@ -212,6 +232,37 @@ type Manager struct {
 	// still counts as demand in AllocateBudget; beyond it the node is
 	// granted only its platform minimum (default DefaultStaleAfter).
 	StaleAfter time.Duration
+
+	// Breaker tunes the per-node circuit breakers (breaker.go). The
+	// zero value enables consecutive-failure tripping with defaults;
+	// set FailureThreshold to -1 to disable breakers entirely.
+	Breaker BreakerConfig
+
+	// HedgeDelay, when > 0, races a duplicate cap push on a fresh
+	// connection once the primary attempt has been in flight this long.
+	// Pushes are idempotent and epoch-fenced, so the duplicate is safe;
+	// 0 disables hedging.
+	HedgeDelay time.Duration
+
+	// PollBudget, when > 0, is the interval budget one Poll round is
+	// expected to fit in. A round that overruns it raises the shed
+	// level for subsequent rounds (brownout: open-breaker probes at
+	// reduced cadence, history appends skipped); rounds back under
+	// budget decay it. Drift reconciliation and cap pushes never shed.
+	PollBudget time.Duration
+
+	// BreakerHoldsPushes / BreakerNeverProbes deliberately mis-wire the
+	// gray-failure defenses for harness self-tests (chaos
+	// -break-breaker): pushes refuse to cross an open breaker, and open
+	// breakers never grant the half-open probe. They exist to prove the
+	// chaos checkers (cap_push_bounded, no_starvation) catch real
+	// regressions; production paths never set them.
+	BreakerHoldsPushes bool
+	BreakerNeverProbes bool
+
+	// shedLevel is the current brownout level (0 = none, capped at 2),
+	// guarded by mu.
+	shedLevel int
 
 	// tierDefaults holds operator-preset tiers (PresetNodeTier) applied
 	// when the named node registers, overriding the tier the platform
@@ -304,6 +355,7 @@ func (m *Manager) AddNode(name, addr string) error {
 			Name: name, Addr: addr, Reachable: true,
 			MinCapWatts: caps.MinCapWatts, MaxCapWatts: caps.MaxCapWatts,
 			Tier:     tier,
+			Breaker:  BreakerClosed,
 			LastOKAt: m.wallNow(),
 		},
 	}
@@ -407,20 +459,23 @@ func (m *Manager) backoff(failures int) time.Duration {
 	return d
 }
 
-// recordFailure marks one failed exchange and arms the backoff gate.
+// recordFailure marks one failed exchange, arms the backoff gate and
+// feeds the circuit breaker.
 func (m *Manager) recordFailure(n *managedNode, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n.status.Reachable = false
 	n.status.ConsecFailures++
 	n.status.LastError = err.Error()
-	n.nextRetry = m.wallNow().Add(m.backoff(n.status.ConsecFailures))
+	now := m.wallNow()
+	n.nextRetry = now.Add(m.backoff(n.status.ConsecFailures))
 	n.status.NextRetryAt = n.nextRetry
 	m.tel.backoffs.Inc()
 	m.tel.trace.Append(telemetry.Event{
 		Node: n.name, Kind: telemetry.EvBackoff,
 		N: int64(n.status.ConsecFailures), Err: n.status.LastError,
 	})
+	m.brkOnFailure(n, now, err)
 }
 
 // recordSuccess clears the failure state after a good exchange.
@@ -516,32 +571,133 @@ func (m *Manager) SetNodeCap(name string, capWatts float64) error {
 	if err := m.journalNode(store.OpSetCap, n); err != nil {
 		return err
 	}
-	n.acquire()
-	defer n.release()
+	if m.BreakerHoldsPushes {
+		// Harness self-test misconfiguration: a defense layer that lets
+		// breakers gate safety-critical pushes. The chaos cap_push_bounded
+		// checker must catch the caps this withholds.
+		m.mu.Lock()
+		s := n.brk.stateName()
+		m.mu.Unlock()
+		if s == BreakerOpen || s == BreakerQuarantined {
+			err := fmt.Errorf("dcm: breaker open for %q; push withheld (self-test)", name)
+			m.capPushFailed(name, capWatts, err)
+			return err
+		}
+	}
+	if n.tryAcquire() {
+		return m.pushShared(n, lim)
+	}
+	// Priority lane: another operation owns the busy token — typically
+	// a poll mid-exchange with a slow BMC. A safety-critical cap push
+	// must not queue behind best-effort telemetry, so it rides a fresh
+	// connection instead. Safe beside the in-flight operation: pushes
+	// are idempotent and epoch-fenced, and the fresh connection shares
+	// no framing state with the token holder's.
+	m.mu.Lock()
+	m.tel.lanePushes.Inc()
+	m.mu.Unlock()
+	return m.pushFresh(n, lim)
+}
+
+// pushShared delivers a cap push over the node's registered connection.
+// The caller must hold the busy token; pushShared releases it — from a
+// goroutine when a hedged primary attempt is still in flight at return.
+func (m *Manager) pushShared(n *managedNode, lim ipmi.PowerLimit) error {
 	bmc, err := m.connect(n)
 	if err != nil {
-		m.capPushFailed(name, capWatts, err)
+		n.release()
+		m.capPushFailed(n.name, lim.CapWatts, err)
 		return err
 	}
+	if m.HedgeDelay <= 0 {
+		defer n.release()
+		return m.finishPush(n, bmc, lim, true)
+	}
+	primary := make(chan error, 1)
+	go func() {
+		primary <- m.finishPush(n, bmc, lim, true)
+		n.release()
+	}()
+	select {
+	case err := <-primary:
+		return err
+	case <-time.After(m.HedgeDelay):
+	}
+	// The primary exchange is slow; race a duplicate on a fresh
+	// connection. First success wins; if both fail, the hedge's error
+	// is returned (the primary's outcome was recorded either way when
+	// its exchange finally resolved).
+	m.mu.Lock()
+	m.tel.hedges.Inc()
+	m.tel.trace.Append(telemetry.Event{Node: n.name, Kind: telemetry.EvHedge, Watts: lim.CapWatts})
+	m.mu.Unlock()
+	hedge := make(chan error, 1)
+	go func() { hedge <- m.pushFresh(n, lim) }()
+	select {
+	case err := <-primary:
+		if err == nil {
+			return nil
+		}
+		return <-hedge
+	case err := <-hedge:
+		if err == nil {
+			return nil
+		}
+		return <-primary
+	}
+}
+
+// pushFresh is the priority lane: the push rides a dedicated fresh
+// connection, serialized per node by capMu (bounding concurrent dials)
+// but never waiting on the busy token.
+func (m *Manager) pushFresh(n *managedNode, lim ipmi.PowerLimit) error {
+	n.capMu.Lock()
+	defer n.capMu.Unlock()
+	m.mu.Lock()
+	removed := n.removed
+	m.mu.Unlock()
+	if removed {
+		return fmt.Errorf("dcm: unknown node %q", n.name)
+	}
+	bmc, err := m.dial(n.addr)
+	if err != nil {
+		m.recordFailure(n, err)
+		m.capPushFailed(n.name, lim.CapWatts, err)
+		return fmt.Errorf("dcm: reconnecting to %s: %w", n.addr, err)
+	}
+	defer bmc.Close()
+	return m.finishPush(n, bmc, lim, false)
+}
+
+// finishPush executes one SetPowerLimit exchange and records its
+// outcome. shared marks bmc as the node's registered connection
+// (dropped on failure so the next attempt redials); a priority-lane
+// bmc is owned and closed by the caller.
+func (m *Manager) finishPush(n *managedNode, bmc BMC, lim ipmi.PowerLimit, shared bool) error {
 	if err := bmc.SetPowerLimit(lim); err != nil {
 		if errors.Is(err, ipmi.ErrStaleEpoch) {
 			m.noteFenced(n, lim.Epoch, err)
-			return fmt.Errorf("dcm: setting cap on %q: %w", name, err)
+			return fmt.Errorf("dcm: setting cap on %q: %w", n.name, err)
 		}
-		m.dropConn(n, bmc)
+		if shared {
+			m.dropConn(n, bmc)
+		}
 		m.recordFailure(n, err)
-		m.capPushFailed(name, capWatts, err)
-		return fmt.Errorf("dcm: setting cap on %q: %w", name, err)
+		m.capPushFailed(n.name, lim.CapWatts, err)
+		return fmt.Errorf("dcm: setting cap on %q: %w", n.name, err)
 	}
 	m.mu.Lock()
 	if !n.removed {
 		n.status.ReportedCapWatts = lim.CapWatts
 		n.status.ReportedCapEnabled = lim.Enabled
 		m.recordSuccess(n)
+		if n.brk.stateName() == BreakerHalfOpen {
+			m.brkClose(n)
+		}
 	}
 	m.tel.capPushes.Inc()
 	m.tel.trace.Append(telemetry.Event{
-		Node: name, Kind: telemetry.EvCapPush, Watts: capWatts,
+		Node: n.name, Kind: telemetry.EvCapPush, Watts: lim.CapWatts,
 	})
 	m.mu.Unlock()
 	return nil
@@ -624,6 +780,8 @@ func (m *Manager) Poll() {
 		nodes = append(nodes, n)
 	}
 	workers := m.PollConcurrency
+	budget := m.PollBudget
+	shed := m.shedLevel
 	tel := m.tel
 	m.mu.Unlock()
 	if workers <= 0 {
@@ -643,31 +801,68 @@ func (m *Manager) Poll() {
 		go func(n *managedNode) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			m.pollNode(n)
+			m.pollNode(n, shed)
 		}(n)
 	}
 	wg.Wait()
+	elapsed := m.wallNow().Sub(start)
 	tel.polls.Inc()
-	tel.pollSeconds.Observe(m.wallNow().Sub(start).Seconds())
+	tel.pollSeconds.Observe(elapsed.Seconds())
+	if budget > 0 {
+		// Brownout control: a round that overran its interval budget
+		// raises the shed level so the *next* round drops lowest-value
+		// work first; rounds back under budget decay it one step at a
+		// time. Drift reconciliation and cap pushes are never shed.
+		m.mu.Lock()
+		if elapsed > budget {
+			if m.shedLevel < maxShedLevel {
+				m.shedLevel++
+				m.tel.sheds.Inc()
+				m.tel.trace.Append(telemetry.Event{
+					Kind: telemetry.EvShed, N: int64(m.shedLevel), Watts: elapsed.Seconds(),
+				})
+			}
+		} else if m.shedLevel > 0 {
+			m.shedLevel--
+		}
+		m.mu.Unlock()
+	}
 	m.updateFleetGauges()
 }
 
 // pollNode samples one node, redialing through the backoff gate when
-// disconnected.
-func (m *Manager) pollNode(n *managedNode) {
+// disconnected. shed is the brownout level the round runs under.
+func (m *Manager) pollNode(n *managedNode, shed int) {
 	if !n.tryAcquire() {
-		return // another operation owns the node; skip this round
+		// Another operation owns the node; skip this round. A skip is
+		// normal once, but a streak means something (a hung exchange, a
+		// push storm) is starving monitoring of this node — count it and
+		// say so in the trace rather than staying silent.
+		m.mu.Lock()
+		n.status.BusySkips++
+		n.consecSkips++
+		m.tel.busySkips.Inc()
+		if n.consecSkips == DefaultStarveSkips {
+			m.tel.trace.Append(telemetry.Event{
+				Node: n.name, Kind: telemetry.EvBusyStarve, N: int64(n.consecSkips),
+			})
+		}
+		m.mu.Unlock()
+		return
 	}
 	defer n.release()
 
 	m.mu.Lock()
+	n.consecSkips = 0
 	if n.removed {
 		m.mu.Unlock()
 		return
 	}
-	gated := n.bmc == nil && m.wallNow().Before(n.nextRetry)
+	now := m.wallNow()
+	gated := n.bmc == nil && now.Before(n.nextRetry)
+	allowed := m.brkAllow(n, now, shed)
 	m.mu.Unlock()
-	if gated {
+	if gated || !allowed {
 		return
 	}
 
@@ -675,12 +870,14 @@ func (m *Manager) pollNode(n *managedNode) {
 	if err != nil {
 		return // failure already recorded
 	}
+	t0 := m.wallNow()
 	s, lim, h, err := sampleBMC(bmc)
 	if err != nil {
 		m.dropConn(n, bmc)
 		m.recordFailure(n, err)
 		return
 	}
+	m.noteExchange(n, m.wallNow().Sub(t0))
 	s.At = m.wallNow()
 
 	// Reconcile: the BMC's reported policy must match desired state.
@@ -729,9 +926,13 @@ func (m *Manager) pollNode(n *managedNode) {
 		n.status.SensorFaults = int(h.SensorFaults)
 		n.status.InfeasibleCap = h.InfeasibleCap
 		n.status.Last = s
-		n.history = append(n.history, s)
-		if len(n.history) > m.HistoryLimit {
-			n.history = n.history[len(n.history)-m.HistoryLimit:]
+		if shed < 1 {
+			// History enrichment is the first work a brownout sheds;
+			// the live sample above is always kept.
+			n.history = append(n.history, s)
+			if len(n.history) > m.HistoryLimit {
+				n.history = n.history[len(n.history)-m.HistoryLimit:]
+			}
 		}
 	}
 	m.mu.Unlock()

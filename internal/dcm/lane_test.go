@@ -1,0 +1,121 @@
+package dcm
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nodecap/internal/ipmi"
+)
+
+// stallBMC parks GetPowerReading on a channel once armed, simulating a
+// BMC that is alive but takes arbitrarily long mid-exchange. Its
+// SetPowerLimit stays fast, like real BMCs whose policy write path is
+// cheap while the sensor scan crawls.
+type stallBMC struct {
+	flakyBMC
+	armed   atomic.Bool
+	entered chan struct{} // signaled when a reading stalls
+	release chan struct{} // closed to let the reading finish
+}
+
+func (s *stallBMC) GetPowerReading() (ipmi.PowerReading, error) {
+	if s.armed.Load() {
+		select {
+		case s.entered <- struct{}{}:
+		default:
+		}
+		<-s.release
+	}
+	return ipmi.PowerReading{CurrentWatts: 150, AverageWatts: 150}, nil
+}
+
+// TestCapPushPreemptsStalledPoll is the priority-lane regression test
+// (ISSUE 9 acceptance): a cap push must complete within its bound while
+// a poll of the same node is stalled on a slow BMC. Before the lane,
+// SetNodeCap blocked on the per-node busy token the poll held, so the
+// push waited out the entire stall.
+func TestCapPushPreemptsStalledPoll(t *testing.T) {
+	stub := &stallBMC{
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	m := NewManager(func(addr string) (BMC, error) { return stub, nil })
+	defer m.Close()
+	if err := m.AddNode("n", "x"); err != nil {
+		t.Fatal(err)
+	}
+	stub.armed.Store(true)
+
+	pollDone := make(chan struct{})
+	go func() { m.Poll(); close(pollDone) }()
+	<-stub.entered // the poll owns the busy token, stalled mid-exchange
+
+	done := make(chan error, 1)
+	go func() { done <- m.SetNodeCap("n", 140) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SetNodeCap during the stall: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cap push queued behind a stalled poll — priority lane missing")
+	}
+	st := m.Nodes()[0]
+	if st.CapWatts != 140 || !st.CapEnabled || st.ReportedCapWatts != 140 {
+		t.Errorf("cap not delivered during the stall: %+v", st)
+	}
+
+	close(stub.release)
+	<-pollDone
+}
+
+// hedgeBMC blocks SetPowerLimit until released — the primary push
+// connection gone slow mid-write.
+type hedgeBMC struct {
+	flakyBMC
+	stall chan struct{}
+}
+
+func (h *hedgeBMC) SetPowerLimit(ipmi.PowerLimit) error {
+	<-h.stall
+	return nil
+}
+
+// TestHedgedPushCompletes: with HedgeDelay set, a push whose primary
+// connection stalls is raced on a fresh connection and still lands;
+// the duplicate delivery is safe because pushes are idempotent and
+// epoch-fenced.
+func TestHedgedPushCompletes(t *testing.T) {
+	release := make(chan struct{})
+	var dials atomic.Int32
+	m := NewManager(func(addr string) (BMC, error) {
+		if dials.Add(1) == 1 {
+			return &hedgeBMC{stall: release}, nil
+		}
+		return &flakyBMC{}, nil
+	})
+	defer m.Close()
+	m.HedgeDelay = 10 * time.Millisecond
+	if err := m.AddNode("n", "x"); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- m.SetNodeCap("n", 150) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("hedged SetNodeCap: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("hedged push never completed while its primary connection stalled")
+	}
+	if st := m.Nodes()[0]; st.ReportedCapWatts != 150 {
+		t.Errorf("hedge landed but status not updated: %+v", st)
+	}
+	if dials.Load() < 2 {
+		t.Errorf("hedge did not dial a fresh connection (%d dials)", dials.Load())
+	}
+	close(release) // let the parked primary goroutine finish
+}

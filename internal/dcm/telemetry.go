@@ -4,6 +4,13 @@ import (
 	"nodecap/internal/telemetry"
 )
 
+// exchangeBuckets resolve per-exchange BMC latency, which runs
+// microseconds in simulation and up to seconds against a sick BMC —
+// far finer at the bottom than DefSecondsBuckets.
+var exchangeBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5,
+}
+
 // managerTelemetry holds the manager's pre-resolved metric handles and
 // trace sink. All fields are nil until SetTelemetry; every use is
 // nil-safe, so an uninstrumented manager pays only a nil check.
@@ -21,10 +28,20 @@ type managerTelemetry struct {
 	leaderChanges   *telemetry.Counter
 	fencedPushes    *telemetry.Counter
 
+	// Gray-failure defense (DESIGN.md §12).
+	breakerOpens  *telemetry.Counter
+	breakerCloses *telemetry.Counter
+	quarantines   *telemetry.Counter
+	sheds         *telemetry.Counter
+	busySkips     *telemetry.Counter
+	hedges        *telemetry.Counter
+	lanePushes    *telemetry.Counter
+
 	nodes     *telemetry.Gauge
 	reachable *telemetry.Gauge
 
-	pollSeconds *telemetry.Histogram
+	pollSeconds     *telemetry.Histogram
+	exchangeSeconds *telemetry.Histogram
 }
 
 // SetTelemetry wires a metrics registry and decision trace into the
@@ -46,9 +63,17 @@ func (m *Manager) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Trace) {
 		budgetReallocs:  reg.Counter("dcm_budget_reallocs_total"),
 		leaderChanges:   reg.Counter("dcm_leader_changes_total"),
 		fencedPushes:    reg.Counter("dcm_fenced_pushes_total"),
+		breakerOpens:    reg.Counter("dcm_breaker_opens_total"),
+		breakerCloses:   reg.Counter("dcm_breaker_closes_total"),
+		quarantines:     reg.Counter("dcm_quarantines_total"),
+		sheds:           reg.Counter("dcm_sheds_total"),
+		busySkips:       reg.Counter("dcm_busy_skips_total"),
+		hedges:          reg.Counter("dcm_hedged_pushes_total"),
+		lanePushes:      reg.Counter("dcm_lane_pushes_total"),
 		nodes:           reg.Gauge("dcm_nodes"),
 		reachable:       reg.Gauge("dcm_nodes_reachable"),
 		pollSeconds:     reg.Histogram("dcm_poll_seconds", telemetry.DefSecondsBuckets),
+		exchangeSeconds: reg.Histogram("dcm_exchange_seconds", exchangeBuckets),
 	}
 	st := m.store
 	m.mu.Unlock()

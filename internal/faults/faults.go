@@ -39,6 +39,25 @@ type Profile struct {
 	ReadLatency  time.Duration
 	WriteLatency time.Duration
 
+	// ReadJitter/WriteJitter/ConnectJitter bound an extra uniform
+	// latency on top of the fixed values above, so a storm is a
+	// distribution rather than a square wave. Draws come from a
+	// per-connection splitmix64 stream keyed by the transport seed and
+	// the connection's dial ordinal — deterministic per connection no
+	// matter how goroutines interleave across connections.
+	ReadJitter    time.Duration
+	WriteJitter   time.Duration
+	ConnectJitter time.Duration
+
+	// FlapPeriod/FlapDuty describe a flapping link: for FlapDuty
+	// fraction of every FlapPeriod the connection blackholes writes
+	// (the peer never answers, so the caller's read deadline ends the
+	// exchange), then heals, repeatedly. The phase offset is drawn from
+	// the seed, so a fleet of flappers with distinct seeds
+	// desynchronizes realistically.
+	FlapPeriod time.Duration
+	FlapDuty   float64
+
 	// DropWrites blackholes the connection: writes report success but
 	// deliver nothing, so the peer never responds and the caller's
 	// read deadline is what ends the exchange.
@@ -59,6 +78,7 @@ type Stats struct {
 	DialsRefused   int
 	Resets         int
 	DroppedWrites  int
+	FlapDrops      int
 	CorruptedReads int
 }
 
@@ -67,6 +87,9 @@ type Stats struct {
 type Transport struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
+	seed  int64
+	start time.Time
+	conns uint64
 	p     Profile
 	stats Stats
 }
@@ -77,7 +100,12 @@ func New(p Profile) *Transport {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Transport{rng: rand.New(rand.NewSource(seed)), p: p}
+	return &Transport{
+		rng:   rand.New(rand.NewSource(seed)),
+		seed:  seed,
+		start: time.Now(),
+		p:     p,
+	}
 }
 
 // SetProfile replaces the active profile. Existing connections pick up
@@ -110,6 +138,59 @@ func (t *Transport) Stats() Stats {
 	return t.stats
 }
 
+// Counter-based jitter streams (the splitmix idiom from
+// internal/fleet): each connection's latency jitter is a pure function
+// of (transport seed, connection ordinal, draw count), so one
+// connection's schedule never depends on how goroutines interleave on
+// another.
+const splitmixGamma = 0x9e3779b97f4a7c15
+
+// splitmixFin finalizes a SplitMix64 state word into an output word.
+func splitmixFin(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// jitterKey derives connection conn's stream state from the transport
+// seed; the odd multiplier decorrelates adjacent connections.
+func jitterKey(seed int64, conn uint64) uint64 {
+	return splitmixFin(uint64(seed)*splitmixGamma + conn*0xd1342543de82ef95 + 1)
+}
+
+// jitterFrac returns draw n of the stream in [0, 1).
+func jitterFrac(key, n uint64) float64 {
+	return float64(splitmixFin(key+n*splitmixGamma)>>11) / float64(1<<53)
+}
+
+// jitter draws the next uniform [0, max) sample from the connection's
+// stream. Callers hold t.mu (the draw counter is guarded by it).
+func (c *faultConn) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	c.draws++
+	return time.Duration(jitterFrac(c.key, c.draws) * float64(max))
+}
+
+// flappedDown reports whether a flapping profile currently has the
+// link in its down phase. Callers hold t.mu.
+func (t *Transport) flappedDown() bool {
+	if t.p.FlapPeriod <= 0 || t.p.FlapDuty <= 0 {
+		return false
+	}
+	if t.p.FlapDuty >= 1 {
+		return true
+	}
+	period := t.p.FlapPeriod
+	off := time.Duration(jitterFrac(jitterKey(t.seed, 0), 0) * float64(period))
+	phase := (time.Since(t.start) + off) % period
+	return phase < time.Duration(t.p.FlapDuty*float64(period))
+}
+
 // chance draws one probabilistic decision from the seeded schedule.
 func (t *Transport) chance(p float64) bool {
 	if p <= 0 {
@@ -128,6 +209,11 @@ func (t *Transport) Dial(network, addr string, timeout time.Duration) (net.Conn,
 	t.stats.Dials++
 	refused := t.chance(t.p.DialErrorProb)
 	delay := t.p.ConnectLatency
+	if j := t.p.ConnectJitter; j > 0 {
+		// Keyed by the dial ordinal: the nth dial's connect jitter is
+		// the same whatever else the transport served in between.
+		delay += time.Duration(jitterFrac(jitterKey(t.seed, uint64(t.stats.Dials)), 0) * float64(j))
+	}
 	if refused {
 		t.stats.DialsRefused++
 	}
@@ -149,7 +235,11 @@ func (t *Transport) Dial(network, addr string, timeout time.Duration) (net.Conn,
 // Wrap layers fault injection over an existing connection (e.g. a
 // net.Pipe end in tests).
 func (t *Transport) Wrap(conn net.Conn) net.Conn {
-	return &faultConn{Conn: conn, t: t}
+	t.mu.Lock()
+	t.conns++
+	key := jitterKey(t.seed, t.conns)
+	t.mu.Unlock()
+	return &faultConn{Conn: conn, t: t, key: key}
 }
 
 // errReset is the reset-style error injected connections fail with.
@@ -162,14 +252,16 @@ func (e errReset) Error() string { return "faults: injected connection reset dur
 // blackholed request still ends when the caller's read deadline fires.
 type faultConn struct {
 	net.Conn
-	t *Transport
+	t     *Transport
+	key   uint64 // this connection's jitter stream
+	draws uint64 // jitter draw counter, guarded by t.mu
 }
 
 func (c *faultConn) Read(b []byte) (int, error) {
 	c.t.mu.Lock()
 	reset := c.t.chance(c.t.p.ResetProb)
 	corrupt := c.t.chance(c.t.p.CorruptProb)
-	delay := c.t.p.ReadLatency
+	delay := c.t.p.ReadLatency + c.jitter(c.t.p.ReadJitter)
 	if reset {
 		c.t.stats.Resets++
 	}
@@ -196,11 +288,17 @@ func (c *faultConn) Write(b []byte) (int, error) {
 	c.t.mu.Lock()
 	reset := c.t.chance(c.t.p.ResetProb)
 	drop := c.t.p.DropWrites
-	delay := c.t.p.WriteLatency
+	if !drop && c.t.flappedDown() {
+		drop = true
+		if !reset {
+			c.t.stats.FlapDrops++
+		}
+	}
+	delay := c.t.p.WriteLatency + c.jitter(c.t.p.WriteJitter)
 	if reset {
 		c.t.stats.Resets++
 	}
-	if drop && !reset {
+	if drop && !reset && c.t.p.DropWrites {
 		c.t.stats.DroppedWrites++
 	}
 	c.t.mu.Unlock()

@@ -1,0 +1,93 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterStreamDeterministic: a connection's jitter schedule is a
+// pure function of (seed, connection ordinal, draw count) — the
+// property that makes storm replays identical run-to-run.
+func TestJitterStreamDeterministic(t *testing.T) {
+	k1 := jitterKey(42, 1)
+	k2 := jitterKey(42, 1)
+	if k1 != k2 {
+		t.Fatalf("jitterKey not deterministic: %x vs %x", k1, k2)
+	}
+	for n := uint64(0); n < 100; n++ {
+		if a, b := jitterFrac(k1, n), jitterFrac(k2, n); a != b {
+			t.Fatalf("draw %d differs: %v vs %v", n, a, b)
+		}
+	}
+	if jitterKey(42, 1) == jitterKey(42, 2) || jitterKey(42, 1) == jitterKey(43, 1) {
+		t.Error("adjacent streams collide")
+	}
+}
+
+// TestJitterFracRange: draws are uniform-ish in [0, 1) — never out of
+// range, and spread across the interval rather than clumped.
+func TestJitterFracRange(t *testing.T) {
+	key := jitterKey(7, 3)
+	lo, hi := 1.0, 0.0
+	for n := uint64(0); n < 4096; n++ {
+		v := jitterFrac(key, n)
+		if v < 0 || v >= 1 {
+			t.Fatalf("draw %d = %v out of [0,1)", n, v)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > 0.05 || hi < 0.95 {
+		t.Errorf("4096 draws spanned [%v, %v], want near-full coverage of [0,1)", lo, hi)
+	}
+}
+
+// TestJitteredLatencyIsAdded: ReadJitter stretches a round trip beyond
+// the fixed floor, and the jittered profile is not transparent.
+func TestJitteredLatencyIsAdded(t *testing.T) {
+	p := Profile{Seed: 9, ReadLatency: 10 * time.Millisecond, ReadJitter: 20 * time.Millisecond}
+	if p.Transparent() {
+		t.Fatal("jittered profile reported transparent")
+	}
+	addr := echoServer(t)
+	tr := New(p)
+	conn, err := tr.Dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := roundTrip(t, conn, []byte("ping"), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("round trip took %v, want at least the 10ms latency floor", elapsed)
+	}
+}
+
+// TestFlapProfileDropsAndHeals: a flapping profile with full duty
+// blackholes writes like DropWrites; duty 0 passes traffic untouched.
+func TestFlapProfileDropsAndHeals(t *testing.T) {
+	addr := echoServer(t)
+	tr := New(Profile{Seed: 5, FlapPeriod: time.Hour, FlapDuty: 1})
+	conn, err := tr.Dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(t, conn, []byte("ping"), 100*time.Millisecond); err == nil {
+		t.Fatal("flapped-down link still answered")
+	}
+	if tr.Stats().FlapDrops == 0 {
+		t.Error("flap drop not counted")
+	}
+
+	tr.SetProfile(Profile{Seed: 5}) // heal
+	if got, err := roundTrip(t, conn, []byte("pong"), time.Second); err != nil || string(got) != "pong" {
+		t.Fatalf("healed link round trip = %q, %v", got, err)
+	}
+}

@@ -60,6 +60,33 @@ const (
 	// epoch was stale — a newer leader has actuated there (N = the
 	// stale epoch that was rejected).
 	EvFenced = "fenced"
+
+	// Gray-failure defense events (DESIGN §12).
+
+	// EvBreakerOpen: a node's circuit breaker tripped open — too many
+	// consecutive failures, or persistently slow exchanges (N = total
+	// opens for the node, Err = the trip reason, "slow" for latency).
+	EvBreakerOpen = "breaker-open"
+	// EvBreakerHalfOpen: the open hold expired and a single probe was
+	// admitted to decide between closing and re-opening.
+	EvBreakerHalfOpen = "breaker-half-open"
+	// EvBreakerClose: a healthy exchange closed the breaker.
+	EvBreakerClose = "breaker-close"
+	// EvQuarantine: the breaker opened too many times within the flap
+	// window; the node is held under the longer quarantine hold
+	// (Err = the reason of the final trip).
+	EvQuarantine = "quarantine"
+	// EvShed: a poll round overran its interval budget, so the next
+	// round sheds lowest-value work (N = the new shed level, Watts =
+	// the overrunning round's duration in seconds).
+	EvShed = "shed"
+	// EvBusyStarve: a node's poll slot was busy-skipped k rounds in a
+	// row — another operation owned it every time (N = the streak).
+	EvBusyStarve = "busy-starve"
+	// EvHedge: a cap push exceeded the hedge delay on its primary
+	// connection, so a duplicate was raced on a fresh one (idempotent
+	// and epoch-fenced, so whichever lands twice is harmless).
+	EvHedge = "hedge"
 )
 
 // Event is one decision-trace entry. Seq is assigned by Append and
