@@ -44,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		breakFen  = fs.Bool("break-fencing", false, "deliberately disable the nodes' stale-epoch fence so single_writer must flag split-brain (harness self-test)")
 		breakRep  = fs.Bool("break-replication", false, "deliberately corrupt replicated records so replica_convergence must flag divergence (harness self-test)")
 		breakBrk  = fs.Bool("break-breaker", false, "deliberately misconfigure the circuit breakers (open breakers withhold cap pushes and never probe) so cap_push_bounded and no_starvation must both flag it (harness self-test)")
+		breakHnd  = fs.Bool("break-handoff", false, "deliberately skip the fencing-epoch bump on shard handoff so single_owner must flag the dual writers (harness self-test; sharded scenarios)")
+		breakAgg  = fs.Bool("break-aggregator", false, "deliberately over-allocate the budget cascade so tree_budget_conserved must flag it (harness self-test; sharded scenarios)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -72,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	s.BreakFencing = *breakFen
 	s.BreakReplication = *breakRep
 	s.BreakBreaker = *breakBrk
+	s.BreakHandoff = *breakHnd
+	s.BreakAggregator = *breakAgg
 	stopCPU, err := profiling.StartCPU(*cpuProf)
 	if err != nil {
 		fmt.Fprintln(stderr, err)

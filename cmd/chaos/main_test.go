@@ -31,8 +31,8 @@ func TestRunEmitsDeterministicVerdict(t *testing.T) {
 	if !v.Pass {
 		t.Error("partition scenario did not pass")
 	}
-	if len(v.Checks) != 8 {
-		t.Errorf("verdict reports %d invariants, want 8", len(v.Checks))
+	if len(v.Checks) != 10 {
+		t.Errorf("verdict reports %d invariants, want 10", len(v.Checks))
 	}
 }
 

@@ -70,10 +70,11 @@ func usage() {
   dcmctl -server ADDR add NAME BMCADDR | remove NAME | nodes | poll
   dcmctl -server ADDR setcap NAME WATTS | uncap NAME
   dcmctl -server ADDR settier NAME high|low
-  dcmctl -server ADDR budget WATTS NAME1,NAME2,...
+  dcmctl -server ADDR budget WATTS [NAME1,NAME2,...]   (sharded daemons ignore the group: the tree is the group)
   dcmctl -server ADDR history NAME [N]
   dcmctl -server ADDR trace [-follow] [-node NAME] [-n N]
   dcmctl -server ADDR leader
+  dcmctl -server ADDR shards
   dcmctl -bmc ADDR status | setcap WATTS | uncap
 `)
 	os.Exit(2)
@@ -119,6 +120,14 @@ func viaServer(addr string, args []string) error {
 		}
 		printLeader(os.Stdout, resp)
 		return nil
+	case "shards":
+		resp, err := call(dcm.Request{Op: "shards"})
+		if err != nil {
+			return err
+		}
+		printRole(os.Stdout, resp)
+		printShards(os.Stdout, resp.Shards)
+		return nil
 	case "trace":
 		return traceCmd(call, os.Stdout, args[1:])
 	case "setcap":
@@ -147,7 +156,7 @@ func viaServer(addr string, args []string) error {
 		_, err := call(dcm.Request{Op: "settier", Name: args[1], Tier: args[2]})
 		return err
 	case "budget":
-		if len(args) != 3 {
+		if len(args) != 2 && len(args) != 3 {
 			usage()
 		}
 		watts, err := strconv.ParseFloat(args[1], 64)
@@ -155,9 +164,11 @@ func viaServer(addr string, args []string) error {
 			return fmt.Errorf("bad budget %q", args[1])
 		}
 		var group []string
-		for _, name := range strings.Split(args[2], ",") {
-			if name = strings.TrimSpace(name); name != "" {
-				group = append(group, name)
+		if len(args) == 3 {
+			for _, name := range strings.Split(args[2], ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					group = append(group, name)
+				}
 			}
 		}
 		resp, err := call(dcm.Request{Op: "budget", Budget: watts, Group: group})
@@ -258,6 +269,29 @@ func printNodes(w io.Writer, nodes []dcm.NodeStatus) {
 			n.Last.PowerWatts, n.Last.FreqMHz, n.Last.PState, n.Last.GatingLevel,
 			healthFlags(n), brk, lat, n.BusySkips, n.Drifts, n.Reconciles,
 			n.ConsecFailures, n.Reconnects, lastErr)
+	}
+}
+
+// printShards renders a sharded daemon's per-leaf table ("shards"
+// op). Deterministic like printNodes: rows sort by leaf name and every
+// column has a fixed width, so golden tests and scripts can rely on
+// byte-stable output for the same status.
+func printShards(w io.Writer, shards []dcm.ShardStatus) {
+	shards = append([]dcm.ShardStatus(nil), shards...)
+	sort.Slice(shards, func(i, j int) bool { return shards[i].Leaf < shards[j].Leaf })
+	fmt.Fprintf(w, "%-12s %-6s %6s %6s %10s %s\n",
+		"LEAF", "ALIVE", "EPOCH", "NODES", "BUDGET", "FEASIBLE")
+	for _, s := range shards {
+		budget := "-"
+		if s.BudgetWatts > 0 {
+			budget = fmt.Sprintf("%.1f W", s.BudgetWatts)
+		}
+		feas := "yes"
+		if s.Infeasible {
+			feas = "pinned-min"
+		}
+		fmt.Fprintf(w, "%-12s %-6v %6d %6d %10s %s\n",
+			s.Leaf, s.Alive, s.Epoch, s.Nodes, budget, feas)
 	}
 }
 

@@ -35,14 +35,18 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -51,6 +55,7 @@ import (
 	"nodecap/internal/dcm"
 	"nodecap/internal/dcm/store"
 	"nodecap/internal/ipmi"
+	"nodecap/internal/shard"
 	"nodecap/internal/telemetry"
 )
 
@@ -99,6 +104,15 @@ type options struct {
 	Lease       string
 	HAID        string
 	LeaseTTL    time.Duration
+
+	// Sharded control plane (DESIGN §13). Shards > 0 runs that many
+	// leaf managers owning consistent-hash shards of the fleet under a
+	// budget-cascading aggregator; Aggregator is the cascade interval
+	// (0 = cascade only when dcmctl pushes a budget; requires -budget
+	// when set). Incompatible with the HA pair flags and with -group
+	// (the budget group is the whole tree).
+	Shards     int
+	Aggregator time.Duration
 }
 
 // parseFlags parses args into options (no global flag state, so tests
@@ -131,6 +145,8 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.Lease, "lease", "", "shared leadership lease file (default: <state-dir>/"+store.LeaseFileName+")")
 	fs.StringVar(&o.HAID, "ha-id", "", "this member's name in the lease (default: the -listen address)")
 	fs.DurationVar(&o.LeaseTTL, "lease-ttl", DefaultLeaseTTL, "leadership lease term; a primary that misses renewals this long is deposed")
+	fs.IntVar(&o.Shards, "shards", 0, "run a sharded control plane: this many leaf managers own consistent-hash shards under a budget-cascading aggregator (0 = flat)")
+	fs.DurationVar(&o.Aggregator, "aggregator", 0, "aggregator budget-cascade interval in sharded mode (0 = cascade only on dcmctl budget pushes; requires -budget)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -216,6 +232,14 @@ type daemon struct {
 	hbStop     chan struct{}
 	hbWG       sync.WaitGroup
 	closed     bool
+
+	// Sharded control plane (nil/empty outside -shards mode): the
+	// aggregator tree, its leaf managers, and the budget-cascade loop.
+	// mgr is nil in this mode — the tree's HandleControl owns dispatch.
+	shTree   *shard.Tree
+	shLeaves []*dcm.Manager
+	aggStop  chan struct{}
+	aggWG    sync.WaitGroup
 }
 
 // start builds and launches a daemon from opts. A nil dial uses the
@@ -243,6 +267,9 @@ func start(opts options, dial dcm.Dialer, logf func(format string, args ...any))
 			c.SetCounters(ipmiReqs, ipmiFails)
 			return c, nil
 		}
+	}
+	if opts.Shards > 0 {
+		return startSharded(opts, dial, logf, reg, trace)
 	}
 	if opts.StandbyOf != "" {
 		return startStandby(opts, dial, logf, reg, trace)
@@ -354,6 +381,221 @@ func start(opts options, dial dcm.Dialer, logf func(format string, args ...any))
 		return nil, err
 	}
 	return d, nil
+}
+
+// shardSeed fixes the aggregator's ring seed: determinism across
+// restarts comes from the snapshot, and a fresh ring only needs every
+// member to agree — there is nothing to randomise.
+const shardSeed = 1
+
+// leafName names the i'th leaf manager of a sharded daemon. %02d keeps
+// lexical order equal to index order, which the snapshot-restore leaf
+// check relies on (hence the 99-leaf cap in startSharded).
+func leafName(i int) string { return fmt.Sprintf("leaf-%02d", i) }
+
+// startSharded brings dcmd up as a two-level control plane (DESIGN
+// §13): -shards leaf managers each own a consistent-hash shard of the
+// fleet, an aggregator tree routes control-plane ops to owners and
+// cascades the -budget across the leaves, and -state-dir journals both
+// the per-leaf registries (leaf-NN/) and the shard map (shardmap.snap)
+// so a restarted daemon resumes ownership exactly where it left off.
+func startSharded(opts options, dial dcm.Dialer, logf func(format string, args ...any), reg *telemetry.Registry, trace *telemetry.Trace) (*daemon, error) {
+	switch {
+	case opts.haEnabled():
+		return nil, fmt.Errorf("dcmd: -shards is incompatible with -replica-addr/-standby-of (the sharded tree is its own availability story)")
+	case opts.Group != "":
+		return nil, fmt.Errorf("dcmd: -group has no meaning under -shards (the budget group is the whole tree)")
+	case opts.Aggregator > 0 && opts.Budget <= 0:
+		return nil, fmt.Errorf("dcmd: -aggregator needs -budget (the cascade divides the datacenter budget)")
+	case opts.Shards > 99:
+		return nil, fmt.Errorf("dcmd: -shards %d: at most 99 leaves", opts.Shards)
+	}
+
+	mgrs := make([]*dcm.Manager, opts.Shards)
+	closeAll := func() {
+		for _, m := range mgrs {
+			if m != nil {
+				m.Close()
+			}
+		}
+	}
+	for i := range mgrs {
+		mgr := dcm.NewManager(dial)
+		opts.tune(mgr)
+		mgr.SetTelemetry(reg, trace)
+		if opts.StateDir != "" {
+			if err := mgr.OpenStateDir(filepath.Join(opts.StateDir, leafName(i))); err != nil {
+				closeAll()
+				return nil, err
+			}
+		}
+		if opts.Tiers != "" {
+			// Every leaf holds every preset; only the owner's copy is
+			// consulted when the node registers.
+			if err := applyTiers(mgr, opts.Tiers); err != nil {
+				closeAll()
+				return nil, err
+			}
+		}
+		mgrs[i] = mgr
+	}
+
+	tree, err := buildTree(opts, mgrs, logf)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	for _, mgr := range mgrs {
+		mgr.StartPolling(opts.Poll)
+	}
+
+	srv := dcm.NewServer(nil)
+	srv.SetHandler(tree.HandleControl)
+	addr, err := srv.Listen(opts.Listen)
+	if err != nil {
+		closeAll()
+		return nil, fmt.Errorf("dcmd: listen: %w", err)
+	}
+	d := &daemon{
+		srv: srv, reg: reg, trace: trace,
+		ControlAddr: addr,
+		opts:        opts, dial: dial, logf: logf,
+		shTree: tree, shLeaves: mgrs,
+	}
+	if opts.Aggregator > 0 {
+		d.startAggregator(opts.Budget, opts.Aggregator)
+		logf("dcmd: cascading %.0f W across %d leaves every %v", opts.Budget, opts.Shards, opts.Aggregator)
+	}
+	if err := d.serveMetrics(opts, logf); err != nil {
+		d.Close()
+		return nil, err
+	}
+	logf("dcmd: aggregator over %d leaf shard(s) at epoch %d", opts.Shards, tree.Epoch())
+	return d, nil
+}
+
+// buildTree restores the aggregator from the journaled shard map when
+// one is present and names the same leaves, and otherwise builds a
+// fresh ring — re-registering through it any nodes the leaf journals
+// carried, so a daemon that lost only shardmap.snap still comes back
+// owning its fleet.
+func buildTree(opts options, mgrs []*dcm.Manager, logf func(format string, args ...any)) (*shard.Tree, error) {
+	var snapPath string
+	if opts.StateDir != "" {
+		snapPath = shard.SnapshotPathIn(opts.StateDir)
+		if st, err := shard.LoadSnapshot(snapPath); err == nil {
+			t, rerr := restoreTree(st, snapPath, mgrs, logf)
+			if rerr == nil {
+				logf("dcmd: restored shard map: %d node(s) across %d leaves at epoch %d", len(st.Nodes), len(st.Leaves), t.Epoch())
+				return t, nil
+			}
+			logf("dcmd: shard map %s not restorable (%v); rebuilding the ring", snapPath, rerr)
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			logf("dcmd: shard map %s unreadable (%v); rebuilding the ring", snapPath, err)
+		}
+	}
+
+	t := shard.NewTree(shardSeed, 0, nil, snapPath)
+	// Collect whatever the leaf journals restored before joining the
+	// leaves: ownership must come from the fresh ring, not from which
+	// journal happened to hold the node.
+	var orphans []shard.NodeInfo
+	for i, mgr := range mgrs {
+		for _, st := range mgr.Nodes() {
+			orphans = append(orphans, shard.NodeInfo{Name: st.Name, Addr: st.Addr, ID: shard.NodeID(st.Name)})
+			_ = mgr.RemoveNode(st.Name)
+		}
+		if _, err := t.AddLeaf(leafName(i), mgr); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].Name < orphans[j].Name })
+	for _, n := range orphans {
+		// Per-node, tolerating failures: a node that is down right now
+		// re-registers when the operator re-adds it.
+		if err := t.AddNode(n.Name, n.Addr, n.ID); err != nil {
+			logf("dcmd: re-registering journaled node %s: %v", n.Name, err)
+		}
+	}
+	return t, nil
+}
+
+// restoreTree rebuilds the aggregator from a decoded shard map and
+// re-binds this process's leaf managers to it.
+func restoreTree(st shard.TreeState, snapPath string, mgrs []*dcm.Manager, logf func(format string, args ...any)) (*shard.Tree, error) {
+	if len(st.Leaves) != len(mgrs) {
+		return nil, fmt.Errorf("snapshot has %d leaves, -shards is %d", len(st.Leaves), len(mgrs))
+	}
+	for i, l := range st.Leaves {
+		if l.Name != leafName(i) {
+			return nil, fmt.Errorf("snapshot leaf %q is not %s", l.Name, leafName(i))
+		}
+	}
+	t, err := shard.NewTreeFromState(st, nil, snapPath)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]map[string]bool, len(mgrs))
+	for i, mgr := range mgrs {
+		if err := t.Attach(leafName(i), mgr); err != nil {
+			return nil, err
+		}
+		set := make(map[string]bool)
+		for _, ns := range mgr.Nodes() {
+			set[ns.Name] = true
+		}
+		known[leafName(i)] = set
+	}
+	// The shard map and the leaf journals commit independently, so a
+	// crash can wedge them apart. Map-owned nodes a leaf journal lost
+	// re-register with their recorded owner; journal-only nodes the map
+	// never heard of re-route through the ring under fresh ownership.
+	for _, n := range st.Nodes {
+		if known[n.Owner][n.Name] {
+			continue
+		}
+		if mgr := t.Leaf(n.Owner); mgr != nil {
+			if err := mgr.AddNode(n.Name, n.Addr); err != nil {
+				logf("dcmd: reconciling shard-map node %s onto %s: %v", n.Name, n.Owner, err)
+			}
+		}
+	}
+	for i, mgr := range mgrs {
+		for _, ns := range mgr.Nodes() {
+			if _, owned := t.Owner(ns.Name); owned {
+				continue
+			}
+			_ = mgr.RemoveNode(ns.Name)
+			if err := t.AddNode(ns.Name, ns.Addr, shard.NodeID(ns.Name)); err != nil {
+				logf("dcmd: adopting journal-only node %s from %s: %v", ns.Name, leafName(i), err)
+			}
+		}
+	}
+	return t, nil
+}
+
+// startAggregator runs the budget cascade on its interval. Each pass
+// re-divides the datacenter budget from the leaves' latest demand
+// summaries, so caps follow load between dcmctl interventions.
+func (d *daemon) startAggregator(budget float64, every time.Duration) {
+	stop := make(chan struct{})
+	d.aggStop = stop
+	d.aggWG.Add(1)
+	go func() {
+		defer d.aggWG.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			if _, err := d.shTree.Rebalance(budget); err != nil {
+				d.logf("dcmd: budget cascade: %v", err)
+			}
+		}
+	}()
 }
 
 // startStandby brings the daemon up as the hot-standby member of an HA
@@ -609,6 +851,11 @@ func (d *daemon) Close() {
 		d.hbWG.Wait()
 		d.hbStop = nil
 	}
+	if d.aggStop != nil {
+		close(d.aggStop)
+		d.aggWG.Wait()
+		d.aggStop = nil
+	}
 	if d.replClient != nil {
 		d.replClient.Stop()
 	}
@@ -621,7 +868,12 @@ func (d *daemon) Close() {
 	if d.srv != nil {
 		d.srv.Close()
 	}
-	mgr.Close()
+	if mgr != nil {
+		mgr.Close()
+	}
+	for _, m := range d.shLeaves {
+		m.Close()
+	}
 	if replicaSt != nil {
 		replicaSt.Close()
 	}

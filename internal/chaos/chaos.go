@@ -38,6 +38,16 @@
 //     fetched at least once every StarvationRounds poll rounds:
 //     breaker holds, brownout shedding and busy-skips may delay a
 //     sample but never orphan a healthy node (solo scenarios).
+//  9. tree_budget_conserved — in sharded scenarios, the sum of the
+//     leaf managers' enabled desired caps (each node counted once,
+//     under its current owner) never exceeds the datacenter budget,
+//     at every tick including mid-handoff; when the budget sits below
+//     the platform minimums the bound is the minimum sum instead.
+// 10. single_owner — in sharded scenarios, every cap push a plant
+//     admits was carried by the node's CURRENT owning leaf: each
+//     node's fence watermark advances under exactly one leaf. A
+//     deposed or isolated leaf's pushes must be refused by the
+//     plant-side fence, not merely expected to stop.
 //
 // Determinism: a Scenario is a pure function of (name, seed, ticks,
 // nodes). All randomness comes from seeded math/rand streams — the
@@ -132,6 +142,28 @@ const (
 	// EvReplTear arms a torn-tail cut of the standby's replicated
 	// journal, applied at its next promotion (the replica's crash).
 	EvReplTear = "repl-tear"
+
+	// Sharded-tree event kinds (require Scenario.Shards > 0; they act
+	// on leaf managers and the aggregator, not a node).
+
+	// EvLeafIsolate partitions leaf Event.Leaf away from the
+	// aggregator: the tree seizes its shard with fenced handoff while
+	// the isolated manager keeps actuating on stale registrations and a
+	// stale budget — the duel the plant-side fence must win.
+	EvLeafIsolate = "leaf-isolate"
+	// EvLeafRejoin heals the leaf's aggregator link; the tree readmits
+	// it (purging its stale state) and hands its ring share back.
+	EvLeafRejoin = "leaf-rejoin"
+	// EvLeafCrash kills leaf Event.Leaf's manager outright; the tree
+	// seizes its shard.
+	EvLeafCrash = "leaf-crash"
+	// EvLeafRestart brings a crashed leaf back as a fresh process (new
+	// state dir) and rejoins it to the tree.
+	EvLeafRestart = "leaf-restart"
+	// EvAggRestart restarts the aggregator from its journaled shard
+	// map: ownership must be recovered exactly, live leaves
+	// re-attached, dead ones seized.
+	EvAggRestart = "agg-restart"
 )
 
 // Event is one scheduled fault (or recovery) in a scenario timeline.
@@ -148,6 +180,8 @@ type Event struct {
 	LatencyUS int `json:"latency_us,omitempty"`
 	// Period is EvFlap's up/down cycle length in ticks.
 	Period int `json:"period,omitempty"`
+	// Leaf indexes the target leaf manager for sharded event kinds.
+	Leaf int `json:"leaf,omitempty"`
 }
 
 // Scenario is a reproducible chaos timeline. Identical scenarios
@@ -174,6 +208,14 @@ type Scenario struct {
 	// EvRevive, which respect pair membership).
 	HA bool `json:"ha,omitempty"`
 
+	// Shards > 0 runs the control plane as a two-level sharded tree:
+	// that many leaf managers own consistent-hash shards of the fleet
+	// under a cascading budget aggregator (internal/shard). Enables the
+	// sharded event kinds and the tree_budget_conserved / single_owner
+	// invariants. Incompatible with HA, Wire, and EvCrash/EvRestart
+	// (use the leaf/aggregator event kinds instead).
+	Shards int `json:"shards,omitempty"`
+
 	// BreakFailSafeFloor disables the fail-safe P-state floor in the
 	// simulated plant (the plant creeps back up while the controller
 	// distrusts its sensor). It exists to prove the invariant checker
@@ -199,6 +241,18 @@ type Scenario struct {
 	// no_starvation both catch real regressions; see
 	// TestBrokenBreakerCaught.
 	BreakBreaker bool `json:"break_breaker,omitempty"`
+
+	// BreakHandoff skips the fencing-epoch bump on shard migration, so
+	// a deposed leaf keeps pushing at the epoch the new owner uses and
+	// the plant admits both writers. Exists to prove single_owner
+	// catches a broken handoff; see TestBrokenHandoffCaught.
+	BreakHandoff bool `json:"break_handoff,omitempty"`
+
+	// BreakAggregator makes the budget cascade over-allocate (1.5× per
+	// leaf), violating cross-level conservation. Exists to prove
+	// tree_budget_conserved catches a broken aggregator; see
+	// TestBrokenAggregatorCaught.
+	BreakAggregator bool `json:"break_aggregator,omitempty"`
 
 	// Wire runs the fleet over real TCP sockets through
 	// faults.Transport instead of in-process frame dispatch. Slower
@@ -246,6 +300,17 @@ type Verdict struct {
 	Failovers          int    `json:"failovers,omitempty"`
 	FencedPushes       uint64 `json:"fenced_pushes,omitempty"`
 	ReplicaLostRecords int    `json:"replica_lost_records,omitempty"`
+
+	// Sharded-tree outcomes. Shards echoes the scenario's leaf count;
+	// Handoffs counts node ownership migrations (fenced handoffs);
+	// LeafCrashes/LeafRestarts count leaf manager lifecycle events;
+	// AggRestarts counts aggregator restarts from the journaled shard
+	// map.
+	Shards       int `json:"shards,omitempty"`
+	Handoffs     int `json:"handoffs,omitempty"`
+	LeafCrashes  int `json:"leaf_crashes,omitempty"`
+	LeafRestarts int `json:"leaf_restarts,omitempty"`
+	AggRestarts  int `json:"agg_restarts,omitempty"`
 
 	// FailSafeEntries / SensorFaults aggregate the fleet's defensive
 	// controller stats.
@@ -296,9 +361,20 @@ func Run(s Scenario) (Verdict, error) {
 	if s.HA && s.Wire {
 		return Verdict{}, fmt.Errorf("chaos: HA scenarios are in-process only (wire mode unsupported)")
 	}
+	if s.Shards > 0 {
+		if s.HA {
+			return Verdict{}, fmt.Errorf("chaos: sharded scenarios are incompatible with HA (the tree is its own availability story)")
+		}
+		if s.Wire {
+			return Verdict{}, fmt.Errorf("chaos: sharded scenarios are in-process only (wire mode unsupported)")
+		}
+	}
 	haKinds := map[string]bool{
 		EvKillPrimary: true, EvRevive: true, EvLeaseStall: true,
 		EvReplDown: true, EvReplHeal: true, EvReplTear: true,
+	}
+	leafKinds := map[string]bool{
+		EvLeafIsolate: true, EvLeafRejoin: true, EvLeafCrash: true, EvLeafRestart: true,
 	}
 	for _, e := range s.Events {
 		if e.Node < 0 || e.Node >= s.Nodes {
@@ -309,6 +385,15 @@ func Run(s Scenario) (Verdict, error) {
 		}
 		if s.HA && (e.Kind == EvCrash || e.Kind == EvRestart) {
 			return Verdict{}, fmt.Errorf("chaos: event %q at tick %d is for solo scenarios; HA uses %q/%q", e.Kind, e.Tick, EvKillPrimary, EvRevive)
+		}
+		if (leafKinds[e.Kind] || e.Kind == EvAggRestart) && s.Shards <= 0 {
+			return Verdict{}, fmt.Errorf("chaos: event %q at tick %d requires a sharded scenario", e.Kind, e.Tick)
+		}
+		if leafKinds[e.Kind] && (e.Leaf < 0 || e.Leaf >= s.Shards) {
+			return Verdict{}, fmt.Errorf("chaos: event %q at tick %d targets leaf %d outside [0,%d)", e.Kind, e.Tick, e.Leaf, s.Shards)
+		}
+		if s.Shards > 0 && (e.Kind == EvCrash || e.Kind == EvRestart) {
+			return Verdict{}, fmt.Errorf("chaos: event %q at tick %d is for solo scenarios; sharded uses %q/%q", e.Kind, e.Tick, EvLeafCrash, EvLeafRestart)
 		}
 		if e.Kind == EvSlow && e.LatencyUS <= 0 {
 			return Verdict{}, fmt.Errorf("chaos: event %q at tick %d needs a positive latency_us", e.Kind, e.Tick)
@@ -342,9 +427,17 @@ func Run(s Scenario) (Verdict, error) {
 	}
 	defer f.stop()
 	budget := f.budget
-	for i := 0; i < s.Nodes; i++ {
-		if err := f.addNode(i); err != nil {
-			return Verdict{}, fmt.Errorf("chaos: registering node %d: %w", i, err)
+	if f.sh != nil {
+		// Bulk registration: one shard-map persist for the whole fleet
+		// instead of one per node (O(n²) at datacenter scale).
+		if err := f.registerAllSharded(); err != nil {
+			return Verdict{}, err
+		}
+	} else {
+		for i := 0; i < s.Nodes; i++ {
+			if err := f.addNode(i); err != nil {
+				return Verdict{}, fmt.Errorf("chaos: registering node %d: %w", i, err)
+			}
 		}
 	}
 	if s.HA {
@@ -403,6 +496,9 @@ func Run(s Scenario) (Verdict, error) {
 				iv.noteAllocs(allocs, tick)
 			}
 		}
+		if f.sh != nil {
+			f.shardTick(tick, pollEvery, rebalanceEvery)
+		}
 		if f.ha != nil {
 			f.haDuel(tick, pollEvery, rebalanceEvery)
 		}
@@ -413,9 +509,10 @@ func Run(s Scenario) (Verdict, error) {
 	v.Violations = iv.violations
 	v.ViolationCount = iv.violationCount
 	snap := f.reg.Snapshot()
-	if s.HA {
+	if s.HA || s.Shards > 0 {
 		v.FencedPushes = snap.Counters["dcm_fenced_pushes_total"]
 	}
+	v.Shards = s.Shards
 	v.BreakerOpens = snap.Counters["dcm_breaker_opens_total"]
 	v.Quarantines = snap.Counters["dcm_quarantines_total"]
 	v.Sheds = snap.Counters["dcm_sheds_total"]

@@ -78,6 +78,10 @@ type Fleet struct {
 	// ha is the primary/standby pair state; nil outside HA mode.
 	ha *haCluster
 
+	// sh is the two-level sharded control plane; nil outside sharded
+	// mode (Scenario.Shards > 0). Mutually exclusive with ha and mgr.
+	sh *shardedCluster
+
 	// Wire-mode plumbing.
 	transports []*faults.Transport
 	wireAddrs  []string
@@ -154,6 +158,12 @@ func newFleet(s Scenario, dir string) (*Fleet, error) {
 	}
 	if s.HA {
 		if err := f.setupHA(); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if s.Shards > 0 {
+		if err := f.setupSharded(); err != nil {
 			return nil, err
 		}
 		return f, nil
@@ -299,7 +309,13 @@ func (f *Fleet) simClock() time.Time {
 // identical either way), and fleet-scale scenarios journal far too
 // many records to fsync each one inside the CI budget.
 func (f *Fleet) newManagerAt(dir string) (*dcm.Manager, error) {
-	mgr := dcm.NewManager(f.dialer())
+	return f.newManagerWith(dir, f.dialer())
+}
+
+// newManagerWith is newManagerAt with an explicit dialer — sharded
+// leaves dial through leaf-attributed links.
+func (f *Fleet) newManagerWith(dir string, dial dcm.Dialer) (*dcm.Manager, error) {
+	mgr := dcm.NewManager(dial)
 	mgr.RetryBaseDelay = time.Nanosecond
 	mgr.RetryMaxDelay = time.Nanosecond
 	mgr.StaleAfter = time.Nanosecond
@@ -362,7 +378,7 @@ func (f *Fleet) dialer() dcm.Dialer {
 		if down, _ := f.linkState(i); down {
 			return nil, errLinkDown
 		}
-		return &memLink{f: f, i: i}, nil
+		return &memLink{f: f, i: i, leaf: -1}, nil
 	}
 }
 
@@ -374,8 +390,17 @@ func (f *Fleet) nodeAddr(i int) string {
 }
 
 // addNode registers sim node i with the manager and mirrors the
-// journaled add record.
+// journaled add record. In sharded mode the tree routes it to its
+// ring owner instead (no shadow model — leaf recovery is by rejoin,
+// not replay).
 func (f *Fleet) addNode(i int) error {
+	if f.sh != nil {
+		if err := f.sh.tree.AddNode(f.name(i), f.nodeAddr(i), uint32(i)); err != nil {
+			return err
+		}
+		f.registered[i] = true
+		return nil
+	}
 	if f.mgr == nil {
 		return errors.New("chaos: manager crashed")
 	}
@@ -400,6 +425,16 @@ func (f *Fleet) addNode(i int) error {
 }
 
 func (f *Fleet) removeNode(i int) error {
+	if f.sh != nil {
+		if !f.registered[i] {
+			return nil
+		}
+		if err := f.sh.tree.RemoveNode(f.name(i)); err != nil {
+			return err
+		}
+		f.registered[i] = false
+		return nil
+	}
 	if f.mgr == nil || !f.registered[i] {
 		return nil
 	}
@@ -604,11 +639,31 @@ func (f *Fleet) applyEvent(e Event, iv *invariants, v *Verdict) error {
 			return nil // unknown node after a rolled-back add; expected
 		}
 	case EvAddNode:
-		if f.mgr == nil || f.registered[e.Node] {
+		if (f.mgr == nil && f.sh == nil) || f.registered[e.Node] {
 			return nil
 		}
 		if err := f.addNode(e.Node); err != nil {
 			return nil // link down; the dial failing IS the chaos
+		}
+	case EvLeafIsolate:
+		if err := f.shardIsolate(e.Leaf, v); err != nil {
+			return err
+		}
+	case EvLeafRejoin:
+		if err := f.shardRejoin(e.Leaf, v); err != nil {
+			return err
+		}
+	case EvLeafCrash:
+		if err := f.shardCrash(e.Leaf, v); err != nil {
+			return err
+		}
+	case EvLeafRestart:
+		if err := f.shardRestart(e.Leaf, v); err != nil {
+			return err
+		}
+	case EvAggRestart:
+		if err := f.shardAggRestart(v); err != nil {
+			return err
 		}
 	case EvKillPrimary:
 		if err := f.haKill(e, v); err != nil {
@@ -642,6 +697,8 @@ func (f *Fleet) stop() {
 	if f.ha != nil {
 		f.ha.stop()
 		f.mgr = nil
+	} else if f.sh != nil {
+		f.sh.stop()
 	} else if f.mgr != nil {
 		f.mgr.Close()
 		f.mgr = nil

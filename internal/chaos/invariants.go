@@ -18,6 +18,8 @@ const (
 	InvReplicaConvergence = "replica_convergence"
 	InvCapPushBounded     = "cap_push_bounded"
 	InvNoStarvation       = "no_starvation"
+	InvTreeBudget         = "tree_budget_conserved"
+	InvSingleOwner        = "single_owner"
 )
 
 // Checker tuning.
@@ -88,7 +90,7 @@ func newInvariants(f *Fleet, budget float64) *invariants {
 	return &invariants{
 		f:           f,
 		budget:      budget,
-		gray:        !f.scenario.HA,
+		gray:        !f.scenario.HA && f.scenario.Shards == 0,
 		lastSampled: make([]int, n),
 		pendingOn:   make([]bool, n),
 		pendingCap:  make([]float64, n),
@@ -104,6 +106,8 @@ func newInvariants(f *Fleet, budget float64) *invariants {
 			InvReplicaConvergence: 0,
 			InvCapPushBounded:     0,
 			InvNoStarvation:       0,
+			InvTreeBudget:         0,
+			InvSingleOwner:        0,
 		},
 		violations: []Violation{},
 	}
@@ -309,6 +313,61 @@ func (iv *invariants) checkTick(tick int) {
 		iv.checkStarvation(tick)
 	}
 	iv.checkBudgetConserved(tick)
+	if iv.f.sh != nil {
+		iv.checkShardTick(tick)
+	}
+}
+
+// checkShardTick asserts the sharded-tree invariants:
+//
+//   - single_owner: every cap push the plant admitted this tick was
+//     carried by the node's CURRENT owning leaf. Handoffs run at event
+//     time (tick start) and pushes after, so ownership is current when
+//     the log drains. A push from anyone else means the fencing epoch
+//     failed to depose the old writer — the dual-writer state
+//     -break-handoff manufactures.
+//   - tree_budget_conserved: the sum of enabled desired caps across
+//     attached leaves (each node counted once, under its owner — a
+//     seized leaf's caps are fenced void) never exceeds the datacenter
+//     budget. When the cascade flagged the budget infeasible the bound
+//     is the attached platform-minimum sum instead: the tree pins to
+//     minimums rather than pushing caps the plants cannot honour. The
+//     minimum sum is only computed on the slow path (sum over budget),
+//     keeping the per-tick audit allocation-free at fleet scale.
+func (iv *invariants) checkShardTick(tick int) {
+	sh := iv.f.sh
+	for _, p := range sh.drainPushes() {
+		iv.checks[InvSingleOwner]++
+		name := iv.f.name(p.node)
+		owner, ok := sh.tree.Owner(name)
+		if pusher := sh.leaves[p.leaf].name; !ok || owner != pusher {
+			iv.violate("tick %d: %s: %s: plant admitted a cap push from leaf %s but the owner is %q",
+				tick, name, InvSingleOwner, pusher, owner)
+		}
+	}
+
+	iv.checks[InvTreeBudget]++
+	sum := sh.tree.DesiredSum()
+	if sum <= iv.budget+1e-6 {
+		return
+	}
+	bound := iv.budget
+	if sh.tree.Infeasible() {
+		var minSum float64
+		for _, lf := range sh.leaves {
+			if lf.mgr != nil && !lf.isolated && !lf.crashed {
+				for _, st := range lf.mgr.Nodes() {
+					minSum += st.MinCapWatts
+				}
+			}
+		}
+		if sum <= minSum+1e-6 {
+			return
+		}
+		bound = minSum
+	}
+	iv.violate("tick %d: %s: leaf-pushed caps sum %.3f W over datacenter budget bound %.3f W",
+		tick, InvTreeBudget, sum, bound)
 }
 
 // checkStarvation asserts no_starvation against the poll-round clock:

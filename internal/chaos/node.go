@@ -97,6 +97,10 @@ type memLink struct {
 	f   *Fleet
 	i   int
 	seq uint32
+	// leaf is the sharded-mode leaf index whose manager owns this
+	// connection (-1 for the solo/HA manager). Admitted cap pushes are
+	// attributed to it for the single_owner checker.
+	leaf int
 }
 
 func (l *memLink) call(cmd uint8, payload []byte) ([]byte, error) {
@@ -164,6 +168,11 @@ func (l *memLink) GetPowerReading() (ipmi.PowerReading, error) {
 
 func (l *memLink) SetPowerLimit(lim ipmi.PowerLimit) error {
 	_, err := l.call(ipmi.CmdSetPowerLimit, ipmi.EncodePowerLimit(lim))
+	if err == nil && l.leaf >= 0 && l.f.sh != nil {
+		// The plant admitted this push on a leaf-attributed connection;
+		// single_owner audits it against current tree ownership.
+		l.f.notePush(l.i, l.leaf)
+	}
 	return err
 }
 

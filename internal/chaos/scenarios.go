@@ -13,6 +13,7 @@ var ScenarioNames = []string{
 	"partition", "crash-restart", "sensor-storm", "churn", "mixed",
 	"latency-storm", "flapper", "slow-herd",
 	"failover-kill", "fence-duel", "replica-torn-tail",
+	"shard-handoff", "leaf-crash",
 }
 
 // Build generates the named scenario's event schedule. The schedule
@@ -66,6 +67,12 @@ func Build(name string, seed int64, ticks, nodes int) (Scenario, error) {
 	case "replica-torn-tail":
 		s.HA = true
 		s.Events = replicaTearEvents(rng, ticks)
+	case "shard-handoff":
+		s.Shards = shardCountFor(nodes)
+		s.Events = shardHandoffEvents(rng, ticks, s.Shards)
+	case "leaf-crash":
+		s.Shards = shardCountFor(nodes)
+		s.Events = leafCrashEvents(rng, ticks, s.Shards)
 	default:
 		return Scenario{}, fmt.Errorf("chaos: unknown scenario %q (have %s)",
 			name, strings.Join(ScenarioNames, ", "))
@@ -261,6 +268,57 @@ func replicaTearEvents(rng *rand.Rand, ticks int) []Event {
 			Event{Tick: t, Kind: EvKillPrimary, TornBytes: rng.Intn(1 << 17)},
 			Event{Tick: revive, Kind: EvRevive},
 		)
+	}
+	return ev
+}
+
+// shardCountFor sizes the leaf tier: 4 shards once the fleet is big
+// enough for every shard to own a couple of nodes, 2 below that.
+func shardCountFor(nodes int) int {
+	if nodes >= 8 {
+		return 4
+	}
+	return 2
+}
+
+// shardHandoffEvents rotates isolation across the leaves: each cycle
+// partitions one leaf away from the aggregator — its shard migrates to
+// the survivors with fenced handoff while the isolated manager keeps
+// re-applying its stale budget — then heals it. Windows are long
+// enough (≥ 30 ticks, more than a rebalance period) that the isolated
+// leaf always duels the fence at least once, and cycles are spaced so
+// at most one leaf is out at a time.
+func shardHandoffEvents(rng *rand.Rand, ticks, shards int) []Event {
+	var ev []Event
+	leaf := 0
+	for t := 2*DefaultRebalanceEvery + 5 + rng.Intn(20); t < ticks-80; t += 120 + rng.Intn(80) {
+		rejoin := t + 30 + rng.Intn(40)
+		ev = append(ev,
+			Event{Tick: t, Kind: EvLeafIsolate, Leaf: leaf},
+			Event{Tick: rejoin, Kind: EvLeafRejoin, Leaf: leaf},
+		)
+		leaf = (leaf + 1) % shards
+	}
+	return ev
+}
+
+// leafCrashEvents rotates crash-restart across the leaves, with an
+// aggregator restart from the journaled shard map after every other
+// cycle — ownership must be recovered exactly, every time.
+func leafCrashEvents(rng *rand.Rand, ticks, shards int) []Event {
+	var ev []Event
+	leaf, cycle := 0, 0
+	for t := 2*DefaultRebalanceEvery + 5 + rng.Intn(20); t < ticks-80; t += 140 + rng.Intn(80) {
+		restart := t + 30 + rng.Intn(30)
+		ev = append(ev,
+			Event{Tick: t, Kind: EvLeafCrash, Leaf: leaf},
+			Event{Tick: restart, Kind: EvLeafRestart, Leaf: leaf},
+		)
+		if cycle%2 == 1 {
+			ev = append(ev, Event{Tick: restart + 15, Kind: EvAggRestart})
+		}
+		leaf = (leaf + 1) % shards
+		cycle++
 	}
 	return ev
 }

@@ -67,6 +67,22 @@ type Response struct {
 	Role   string `json:"role,omitempty"`
 	Epoch  uint64 `json:"epoch,omitempty"`
 	Fenced bool   `json:"fenced,omitempty"`
+
+	// Shards reports per-shard state ("shards" op, sharded daemons).
+	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
+// ShardStatus is one leaf shard's state as reported by a sharded
+// (aggregator) control plane. It lives in this package — not
+// internal/shard — because the wire Response carries it and shard
+// already imports dcm.
+type ShardStatus struct {
+	Leaf        string  `json:"leaf"`
+	Alive       bool    `json:"alive"`
+	Epoch       uint64  `json:"epoch"`
+	Nodes       int     `json:"nodes"`
+	BudgetWatts float64 `json:"budget_watts"`
+	Infeasible  bool    `json:"infeasible"`
 }
 
 // Server exposes a Manager over the control-plane protocol.
@@ -79,6 +95,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	mgr      *Manager // swappable: a promoted standby installs its restored manager
+	handler  func(Request) Response
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
@@ -105,6 +122,24 @@ func (s *Server) Manager() *Manager {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.mgr
+}
+
+// SetHandler overrides request dispatch entirely: every request goes
+// to h instead of the wrapped manager. This is how a sharded daemon
+// serves the control plane from its aggregator (internal/shard), which
+// routes each op to the owning leaf manager — a single flat Manager
+// cannot answer for a tree. Set before Listen.
+func (s *Server) SetHandler(h func(Request) Response) {
+	s.mu.Lock()
+	s.handler = h
+	s.mu.Unlock()
+}
+
+// handlerFn reads the dispatch override.
+func (s *Server) handlerFn() func(Request) Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handler
 }
 
 // Listen binds addr and serves until Close.
@@ -183,6 +218,11 @@ var mutatingOps = map[string]bool{
 // Handle dispatches one request; exposed for in-process use and tests.
 func (s *Server) Handle(req Request) Response {
 	fail := func(err error) Response { return Response{Error: err.Error()} }
+	if h := s.handlerFn(); h != nil {
+		// The override owns the whole dispatch, including the mutating-op
+		// epoch check: the wrapped manager may be nil in handler mode.
+		return h(req)
+	}
 	mgr := s.Manager()
 	if mutatingOps[req.Op] && req.Epoch != 0 {
 		if cur := mgr.Epoch(); req.Epoch != cur {

@@ -1,0 +1,351 @@
+package ipmi
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	ids := []uint32{1, 7, 0xFFFFFFFF, 0}
+	b, err := EncodeBatchPollRequest(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatchPollRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("ids = %v", got)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("ids = %v", got)
+		}
+	}
+
+	polls := []BatchPollResult{
+		{ID: 3, CC: CCOK, Reading: PowerReading{CurrentWatts: 151.25, AverageWatts: 149.5},
+			Limit: PowerLimit{Enabled: true, CapWatts: 140}},
+		{ID: 9, CC: CCNotPresent},
+	}
+	b, err = EncodeBatchPollResponse(polls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := DecodeBatchPollResponse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range polls {
+		if gp[i] != polls[i] {
+			t.Fatalf("poll[%d] = %+v want %+v", i, gp[i], polls[i])
+		}
+	}
+
+	sets := []BatchSetEntry{
+		{ID: 3, Limit: PowerLimit{Enabled: true, CapWatts: 131.5, Epoch: 42}},
+		{ID: 5, Limit: PowerLimit{}},
+	}
+	b, err = EncodeBatchSetRequest(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := DecodeBatchSetRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sets {
+		if gs[i] != sets[i] {
+			t.Fatalf("set[%d] = %+v want %+v", i, gs[i], sets[i])
+		}
+	}
+
+	results := []BatchSetResult{{ID: 3, CC: CCOK}, {ID: 5, CC: CCStaleEpoch}}
+	b, err = EncodeBatchSetResponse(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := DecodeBatchSetResponse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if gr[i] != results[i] {
+			t.Fatalf("result[%d] = %+v want %+v", i, gr[i], results[i])
+		}
+	}
+}
+
+func TestBatchCRCDetectsCorruption(t *testing.T) {
+	b, err := EncodeBatchSetRequest([]BatchSetEntry{
+		{ID: 1, Limit: PowerLimit{Enabled: true, CapWatts: 140, Epoch: 7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		bad := append([]byte(nil), b...)
+		bad[i] ^= 0x10
+		if _, err := DecodeBatchSetRequest(bad); err == nil {
+			// The count byte, an entry byte, or the trailer itself — any
+			// flip must fail the length check or the CRC.
+			t.Errorf("corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestBatchEncodersBoundFrameSize(t *testing.T) {
+	big := make([]uint32, 200)
+	if _, err := EncodeBatchPollRequest(big); err == nil {
+		t.Error("200-id poll request encoded past one frame")
+	}
+	if _, err := EncodeBatchPollResponse(make([]BatchPollResult, 40)); err == nil {
+		t.Error("40-entry poll response encoded past one frame")
+	}
+	if _, err := EncodeBatchSetRequest(make([]BatchSetEntry, 40)); err == nil {
+		t.Error("40-entry set request encoded past one frame")
+	}
+}
+
+func TestMuxDispatchAndCompletionCodes(t *testing.T) {
+	mux := NewMux()
+	good := &fakeControl{}
+	bad := &fakeControl{fail: true}
+	mux.Register(1, NewServer(good))
+	mux.Register(2, NewServer(bad))
+
+	entries := []BatchSetEntry{
+		{ID: 1, Limit: PowerLimit{Enabled: true, CapWatts: 140}},
+		{ID: 2, Limit: PowerLimit{Enabled: true, CapWatts: 140}},
+		{ID: 9, Limit: PowerLimit{Enabled: true, CapWatts: 140}},
+	}
+	payload, err := EncodeBatchSetRequest(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := mux.Handle(Frame{Seq: 1, NetFn: NetFnOEM, Cmd: CmdBatchSet, Payload: payload})
+	if cc := ccOf(resp); cc != CCOK {
+		t.Fatalf("batch set cc = %#x", cc)
+	}
+	results, err := DecodeBatchSetResponse(resp.Payload[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{CCOK, CCUnspecified, CCNotPresent}
+	for i, r := range results {
+		if r.CC != want[i] {
+			t.Errorf("entry %d cc = %#x want %#x", i, r.CC, want[i])
+		}
+	}
+	if lim := good.PowerLimit(); !lim.Enabled || lim.CapWatts != 140 {
+		t.Errorf("node 1 limit = %+v", lim)
+	}
+
+	payload, err = EncodeBatchPollRequest([]uint32{1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = mux.Handle(Frame{Seq: 2, NetFn: NetFnOEM, Cmd: CmdBatchPoll, Payload: payload})
+	polls, err := DecodeBatchPollResponse(resp.Payload[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polls[0].CC != CCOK || polls[0].Reading.CurrentWatts != 151.2 ||
+		!polls[0].Limit.Enabled || polls[0].Limit.CapWatts != 140 {
+		t.Errorf("poll[0] = %+v", polls[0])
+	}
+	if polls[1].CC != CCNotPresent {
+		t.Errorf("poll[1] cc = %#x", polls[1].CC)
+	}
+
+	// A multiplexed connection has no implied node: single-node commands
+	// and garbage payloads are rejected, never dispatched.
+	resp = mux.Handle(Frame{Seq: 3, NetFn: NetFnOEM, Cmd: CmdGetPowerReading})
+	if cc := ccOf(resp); cc != CCInvalidCommand {
+		t.Errorf("single-node cmd cc = %#x", cc)
+	}
+	resp = mux.Handle(Frame{Seq: 4, NetFn: NetFnOEM, Cmd: CmdBatchSet, Payload: []byte{1, 2, 3}})
+	if cc := ccOf(resp); cc != CCInvalidData {
+		t.Errorf("garbage batch cc = %#x", cc)
+	}
+}
+
+// TestMuxSharesFenceWithDirectPath is the property the whole sharded
+// handoff rests on: a batch push and a direct per-node push advance the
+// SAME fencing watermark, so a deposed writer cannot dodge the fence by
+// switching transports.
+func TestMuxSharesFenceWithDirectPath(t *testing.T) {
+	ctl := &fakeControl{}
+	srv := NewServer(ctl)
+	mux := NewMux()
+	mux.Register(7, srv)
+
+	// New owner actuates epoch 5 over the batched path.
+	payload, _ := EncodeBatchSetRequest([]BatchSetEntry{
+		{ID: 7, Limit: PowerLimit{Enabled: true, CapWatts: 130, Epoch: 5}},
+	})
+	resp := mux.Handle(Frame{Seq: 1, NetFn: NetFnOEM, Cmd: CmdBatchSet, Payload: payload})
+	results, err := DecodeBatchSetResponse(resp.Payload[1:])
+	if err != nil || results[0].CC != CCOK {
+		t.Fatalf("epoch-5 batch push: %v cc=%#x", err, results[0].CC)
+	}
+	if srv.FenceEpoch() != 5 {
+		t.Fatalf("fence = %d want 5", srv.FenceEpoch())
+	}
+
+	// Deposed owner (epoch 3) must be fenced on BOTH paths.
+	direct := srv.Handle(Frame{Seq: 2, NetFn: NetFnOEM, Cmd: CmdSetPowerLimit,
+		Payload: EncodePowerLimit(PowerLimit{Enabled: true, CapWatts: 170, Epoch: 3})})
+	if cc := ccOf(direct); cc != CCStaleEpoch {
+		t.Errorf("direct stale push cc = %#x", cc)
+	}
+	payload, _ = EncodeBatchSetRequest([]BatchSetEntry{
+		{ID: 7, Limit: PowerLimit{Enabled: true, CapWatts: 170, Epoch: 3}},
+	})
+	resp = mux.Handle(Frame{Seq: 3, NetFn: NetFnOEM, Cmd: CmdBatchSet, Payload: payload})
+	results, _ = DecodeBatchSetResponse(resp.Payload[1:])
+	if results[0].CC != CCStaleEpoch {
+		t.Errorf("batched stale push cc = %#x", results[0].CC)
+	}
+	if lim := ctl.PowerLimit(); lim.CapWatts != 130 {
+		t.Errorf("stale push actuated: %+v", lim)
+	}
+}
+
+func TestClientBatchChunksOverTCP(t *testing.T) {
+	mux := NewMux()
+	const n = 60 // forces three MaxBatchEntries chunks
+	ctls := make([]*fakeControl, n)
+	for i := range ctls {
+		ctls[i] = &fakeControl{}
+		mux.Register(uint32(i), NewServer(ctls[i]))
+	}
+	addr, err := mux.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	entries := make([]BatchSetEntry, n)
+	ids := make([]uint32, n)
+	for i := range entries {
+		ids[i] = uint32(i)
+		entries[i] = BatchSetEntry{
+			ID:    uint32(i),
+			Limit: PowerLimit{Enabled: true, CapWatts: 120 + float64(i), Epoch: 2},
+		}
+	}
+	results, err := c.BatchSet(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.ID != uint32(i) || r.CC != CCOK {
+			t.Fatalf("result[%d] = %+v", i, r)
+		}
+	}
+	polls, err := c.BatchPoll(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range polls {
+		if p.ID != uint32(i) || p.CC != CCOK || p.Limit.CapWatts != 120+float64(i) {
+			t.Fatalf("poll[%d] = %+v", i, p)
+		}
+	}
+}
+
+// FuzzBatchFrameCodec drives all four batch payload codecs with the
+// same arbitrary bytes: none may panic, anything accepted must survive
+// its encode∘decode round trip, and the mux dispatch must answer any
+// batch frame with a well-formed response.
+func FuzzBatchFrameCodec(f *testing.F) {
+	if b, err := EncodeBatchPollRequest([]uint32{1, 2, 3}); err == nil {
+		f.Add(uint8(CmdBatchPoll), b)
+	}
+	if b, err := EncodeBatchPollResponse([]BatchPollResult{
+		{ID: 1, CC: CCOK, Reading: PowerReading{CurrentWatts: 150}, Limit: PowerLimit{Enabled: true, CapWatts: 140}},
+	}); err == nil {
+		f.Add(uint8(CmdBatchPoll), b)
+	}
+	if b, err := EncodeBatchSetRequest([]BatchSetEntry{
+		{ID: 9, Limit: PowerLimit{Enabled: true, CapWatts: 131, Epoch: 3}},
+	}); err == nil {
+		f.Add(uint8(CmdBatchSet), b)
+	}
+	if b, err := EncodeBatchSetResponse([]BatchSetResult{{ID: 9, CC: CCStaleEpoch}}); err == nil {
+		f.Add(uint8(CmdBatchSet), b)
+	}
+	f.Add(uint8(CmdBatchSet), []byte{})
+	f.Add(uint8(CmdBatchPoll), bytes.Repeat([]byte{0xFF}, 64))
+
+	mux := NewMux()
+	mux.Register(1, NewServer(&fakeControl{}))
+	f.Fuzz(func(t *testing.T, cmd uint8, data []byte) {
+		if ids, err := DecodeBatchPollRequest(data); err == nil {
+			b, err := EncodeBatchPollRequest(ids)
+			if err != nil {
+				t.Fatalf("accepted poll request fails to encode: %v", err)
+			}
+			if !bytes.Equal(b, data) {
+				t.Fatalf("poll request round trip mutated bytes")
+			}
+		}
+		if rs, err := DecodeBatchPollResponse(data); err == nil {
+			b, err := EncodeBatchPollResponse(rs)
+			if err != nil {
+				t.Fatalf("accepted poll response fails to encode: %v", err)
+			}
+			back, err := DecodeBatchPollResponse(b)
+			if err != nil || len(back) != len(rs) {
+				t.Fatalf("poll response round trip: %v", err)
+			}
+			for i := range rs {
+				if back[i] != rs[i] {
+					t.Fatalf("poll response entry %d mutated: %+v vs %+v", i, back[i], rs[i])
+				}
+			}
+		}
+		if es, err := DecodeBatchSetRequest(data); err == nil {
+			b, err := EncodeBatchSetRequest(es)
+			if err != nil {
+				t.Fatalf("accepted set request fails to encode: %v", err)
+			}
+			back, err := DecodeBatchSetRequest(b)
+			if err != nil || len(back) != len(es) {
+				t.Fatalf("set request round trip: %v", err)
+			}
+			for i := range es {
+				if back[i] != es[i] {
+					t.Fatalf("set request entry %d mutated: %+v vs %+v", i, back[i], es[i])
+				}
+			}
+		}
+		if rs, err := DecodeBatchSetResponse(data); err == nil {
+			b, err := EncodeBatchSetResponse(rs)
+			if err != nil {
+				t.Fatalf("accepted set response fails to encode: %v", err)
+			}
+			if !bytes.Equal(b, data) {
+				t.Fatalf("set response round trip mutated bytes")
+			}
+		}
+		resp := mux.Handle(Frame{Seq: 1, NetFn: NetFnOEM, Cmd: cmd, Payload: data})
+		if len(resp.Payload) < 1 || resp.NetFn != NetFnOEMResponse {
+			t.Fatalf("mux response malformed: %+v", resp)
+		}
+		if _, err := resp.Marshal(); err != nil {
+			t.Fatalf("mux response does not marshal: %v", err)
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func leafNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("leaf-%d", i)
+	}
+	return out
+}
+
+func assign(r *Ring, nodes int) map[uint32]string {
+	out := make(map[uint32]string, nodes)
+	for id := uint32(0); id < uint32(nodes); id++ {
+		leaf, ok := r.Owner(id)
+		if !ok {
+			panic("empty ring")
+		}
+		out[id] = leaf
+	}
+	return out
+}
+
+// TestRingDeterministicPerSeed: the assignment is a pure function of
+// (seed, membership) — rebuilt rings agree exactly, different seeds
+// disagree somewhere.
+func TestRingDeterministicPerSeed(t *testing.T) {
+	const nodes = 4096
+	for _, seed := range []uint64{0, 1, 7, 0xDEADBEEF} {
+		a := NewRing(seed, 64)
+		a.SetLeaves(leafNames(5))
+		b := NewRing(seed, 64)
+		b.SetLeaves(leafNames(5))
+		ga, gb := assign(a, nodes), assign(b, nodes)
+		for id := range ga {
+			if ga[id] != gb[id] {
+				t.Fatalf("seed %d: node %d owner %s vs %s", seed, id, ga[id], gb[id])
+			}
+		}
+	}
+	a := NewRing(1, 64)
+	a.SetLeaves(leafNames(5))
+	b := NewRing(2, 64)
+	b.SetLeaves(leafNames(5))
+	ga, gb := assign(a, nodes), assign(b, nodes)
+	same := 0
+	for id := range ga {
+		if ga[id] == gb[id] {
+			same++
+		}
+	}
+	if same == nodes {
+		t.Fatal("different seeds produced identical assignments")
+	}
+}
+
+// TestRingPermutationInvariance: ownership cannot depend on the order
+// leaves joined — only on the membership set.
+func TestRingPermutationInvariance(t *testing.T) {
+	const nodes = 2048
+	names := leafNames(7)
+	base := NewRing(42, 64)
+	base.SetLeaves(names)
+	want := assign(base, nodes)
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		perm := append([]string(nil), names...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		r := NewRing(42, 64)
+		r.SetLeaves(perm)
+		got := assign(r, nodes)
+		for id := range want {
+			if got[id] != want[id] {
+				t.Fatalf("trial %d: node %d owner %s vs %s", trial, id, got[id], want[id])
+			}
+		}
+	}
+}
+
+// TestRingBalance: at 64 vnodes every leaf's share stays within ±20%
+// of even.
+func TestRingBalance(t *testing.T) {
+	const nodes = 20000
+	for _, leaves := range []int{2, 4, 8} {
+		for _, seed := range []uint64{1, 7, 99} {
+			r := NewRing(seed, 64)
+			r.SetLeaves(leafNames(leaves))
+			counts := make(map[string]int)
+			for id, leaf := range assign(r, nodes) {
+				_ = id
+				counts[leaf]++
+			}
+			even := float64(nodes) / float64(leaves)
+			for leaf, c := range counts {
+				if dev := float64(c)/even - 1; dev > 0.20 || dev < -0.20 {
+					t.Errorf("leaves=%d seed=%d: %s holds %d nodes (%.0f%% of even)",
+						leaves, seed, leaf, c, 100*float64(c)/even)
+				}
+			}
+			if len(counts) != leaves {
+				t.Errorf("leaves=%d seed=%d: only %d leaves own nodes", leaves, seed, len(counts))
+			}
+		}
+	}
+}
+
+// TestRingMinimalDisruption: adding or removing one leaf moves at most
+// a 2/leaves + ε fraction of nodes, and every move on an add goes TO
+// the new leaf (no unrelated churn).
+func TestRingMinimalDisruption(t *testing.T) {
+	const nodes = 20000
+	const eps = 0.05
+	for _, leaves := range []int{4, 8} {
+		for _, seed := range []uint64{1, 7, 99} {
+			names := leafNames(leaves)
+			r := NewRing(seed, 64)
+			r.SetLeaves(names)
+			before := assign(r, nodes)
+
+			// Add one leaf.
+			r.SetLeaves(append(append([]string(nil), names...), "leaf-new"))
+			after := assign(r, nodes)
+			moved := 0
+			for id := range before {
+				if after[id] != before[id] {
+					moved++
+					if after[id] != "leaf-new" {
+						t.Fatalf("leaves=%d seed=%d: node %d moved %s -> %s, not to the new leaf",
+							leaves, seed, id, before[id], after[id])
+					}
+				}
+			}
+			if frac := float64(moved) / nodes; frac > 2.0/float64(leaves)+eps {
+				t.Errorf("leaves=%d seed=%d: add moved %.1f%% > %.1f%%",
+					leaves, seed, 100*frac, 100*(2.0/float64(leaves)+eps))
+			}
+
+			// Remove one leaf (back to the original membership).
+			r.SetLeaves(names)
+			restored := assign(r, nodes)
+			for id := range before {
+				if restored[id] != before[id] {
+					t.Fatalf("leaves=%d seed=%d: remove did not restore node %d", leaves, seed, id)
+				}
+			}
+			removed := names[leaves-1]
+			r.SetLeaves(names[:leaves-1])
+			shrunk := assign(r, nodes)
+			moved = 0
+			for id := range before {
+				if shrunk[id] != before[id] {
+					moved++
+					if before[id] != removed {
+						t.Fatalf("leaves=%d seed=%d: node %d moved off surviving leaf %s",
+							leaves, seed, id, before[id])
+					}
+				}
+			}
+			if frac := float64(moved) / nodes; frac > 2.0/float64(leaves)+eps {
+				t.Errorf("leaves=%d seed=%d: remove moved %.1f%% > %.1f%%",
+					leaves, seed, 100*frac, 100*(2.0/float64(leaves)+eps))
+			}
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(1, 64)
+	if _, ok := r.Owner(5); ok {
+		t.Error("empty ring claimed an owner")
+	}
+	r.SetLeaves([]string{"only"})
+	if leaf, ok := r.Owner(5); !ok || leaf != "only" {
+		t.Errorf("single-leaf ring: %q %v", leaf, ok)
+	}
+}

@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleStates() []TreeState {
+	return []TreeState{
+		{Seed: 7, Vnodes: 64, Epoch: 1},
+		{
+			Seed: 42, Vnodes: 16, Epoch: 9, Rebalances: 3, Budget: 1234.5, Infeasible: true,
+			Leaves: []LeafRecord{
+				{Name: "leaf-a", Budget: 400.25},
+				{Name: "leaf-b", Budget: 300, Infeasible: true},
+			},
+			Nodes: []NodeRecord{
+				{Name: "n0", Addr: "10.0.0.1:623", Owner: "leaf-a", ID: 1},
+				{Name: "n1", Addr: "10.0.0.2:623", Owner: "leaf-b", ID: 2},
+				{Name: "n2", Addr: "10.0.0.3:623", Owner: "leaf-a", ID: 3},
+			},
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, st := range sampleStates() {
+		b, err := EncodeSnapshot(st)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodeSnapshot(b)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		b2, err := EncodeSnapshot(got)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatal("snapshot round trip is not byte-stable")
+		}
+	}
+}
+
+func TestSnapshotCRCDetectsCorruption(t *testing.T) {
+	b, err := EncodeSnapshot(sampleStates()[1])
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	for i := range b {
+		for _, flip := range []byte{0x01, 0x80} {
+			c := append([]byte(nil), b...)
+			c[i] ^= flip
+			if _, err := DecodeSnapshot(c); err == nil {
+				t.Fatalf("corruption at byte %d (flip %#x) decoded cleanly", i, flip)
+			}
+		}
+	}
+}
+
+// FuzzAggregatorSnapshot pins the canonical-form property: any byte
+// string DecodeSnapshot accepts re-encodes to exactly those bytes, and
+// no input panics the decoder.
+func FuzzAggregatorSnapshot(f *testing.F) {
+	for _, st := range sampleStates() {
+		if b, err := EncodeSnapshot(st); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte("NCSM"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		b, err := EncodeSnapshot(st)
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(b, data) {
+			t.Fatalf("decode∘encode not identity:\n in: %x\nout: %x", data, b)
+		}
+	})
+}

@@ -87,6 +87,17 @@ const (
 	// connection, so a duplicate was raced on a fresh one (idempotent
 	// and epoch-fenced, so whichever lands twice is harmless).
 	EvHedge = "hedge"
+
+	// Sharded control-plane events (DESIGN §13).
+
+	// EvHandoff: a node's ownership migrated between leaf managers with
+	// fenced handoff (Node = the node, Err = "from→to", N = the fencing
+	// epoch the handoff installed).
+	EvHandoff = "handoff"
+	// EvShardRebalance: the aggregator cascaded the datacenter budget
+	// down the tree (Watts = the budget, N = leaves applied; Err is
+	// "infeasible" when the budget sat below the platform minimums).
+	EvShardRebalance = "shard-rebalance"
 )
 
 // Event is one decision-trace entry. Seq is assigned by Append and
