@@ -538,7 +538,13 @@ func restoreTree(st shard.TreeState, snapPath string, mgrs []*dcm.Manager, logf 
 	known := make(map[string]map[string]bool, len(mgrs))
 	for i, mgr := range mgrs {
 		if err := t.Attach(leafName(i), mgr); err != nil {
-			return nil, err
+			// Attach reconciles map-owned nodes into the manager and
+			// reports per-node registration failures while the attachment
+			// itself stands; only a failed bind aborts the restore.
+			if t.Leaf(leafName(i)) == nil {
+				return nil, err
+			}
+			logf("dcmd: reconciling leaf %s on attach: %v", leafName(i), err)
 		}
 		set := make(map[string]bool)
 		for _, ns := range mgr.Nodes() {

@@ -283,6 +283,11 @@ func (f *Fleet) shardAggRestart(v *Verdict) error {
 	for _, lf := range sh.leaves {
 		byName[lf.name] = lf
 	}
+	// Re-attach every survivor before seizing any casualty: a seize
+	// migrates the dead leaf's nodes to the surviving members, and the
+	// handoff can only fence and register through leaves that are
+	// already re-bound to their managers.
+	var dead []string
 	for _, name := range tree.Leaves() {
 		lf := byName[name]
 		if lf != nil && lf.mgr != nil && !lf.isolated && !lf.crashed {
@@ -292,6 +297,9 @@ func (f *Fleet) shardAggRestart(v *Verdict) error {
 			continue
 		}
 		// Member in the snapshot but dead or isolated now: seize it.
+		dead = append(dead, name)
+	}
+	for _, name := range dead {
 		moved, err := tree.Seize(name)
 		if err != nil {
 			return fmt.Errorf("chaos: seizing %s after aggregator restart: %w", name, err)

@@ -152,14 +152,16 @@ func cascade(budget float64, leaves []demandSummary) []float64 {
 	grants := []float64{budget}
 	for li := len(levels) - 1; li >= 0; li-- {
 		below := levels[li]
+		if li == len(levels)-1 {
+			// Top level: one parent (the datacenter) over every group the
+			// level cap left — however many that is — in a single divide.
+			grants = divide(grants[0], below)
+			continue
+		}
 		next := make([]float64, 0, len(below))
 		gi := 0
 		for i := 0; i < len(below); i += cascadeFanout {
 			end := min(i+cascadeFanout, len(below))
-			if li == len(levels)-1 {
-				// Top level: one parent (the datacenter) over all groups.
-				end = len(below)
-			}
 			next = append(next, divide(grants[gi], below[i:end])...)
 			gi++
 		}

@@ -177,7 +177,12 @@ func (t *Tree) Rejoin(name string, mgr *dcm.Manager) (int, error) {
 
 // Attach re-binds a live manager to a leaf restored from a snapshot
 // (mgr == nil until then). Ownership is unchanged — that is the point
-// of restoring — only the fencing epoch is reinstalled.
+// of restoring — the fencing epoch is reinstalled, and any node a
+// handoff assigned to this leaf while it was unattached (migrate
+// defers registration rather than dereferencing a nil manager) is
+// registered with the manager now. The attachment itself stands even
+// when some registrations fail — those errors come back joined; the
+// nodes re-register when the operator re-adds them.
 func (t *Tree) Attach(name string, mgr *dcm.Manager) error {
 	if mgr == nil {
 		return fmt.Errorf("shard: leaf %q needs a manager", name)
@@ -193,7 +198,20 @@ func (t *Tree) Attach(name string, mgr *dcm.Manager) error {
 	}
 	ls.mgr = mgr
 	mgr.SetFencing(dcm.RolePrimary, t.epoch)
-	return nil
+	known := make(map[string]bool)
+	for _, st := range mgr.Nodes() {
+		known[st.Name] = true
+	}
+	var errs []error
+	for _, node := range t.nodeNames() {
+		if t.owners[node] != name || known[node] {
+			continue
+		}
+		if err := mgr.AddNode(node, t.nodes[node].Addr); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Seize expels a crashed, isolated, or decommissioned leaf and
@@ -242,25 +260,27 @@ func (t *Tree) AddNode(name, addr string, id uint32) error {
 // AddNodes bulk-registers nodes, persisting the shard map once at the
 // end — registering a fleet node-by-node would rewrite the snapshot
 // per node, O(n²) at datacenter scale. Nodes are routed in input
-// order; the first routing failure aborts (already-registered nodes
-// stay registered).
+// order; the first routing failure aborts, but the nodes already
+// registered in the batch stay registered and are persisted before the
+// error returns — an aggregator crash right after must not silently
+// drop them from the restored map.
 func (t *Tree) AddNodes(infos []NodeInfo) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, info := range infos {
 		if _, ok := t.nodes[info.Name]; ok {
-			return fmt.Errorf("shard: node %q already registered", info.Name)
+			return errors.Join(fmt.Errorf("shard: node %q already registered", info.Name), t.persist())
 		}
 		owner, ok := t.ring.Owner(info.ID)
 		if !ok {
-			return fmt.Errorf("shard: no member leaves")
+			return errors.Join(fmt.Errorf("shard: no member leaves"), t.persist())
 		}
 		ls := t.leaves[owner]
 		if ls.mgr == nil {
-			return fmt.Errorf("shard: owner leaf %q not attached", owner)
+			return errors.Join(fmt.Errorf("shard: owner leaf %q not attached", owner), t.persist())
 		}
 		if err := ls.mgr.AddNode(info.Name, info.Addr); err != nil {
-			return err
+			return errors.Join(err, t.persist())
 		}
 		t.nodes[info.Name] = info
 		t.owners[info.Name] = owner
@@ -320,7 +340,14 @@ func (t *Tree) migrate() (int, error) {
 		dsts[mv.to] = true
 	}
 	for name := range dsts {
-		t.leaves[name].mgr.SetFencing(dcm.RolePrimary, t.epoch)
+		// A destination may be a snapshot-restored member not yet
+		// re-bound to a live manager (leafState.mgr == nil): ownership
+		// still moves — the map must stay consistent with the ring — but
+		// fencing and registration wait for Attach, which reinstalls the
+		// then-current epoch and reconciles owned nodes into the manager.
+		if ls := t.leaves[name]; ls.mgr != nil {
+			ls.mgr.SetFencing(dcm.RolePrimary, t.epoch)
+		}
 	}
 
 	// Release from live old owners: desired state only. The applied
@@ -339,7 +366,9 @@ func (t *Tree) migrate() (int, error) {
 
 	for _, mv := range moves {
 		t.owners[mv.info.Name] = mv.to
-		if err := t.leaves[mv.to].mgr.AddNode(mv.info.Name, mv.info.Addr); err != nil {
+		if dst := t.leaves[mv.to]; dst.mgr == nil {
+			errs = append(errs, fmt.Errorf("shard: node %q handed to unattached leaf %q; registration deferred to attach", mv.info.Name, mv.to))
+		} else if err := dst.mgr.AddNode(mv.info.Name, mv.info.Addr); err != nil {
 			errs = append(errs, err)
 		}
 		t.trace.Append(telemetry.Event{

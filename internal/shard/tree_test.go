@@ -285,6 +285,151 @@ func TestBudgetCascadeEdgeCases(t *testing.T) {
 	}
 }
 
+// TestCascadeWideTrees pins the regression where the top-level divide
+// consumed every group in one call but the group loop still re-entered
+// for trees with 9+ leaves, indexing past the single root grant. The
+// cascade must hold its shape — one grant per leaf, conservation, the
+// min floor — at every width the daemon accepts (-shards goes to 99).
+func TestCascadeWideTrees(t *testing.T) {
+	const budget = 10_000.0
+	for n := 1; n <= 99; n++ {
+		leaves := make([]demandSummary, n)
+		var minSum float64
+		for i := range leaves {
+			leaves[i] = demandSummary{
+				min:  40 + float64(i%7)*10,
+				want: 90 + float64(i%13)*15,
+				max:  200 + float64(i%5)*25,
+			}
+			minSum += leaves[i].min
+		}
+		grants := cascade(budget, leaves)
+		if len(grants) != n {
+			t.Fatalf("cascade over %d leaves returned %d grants", n, len(grants))
+		}
+		var sum float64
+		for i, g := range grants {
+			if g < leaves[i].min-1e-6 {
+				t.Fatalf("%d leaves: grant[%d] = %.3f below min %.3f", n, i, g, leaves[i].min)
+			}
+			sum += g
+		}
+		if bound := math.Max(budget, minSum); sum > bound+1e-6 {
+			t.Fatalf("%d leaves: granted %.3f > bound %.3f", n, sum, bound)
+		}
+	}
+}
+
+// TestRebalanceNineLeaves drives the 9+-shard rebalance end-to-end —
+// the call that crashed the aggregator before the cascade fix.
+func TestRebalanceNineLeaves(t *testing.T) {
+	leaves := make([]string, 9)
+	for i := range leaves {
+		leaves[i] = fmt.Sprintf("leaf-%02d", i)
+	}
+	e := newEnv(t, leaves, 27)
+	res, err := e.tree.Rebalance(4000)
+	if err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if len(res.Leaves) != 9 {
+		t.Fatalf("rebalance granted %d leaves, want 9", len(res.Leaves))
+	}
+	e.assertTreeBudgetConserved(4000)
+}
+
+// TestSeizeBeforeAttachDefersRegistration pins the restore-flow
+// nil-dereference: seizing a dead leaf before the survivors are
+// re-attached hands nodes to unattached destinations. The handoff must
+// move ownership without touching the nil managers, and Attach must
+// reconcile the deferred nodes into the manager it binds.
+func TestSeizeBeforeAttachDefersRegistration(t *testing.T) {
+	e := newEnv(t, []string{"leaf-a", "leaf-b", "leaf-c"}, 9)
+	if _, err := e.tree.Rebalance(1500); err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	st := e.tree.State()
+
+	restored, err := NewTreeFromState(st, &muxTransport{mux: e.plant.mux}, "")
+	if err != nil {
+		t.Fatalf("NewTreeFromState: %v", err)
+	}
+	lost := e.ownedBy("leaf-a")
+	if len(lost) == 0 {
+		t.Fatal("fixture error: leaf-a owns no nodes before seize")
+	}
+	// Seize the casualty while every survivor is still unattached: the
+	// move is deferred, not a panic — and the deferral is reported.
+	moved, err := restored.Seize("leaf-a")
+	if err == nil {
+		t.Fatal("Seize with unattached destinations reported no deferral")
+	}
+	if moved != len(lost) {
+		t.Fatalf("Seize moved %d nodes, want %d", moved, len(lost))
+	}
+	for _, name := range lost {
+		owner, ok := restored.Owner(name)
+		if !ok || (owner != "leaf-b" && owner != "leaf-c") {
+			t.Fatalf("node %s owner after seize = %q", name, owner)
+		}
+	}
+
+	// Attach heals the deferral: every owned node registers with the
+	// manager the leaf binds.
+	for _, leaf := range []string{"leaf-b", "leaf-c"} {
+		if err := restored.Attach(leaf, e.mgrs[leaf]); err != nil {
+			t.Fatalf("Attach(%s): %v", leaf, err)
+		}
+		mgr := restored.Leaf(leaf)
+		known := make(map[string]bool)
+		for _, n := range mgr.Nodes() {
+			known[n.Name] = true
+		}
+		for name := range e.nodes {
+			if owner, _ := restored.Owner(name); owner == leaf && !known[name] {
+				t.Fatalf("node %s owned by %s but not registered after Attach", name, leaf)
+			}
+		}
+	}
+}
+
+// TestAddNodesPersistsPartialBatch pins the crash-window fix: a batch
+// that fails partway must persist the nodes it already registered, so
+// an aggregator restart does not silently drop them from the map.
+func TestAddNodesPersistsPartialBatch(t *testing.T) {
+	dir := t.TempDir()
+	path := SnapshotPathIn(dir)
+	plant := newPlant()
+	clock := newFakeClock()
+	tree := NewTree(11, 8, &muxTransport{mux: plant.mux}, path)
+	for _, leaf := range []string{"l0", "l1"} {
+		if _, err := tree.AddLeaf(leaf, newLeafMgr(plant, clock)); err != nil {
+			t.Fatalf("AddLeaf: %v", err)
+		}
+	}
+	plant.addNode("10.2.0.1:623", 1, 60, 150, 90)
+	err := tree.AddNodes([]NodeInfo{
+		{Name: "n0", Addr: "10.2.0.1:623", ID: 1},
+		{Name: "n1", Addr: "10.2.0.99:623", ID: 2}, // unknown addr: dial fails
+	})
+	if err == nil {
+		t.Fatal("AddNodes with an unreachable node reported no error")
+	}
+	st, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatalf("LoadSnapshot after partial batch: %v", err)
+	}
+	found := false
+	for _, n := range st.Nodes {
+		if n.Name == "n0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("partial batch not persisted: n0 absent from the snapshot")
+	}
+}
+
 func TestHandoffFencesDeposedLeaf(t *testing.T) {
 	e := newEnv(t, []string{"leaf-a", "leaf-b"}, 8)
 	if _, err := e.tree.Rebalance(1200); err != nil {
